@@ -1,0 +1,83 @@
+"""D2 ablation — configuration-frontier deduplication (DESIGN.md).
+
+Algorithm 1 keeps a *set* of configurations deduplicated on
+``(state, active)``.  Without deduplication, OR-gateway combinatorics and
+interleaved parallel work multiply identical configurations, inflating
+both the frontier and the WeakNext workload.  This bench replays the
+same interleaved trail with deduplication on and off.
+"""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.audit import LogEntry, Status
+from repro.bpmn import encode
+from repro.core import ComplianceChecker
+from repro.scenarios import parallel_process
+
+
+def interleaved_trail(branches, repetitions=2):
+    """T0 then several interleavings of parallel-branch work."""
+    clock = datetime(2010, 1, 1)
+    tasks = ["T0"]
+    for _ in range(repetitions):
+        tasks.extend(f"B{i}" for i in range(1, branches + 1))
+    tasks.append("TZ")
+    entries = []
+    for task in tasks:
+        clock += timedelta(minutes=1)
+        entries.append(
+            LogEntry(
+                user="Sam", role="Staff", action="work", obj=None,
+                task=task, case="C-1", timestamp=clock,
+                status=Status.SUCCESS,
+            )
+        )
+    return entries
+
+
+@pytest.fixture(scope="module", params=[2, 3])
+def encoded(request):
+    return request.param, encode(parallel_process(request.param))
+
+
+class TestDedupAblation:
+    def test_with_dedup(self, benchmark, encoded):
+        branches, enc = encoded
+        checker = ComplianceChecker(enc, dedupe_frontier=True)
+        trail = interleaved_trail(branches)
+        checker.check(trail)  # warm
+        result = benchmark(checker.check, trail)
+        assert result.compliant
+
+    def test_without_dedup(self, benchmark, encoded):
+        branches, enc = encoded
+        checker = ComplianceChecker(enc, dedupe_frontier=False)
+        trail = interleaved_trail(branches)
+        checker.check(trail)  # warm
+        result = benchmark(checker.check, trail)
+        assert result.compliant
+
+    def test_frontier_size_table(self, benchmark, encoded, table):
+        def run():
+            branches, enc = encoded
+            trail = interleaved_trail(branches)
+            table.comment(
+                f"D2 ablation: max frontier size, parallel process with "
+                f"{branches} branches"
+            )
+            table.row("dedupe", "max frontier", "configurations created")
+            for dedupe in (True, False):
+                checker = ComplianceChecker(enc, dedupe_frontier=dedupe)
+                result = checker.check(trail)
+                max_frontier = max(s.frontier_size for s in result.steps)
+                table.row(dedupe, max_frontier, result.configurations_created)
+                assert result.compliant
+            deduped = ComplianceChecker(enc, dedupe_frontier=True).check(trail)
+            raw = ComplianceChecker(enc, dedupe_frontier=False).check(trail)
+            assert max(s.frontier_size for s in deduped.steps) <= max(
+                s.frontier_size for s in raw.steps
+            )
+
+        benchmark.pedantic(run, rounds=1, iterations=1)

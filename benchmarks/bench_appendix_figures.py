@@ -1,0 +1,36 @@
+"""E7 — the appendix encodings (Figs 7-10): LTS regeneration cost and the
+state/label counts the figures print."""
+
+import pytest
+
+from repro.cows import LTS, parse
+from repro.scenarios import FIG7_COWS, FIG8_COWS, FIG9_COWS, FIG10_COWS
+
+FIGURES = {
+    "fig7": (FIG7_COWS, 3),
+    "fig8": (FIG8_COWS, 11),
+    "fig9": (FIG9_COWS, 10),
+    "fig10": (FIG10_COWS, 6),
+}
+
+
+class TestAppendixLts:
+    @pytest.mark.parametrize("figure", sorted(FIGURES))
+    def test_explore(self, benchmark, table, figure):
+        source, expected_states = FIGURES[figure]
+        term = parse(source)
+
+        def explore():
+            return LTS(term).explore(max_states=500)
+
+        result = benchmark(explore)
+        table.comment(f"E7: LTS of {figure}")
+        table.row("states", result.state_count)
+        table.row("edges", result.edge_count)
+        table.row("complete", result.complete)
+        assert result.complete
+        assert result.state_count == expected_states
+
+    def test_parse_cost(self, benchmark):
+        term = benchmark(parse, FIG8_COWS)
+        assert term is not None

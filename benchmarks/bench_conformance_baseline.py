@@ -1,0 +1,109 @@
+"""E12 — Algorithm 1 vs token-replay conformance checking (Section 6).
+
+Related work: conformance checking [13] quantifies the fit between a log
+and a process model, but "works with logs in which events only refer to
+activities specified in the business process model" and cannot analyze
+compliance with fine-grained data protection policies.  This bench runs
+both techniques on the same injected violation classes and reports the
+detection matrix plus the runtime of each.
+"""
+
+from datetime import datetime
+
+import pytest
+
+from repro.audit import (
+    inject_mimicry_case,
+    inject_task_skip,
+    inject_wrong_role,
+)
+from repro.bpmn import encode
+from repro.conformance import bpmn_to_petri, replay_trail
+from repro.core import ComplianceChecker
+from repro.scenarios import (
+    healthcare_treatment_process,
+    paper_audit_trail,
+    role_hierarchy,
+)
+
+FITNESS_THRESHOLD = 0.99  # token replay "detects" when fitness < this
+
+
+@pytest.fixture(scope="module")
+def setup():
+    process = healthcare_treatment_process()
+    checker = ComplianceChecker(encode(process), role_hierarchy())
+    net = bpmn_to_petri(process)
+    base = paper_audit_trail().for_case("HT-1")
+    return checker, net, base
+
+
+def violation_trails(base):
+    """(name, trail, algorithm1_should_detect, notes) tuples."""
+    yield "compliant (HT-1)", base, False
+    yield "mimicry case", inject_mimicry_case(
+        base, "HT-99", "Bob", "Cardiologist", "T06",
+        "[Jane]EPR/Clinical", datetime(2010, 5, 1),
+    ).for_case("HT-99"), True
+    yield "skipped task (T09)", inject_task_skip(base, "T09"), True
+    yield "wrong role", inject_wrong_role(base, 0, "MedicalLabTech"), True
+
+
+class TestDetectionMatrix:
+    def test_matrix(self, benchmark, setup, table):
+        def run():
+            checker, net, base = setup
+            table.comment(
+                "E12: detection by Algorithm 1 (verdict) vs token replay "
+                f"(fitness < {FITNESS_THRESHOLD})"
+            )
+            table.row("violation", "algorithm1", "token_replay_fitness", "token_replay_detects")
+            for name, trail, should_detect in violation_trails(base):
+                a1 = not checker.check(trail).compliant
+                outcome = replay_trail(net, trail)
+                tr = outcome.fitness < FITNESS_THRESHOLD
+                table.row(name, a1, f"{outcome.fitness:.3f}", tr)
+                assert a1 == should_detect, name
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def test_role_violations_invisible_to_task_level_replay(self, benchmark, setup, table):
+        """The headline difference: a wrong-role execution is a perfect
+        fit at the task level (token replay sees only activity names when
+        the model has no role binding per transition); Algorithm 1
+        rejects it via the pool/role labels."""
+        def run():
+            checker, net, base = setup
+            violated = inject_wrong_role(base, 0, "MedicalLabTech")
+            a1_detects = not checker.check(violated).compliant
+            assert a1_detects
+            # Token replay *does* notice here only because our translation
+            # bakes the pool into the label; strip the role to emulate a
+            # task-only log, the common conformance-checking setting:
+            from repro.conformance.tokenreplay import trail_to_events
+
+            events = [e.split(".", 1)[-1] for e in trail_to_events(violated)]
+            model_events = {
+                t.label.split(".", 1)[-1]
+                for t in net.net.transitions.values()
+                if t.label
+            }
+            table.comment("E12: with task-only logs every event 'exists' in the model")
+            table.row("unknown events under task-only projection",
+                      sum(1 for e in events if e not in model_events))
+            assert all(e in model_events for e in events)
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class TestRuntime:
+    def test_algorithm1_runtime(self, benchmark, setup):
+        checker, _, base = setup
+        checker.check(base)  # warm
+        result = benchmark(checker.check, base)
+        assert result.compliant
+
+    def test_token_replay_runtime(self, benchmark, setup):
+        _, net, base = setup
+        outcome = benchmark(replay_trail, net, base)
+        assert outcome.fits

@@ -1,0 +1,95 @@
+"""E1/E2 — the paper's processes: structure, encoding cost, LTS footprint.
+
+Figs 1 and 2 are diagrams; what can be *measured* about them is the size
+of their formal artifacts: BPMN elements, the COWS encoding, and the
+number of canonical states Algorithm 1's machinery touches.  The bench
+also sweeps the synthetic families to show encoding cost grows linearly
+with process size.
+"""
+
+import pytest
+
+from repro.bpmn import encode, validate
+from repro.core import Configuration, Observables, WeakNextEngine
+from repro.cows.terms import Term
+from repro.scenarios import (
+    clinical_trial_process,
+    healthcare_treatment_process,
+    sequential_process,
+    xor_process,
+)
+
+
+def term_size(term: Term) -> int:
+    """Node count of a COWS term."""
+    from repro.cows.terms import Choice, Parallel, Protect, Replicate, Request, Scope, TaskMarker
+
+    if isinstance(term, Parallel):
+        return 1 + sum(term_size(c) for c in term.components)
+    if isinstance(term, Choice):
+        return 1 + sum(term_size(b) for b in term.branches)
+    if isinstance(term, Request):
+        return 1 + term_size(term.continuation)
+    if isinstance(term, (Scope, Protect, Replicate, TaskMarker)):
+        return 1 + term_size(term.body)
+    return 1
+
+
+class TestPaperProcesses:
+    @pytest.mark.parametrize(
+        "factory", [healthcare_treatment_process, clinical_trial_process]
+    )
+    def test_encode_paper_process(self, benchmark, table, factory):
+        process = factory()
+        encoded = benchmark(encode, process)
+        table.comment(f"E1/E2 encoding footprint of {process.process_id}")
+        table.row("bpmn elements", len(process))
+        table.row("pools (roles)", len(process.pools))
+        table.row("tasks", len(process.task_ids))
+        table.row("sequence flows", len(process.flows))
+        table.row("cows term nodes", term_size(encoded.term))
+        assert encoded.tasks
+
+
+class TestValidationCost:
+    def test_validate_treatment_process(self, benchmark):
+        process = healthcare_treatment_process()
+        benchmark(validate, process)
+
+
+class TestEncodingScales:
+    @pytest.mark.parametrize("n_tasks", [5, 20, 60])
+    def test_sequential_encoding_scales_linearly(self, benchmark, table, n_tasks):
+        process = sequential_process(n_tasks)
+        encoded = benchmark(encode, process)
+        nodes = term_size(encoded.term)
+        table.comment("E1 scaling: term nodes per task stay constant")
+        table.row("tasks", n_tasks, "term nodes", nodes, "nodes/task", round(nodes / n_tasks, 1))
+        assert nodes < 40 * n_tasks
+
+    @pytest.mark.parametrize("branches", [2, 4])
+    def test_xor_encoding(self, benchmark, branches):
+        process = xor_process(branches)
+        encoded = benchmark(encode, process)
+        assert encoded.tasks
+
+
+class TestWeakNextFootprint:
+    @pytest.mark.parametrize("n_tasks", [5, 15])
+    def test_full_walk_weaknext_cost(self, benchmark, table, n_tasks):
+        """Walking a whole sequential run: cost per observable step."""
+        encoded = encode(sequential_process(n_tasks))
+
+        def walk():
+            engine = WeakNextEngine(Observables.from_encoded(encoded))
+            conf = Configuration.initial(engine, encoded.term)
+            steps = 0
+            while conf.next:
+                conf = Configuration.reached(engine, conf.next[0])
+                steps += 1
+            return steps, engine.silent_states_explored
+
+        steps, silent = benchmark(walk)
+        table.comment("E1: WeakNext cost over a full run")
+        table.row("tasks", n_tasks, "observable steps", steps, "silent states", silent)
+        assert steps == n_tasks

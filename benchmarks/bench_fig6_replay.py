@@ -1,0 +1,95 @@
+"""E4/E6 — replaying the Fig. 4 audit trail (the Fig. 6 walk).
+
+Regenerates the verdict for every case of the paper's trail and measures
+Algorithm 1's replay cost on the central HT-1 case, both cold (fresh
+WeakNext cache — the cost of the very first audit of a purpose) and warm
+(the steady state of a deployed auditor).
+"""
+
+import pytest
+
+from repro.bpmn import encode
+from repro.core import ComplianceChecker
+from repro.scenarios import (
+    COMPLIANT_CASES,
+    OPEN_CASES,
+    REPURPOSED_CASES,
+    clinical_trial_process,
+    healthcare_treatment_process,
+    paper_audit_trail,
+    role_hierarchy,
+)
+
+
+@pytest.fixture(scope="module")
+def warm_checker():
+    checker = ComplianceChecker(
+        encode(healthcare_treatment_process()), role_hierarchy()
+    )
+    checker.check(paper_audit_trail().for_case("HT-1"))  # warm the caches
+    return checker
+
+
+class TestE4VerdictTable:
+    def test_all_case_verdicts(self, benchmark, warm_checker, table):
+        def run():
+            trail = paper_audit_trail()
+            ct_checker = ComplianceChecker(
+                encode(clinical_trial_process()), role_hierarchy()
+            )
+            table.comment("E4: verdict per case of the Fig. 4 trail")
+            table.row("case", "entries", "verdict", "failed at")
+            for case in trail.cases():
+                sub = trail.for_case(case)
+                checker = ct_checker if case.startswith("CT") else warm_checker
+                result = checker.check(sub)
+                table.row(
+                    case,
+                    len(sub),
+                    "compliant" if result.compliant else "INFRINGEMENT",
+                    result.failed_index if not result.compliant else "-",
+                )
+                expected = case in COMPLIANT_CASES | OPEN_CASES
+                assert result.compliant == expected, case
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class TestE6ReplayCost:
+    def test_ht1_replay_warm(self, benchmark, warm_checker):
+        trail = paper_audit_trail().for_case("HT-1")
+        result = benchmark(warm_checker.check, trail)
+        assert result.compliant
+
+    def test_ht1_replay_cold(self, benchmark):
+        trail = paper_audit_trail().for_case("HT-1")
+        encoded = encode(healthcare_treatment_process())
+        hierarchy = role_hierarchy()
+
+        def cold():
+            return ComplianceChecker(encoded, hierarchy).check(trail)
+
+        result = benchmark(cold)
+        assert result.compliant
+
+    def test_mimicry_rejection_is_fast(self, benchmark, warm_checker):
+        trail = paper_audit_trail().for_case("HT-11")
+        result = benchmark(warm_checker.check, trail)
+        assert not result.compliant
+
+    def test_fig6_frontier_profile(self, benchmark, warm_checker, table):
+        def run():
+            result = warm_checker.check(paper_audit_trail().for_case("HT-1"))
+            table.comment("E6: frontier size after each replayed entry (Fig. 6)")
+            table.row("step", "task", "status", "outcome", "frontier")
+            for step in result.steps:
+                table.row(
+                    step.index,
+                    step.entry.task,
+                    step.entry.status,
+                    step.outcome,
+                    step.frontier_size,
+                )
+            assert max(s.frontier_size for s in result.steps) <= 16
+
+        benchmark.pedantic(run, rounds=1, iterations=1)

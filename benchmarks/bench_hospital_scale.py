@@ -1,0 +1,92 @@
+"""E11 — hospital-scale auditing (the Geneva workload of Section 1).
+
+Generates a synthetic day of treatment cases (the stand-in for the
+20,000 records/day figure the paper cites), audits every case and
+reports throughput plus detection quality against ground truth.
+"""
+
+import time
+
+import pytest
+
+from repro.core import ComplianceChecker, PurposeControlAuditor
+from repro.scenarios import hospital_day, process_registry, role_hierarchy
+
+
+@pytest.fixture(scope="module")
+def day():
+    return hospital_day(n_cases=120, violation_rate=0.1, seed=77)
+
+
+@pytest.fixture(scope="module")
+def warm_checker(day):
+    checker = ComplianceChecker(day.encoded, role_hierarchy())
+    for case in day.trail.cases():
+        checker.check(day.trail.for_case(case))
+    return checker
+
+
+class TestDetectionQuality:
+    def test_precision_recall_table(self, benchmark, day, warm_checker, table):
+        def run():
+            flagged = {
+                case
+                for case in day.trail.cases()
+                if not warm_checker.check(day.trail.for_case(case)).compliant
+            }
+            actual = {c for c, ok in day.ground_truth.items() if not ok}
+            tp = len(flagged & actual)
+            precision = tp / len(flagged) if flagged else 1.0
+            recall = tp / len(actual) if actual else 1.0
+            table.comment("E11: detection quality on a synthetic hospital day")
+            table.row("cases", day.case_count)
+            table.row("entries", len(day.trail))
+            table.row("injected violations", day.violation_count)
+            table.row("flagged", len(flagged))
+            table.row("precision", f"{precision:.3f}")
+            table.row("recall", f"{recall:.3f}")
+            assert precision == 1.0
+            assert recall == 1.0
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class TestThroughput:
+    def test_warm_day_audit(self, benchmark, day, warm_checker):
+        cases = day.trail.cases()
+
+        def audit_day():
+            return [
+                warm_checker.check(day.trail.for_case(case)).compliant
+                for case in cases
+            ]
+
+        verdicts = benchmark(audit_day)
+        assert len(verdicts) == day.case_count
+
+    def test_extrapolation_table(self, benchmark, day, warm_checker, table):
+        def run():
+            cases = day.trail.cases()
+            started = time.perf_counter()
+            for case in cases:
+                warm_checker.check(day.trail.for_case(case))
+            elapsed = time.perf_counter() - started
+            rate = len(cases) / elapsed
+            table.comment("E11: throughput and the 20k/day extrapolation")
+            table.row("cases_per_second", f"{rate:.0f}")
+            table.row("entries_per_second", f"{len(day.trail) / elapsed:.0f}")
+            table.row("minutes_for_20k_cases_single_core", f"{20_000 / rate / 60:.1f}")
+            assert rate > 5  # sanity: tractable, as Section 7 expects
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def test_full_auditor_on_day(self, benchmark, day):
+        auditor = PurposeControlAuditor(process_registry(), hierarchy=role_hierarchy())
+        auditor.audit(day.trail)  # warm
+
+        def audit():
+            return auditor.audit(day.trail)
+
+        report = benchmark(audit)
+        actual = {c for c, ok in day.ground_truth.items() if not ok}
+        assert set(report.infringing_cases) == actual

@@ -1,0 +1,84 @@
+"""E13 — mimicry-attack resistance (Section 4, closing discussion).
+
+Regenerates the paper's attack analysis as a detection table: naive
+re-purposing and single-user mimicry are caught; colluding multi-role
+mimicry and in-window case reuse are the acknowledged residual risks;
+out-of-window case reuse is caught.
+"""
+
+from dataclasses import replace
+from datetime import timedelta
+
+import pytest
+
+from repro.bpmn import encode
+from repro.core import ComplianceChecker
+from repro.scenarios import (
+    healthcare_treatment_process,
+    paper_audit_trail,
+    role_hierarchy,
+)
+
+
+@pytest.fixture(scope="module")
+def checker():
+    c = ComplianceChecker(encode(healthcare_treatment_process()), role_hierarchy())
+    c.check(paper_audit_trail().for_case("HT-1"))  # warm
+    return c
+
+
+@pytest.fixture(scope="module")
+def legitimate():
+    return list(paper_audit_trail().for_case("HT-1"))
+
+
+def attacks(legitimate):
+    solo = [replace(e, user="Bob", role="Cardiologist") for e in legitimate]
+    closed_reuse = [*legitimate, legitimate[5].shifted(timedelta(days=30))]
+    open_reuse = list(legitimate)
+    open_reuse.insert(6, legitimate[5].shifted(timedelta(minutes=1)))
+    return [
+        ("naive re-purposing", list(paper_audit_trail().for_case("HT-11")), True),
+        ("single-user mimicry", solo, True),
+        ("colluding mimicry", list(legitimate), False),
+        ("case reuse, closed case", closed_reuse, True),
+        ("case reuse, open window", open_reuse, False),
+    ]
+
+
+class TestAttackTable:
+    def test_detection_table(self, benchmark, checker, legitimate, table):
+        def run():
+            table.comment("E13: attack detection (Section 4)")
+            table.row("attack", "detected", "rejected entry")
+            for name, trail, should_detect in attacks(legitimate):
+                result = checker.check(trail)
+                detected = not result.compliant
+                table.row(
+                    name,
+                    detected,
+                    result.failed_index if detected else "-",
+                )
+                assert detected == should_detect, name
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def test_single_user_rejected_at_first_foreign_role(self, benchmark, checker, legitimate):
+        def run():
+            solo = [replace(e, user="Bob", role="Cardiologist") for e in legitimate]
+            result = checker.check(solo)
+            assert result.failed_index == 0  # T01 belongs to the GP pool
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class TestAttackRuntime:
+    def test_mimicry_detection_cost(self, benchmark, checker):
+        trail = paper_audit_trail().for_case("HT-11")
+        result = benchmark(checker.check, trail)
+        assert not result.compliant
+
+    def test_solo_mimicry_detection_cost(self, benchmark, checker, legitimate):
+        solo = [replace(e, user="Bob", role="Cardiologist") for e in legitimate]
+        result = benchmark(checker.check, solo)
+        assert not result.compliant

@@ -1,0 +1,58 @@
+"""Online-monitor throughput: the streaming mode of Section 4.
+
+Measures per-entry observation cost on a hospital-day stream and the
+cost of a temporal sweep over many open cases.
+"""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core import OnlineMonitor, TemporalConstraints
+from repro.scenarios import hospital_day, process_registry, role_hierarchy
+
+
+@pytest.fixture(scope="module")
+def day():
+    return hospital_day(n_cases=40, violation_rate=0.15, seed=31)
+
+
+class TestStreamingThroughput:
+    def test_stream_whole_day(self, benchmark, day, table):
+        registry = process_registry()
+        hierarchy = role_hierarchy()
+        entries = day.trail.entries
+
+        def stream():
+            monitor = OnlineMonitor(registry, hierarchy=hierarchy)
+            for entry in entries:
+                monitor.observe(entry)
+            return monitor
+
+        monitor = benchmark(stream)
+        flagged = set(monitor.infringing_cases())
+        actual = {c for c, ok in day.ground_truth.items() if not ok}
+        table.comment("streaming monitor on a generated day")
+        table.row("entries", len(entries))
+        table.row("cases", day.case_count)
+        table.row("flagged", len(flagged))
+        assert flagged == actual
+
+    def test_sweep_cost(self, benchmark, day):
+        monitor = OnlineMonitor(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            temporal={
+                "treatment": TemporalConstraints(
+                    max_case_duration=timedelta(days=30)
+                )
+            },
+        )
+        for entry in day.trail:
+            monitor.observe(entry)
+
+        def sweep():
+            return monitor.sweep(datetime(2010, 3, 2))
+
+        violations = benchmark(sweep)
+        assert isinstance(violations, list)

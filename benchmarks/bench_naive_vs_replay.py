@@ -1,0 +1,155 @@
+"""E8 — the naive trace-enumeration baseline vs Algorithm 1 (Section 1).
+
+The paper dismisses "generate the transition system, then check the
+trail against its traces" because the trace set explodes (and is
+infinite under loops).  This bench regenerates that claim as numbers:
+
+* on staged-XOR processes the trace count grows as ``width**stages``
+  while Algorithm 1's replay work stays linear in the trail;
+* on a loop the naive checker must truncate (UNDETERMINED verdicts)
+  whereas replay decides instantly.
+"""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.audit import LogEntry, Status
+from repro.bpmn import encode
+from repro.core import ComplianceChecker, NaiveChecker, Verdict
+from repro.scenarios import loop_process, staged_xor_process
+
+
+def entries_for(tasks, role="Staff"):
+    clock = datetime(2010, 1, 1)
+    out = []
+    for task in tasks:
+        clock += timedelta(minutes=1)
+        out.append(
+            LogEntry(
+                user="Sam", role=role, action="work", obj=None,
+                task=task, case="C-1", timestamp=clock,
+                status=Status.SUCCESS,
+            )
+        )
+    return out
+
+
+def first_branch_trail(stages):
+    return entries_for([f"T{s}_1" for s in range(1, stages + 1)])
+
+
+class TestTraceBlowUp:
+    @pytest.mark.parametrize("stages", [2, 4, 6, 8])
+    def test_trace_count_is_exponential(self, benchmark, table, stages):
+        def run():
+            encoded = encode(staged_xor_process(stages, width=2))
+            naive = NaiveChecker(encoded, max_traces=100_000)
+            count, truncated = naive.count_traces(max_depth=stages + 2)
+            table.comment("E8: observable trace count of staged-XOR processes")
+            table.row("stages", stages, "traces", count, "truncated", truncated)
+            assert count == 2**stages or truncated
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class TestCrossover:
+    @pytest.mark.parametrize("stages", [4, 7])
+    def test_naive_check(self, benchmark, stages):
+        encoded = encode(staged_xor_process(stages, width=2))
+        naive = NaiveChecker(encoded)
+        trail = first_branch_trail(stages)
+        result = benchmark(naive.check, trail)
+        assert result.compliant
+
+    @pytest.mark.parametrize("stages", [4, 7])
+    def test_replay_check(self, benchmark, stages):
+        encoded = encode(staged_xor_process(stages, width=2))
+        checker = ComplianceChecker(encoded)
+        checker.check(first_branch_trail(stages))  # warm
+        trail = first_branch_trail(stages)
+        result = benchmark(checker.check, trail)
+        assert result.compliant
+
+    def test_crossover_table(self, benchmark, table):
+        """The who-wins-by-how-much series of E8."""
+        def run():
+            import time
+
+            table.comment(
+                "E8: naive (enumerate + match) vs Algorithm 1 (replay), "
+                "compliant trail of one entry per stage"
+            )
+            table.row("stages", "traces", "naive_s", "replay_warm_s", "speedup")
+            for stages in (2, 4, 6, 8):
+                encoded = encode(staged_xor_process(stages, width=2))
+                trail = first_branch_trail(stages)
+                naive = NaiveChecker(encoded, max_traces=100_000)
+                started = time.perf_counter()
+                naive_result = naive.check(trail)
+                naive_elapsed = time.perf_counter() - started
+
+                checker = ComplianceChecker(encoded)
+                checker.check(trail)  # warm the WeakNext cache
+                started = time.perf_counter()
+                replay_result = checker.check(trail)
+                replay_elapsed = time.perf_counter() - started
+
+                assert naive_result.compliant and replay_result.compliant
+                table.row(
+                    stages,
+                    naive_result.traces_enumerated,
+                    f"{naive_elapsed:.4f}",
+                    f"{replay_elapsed:.4f}",
+                    f"{naive_elapsed / max(replay_elapsed, 1e-9):.0f}x",
+                )
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def choice_loop_process():
+    """A loop whose body branches: infinitely many observable traces."""
+    from repro.bpmn import ProcessBuilder
+
+    builder = ProcessBuilder("choiceloop")
+    pool = builder.pool("Staff")
+    pool.start_event("S").task("T1").exclusive_gateway("G1")
+    pool.task("T2").task("T3").exclusive_gateway("M")
+    pool.exclusive_gateway("G").end_event("E")
+    builder.chain("S", "T1", "G1")
+    builder.flow("G1", "T2").flow("G1", "T3")
+    builder.flow("T2", "M").flow("T3", "M")
+    builder.chain("M", "G")
+    builder.flow("G", "T1")
+    builder.flow("G", "E")
+    return builder.build()
+
+
+class TestLoopsBreakTheBaseline:
+    def test_naive_undetermined_on_loop(self, benchmark, table):
+        def run():
+            encoded = encode(choice_loop_process())
+            naive = NaiveChecker(encoded, max_traces=3)
+            # A non-compliant trail: the tiny budget cannot refute it
+            # because the loop keeps generating more traces to check.
+            bad = entries_for(["T2", "T1"])
+            result = naive.check(bad)
+            table.comment("E8: loops — the naive baseline cannot decide")
+            table.row("verdict", result.verdict, "traces", result.traces_enumerated)
+            assert result.verdict is Verdict.UNDETERMINED
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def test_replay_decides_loop_instantly(self, benchmark):
+        encoded = encode(loop_process(2))
+        checker = ComplianceChecker(encoded)
+        bad = entries_for(["T2", "T1"])
+        result = benchmark(checker.check, bad)
+        assert not result.compliant
+
+    def test_replay_accepts_many_iterations(self, benchmark):
+        encoded = encode(loop_process(1))
+        checker = ComplianceChecker(encoded)
+        many = entries_for(["T1"] * 40)
+        result = benchmark(checker.check, many)
+        assert result.compliant

@@ -1,0 +1,90 @@
+"""E3 — the Fig. 3 policy: decision correctness and evaluation throughput.
+
+Regenerates the access decisions the paper's narrative relies on (the
+consent row included) and measures Definition-3 evaluation cost, the
+preventive component that gates every data access in deployment.
+"""
+
+import pytest
+
+from repro.policy import AccessRequest, ObjectRef, PolicyDecisionPoint
+from repro.scenarios import (
+    consent_registry,
+    paper_policy,
+    process_registry,
+    role_hierarchy,
+    user_directory,
+)
+
+
+@pytest.fixture(scope="module")
+def pdp():
+    return PolicyDecisionPoint(
+        paper_policy(),
+        user_directory(),
+        role_hierarchy(),
+        process_registry(),
+        consent_registry(),
+    )
+
+
+def request(user, action, obj, task, case):
+    return AccessRequest(user, action, ObjectRef.parse(obj), task, case)
+
+
+#: The decision table of the running example (Sections 2-3).
+PAPER_DECISIONS = [
+    ("John", "read", "[Jane]EPR/Clinical", "T01", "HT-1", True),
+    ("John", "write", "[Jane]EPR/Clinical", "T02", "HT-1", True),
+    ("Bob", "read", "[Jane]EPR/Clinical", "T06", "HT-1", True),
+    ("Bob", "read", "[Jane]EPR/Clinical", "T06", "HT-11", True),  # the gap
+    ("Charlie", "write", "[Jane]EPR/Clinical/Scan", "T12", "HT-1", True),
+    ("Dana", "write", "[Jane]EPR/Clinical/Tests", "T15", "HT-1", True),
+    ("Dana", "write", "[Jane]EPR/Clinical", "T15", "HT-1", False),
+    ("Bob", "read", "[Alice]EPR/Clinical", "T92", "CT-1", True),   # consented
+    ("Bob", "read", "[Jane]EPR/Clinical", "T92", "CT-1", False),   # no consent
+    ("Mallory", "read", "[Jane]EPR/Clinical", "T01", "HT-1", False),
+]
+
+
+class TestFig3Decisions:
+    def test_paper_decision_table(self, benchmark, pdp, table):
+        def run():
+            table.comment("E3: Definition-3 decisions on the running example")
+            table.row("user", "action", "object", "task", "case", "permit")
+            for user, action, obj, task, case, expected in PAPER_DECISIONS:
+                decision = pdp.evaluate(request(user, action, obj, task, case))
+                table.row(user, action, obj, task, case, decision.permit)
+                assert decision.permit == expected, (user, obj, case)
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class TestEvaluationThroughput:
+    def test_permit_path(self, benchmark, pdp):
+        req = request("John", "read", "[Jane]EPR/Clinical", "T01", "HT-1")
+        decision = benchmark(pdp.evaluate, req)
+        assert decision.permit
+
+    def test_deny_path_scans_whole_policy(self, benchmark, pdp):
+        req = request("Mallory", "read", "[Jane]EPR/Clinical", "T01", "HT-1")
+        decision = benchmark(pdp.evaluate, req)
+        assert not decision.permit
+
+    def test_consent_path(self, benchmark, pdp):
+        req = request("Bob", "read", "[Alice]EPR/Clinical", "T92", "CT-1")
+        decision = benchmark(pdp.evaluate, req)
+        assert decision.permit
+
+    def test_batch_of_paper_requests(self, benchmark, pdp, table):
+        requests = [
+            request(u, a, o, t, c) for u, a, o, t, c, _ in PAPER_DECISIONS
+        ]
+
+        def evaluate_all():
+            return sum(1 for r in requests if pdp.evaluate(r).permit)
+
+        permits = benchmark(evaluate_all)
+        table.comment("E3: batch throughput (10 mixed requests per round)")
+        table.row("requests", len(requests), "permits", permits)
+        assert permits == 7

@@ -1,0 +1,68 @@
+"""E15 — infringement-severity metrics (Section 7 future work).
+
+Shows that the severity model separates violation classes the way an
+auditor would triage them (clinical-data harvesting above demographics
+probing above object-less anomalies) and measures assessment cost.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import PurposeControlAuditor, SeverityModel
+from repro.scenarios import (
+    REPURPOSED_CASES,
+    paper_audit_trail,
+    process_registry,
+    role_hierarchy,
+)
+
+
+@pytest.fixture(scope="module")
+def audited():
+    registry = process_registry()
+    auditor = PurposeControlAuditor(
+        registry,
+        hierarchy=role_hierarchy(),
+        severity_model=SeverityModel(registry),
+    )
+    return auditor.audit(paper_audit_trail())
+
+
+class TestSeparation:
+    def test_severity_table(self, benchmark, audited, table):
+        def run():
+            table.comment("E15: severity per infringing case of Fig. 4")
+            table.row("case", "score", "progress", "sensitivity", "cross_purpose")
+            for case in sorted(REPURPOSED_CASES):
+                severity = audited.cases[case].severity
+                table.row(
+                    case,
+                    f"{severity.score:.1f}",
+                    f"{severity.progress:.0%}",
+                    severity.sensitivity,
+                    severity.cross_purpose,
+                )
+            clinical = [audited.cases[c].severity.score for c in ("HT-10", "HT-11", "HT-20")]
+            demographic = [audited.cases[c].severity.score for c in ("HT-21", "HT-30")]
+            assert min(clinical) > max(demographic)
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def test_scores_discriminate(self, benchmark, audited):
+        def run():
+            scores = [
+                audited.cases[c].severity.score for c in REPURPOSED_CASES
+            ]
+            assert statistics.pstdev(scores) > 0  # not a constant score
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class TestAssessmentCost:
+    def test_assess_cost(self, benchmark, audited):
+        registry = process_registry()
+        model = SeverityModel(registry)
+        case_result = audited.cases["HT-11"]
+        assessment = benchmark(model.assess, case_result)
+        assert assessment.score > 0

@@ -1,0 +1,80 @@
+"""Statistical triage vs exact replay (the anomaly-detection framing of §6).
+
+The behaviour model is process-model-free and cheap; the replay is exact
+but needs the model.  This bench measures the triage ranking's quality
+(precision at the oracle cut) and its cost relative to replaying
+everything — the operational argument for running triage first and
+replay on the suspicious tail.
+"""
+
+import pytest
+
+from repro.audit.stats import BehaviourModel, triage_precision_at_k
+from repro.core import ComplianceChecker
+from repro.scenarios import hospital_day, role_hierarchy
+from repro.scenarios.workloads import VIOLATION_KINDS
+
+
+@pytest.fixture(scope="module")
+def history():
+    return hospital_day(n_cases=80, violation_rate=0.0, seed=301).trail
+
+
+@pytest.fixture(scope="module")
+def model(history):
+    return BehaviourModel().fit(history)
+
+
+@pytest.fixture(scope="module")
+def mixed_day():
+    return hospital_day(
+        n_cases=50,
+        violation_rate=0.3,
+        seed=302,
+        violation_mix={kind: 1.0 for kind in VIOLATION_KINDS},
+    )
+
+
+class TestTriageQuality:
+    def test_quality_table(self, benchmark, model, mixed_day, table):
+        def run():
+            ranking = model.rank_cases(mixed_day.trail)
+            bad = {c for c, ok in mixed_day.ground_truth.items() if not ok}
+            table.comment(
+                "statistical triage (no process model) on a mixed day"
+            )
+            table.row("cases", mixed_day.case_count)
+            table.row("violations", len(bad))
+            for k in (5, 10, len(bad)):
+                precision = triage_precision_at_k(ranking, bad, k=k)
+                table.row(f"precision@{k}", f"{precision:.2f}")
+            base = len(bad) / mixed_day.case_count
+            table.row("base rate", f"{base:.2f}")
+            assert triage_precision_at_k(ranking, bad) > base
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class TestCost:
+    def test_triage_ranking_cost(self, benchmark, model, mixed_day):
+        ranking = benchmark(model.rank_cases, mixed_day.trail)
+        assert len(ranking) == mixed_day.case_count
+
+    def test_fit_cost(self, benchmark, history):
+        model = benchmark(lambda: BehaviourModel().fit(history))
+        assert model.fitted
+
+    def test_replay_everything_cost(self, benchmark, mixed_day):
+        checker = ComplianceChecker(mixed_day.encoded, role_hierarchy())
+        cases = mixed_day.trail.cases()
+        for case in cases:  # warm
+            checker.check(mixed_day.trail.for_case(case))
+
+        def replay_all():
+            return [
+                checker.check(mixed_day.trail.for_case(c)).compliant
+                for c in cases
+            ]
+
+        verdicts = benchmark(replay_all)
+        assert len(verdicts) == mixed_day.case_count

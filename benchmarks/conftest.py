@@ -1,0 +1,43 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark regenerates one experiment of DESIGN.md's index (E1-E15 /
+D2).  Besides the pytest-benchmark timings, every experiment writes the
+paper-style result table to ``benchmarks/results/<name>.txt`` so the
+rows survive pytest's output capturing; EXPERIMENTS.md quotes them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class TableWriter:
+    """Collects rows and persists them as an aligned text table."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lines: list[str] = []
+
+    def comment(self, text: str) -> None:
+        self._lines.append(f"# {text}")
+
+    def row(self, *cells: object) -> None:
+        self._lines.append(" | ".join(str(c) for c in cells))
+
+    def flush(self) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        body = "\n".join(self._lines) + "\n"
+        path.write_text(body)
+        return path
+
+
+@pytest.fixture
+def table(request):
+    writer = TableWriter(request.node.name.replace("[", "_").replace("]", ""))
+    yield writer
+    writer.flush()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Purpose control beyond healthcare: insurance claims vs marketing.
+
+The framework is domain-agnostic: any organization with processes and
+logs can run it.  This example audits an insurance company's day — two
+claims (one with an external expert assessment and an investigation
+retry), one legitimate marketing campaign, and an adjuster who trawls
+customer *profiles* under freshly minted claim cases to build a campaign
+audience.  The preventive policy check permits every one of those reads;
+the replay flags all three fake cases and explains why.
+
+Run:  python examples/insurance_claims.py
+"""
+
+from repro.core import ComplianceChecker, PurposeControlAuditor, explain
+from repro.policy import PolicyDecisionPoint
+from repro.scenarios.insurance import (
+    insurance_audit_trail,
+    insurance_consent_registry,
+    insurance_policy,
+    insurance_registry,
+    insurance_role_hierarchy,
+    insurance_user_directory,
+)
+
+
+def main():
+    registry = insurance_registry()
+    hierarchy = insurance_role_hierarchy()
+    trail = insurance_audit_trail()
+
+    pdp = PolicyDecisionPoint(
+        insurance_policy(),
+        insurance_user_directory(),
+        hierarchy,
+        registry,
+        insurance_consent_registry(),
+    )
+
+    # The preventive gap, again: each harvesting read is policy-legal.
+    harvest = trail.for_case("CL-11")[0].as_access_request()
+    print(f"preventive check on {harvest}:")
+    print(f"  -> permit={pdp.evaluate(harvest).permit}  (claims cover the file)\n")
+
+    auditor = PurposeControlAuditor(registry, hierarchy=hierarchy, pdp=pdp)
+    report = auditor.audit(trail)
+    print(report.summary())
+
+    # Explain one of the detections for the case handler.
+    checker = ComplianceChecker(
+        registry.encoded_for("claimhandling"), hierarchy
+    )
+    entries = trail.for_case("CL-10").entries
+    result = checker.check(entries)
+    diagnosis = explain(checker, entries, result)
+    print(f"\ndiagnosis for CL-10: {diagnosis}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Mimicry attacks against purpose control (Section 4, closing discussion).
+
+The paper analyzes how an insider might try to defeat Algorithm 1:
+
+1. *naive re-purposing* — open records under a fresh case of a legitimate
+   purpose (detected: the case is not a valid process execution);
+2. *single-user mimicry* — fake a full process execution alone (detected:
+   the process spans several roles, and the attacker's role cannot
+   perform the other pools' tasks);
+3. *colluding mimicry* — several users, one per role, simulate the whole
+   process (NOT detected by replay alone: the residual risk the paper
+   acknowledges — "a single user cannot simulate the whole process
+   alone, but he has to collude with other users");
+4. *case reuse* — piggy-back an extra access onto a legitimate finished
+   case (detected outside the narrow window where the access pattern
+   still fits the process).
+
+Run:  python examples/mimicry_attack.py
+"""
+
+from dataclasses import replace
+from datetime import timedelta
+
+from repro import ComplianceChecker, encode
+from repro.scenarios import (
+    healthcare_treatment_process,
+    paper_audit_trail,
+    role_hierarchy,
+)
+
+
+def verdict(checker, entries, label):
+    result = checker.check(entries)
+    detected = "DETECTED" if not result.compliant else "not detected"
+    where = (
+        f" (rejected at entry {result.failed_index}: "
+        f"{result.failed_entry.role}.{result.failed_entry.task})"
+        if not result.compliant
+        else ""
+    )
+    print(f"{label:<28} -> {detected}{where}")
+    return result
+
+
+def main():
+    checker = ComplianceChecker(
+        encode(healthcare_treatment_process()), role_hierarchy()
+    )
+    trail = paper_audit_trail()
+    legitimate = list(trail.for_case("HT-1"))
+
+    print("attack scenarios against the treatment process:\n")
+
+    # 1. Naive re-purposing: Bob's HT-11 single-access case.
+    verdict(checker, trail.for_case("HT-11"), "naive re-purposing")
+
+    # 2. Single-user mimicry: Bob replays the full HT-1 script alone.
+    solo = [replace(e, user="Bob", role="Cardiologist") for e in legitimate]
+    verdict(checker, solo, "single-user mimicry")
+
+    # 3. Colluding mimicry: the original multi-role trail *is* accepted.
+    verdict(checker, legitimate, "colluding mimicry")
+    print("   ^ requires one accomplice per role — the paper's residual risk")
+
+    # 4. Case reuse after completion: an extra T06 read a month later.
+    extra = legitimate[5].shifted(timedelta(days=30))
+    verdict(checker, [*legitimate, extra], "case reuse (closed case)")
+
+    # 5. Case reuse inside the window: duplicate the T06 access right when
+    #    a T06 was legitimately active -- absorbed, not detected.
+    in_window = list(legitimate)
+    in_window.insert(6, legitimate[5].shifted(timedelta(minutes=1)))
+    verdict(checker, in_window, "case reuse (open window)")
+    print(
+        "   ^ succeeds only in conjunction with a legitimate access - the\n"
+        "     'very restricted time windows' of Section 4; mitigated by\n"
+        "     limiting multi-tasking"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: purpose control in ~60 lines.
+
+Builds a tiny order-handling process, logs two work sessions — one that
+follows the process and one that re-purposes the data — and lets
+Algorithm 1 tell them apart.
+
+Run:  python examples/quickstart.py
+"""
+
+from datetime import datetime, timedelta
+
+from repro import ComplianceChecker, LogEntry, ProcessBuilder, encode
+from repro.audit import Status
+
+
+def build_process():
+    """S -> Receive -> (Approve | Reject) -> Archive -> E, one Clerk pool."""
+    builder = ProcessBuilder("order-handling", purpose="order-handling")
+    clerk = builder.pool("Clerk")
+    clerk.start_event("S")
+    clerk.task("Receive", name="Receive order")
+    clerk.exclusive_gateway("G")
+    clerk.task("Approve", name="Approve order")
+    clerk.task("Reject", name="Reject order")
+    clerk.exclusive_gateway("M")
+    clerk.task("Archive", name="Archive the file")
+    clerk.end_event("E")
+    builder.chain("S", "Receive", "G")
+    builder.flow("G", "Approve").flow("G", "Reject")
+    builder.flow("Approve", "M").flow("Reject", "M")
+    builder.chain("M", "Archive", "E")
+    return builder.build()
+
+
+def log(task, minute, case="ORD-1"):
+    """One Definition-4 log entry for the Clerk."""
+    return LogEntry(
+        user="Casey",
+        role="Clerk",
+        action="write",
+        obj=None,
+        task=task,
+        case=case,
+        timestamp=datetime(2026, 7, 6, 9, 0) + timedelta(minutes=minute),
+        status=Status.SUCCESS,
+    )
+
+
+def main():
+    process = build_process()
+    checker = ComplianceChecker(encode(process))
+
+    # A valid execution: receive, approve, archive.
+    good = [log("Receive", 0), log("Approve", 5), log("Archive", 10)]
+    result = checker.check(good)
+    print(f"valid run      -> compliant={result.compliant}")
+
+    # Multiple logged actions inside one task are fine (1-to-n mapping).
+    busy = [log("Receive", 0), log("Receive", 1), log("Receive", 2),
+            log("Reject", 5), log("Archive", 10)]
+    print(f"busy valid run -> compliant={checker.check(busy).compliant}")
+
+    # Re-purposing: the clerk archives data without ever handling an order.
+    bad = [log("Archive", 0)]
+    result = checker.check(bad)
+    print(
+        f"re-purposed    -> compliant={result.compliant} "
+        f"(rejected entry: task={result.failed_entry.task})"
+    )
+
+    # Approving twice is not part of the process either.
+    double = [log("Receive", 0), log("Approve", 5), log("Reject", 6)]
+    print(f"double verdict -> compliant={checker.check(double).compliant}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro — purpose control for personal data processing.
+
+A full reproduction of *"Purpose Control: Did You Process the Data for
+the Intended Purpose?"* (Petković, Prandi & Zannone, SDM @ VLDB 2011):
+a-posteriori verification that audited data usage is a valid execution of
+the organizational process implementing the purpose claimed at access
+time.
+
+Quickstart::
+
+    from repro import (
+        ComplianceChecker, encode,
+        healthcare_treatment_process, paper_audit_trail, role_hierarchy,
+    )
+
+    process = healthcare_treatment_process()          # Fig. 1
+    checker = ComplianceChecker(encode(process), role_hierarchy())
+    trail = paper_audit_trail()                       # Fig. 4
+    print(checker.check(trail.for_case("HT-1")).compliant)   # True
+    print(checker.check(trail.for_case("HT-11")).compliant)  # False: re-purposing
+
+Package map:
+
+* :mod:`repro.cows` — the COWS process calculus and its LTS semantics;
+* :mod:`repro.bpmn` — BPMN processes, validation, the COWS encoding;
+* :mod:`repro.policy` — data-protection policies and request evaluation;
+* :mod:`repro.audit` — audit trails, the tamper-evident store, generators;
+* :mod:`repro.core` — WeakNext, Algorithm 1, the auditor, baselines;
+* :mod:`repro.conformance` — the Petri-net token-replay baseline;
+* :mod:`repro.scenarios` — the paper's figures and synthetic workloads.
+"""
+
+from repro.audit import AuditStore, AuditTrail, LogEntry, Status, TrailGenerator
+from repro.bpmn import ProcessBuilder, encode, validate
+from repro.core import (
+    AuditReport,
+    ComplianceChecker,
+    ComplianceResult,
+    NaiveChecker,
+    PurposeControlAuditor,
+    SeverityModel,
+)
+from repro.errors import ReproError
+from repro.policy import (
+    AccessRequest,
+    ObjectRef,
+    Policy,
+    PolicyDecisionPoint,
+    ProcessRegistry,
+    RoleHierarchy,
+    Statement,
+    UserDirectory,
+    parse_policy,
+)
+from repro.scenarios import (
+    clinical_trial_process,
+    healthcare_treatment_process,
+    paper_audit_trail,
+    paper_policy,
+    process_registry,
+    role_hierarchy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessRequest",
+    "AuditReport",
+    "AuditStore",
+    "AuditTrail",
+    "ComplianceChecker",
+    "ComplianceResult",
+    "LogEntry",
+    "NaiveChecker",
+    "ObjectRef",
+    "Policy",
+    "PolicyDecisionPoint",
+    "ProcessBuilder",
+    "ProcessRegistry",
+    "PurposeControlAuditor",
+    "ReproError",
+    "RoleHierarchy",
+    "Statement",
+    "SeverityModel",
+    "Status",
+    "TrailGenerator",
+    "UserDirectory",
+    "__version__",
+    "clinical_trial_process",
+    "encode",
+    "healthcare_treatment_process",
+    "paper_audit_trail",
+    "paper_policy",
+    "parse_policy",
+    "process_registry",
+    "role_hierarchy",
+    "validate",
+]

@@ -1,0 +1,49 @@
+"""Audit trails (Definitions 4-5): entries, trails, a tamper-evident
+SQLite store, and synthetic generation with violation injection."""
+
+from repro.audit.generator import (
+    GeneratedCase,
+    TaskAction,
+    TaskProfile,
+    TrailGenerator,
+    inject_mimicry_case,
+    inject_repurposed_tail,
+    inject_swap,
+    inject_task_skip,
+    inject_wrong_role,
+)
+from repro.audit.model import (
+    AuditTrail,
+    LogEntry,
+    Status,
+    format_timestamp,
+    parse_timestamp,
+)
+from repro.audit.stats import BehaviourModel, entry_key, triage_precision_at_k
+from repro.audit.store import GENESIS, AuditStore
+from repro.audit.xes import XesError, export_xes, import_xes
+
+__all__ = [
+    "GENESIS",
+    "AuditStore",
+    "AuditTrail",
+    "BehaviourModel",
+    "entry_key",
+    "triage_precision_at_k",
+    "GeneratedCase",
+    "LogEntry",
+    "Status",
+    "TaskAction",
+    "TaskProfile",
+    "TrailGenerator",
+    "XesError",
+    "export_xes",
+    "format_timestamp",
+    "import_xes",
+    "inject_mimicry_case",
+    "inject_repurposed_tail",
+    "inject_swap",
+    "inject_task_skip",
+    "inject_wrong_role",
+    "parse_timestamp",
+]

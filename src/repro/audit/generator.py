@@ -1,0 +1,301 @@
+"""Synthetic audit-trail generation and violation injection.
+
+No real hospital logs are available offline (the paper's evaluation
+setting — DocuLive-style EPR systems, the Geneva workload of 20,000
+record opens per day — is proprietary), so this module *simulates* them:
+
+* :class:`TrailGenerator` produces **compliant** trails by randomly
+  walking the observable transition system of an encoded process (via
+  WeakNext, i.e. exactly the semantics Algorithm 1 replays) and expanding
+  every task execution into 1..n logged actions through a
+  :class:`TaskProfile` — reproducing the 1-to-n task/entry mapping of
+  Section 3.5;
+* the ``inject_*`` functions plant the paper's infringement patterns into
+  compliant trails: re-purposing (the Fig. 4 clinical-trial attack),
+  single-entry mimicry cases, skipped tasks, wrong roles and reordering.
+
+Both halves drive the same code path real logs would (Definition-4
+entries fed to Algorithm 1), which is what makes the substitution sound;
+see DESIGN.md, Section 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Optional, Sequence
+
+from repro.audit.model import AuditTrail, LogEntry, Status
+from repro.bpmn.encode import EncodedProcess
+from repro.core.configuration import Configuration
+from repro.core.observables import ErrorEvent, Observables, TaskEvent
+from repro.core.weaknext import WeakNextEngine
+from repro.errors import GenerationError
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import ObjectRef
+
+
+@dataclass(frozen=True)
+class TaskAction:
+    """One loggable action of a task: an action verb plus an object template.
+
+    The template may contain ``{subject}``, replaced by the case's data
+    subject (``[{subject}]EPR/Clinical`` -> ``[Jane]EPR/Clinical``), or be
+    ``None`` for object-less actions.
+    """
+
+    action: str
+    object_template: Optional[str]
+
+    def materialize(self, subject: str) -> Optional[ObjectRef]:
+        if self.object_template is None:
+            return None
+        return ObjectRef.parse(self.object_template.format(subject=subject))
+
+
+@dataclass
+class TaskProfile:
+    """What users actually do inside each task (task -> possible actions)."""
+
+    actions: dict[str, list[TaskAction]] = field(default_factory=dict)
+    default: TaskAction = TaskAction("read", "[{subject}]EPR/Clinical")
+
+    def define(self, task: str, *actions: TaskAction) -> "TaskProfile":
+        self.actions.setdefault(task, []).extend(actions)
+        return self
+
+    def actions_for(self, task: str) -> list[TaskAction]:
+        return self.actions.get(task, [self.default])
+
+
+@dataclass(frozen=True)
+class GeneratedCase:
+    """A generated case: its trail plus bookkeeping for experiments."""
+
+    case: str
+    subject: str
+    trail: AuditTrail
+    observable_steps: int
+
+
+class TrailGenerator:
+    """Generates compliant trails by random observable walks of a process."""
+
+    def __init__(
+        self,
+        encoded: EncodedProcess,
+        users_by_role: dict[str, Sequence[tuple[str, str]]],
+        profile: TaskProfile | None = None,
+        hierarchy: RoleHierarchy | None = None,
+        seed: int | None = None,
+        start_time: datetime | None = None,
+        max_steps: int = 60,
+        max_entries_per_task: int = 3,
+    ):
+        """``users_by_role`` maps each *pool* role to ``(user, logged role)``
+        pairs — e.g. the Physician pool of the clinical-trial process may
+        be staffed by ``("Bob", "Cardiologist")``."""
+        self._encoded = encoded
+        self._observables = Observables.from_encoded(encoded, hierarchy)
+        self._engine = WeakNextEngine(self._observables)
+        self._initial = Configuration.initial(self._engine, encoded.term)
+        self._users_by_role = {
+            role: list(users) for role, users in users_by_role.items()
+        }
+        self._profile = profile or TaskProfile()
+        self._rng = random.Random(seed)
+        self._clock = start_time or datetime(2010, 3, 1, 8, 0)
+        self._max_steps = max_steps
+        self._max_entries_per_task = max_entries_per_task
+        for role in encoded.roles:
+            if role not in self._users_by_role:
+                raise GenerationError(
+                    f"no users assigned to pool role {role!r}"
+                )
+
+    def _tick(self, minutes_max: int = 30) -> datetime:
+        self._clock += timedelta(minutes=self._rng.randint(1, minutes_max))
+        return self._clock
+
+    def generate_case(
+        self,
+        case: str,
+        subject: str,
+        min_steps: int = 1,
+        stop_probability: float = 0.15,
+    ) -> GeneratedCase:
+        """One compliant case: a random run of the process.
+
+        The walk may stop early once *min_steps* observable steps were
+        taken (any prefix of a valid execution is compliant), and always
+        stops at deadlock or after ``max_steps``.
+        """
+        entries: list[LogEntry] = []
+        conf = self._initial
+        last_task: Optional[tuple[str, str]] = None
+        steps = 0
+        while steps < self._max_steps and conf.next:
+            if steps >= min_steps and self._rng.random() < stop_probability:
+                break
+            successor = self._rng.choice(list(conf.next))
+            event = successor[0]
+            if isinstance(event, TaskEvent):
+                last_task = (event.role, event.task)
+                entries.extend(self._task_entries(event, case, subject))
+            elif isinstance(event, ErrorEvent):
+                entries.append(self._failure_entry(last_task, case))
+            conf = Configuration.reached(self._engine, successor)
+            steps += 1
+        return GeneratedCase(
+            case=case,
+            subject=subject,
+            trail=AuditTrail(entries),
+            observable_steps=steps,
+        )
+
+    def _pick_user(self, pool_role: str) -> tuple[str, str]:
+        candidates = self._users_by_role[pool_role]
+        return self._rng.choice(candidates)
+
+    def _task_entries(
+        self, event: TaskEvent, case: str, subject: str
+    ) -> list[LogEntry]:
+        user, logged_role = self._pick_user(event.role)
+        count = self._rng.randint(1, self._max_entries_per_task)
+        actions = self._profile.actions_for(event.task)
+        entries = []
+        for _ in range(count):
+            action = self._rng.choice(actions)
+            entries.append(
+                LogEntry(
+                    user=user,
+                    role=logged_role,
+                    action=action.action,
+                    obj=action.materialize(subject),
+                    task=event.task,
+                    case=case,
+                    timestamp=self._tick(),
+                    status=Status.SUCCESS,
+                )
+            )
+        return entries
+
+    def _failure_entry(
+        self, last_task: Optional[tuple[str, str]], case: str
+    ) -> LogEntry:
+        if last_task is None:
+            raise GenerationError(
+                "the process produced an error before any task ran"
+            )
+        pool_role, task = last_task
+        user, logged_role = self._pick_user(pool_role)
+        return LogEntry(
+            user=user,
+            role=logged_role,
+            action="cancel",
+            obj=None,
+            task=task,
+            case=case,
+            timestamp=self._tick(),
+            status=Status.FAILURE,
+        )
+
+
+# ---------------------------------------------------------------------------
+# violation injection
+
+
+def inject_wrong_role(
+    trail: AuditTrail, index: int, role: str
+) -> AuditTrail:
+    """Replace the role of entry *index* (an unauthorized-actor violation)."""
+    entries = trail.entries
+    target = entries[index]
+    entries[index] = LogEntry(
+        user=target.user,
+        role=role,
+        action=target.action,
+        obj=target.obj,
+        task=target.task,
+        case=target.case,
+        timestamp=target.timestamp,
+        status=target.status,
+    )
+    return AuditTrail(entries)
+
+
+def inject_task_skip(trail: AuditTrail, task: str) -> AuditTrail:
+    """Drop every entry of one task (a skipped-step violation)."""
+    remaining = [e for e in trail if e.task != task]
+    if len(remaining) == len(trail):
+        raise GenerationError(f"trail has no entries for task {task!r}")
+    return AuditTrail(remaining)
+
+
+def inject_swap(trail: AuditTrail, index: int) -> AuditTrail:
+    """Swap the timestamps of entries *index* and *index + 1* (reordering)."""
+    entries = trail.entries
+    if index + 1 >= len(entries):
+        raise GenerationError("cannot swap past the end of the trail")
+    first, second = entries[index], entries[index + 1]
+    entries[index] = second.shifted(first.timestamp - second.timestamp)
+    entries[index + 1] = first.shifted(second.timestamp - first.timestamp)
+    return AuditTrail(entries)
+
+
+def inject_mimicry_case(
+    trail: AuditTrail,
+    case: str,
+    user: str,
+    role: str,
+    task: str,
+    obj: str,
+    when: datetime,
+    action: str = "read",
+) -> AuditTrail:
+    """Append a single-entry fake case — the HT-11 pattern of Fig. 4.
+
+    A user opens a record under a freshly minted case of a legitimate
+    purpose without ever executing the purpose's process.
+    """
+    entry = LogEntry(
+        user=user,
+        role=role,
+        action=action,
+        obj=ObjectRef.parse(obj),
+        task=task,
+        case=case,
+        timestamp=when,
+        status=Status.SUCCESS,
+    )
+    return trail.merged_with(AuditTrail([entry]))
+
+
+def inject_repurposed_tail(
+    trail: AuditTrail, source_case: str, target_case: str, count: int
+) -> AuditTrail:
+    """Relabel the last *count* entries of *source_case* as *target_case*.
+
+    Models processing that drifts into another purpose's instance while
+    keeping the original access claims.
+    """
+    entries = trail.entries
+    indices = [i for i, e in enumerate(entries) if e.case == source_case]
+    if len(indices) < count:
+        raise GenerationError(
+            f"case {source_case!r} has only {len(indices)} entries"
+        )
+    for i in indices[-count:]:
+        source = entries[i]
+        entries[i] = LogEntry(
+            user=source.user,
+            role=source.role,
+            action=source.action,
+            obj=source.obj,
+            task=source.task,
+            case=target_case,
+            timestamp=source.timestamp,
+            status=source.status,
+        )
+    return AuditTrail(entries)

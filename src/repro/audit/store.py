@@ -1,0 +1,312 @@
+"""A tamper-evident, SQLite-backed audit-log store.
+
+Section 3.4 of the paper assumes logs "are collected from all
+applications in a single database" and protected against integrity
+breaches, citing secure-logging schemes [18, 19].  This store provides
+both halves:
+
+* a single SQLite table holding Definition-4 entries, queryable by case,
+  user, object subtree and time range;
+* a SHA-256 **hash chain**: every row stores
+  ``hash = sha256(prev_hash || canonical-serialization)``, so any
+  after-the-fact modification, deletion or reordering is detected by
+  :meth:`AuditStore.verify_integrity`.
+
+The store is a context manager and safe to use on ``":memory:"`` for
+tests or on a file path for persistence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from datetime import datetime
+from typing import Iterable, Optional
+
+from repro.audit.model import AuditTrail, LogEntry, Status
+from repro.errors import IntegrityError
+from repro.policy.model import ObjectRef
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS audit_log (
+    seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+    user       TEXT NOT NULL,
+    role       TEXT NOT NULL,
+    action     TEXT NOT NULL,
+    obj        TEXT,
+    task       TEXT NOT NULL,
+    case_id    TEXT NOT NULL,
+    ts         TEXT NOT NULL,
+    status     TEXT NOT NULL,
+    prev_hash  TEXT NOT NULL,
+    hash       TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_audit_case ON audit_log (case_id);
+CREATE INDEX IF NOT EXISTS idx_audit_user ON audit_log (user);
+CREATE INDEX IF NOT EXISTS idx_audit_ts   ON audit_log (ts);
+CREATE TABLE IF NOT EXISTS audit_anchor (
+    id          INTEGER PRIMARY KEY CHECK (id = 1),
+    anchor_hash TEXT NOT NULL,
+    purged_upto TEXT,
+    purge_count INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+#: The chain anchor for the first entry.
+GENESIS = "0" * 64
+
+
+class AuditStore:
+    """Append-only audit log with hash-chain integrity."""
+
+    def __init__(self, path: str = ":memory:"):
+        self._connection = sqlite3.connect(path)
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "AuditStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writing ---------------------------------------------------------
+    def append(self, entry: LogEntry) -> int:
+        """Append one entry; returns its sequence number."""
+        with self._connection:  # one transaction per append
+            prev_hash = self._last_hash()
+            digest = _entry_hash(prev_hash, entry)
+            cursor = self._connection.execute(
+                "INSERT INTO audit_log "
+                "(user, role, action, obj, task, case_id, ts, status, prev_hash, hash) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    entry.user,
+                    entry.role,
+                    entry.action,
+                    str(entry.obj) if entry.obj is not None else None,
+                    entry.task,
+                    entry.case,
+                    entry.timestamp.isoformat(),
+                    entry.status.value,
+                    prev_hash,
+                    digest,
+                ),
+            )
+        return int(cursor.lastrowid or 0)
+
+    def append_many(self, entries: Iterable[LogEntry]) -> int:
+        """Append entries in order; returns how many were written."""
+        count = 0
+        for entry in entries:
+            self.append(entry)
+            count += 1
+        return count
+
+    def _anchor(self) -> tuple[str, Optional[str], int]:
+        """(anchor hash, purged-up-to timestamp, purged count)."""
+        row = self._connection.execute(
+            "SELECT anchor_hash, purged_upto, purge_count FROM audit_anchor "
+            "WHERE id = 1"
+        ).fetchone()
+        if row is None:
+            return GENESIS, None, 0
+        return row[0], row[1], int(row[2])
+
+    def _last_hash(self) -> str:
+        row = self._connection.execute(
+            "SELECT hash FROM audit_log ORDER BY seq DESC LIMIT 1"
+        ).fetchone()
+        if row:
+            return row[0]
+        return self._anchor()[0]
+
+    # -- reading ---------------------------------------------------------
+    def query(
+        self,
+        case: Optional[str] = None,
+        user: Optional[str] = None,
+        obj: Optional[ObjectRef] = None,
+        since: Optional[datetime] = None,
+        until: Optional[datetime] = None,
+    ) -> AuditTrail:
+        """Entries matching every given filter, as an ordered trail.
+
+        The object filter matches the *subtree* of ``obj`` — querying for
+        ``[Jane]EPR`` returns accesses to any of its sections.
+        """
+        clauses: list[str] = []
+        params: list[object] = []
+        if case is not None:
+            clauses.append("case_id = ?")
+            params.append(case)
+        if user is not None:
+            clauses.append("user = ?")
+            params.append(user)
+        if since is not None:
+            clauses.append("ts >= ?")
+            params.append(since.isoformat())
+        if until is not None:
+            clauses.append("ts <= ?")
+            params.append(until.isoformat())
+        sql = "SELECT user, role, action, obj, task, case_id, ts, status FROM audit_log"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY seq"
+        rows = self._connection.execute(sql, params).fetchall()
+        entries = [_entry_from_row(row) for row in rows]
+        if obj is not None:
+            entries = [
+                e for e in entries if e.obj is not None and obj.covers(e.obj)
+            ]
+        return AuditTrail(entries)
+
+    def cases(self) -> list[str]:
+        rows = self._connection.execute(
+            "SELECT case_id FROM audit_log GROUP BY case_id ORDER BY MIN(seq)"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def cases_touching(self, obj: ObjectRef) -> list[str]:
+        """The cases in which *obj* or a descendant was accessed."""
+        return self.query(obj=obj).cases()
+
+    def __len__(self) -> int:
+        row = self._connection.execute("SELECT COUNT(*) FROM audit_log").fetchone()
+        return int(row[0])
+
+    # -- integrity --------------------------------------------------------
+    def verify_integrity(self) -> None:
+        """Re-derive the hash chain; raise :class:`IntegrityError` on breakage."""
+        rows = self._connection.execute(
+            "SELECT seq, user, role, action, obj, task, case_id, ts, status, "
+            "prev_hash, hash FROM audit_log ORDER BY seq"
+        ).fetchall()
+        expected_prev = self._anchor()[0]
+        for row in rows:
+            seq = int(row[0])
+            entry = _entry_from_row(row[1:9])
+            stored_prev, stored_hash = row[9], row[10]
+            if stored_prev != expected_prev:
+                raise IntegrityError(
+                    f"hash chain broken before entry {seq} "
+                    "(an entry was removed or reordered)",
+                    first_bad_seq=seq,
+                )
+            recomputed = _entry_hash(stored_prev, entry)
+            if recomputed != stored_hash:
+                raise IntegrityError(
+                    f"entry {seq} was modified after being logged",
+                    first_bad_seq=seq,
+                )
+            expected_prev = stored_hash
+
+    def is_intact(self) -> bool:
+        try:
+            self.verify_integrity()
+        except IntegrityError:
+            return False
+        return True
+
+    # -- retention ---------------------------------------------------------
+    def purge_before(self, cutoff: datetime) -> int:
+        """Erase the oldest entries (storage-limitation / GDPR retention).
+
+        Deletes the maximal *prefix* of the log whose entries are all
+        older than *cutoff* and re-anchors the hash chain at the last
+        deleted entry, so :meth:`verify_integrity` keeps working for
+        everything retained.  Prefix-based deletion is what keeps the
+        chain meaningful: an entry younger than the cutoff blocks
+        deletion of anything logged after it.
+
+        Returns the number of entries erased.
+        """
+        rows = self._connection.execute(
+            "SELECT seq, ts, hash FROM audit_log ORDER BY seq"
+        ).fetchall()
+        boundary: Optional[tuple[int, str]] = None
+        count = 0
+        for seq, ts, digest in rows:
+            if datetime.fromisoformat(ts) < cutoff:
+                boundary = (int(seq), digest)
+                count += 1
+            else:
+                break
+        if boundary is None:
+            return 0
+        _, purged_upto, purged_so_far = self._anchor()
+        del purged_upto
+        with self._connection:
+            self._connection.execute(
+                "DELETE FROM audit_log WHERE seq <= ?", (boundary[0],)
+            )
+            self._connection.execute(
+                "INSERT INTO audit_anchor (id, anchor_hash, purged_upto, purge_count) "
+                "VALUES (1, ?, ?, ?) "
+                "ON CONFLICT (id) DO UPDATE SET anchor_hash = excluded.anchor_hash, "
+                "purged_upto = excluded.purged_upto, "
+                "purge_count = excluded.purge_count",
+                (boundary[1], cutoff.isoformat(), purged_so_far + count),
+            )
+        return count
+
+    def retention_info(self) -> dict[str, object]:
+        """How much has been purged and where the chain is anchored."""
+        anchor_hash, purged_upto, purge_count = self._anchor()
+        return {
+            "anchored": anchor_hash != GENESIS,
+            "anchor_hash": anchor_hash,
+            "purged_upto": purged_upto,
+            "purged_entries": purge_count,
+            "retained_entries": len(self),
+        }
+
+    # -- test support ------------------------------------------------------
+    def tamper(self, seq: int, **fields: str) -> None:
+        """Modify a stored row *without* fixing the chain (for tests/demos)."""
+        allowed = {"user", "role", "action", "obj", "task", "case_id", "status"}
+        unknown = set(fields) - allowed
+        if unknown:
+            raise ValueError(f"cannot tamper with columns {sorted(unknown)}")
+        assignments = ", ".join(f"{column} = ?" for column in fields)
+        with self._connection:
+            self._connection.execute(
+                f"UPDATE audit_log SET {assignments} WHERE seq = ?",
+                [*fields.values(), seq],
+            )
+
+
+def _entry_hash(prev_hash: str, entry: LogEntry) -> str:
+    payload = json.dumps(
+        {
+            "user": entry.user,
+            "role": entry.role,
+            "action": entry.action,
+            "obj": str(entry.obj) if entry.obj is not None else None,
+            "task": entry.task,
+            "case": entry.case,
+            "ts": entry.timestamp.isoformat(),
+            "status": entry.status.value,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256((prev_hash + payload).encode("utf-8")).hexdigest()
+
+
+def _entry_from_row(row: tuple) -> LogEntry:
+    user, role, action, obj, task, case_id, ts, status = row
+    return LogEntry(
+        user=user,
+        role=role,
+        action=action,
+        obj=ObjectRef.parse(obj) if obj else None,
+        task=task,
+        case=case_id,
+        timestamp=datetime.fromisoformat(ts),
+        status=Status(status),
+    )

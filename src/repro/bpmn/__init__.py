@@ -1,0 +1,70 @@
+"""BPMN substrate: process model, builder, validation, COWS encoding.
+
+The paper uses BPMN as the organizational-process notation (Section 3.3)
+and encodes it into COWS for analysis.  This package provides the subset
+of BPMN the paper relies on and the encoding of Appendix A.
+"""
+
+from repro.bpmn.builder import PoolBuilder, ProcessBuilder
+from repro.bpmn.dot import lts_to_dot, process_to_dot
+from repro.bpmn.encode import (
+    ERROR_OPERATION,
+    SYS,
+    EncodedProcess,
+    encode,
+    trigger_endpoint,
+)
+from repro.bpmn.metrics import ProcessMetrics, measure
+from repro.bpmn.model import (
+    Element,
+    ElementType,
+    ErrorFlow,
+    Process,
+    SequenceFlow,
+)
+from repro.bpmn.serialize import (
+    dumps,
+    loads,
+    process_from_dict,
+    process_to_dict,
+)
+from repro.bpmn.xml import process_from_bpmn_xml, process_to_bpmn_xml
+from repro.bpmn.validate import (
+    check_well_founded,
+    flow_graph,
+    is_well_founded,
+    non_well_founded_cycles,
+    structural_problems,
+    validate,
+)
+
+__all__ = [
+    "ERROR_OPERATION",
+    "SYS",
+    "Element",
+    "ElementType",
+    "EncodedProcess",
+    "ErrorFlow",
+    "PoolBuilder",
+    "Process",
+    "ProcessBuilder",
+    "ProcessMetrics",
+    "measure",
+    "SequenceFlow",
+    "check_well_founded",
+    "dumps",
+    "encode",
+    "flow_graph",
+    "is_well_founded",
+    "loads",
+    "lts_to_dot",
+    "non_well_founded_cycles",
+    "process_from_bpmn_xml",
+    "process_from_dict",
+    "process_to_bpmn_xml",
+    "process_to_dict",
+    "process_to_dot",
+    "structural_problems",
+    "trigger_endpoint",
+    "validate",
+]

@@ -1,0 +1,174 @@
+"""A fluent builder for BPMN processes.
+
+Example — a tiny diagnose-or-refer fragment::
+
+    builder = ProcessBuilder("treatment", purpose="treatment")
+    gp = builder.pool("GP")
+    gp.start_event("S1")
+    gp.task("T01", name="Examine patient")
+    gp.exclusive_gateway("G1")
+    gp.task("T02", name="Make diagnosis")
+    gp.end_event("E0")
+    builder.flow("S1", "T01").flow("T01", "G1").flow("G1", "T02")
+    builder.flow("T02", "E0")
+    process = builder.build()
+
+``build()`` runs full validation (including the well-foundedness check of
+Section 5) unless ``validate=False`` is passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpmn.model import (
+    Element,
+    ElementType,
+    ErrorFlow,
+    Process,
+    SequenceFlow,
+)
+from repro.errors import ProcessValidationError
+
+
+@dataclass
+class PoolBuilder:
+    """Adds elements to one pool of a :class:`ProcessBuilder`."""
+
+    _builder: "ProcessBuilder"
+    role: str
+
+    def _add(self, element: Element) -> "PoolBuilder":
+        self._builder._add_element(element)
+        return self
+
+    def start_event(self, element_id: str, name: str = "") -> "PoolBuilder":
+        return self._add(
+            Element(element_id, ElementType.START_EVENT, self.role, name)
+        )
+
+    def message_start_event(
+        self, element_id: str, message: str, name: str = ""
+    ) -> "PoolBuilder":
+        return self._add(
+            Element(
+                element_id,
+                ElementType.MESSAGE_START_EVENT,
+                self.role,
+                name,
+                message=message,
+            )
+        )
+
+    def end_event(self, element_id: str, name: str = "") -> "PoolBuilder":
+        return self._add(Element(element_id, ElementType.END_EVENT, self.role, name))
+
+    def message_end_event(
+        self, element_id: str, message: str, name: str = ""
+    ) -> "PoolBuilder":
+        return self._add(
+            Element(
+                element_id,
+                ElementType.MESSAGE_END_EVENT,
+                self.role,
+                name,
+                message=message,
+            )
+        )
+
+    def task(self, element_id: str, name: str = "") -> "PoolBuilder":
+        return self._add(Element(element_id, ElementType.TASK, self.role, name))
+
+    def exclusive_gateway(self, element_id: str, name: str = "") -> "PoolBuilder":
+        return self._add(
+            Element(element_id, ElementType.EXCLUSIVE_GATEWAY, self.role, name)
+        )
+
+    def parallel_gateway(self, element_id: str, name: str = "") -> "PoolBuilder":
+        return self._add(
+            Element(element_id, ElementType.PARALLEL_GATEWAY, self.role, name)
+        )
+
+    def inclusive_gateway(
+        self, element_id: str, name: str = "", join_of: str | None = None
+    ) -> "PoolBuilder":
+        return self._add(
+            Element(
+                element_id,
+                ElementType.INCLUSIVE_GATEWAY,
+                self.role,
+                name,
+                join_of=join_of,
+            )
+        )
+
+    def message_throw_event(
+        self, element_id: str, message: str, name: str = ""
+    ) -> "PoolBuilder":
+        return self._add(
+            Element(
+                element_id,
+                ElementType.MESSAGE_THROW_EVENT,
+                self.role,
+                name,
+                message=message,
+            )
+        )
+
+    def message_catch_event(
+        self, element_id: str, message: str, name: str = ""
+    ) -> "PoolBuilder":
+        return self._add(
+            Element(
+                element_id,
+                ElementType.MESSAGE_CATCH_EVENT,
+                self.role,
+                name,
+                message=message,
+            )
+        )
+
+
+class ProcessBuilder:
+    """Accumulates pools, elements and flows, then builds a validated process."""
+
+    def __init__(self, process_id: str, purpose: str = ""):
+        self._process = Process(process_id=process_id, purpose=purpose)
+        self._pools: dict[str, PoolBuilder] = {}
+
+    def pool(self, role: str) -> PoolBuilder:
+        """Get (or create) the builder for the pool of the given role."""
+        if role not in self._pools:
+            self._pools[role] = PoolBuilder(self, role)
+        return self._pools[role]
+
+    def _add_element(self, element: Element) -> None:
+        if element.element_id in self._process.elements:
+            raise ProcessValidationError(
+                f"duplicate element id {element.element_id!r}"
+            )
+        self._process.elements[element.element_id] = element
+
+    def flow(self, source: str, target: str) -> "ProcessBuilder":
+        """Add a sequence flow from *source* to *target*."""
+        self._process.flows.append(SequenceFlow(source, target))
+        return self
+
+    def chain(self, *element_ids: str) -> "ProcessBuilder":
+        """Add sequence flows linking the given elements in order."""
+        for source, target in zip(element_ids, element_ids[1:]):
+            self.flow(source, target)
+        return self
+
+    def error_flow(self, task_id: str, target: str) -> "ProcessBuilder":
+        """Attach an error boundary to *task_id*, routing failures to *target*."""
+        self._process.error_flows.append(ErrorFlow(task_id, target))
+        return self
+
+    def build(self, validate: bool = True) -> Process:
+        """Finalize the process, optionally running full validation."""
+        if validate:
+            from repro.bpmn.validate import validate as run_validation
+
+            run_validation(self._process)
+        return self._process

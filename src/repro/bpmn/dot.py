@@ -1,0 +1,84 @@
+"""Graphviz (DOT) export of BPMN processes and explored LTS fragments.
+
+Purely textual: the functions return DOT source strings that render the
+paper's figures (process diagrams like Fig. 1/2, transition systems like
+Fig. 6) with any Graphviz installation.  No external dependency is
+imported.
+"""
+
+from __future__ import annotations
+
+from repro.bpmn.model import ElementType, Process
+from repro.cows.lts import ExplorationResult
+from repro.cows.pretty import format_label
+
+_SHAPES = {
+    ElementType.START_EVENT: ("circle", "palegreen"),
+    ElementType.MESSAGE_START_EVENT: ("doublecircle", "palegreen"),
+    ElementType.END_EVENT: ("circle", "lightcoral"),
+    ElementType.MESSAGE_END_EVENT: ("doublecircle", "lightcoral"),
+    ElementType.TASK: ("box", "lightyellow"),
+    ElementType.EXCLUSIVE_GATEWAY: ("diamond", "white"),
+    ElementType.PARALLEL_GATEWAY: ("diamond", "lightblue"),
+    ElementType.INCLUSIVE_GATEWAY: ("diamond", "lightgrey"),
+    ElementType.MESSAGE_THROW_EVENT: ("circle", "white"),
+    ElementType.MESSAGE_CATCH_EVENT: ("circle", "white"),
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def process_to_dot(process: Process) -> str:
+    """A DOT digraph of *process*, with one cluster per pool."""
+    lines = [f"digraph {_quote(process.process_id)} {{", "  rankdir=LR;"]
+    for pool_index, pool in enumerate(process.pools):
+        lines.append(f"  subgraph cluster_{pool_index} {{")
+        lines.append(f"    label={_quote(pool)};")
+        for element in process.elements.values():
+            if element.pool != pool:
+                continue
+            shape, fill = _SHAPES[element.element_type]
+            label = element.label
+            lines.append(
+                f"    {_quote(element.element_id)} [shape={shape}, "
+                f"style=filled, fillcolor={fill}, label={_quote(label)}];"
+            )
+        lines.append("  }")
+    for flow in process.flows:
+        lines.append(f"  {_quote(flow.source)} -> {_quote(flow.target)};")
+    for flow in process.error_flows:
+        lines.append(
+            f"  {_quote(flow.source)} -> {_quote(flow.target)} "
+            '[style=dashed, color=red, label="Err"];'
+        )
+    for thrower, catcher in process.message_links():
+        lines.append(
+            f"  {_quote(thrower.element_id)} -> {_quote(catcher.element_id)} "
+            f"[style=dotted, label={_quote(thrower.message or '')}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lts_to_dot(result: ExplorationResult, max_label_length: int = 40) -> str:
+    """A DOT digraph of an explored LTS fragment (Fig. 6 style)."""
+    index = {state: f"St{i + 1}" for i, state in enumerate(sorted(
+        result.states, key=str
+    ))}
+    # Keep the initial state first for readability.
+    index[result.initial] = "St0"
+    lines = ["digraph LTS {", "  rankdir=TB;", '  node [shape=box, fontsize=10];']
+    for state, state_id in index.items():
+        label = str(state)
+        if len(label) > max_label_length:
+            label = label[: max_label_length - 3] + "..."
+        lines.append(f"  {_quote(state_id)} [label={_quote(label)}];")
+    for source, label, target in result.edges:
+        lines.append(
+            f"  {_quote(index[source])} -> {_quote(index[target])} "
+            f"[label={_quote(format_label(label))}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

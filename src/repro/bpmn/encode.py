@@ -1,0 +1,365 @@
+"""The BPMN -> COWS encoding (Section 3.3 and Appendix A of the paper).
+
+Every BPMN element becomes one COWS service; the organizational process
+is the parallel composition of these services.  The encoding follows the
+appendix patterns:
+
+* a start event invokes the trigger endpoint of its successor
+  (``[[S1]] = GP.T01!<>``, Fig. 7);
+* a task receives its trigger and then passes the token on
+  (``[[T01]] = GP.T01?<>.[[Act]]``), wrapped in a :class:`TaskMarker` so
+  the active-task set of a configuration can be read off the state;
+* a task with an attached error event makes an internal ``sys`` choice
+  between the normal continuation and the error path; taking the error
+  path produces the observable ``sys.Err`` label (Fig. 9);
+* an exclusive gateway resolves its choice through a private ``sys``
+  endpoint and a ``kill``/protect pair, so exactly one branch survives
+  (Fig. 8);
+* a parallel gateway splits by emitting all branch tokens at once and
+  joins by receiving one token per incoming flow (on flow-specific
+  endpoints, so tokens from different branches cannot be confused);
+* an inclusive gateway chooses a non-empty subset of branches; the
+  paired inclusive join is told how many branches were activated through
+  a private configuration message and waits for exactly that many tokens
+  (count-based OR-join; see DESIGN.md for the concurrency caveat);
+* message events communicate across pools by value-carrying invokes, as
+  in Fig. 10 (``P2.S3!<msg1>``);
+* every service except plain start events is replicated (``*``) so that
+  cycles can re-enter elements, exactly as the appendix prescribes.
+
+The result bundles the COWS term with the observable vocabulary
+(roles = pools, tasks) that :mod:`repro.core.observables` needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.bpmn.model import Element, ElementType, Process
+from repro.bpmn.validate import validate
+from repro.cows.names import Endpoint, Name, var
+from repro.cows.terms import (
+    Invoke,
+    Kill,
+    Nil,
+    Protect,
+    Replicate,
+    Request,
+    TaskMarker,
+    Term,
+    choice,
+    parallel,
+    scope,
+)
+from repro.cows.congruence import normalize
+from repro.cows.names import killer, name
+from repro.errors import EncodingError
+
+#: The operation name of the observable error label ``sys.Err``.
+ERROR_OPERATION = "Err"
+
+#: The private partner name used for internal computations (gateway
+#: decisions, error choices), as in the paper's encodings.
+SYS = "sys"
+
+
+@dataclass(frozen=True)
+class EncodedProcess:
+    """The COWS encoding of a BPMN process plus its observable vocabulary."""
+
+    process: Process
+    term: Term
+    roles: frozenset[str]
+    tasks: frozenset[str]
+
+    @property
+    def purpose(self) -> str:
+        return self.process.purpose
+
+
+def encode(process: Process, validated: bool = False) -> EncodedProcess:
+    """Encode *process* into COWS.
+
+    Runs validation first unless the caller vouches with
+    ``validated=True``.  Raises :class:`EncodingError` for constructs the
+    encoder cannot express.
+    """
+    if not validated:
+        validate(process)
+    services = [_encode_element(process, e) for e in process.elements.values()]
+    term = normalize(parallel(*services))
+    return EncodedProcess(
+        process=process,
+        term=term,
+        roles=frozenset(process.pools),
+        tasks=frozenset(process.task_ids),
+    )
+
+
+# ---------------------------------------------------------------------------
+# endpoints
+
+
+def trigger_endpoint(process: Process, target_id: str, source_id: str) -> Endpoint:
+    """The endpoint *source* invokes to hand the token to *target*.
+
+    Parallel joins use flow-specific endpoints (one per incoming flow) so
+    that the join synchronizes one token from **each** branch; every
+    other element is triggered on a single generic endpoint.
+    """
+    target = process.element(target_id)
+    if (
+        target.element_type is ElementType.PARALLEL_GATEWAY
+        and len(process.incoming(target_id)) > 1
+    ):
+        return Endpoint(Name(target.pool), Name(f"{target_id}_from_{source_id}"))
+    return Endpoint(Name(target.pool), Name(target_id))
+
+
+def _generic_trigger(element: Element) -> Endpoint:
+    return Endpoint(Name(element.pool), Name(element.element_id))
+
+
+def _message_endpoint(catcher: Element) -> Endpoint:
+    """Where the thrower of a message delivers it."""
+    if catcher.element_type is ElementType.MESSAGE_START_EVENT:
+        return _generic_trigger(catcher)
+    return Endpoint(Name(catcher.pool), Name(f"{catcher.element_id}_msg"))
+
+
+def _single_successor(process: Process, element: Element) -> str:
+    outgoing = process.outgoing(element.element_id)
+    if len(outgoing) != 1:
+        raise EncodingError(
+            f"element {element.element_id!r} must have exactly one outgoing "
+            f"flow, found {len(outgoing)}"
+        )
+    return outgoing[0]
+
+
+def _pass_token(process: Process, element: Element) -> Invoke:
+    successor = _single_successor(process, element)
+    return Invoke(trigger_endpoint(process, successor, element.element_id))
+
+
+def _catcher_of(process: Process, message: str) -> Element:
+    for element in process.elements.values():
+        if (
+            element.element_type
+            in (ElementType.MESSAGE_START_EVENT, ElementType.MESSAGE_CATCH_EVENT)
+            and element.message == message
+        ):
+            return element
+    raise EncodingError(f"message {message!r} has no catching event")
+
+
+# ---------------------------------------------------------------------------
+# element services
+
+
+def _encode_element(process: Process, element: Element) -> Term:
+    etype = element.element_type
+    if etype is ElementType.START_EVENT:
+        return _pass_token(process, element)
+    if etype is ElementType.MESSAGE_START_EVENT:
+        return _encode_message_start(process, element)
+    if etype is ElementType.END_EVENT:
+        return Replicate(Request(_generic_trigger(element), (), Nil()))
+    if etype is ElementType.MESSAGE_END_EVENT:
+        return _encode_message_end(process, element)
+    if etype is ElementType.MESSAGE_THROW_EVENT:
+        return _encode_message_throw(process, element)
+    if etype is ElementType.MESSAGE_CATCH_EVENT:
+        return _encode_message_catch(process, element)
+    if etype is ElementType.TASK:
+        return _encode_task(process, element)
+    if etype is ElementType.EXCLUSIVE_GATEWAY:
+        return _encode_exclusive(process, element)
+    if etype is ElementType.PARALLEL_GATEWAY:
+        return _encode_parallel(process, element)
+    if etype is ElementType.INCLUSIVE_GATEWAY:
+        return _encode_inclusive(process, element)
+    raise EncodingError(f"unsupported element type {etype!r}")
+
+
+def _encode_message_start(process: Process, element: Element) -> Term:
+    z = var("z")
+    body = Request(
+        _generic_trigger(element), (z,), _pass_token(process, element)
+    )
+    return Replicate(scope(z, body))
+
+
+def _encode_message_end(process: Process, element: Element) -> Term:
+    catcher = _catcher_of(process, element.message or "")
+    send = Invoke(_message_endpoint(catcher), (Name(element.message or ""),))
+    return Replicate(Request(_generic_trigger(element), (), send))
+
+
+def _encode_message_throw(process: Process, element: Element) -> Term:
+    catcher = _catcher_of(process, element.message or "")
+    send = Invoke(_message_endpoint(catcher), (Name(element.message or ""),))
+    body = parallel(send, _pass_token(process, element))
+    return Replicate(Request(_generic_trigger(element), (), body))
+
+
+def _encode_message_catch(process: Process, element: Element) -> Term:
+    z = var("z")
+    wait = scope(
+        z,
+        Request(
+            _message_endpoint(element), (z,), _pass_token(process, element)
+        ),
+    )
+    return Replicate(Request(_generic_trigger(element), (), wait))
+
+
+def _encode_task(process: Process, element: Element) -> Term:
+    role = Name(element.pool)
+    task = Name(element.element_id)
+    error_target = process.error_target(element.element_id)
+    if error_target is None:
+        body: Term = _pass_token(process, element)
+    else:
+        body = _error_choice(process, element, error_target)
+    marked = TaskMarker(role, task, body)
+    return Replicate(Request(_generic_trigger(element), (), marked))
+
+
+def _error_choice(process: Process, element: Element, error_target: str) -> Term:
+    """The Fig. 9 pattern: internal choice between normal flow and sys.Err."""
+    k = killer("k")
+    sys = name(SYS)
+    ok_op = Endpoint(sys, Name("ok"))
+    err_op = Endpoint(sys, Name(ERROR_OPERATION))
+    on_error = Invoke(
+        trigger_endpoint(process, error_target, element.element_id)
+    )
+    on_success = _pass_token(process, element)
+    body = parallel(
+        Invoke(err_op),
+        Invoke(ok_op),
+        Request(err_op, (), parallel(Kill(k), Protect(on_error))),
+        Request(ok_op, (), parallel(Kill(k), Protect(on_success))),
+    )
+    return scope([k, sys], body)
+
+
+def _encode_exclusive(process: Process, element: Element) -> Term:
+    targets = process.outgoing(element.element_id)
+    if len(set(targets)) != len(targets):
+        raise EncodingError(
+            f"gateway {element.element_id!r} has duplicate flows to one target"
+        )
+    if len(targets) == 1:
+        body: Term = Invoke(
+            trigger_endpoint(process, targets[0], element.element_id)
+        )
+        return Replicate(Request(_generic_trigger(element), (), body))
+    k = killer("k")
+    sys = name(SYS)
+    pieces: list[Term] = []
+    for target in targets:
+        branch_endpoint = Endpoint(sys, Name(f"br_{target}"))
+        go = Invoke(trigger_endpoint(process, target, element.element_id))
+        pieces.append(Invoke(branch_endpoint))
+        pieces.append(
+            Request(branch_endpoint, (), parallel(Kill(k), Protect(go)))
+        )
+    body = scope([k, sys], parallel(*pieces))
+    return Replicate(Request(_generic_trigger(element), (), body))
+
+
+def _encode_parallel(process: Process, element: Element) -> Term:
+    eid = element.element_id
+    incoming = process.incoming(eid)
+    targets = process.outgoing(eid)
+    if len(incoming) > 1:  # a join: one token per incoming flow, then go
+        if len(targets) != 1:
+            raise EncodingError(f"parallel join {eid!r} must have one outgoing flow")
+        body: Term = Invoke(trigger_endpoint(process, targets[0], eid))
+        for source in sorted(incoming, reverse=True):
+            flow_endpoint = Endpoint(Name(element.pool), Name(f"{eid}_from_{source}"))
+            body = Request(flow_endpoint, (), body)
+        return Replicate(body)
+    # a split (or pass-through): emit every branch token at once
+    tokens = parallel(
+        *(Invoke(trigger_endpoint(process, t, eid)) for t in targets)
+    )
+    return Replicate(Request(_generic_trigger(element), (), tokens))
+
+
+def _encode_inclusive(process: Process, element: Element) -> Term:
+    eid = element.element_id
+    incoming = process.incoming(eid)
+    targets = process.outgoing(eid)
+    if len(incoming) > 1:
+        return _encode_inclusive_join(process, element)
+    if len(targets) == 1:
+        body: Term = Invoke(trigger_endpoint(process, targets[0], eid))
+        return Replicate(Request(_generic_trigger(element), (), body))
+    return _encode_inclusive_split(process, element, targets)
+
+
+def _inclusive_subsets(targets: list[str]) -> list[tuple[str, ...]]:
+    subsets: list[tuple[str, ...]] = []
+    for size in range(1, len(targets) + 1):
+        subsets.extend(combinations(sorted(targets), size))
+    return subsets
+
+
+def _encode_inclusive_split(
+    process: Process, element: Element, targets: list[str]
+) -> Term:
+    eid = element.element_id
+    join = process.paired_join(eid)
+    k = killer("k")
+    sys = name(SYS)
+    pieces: list[Term] = []
+    for subset in _inclusive_subsets(targets):
+        tag = "_".join(subset)
+        subset_endpoint = Endpoint(sys, Name(f"sub_{tag}"))
+        emissions: list[Term] = [
+            Invoke(trigger_endpoint(process, t, eid)) for t in subset
+        ]
+        if join is not None:
+            config_endpoint = Endpoint(
+                Name(join.pool), Name(f"{join.element_id}_cfg_{len(subset)}")
+            )
+            emissions.append(Invoke(config_endpoint))
+        pieces.append(Invoke(subset_endpoint))
+        pieces.append(
+            Request(
+                subset_endpoint,
+                (),
+                parallel(Kill(k), Protect(parallel(*emissions))),
+            )
+        )
+    body = scope([k, sys], parallel(*pieces))
+    return Replicate(Request(_generic_trigger(element), (), body))
+
+
+def _encode_inclusive_join(process: Process, element: Element) -> Term:
+    eid = element.element_id
+    targets = process.outgoing(eid)
+    if len(targets) != 1:
+        raise EncodingError(f"inclusive join {eid!r} must have one outgoing flow")
+    split_id = element.join_of
+    if split_id is None:
+        raise EncodingError(f"inclusive join {eid!r} lacks its join_of pairing")
+    branch_count = len(process.outgoing(split_id))
+    if branch_count < 1:
+        raise EncodingError(
+            f"inclusive split {split_id!r} paired by {eid!r} has no branches"
+        )
+    go = Invoke(trigger_endpoint(process, targets[0], eid))
+    token_endpoint = _generic_trigger(element)
+    branches = []
+    for count in range(1, branch_count + 1):
+        config_endpoint = Endpoint(Name(element.pool), Name(f"{eid}_cfg_{count}"))
+        body: Term = go
+        for _ in range(count):
+            body = Request(token_endpoint, (), body)
+        branches.append(Request(config_endpoint, (), body))
+    return Replicate(choice(*branches))

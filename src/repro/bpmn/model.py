@@ -1,0 +1,228 @@
+"""The BPMN process model used throughout the framework.
+
+The paper models organizational processes in BPMN (Section 3.3).  This
+module provides the core subset the paper uses:
+
+* **pools**, each corresponding to a *role* (Section 3.1: "we assume that
+  every BPMN pool corresponds to a role in R");
+* **tasks** — the units of work whose execution is IT-observable;
+* **events** — plain and message start events, plain and message end
+  events, and intermediate message throw/catch events;
+* **gateways** — exclusive (XOR), parallel (AND) and inclusive (OR);
+* **sequence flows** within a pool, **error flows** from a task to its
+  error handler (the task+error-event pattern of Fig. 9), and **message
+  flows** across pools, linked by message name (the msg1/msg2 style of
+  Fig. 10).
+
+The model is deliberately plain data: behaviour lives in
+:mod:`repro.bpmn.validate` (structural and well-foundedness checks) and
+:mod:`repro.bpmn.encode` (the COWS encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Optional
+
+
+class ElementType(Enum):
+    """The kinds of BPMN flow elements supported by the framework."""
+
+    START_EVENT = "startEvent"
+    MESSAGE_START_EVENT = "messageStartEvent"
+    END_EVENT = "endEvent"
+    MESSAGE_END_EVENT = "messageEndEvent"
+    TASK = "task"
+    EXCLUSIVE_GATEWAY = "exclusiveGateway"
+    PARALLEL_GATEWAY = "parallelGateway"
+    INCLUSIVE_GATEWAY = "inclusiveGateway"
+    MESSAGE_THROW_EVENT = "intermediateMessageThrow"
+    MESSAGE_CATCH_EVENT = "intermediateMessageCatch"
+
+    @property
+    def is_start(self) -> bool:
+        return self in (ElementType.START_EVENT, ElementType.MESSAGE_START_EVENT)
+
+    @property
+    def is_end(self) -> bool:
+        return self in (ElementType.END_EVENT, ElementType.MESSAGE_END_EVENT)
+
+    @property
+    def is_gateway(self) -> bool:
+        return self in (
+            ElementType.EXCLUSIVE_GATEWAY,
+            ElementType.PARALLEL_GATEWAY,
+            ElementType.INCLUSIVE_GATEWAY,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Element:
+    """A BPMN flow element.
+
+    ``element_id`` is unique within the process and doubles as the COWS
+    operation name of the element's trigger endpoint.  ``message`` names
+    the message a message event sends or awaits; message events with the
+    same message name are connected by an implicit message flow.
+    ``join_of`` on an inclusive gateway names the inclusive *split* it
+    merges — the pairing the encoder needs to synchronize exactly the
+    activated branches.
+    """
+
+    element_id: str
+    element_type: ElementType
+    pool: str
+    name: str = ""
+    message: Optional[str] = None
+    join_of: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.element_id:
+            raise ValueError("element_id must be non-empty")
+        needs_message = self.element_type in (
+            ElementType.MESSAGE_START_EVENT,
+            ElementType.MESSAGE_END_EVENT,
+            ElementType.MESSAGE_THROW_EVENT,
+            ElementType.MESSAGE_CATCH_EVENT,
+        )
+        if needs_message and not self.message:
+            raise ValueError(
+                f"{self.element_type.value} {self.element_id!r} needs a message name"
+            )
+        if self.join_of and self.element_type is not ElementType.INCLUSIVE_GATEWAY:
+            raise ValueError("join_of is only meaningful on inclusive gateways")
+
+    @property
+    def label(self) -> str:
+        return self.name or self.element_id
+
+
+@dataclass(frozen=True, slots=True)
+class SequenceFlow:
+    """A sequence flow: the token path from *source* to *target*."""
+
+    source: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError(f"self-loop flow on {self.source!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorFlow:
+    """The error path of a task: on failure, the token moves to *target*.
+
+    This models the task-with-attached-error-event pattern of Fig. 9; the
+    failure itself surfaces as the observable ``sys.Err`` label.
+    """
+
+    source: str
+    target: str
+
+
+@dataclass
+class Process:
+    """A BPMN process: pools (roles), elements, and flows.
+
+    Instances are built with :class:`repro.bpmn.builder.ProcessBuilder`
+    and validated with :func:`repro.bpmn.validate.validate`.  A process
+    also records the *purpose* it implements — the link between data
+    protection policies and organizational processes that Section 3.1 of
+    the paper establishes (purpose == organizational process).
+    """
+
+    process_id: str
+    purpose: str = ""
+    elements: dict[str, Element] = field(default_factory=dict)
+    flows: list[SequenceFlow] = field(default_factory=list)
+    error_flows: list[ErrorFlow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.purpose:
+            self.purpose = self.process_id
+
+    # -- structure queries ------------------------------------------------
+    def element(self, element_id: str) -> Element:
+        try:
+            return self.elements[element_id]
+        except KeyError:
+            raise KeyError(
+                f"process {self.process_id!r} has no element {element_id!r}"
+            ) from None
+
+    @property
+    def pools(self) -> list[str]:
+        """The pool names (roles) of the process, in first-seen order."""
+        seen: dict[str, None] = {}
+        for element in self.elements.values():
+            seen.setdefault(element.pool, None)
+        return list(seen)
+
+    def elements_of_type(self, *types: ElementType) -> list[Element]:
+        return [e for e in self.elements.values() if e.element_type in types]
+
+    @property
+    def tasks(self) -> list[Element]:
+        return self.elements_of_type(ElementType.TASK)
+
+    @property
+    def task_ids(self) -> frozenset[str]:
+        return frozenset(t.element_id for t in self.tasks)
+
+    @property
+    def start_events(self) -> list[Element]:
+        return [e for e in self.elements.values() if e.element_type.is_start]
+
+    @property
+    def end_events(self) -> list[Element]:
+        return [e for e in self.elements.values() if e.element_type.is_end]
+
+    def outgoing(self, element_id: str) -> list[str]:
+        return [f.target for f in self.flows if f.source == element_id]
+
+    def incoming(self, element_id: str) -> list[str]:
+        return [f.source for f in self.flows if f.target == element_id]
+
+    def error_target(self, element_id: str) -> Optional[str]:
+        for flow in self.error_flows:
+            if flow.source == element_id:
+                return flow.target
+        return None
+
+    def message_links(self) -> Iterator[tuple[Element, Element]]:
+        """Yield (thrower, catcher) pairs connected by a message name."""
+        throwers = self.elements_of_type(
+            ElementType.MESSAGE_END_EVENT, ElementType.MESSAGE_THROW_EVENT
+        )
+        catchers = self.elements_of_type(
+            ElementType.MESSAGE_START_EVENT, ElementType.MESSAGE_CATCH_EVENT
+        )
+        for thrower in throwers:
+            for catcher in catchers:
+                if thrower.message == catcher.message:
+                    yield thrower, catcher
+
+    def paired_join(self, split_id: str) -> Optional[Element]:
+        """The inclusive join declared as merging the split *split_id*."""
+        for element in self.elements.values():
+            if (
+                element.element_type is ElementType.INCLUSIVE_GATEWAY
+                and element.join_of == split_id
+            ):
+                return element
+        return None
+
+    def role_of_task(self, task_id: str) -> str:
+        """The role (pool) expected to perform *task_id*."""
+        element = self.element(task_id)
+        if element.element_type is not ElementType.TASK:
+            raise ValueError(f"{task_id!r} is not a task")
+        return element.pool
+
+    def __contains__(self, element_id: str) -> bool:
+        return element_id in self.elements
+
+    def __len__(self) -> int:
+        return len(self.elements)

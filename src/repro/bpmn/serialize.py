@@ -1,0 +1,97 @@
+"""JSON (de)serialization of BPMN processes.
+
+The format is a stable, human-editable dictionary layout::
+
+    {
+      "process_id": "treatment",
+      "purpose": "treatment",
+      "elements": [
+        {"id": "S1", "type": "startEvent", "pool": "GP", "name": ""},
+        {"id": "T01", "type": "task", "pool": "GP", "name": "Examine"},
+        ...
+      ],
+      "flows": [["S1", "T01"], ...],
+      "error_flows": [["T02", "T01"], ...]
+    }
+
+Deserialization validates by default, so a JSON file cannot smuggle in a
+structurally broken or non-well-founded process.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.bpmn.model import Element, ElementType, ErrorFlow, Process, SequenceFlow
+from repro.bpmn.validate import validate
+from repro.errors import ProcessValidationError
+
+
+def process_to_dict(process: Process) -> dict[str, Any]:
+    """A JSON-compatible dictionary representation of *process*."""
+    elements = []
+    for element in process.elements.values():
+        item: dict[str, Any] = {
+            "id": element.element_id,
+            "type": element.element_type.value,
+            "pool": element.pool,
+        }
+        if element.name:
+            item["name"] = element.name
+        if element.message:
+            item["message"] = element.message
+        if element.join_of:
+            item["join_of"] = element.join_of
+        elements.append(item)
+    return {
+        "process_id": process.process_id,
+        "purpose": process.purpose,
+        "elements": elements,
+        "flows": [[f.source, f.target] for f in process.flows],
+        "error_flows": [[f.source, f.target] for f in process.error_flows],
+    }
+
+
+def process_from_dict(data: dict[str, Any], validated: bool = True) -> Process:
+    """Rebuild a process from :func:`process_to_dict` output."""
+    try:
+        process = Process(
+            process_id=data["process_id"],
+            purpose=data.get("purpose", ""),
+        )
+        for item in data["elements"]:
+            element = Element(
+                element_id=item["id"],
+                element_type=ElementType(item["type"]),
+                pool=item["pool"],
+                name=item.get("name", ""),
+                message=item.get("message"),
+                join_of=item.get("join_of"),
+            )
+            process.elements[element.element_id] = element
+        for source, target in data.get("flows", []):
+            process.flows.append(SequenceFlow(source, target))
+        for source, target in data.get("error_flows", []):
+            process.error_flows.append(ErrorFlow(source, target))
+    except (KeyError, ValueError, TypeError) as error:
+        raise ProcessValidationError(
+            f"malformed process document: {error}"
+        ) from error
+    if validated:
+        validate(process)
+    return process
+
+
+def dumps(process: Process, indent: int | None = 2) -> str:
+    """Serialize *process* to a JSON string."""
+    return json.dumps(process_to_dict(process), indent=indent)
+
+
+def loads(text: str, validated: bool = True) -> Process:
+    """Parse a process from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProcessValidationError(f"invalid JSON: {error}") from error
+    return process_from_dict(data, validated=validated)

@@ -1,0 +1,309 @@
+"""Command-line interface for the purpose-control toolkit.
+
+Installed as the ``repro`` console script::
+
+    repro validate  treatment.json
+    repro encode    treatment.json --format dot > treatment.dot
+    repro check     --process HT:treatment.json --trail day.xes --case HT-1
+    repro audit     --process HT:treatment.json --process CT:trial.json \\
+                    --trail day.xes
+    repro generate  --process HT:treatment.json --cases 50 --out day.xes
+    repro demo
+
+Process arguments use ``PREFIX:file.json``: the case prefix (the ``HT``
+of ``HT-1``) paired with a process document produced by
+:func:`repro.bpmn.serialize.dumps`.  Trails are XES files
+(:mod:`repro.audit.xes`) or SQLite audit stores (``.db``/``.sqlite``,
+:mod:`repro.audit.store`).
+
+Exit codes: 0 — success / compliant; 1 — infringements found; 2 — bad
+input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.audit.model import AuditTrail
+from repro.audit.store import AuditStore
+from repro.audit.xes import export_xes, import_xes
+from repro.bpmn.dot import process_to_dot
+from repro.bpmn.encode import encode
+from repro.bpmn.serialize import loads as load_process
+from repro.bpmn.validate import structural_problems, is_well_founded
+from repro.core.auditor import PurposeControlAuditor
+from repro.core.compliance import ComplianceChecker
+from repro.cows.pretty import pretty
+from repro.errors import ReproError
+from repro.policy.registry import ProcessRegistry
+
+EXIT_OK = 0
+EXIT_INFRINGEMENT = 1
+EXIT_BAD_INPUT = 2
+
+
+def _read_process(path_text: str):
+    """Load a process document: .json (native) or .bpmn/.xml (BPMN 2.0)."""
+    path = Path(path_text)
+    if not path.exists():
+        raise ReproError(f"process file not found: {path}")
+    if path.suffix in (".bpmn", ".xml"):
+        from repro.bpmn.xml import process_from_bpmn_xml
+
+        return process_from_bpmn_xml(path.read_text())
+    return load_process(path.read_text())
+
+
+def _load_registry(specs: Sequence[str]) -> ProcessRegistry:
+    registry = ProcessRegistry()
+    for spec in specs:
+        prefix, separator, path = spec.partition(":")
+        if not separator or not prefix or not path:
+            raise ReproError(
+                f"--process expects PREFIX:file, got {spec!r}"
+            )
+        registry.register(_read_process(path), prefix)
+    return registry
+
+
+def _load_hierarchy(specs: Sequence[str] | None):
+    from repro.policy.hierarchy import RoleHierarchy
+
+    hierarchy = RoleHierarchy()
+    for spec in specs or ():
+        child, separator, parent = spec.partition(":")
+        if not separator or not child or not parent:
+            raise ReproError(f"--role expects CHILD:PARENT, got {spec!r}")
+        hierarchy.add_role(child, parent)
+    return hierarchy
+
+
+def _load_trail(path_text: str) -> AuditTrail:
+    path = Path(path_text)
+    if not path.exists():
+        raise ReproError(f"trail file not found: {path}")
+    if path.suffix in (".db", ".sqlite"):
+        with AuditStore(str(path)) as store:
+            store.verify_integrity()
+            return store.query()
+    return import_xes(path.read_text())
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    path = Path(args.process_file)
+    if path.suffix in (".bpmn", ".xml"):
+        from repro.bpmn.xml import process_from_bpmn_xml
+
+        process = process_from_bpmn_xml(path.read_text(), validated=False)
+    else:
+        process = load_process(path.read_text(), validated=False)
+    problems = structural_problems(process)
+    for problem in problems:
+        print(f"problem: {problem}")
+    well_founded = not problems and is_well_founded(process)
+    if problems:
+        print(f"{process.process_id}: INVALID ({len(problems)} problem(s))")
+        return EXIT_BAD_INPUT
+    if not well_founded:
+        print(f"{process.process_id}: NOT WELL-FOUNDED (Algorithm 1 inapplicable)")
+        return EXIT_BAD_INPUT
+    print(
+        f"{process.process_id}: valid, well-founded "
+        f"({len(process)} elements, {len(process.task_ids)} tasks, "
+        f"pools: {', '.join(process.pools)})"
+    )
+    return EXIT_OK
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    process = _read_process(args.process_file)
+    if args.format == "dot":
+        print(process_to_dot(process))
+        return EXIT_OK
+    encoded = encode(process, validated=True)
+    if args.format == "cows":
+        print(pretty(encoded.term))
+    else:  # summary
+        print(f"process : {process.process_id}")
+        print(f"purpose : {encoded.purpose}")
+        print(f"roles   : {', '.join(sorted(encoded.roles))}")
+        print(f"tasks   : {', '.join(sorted(encoded.tasks))}")
+    return EXIT_OK
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    registry = _load_registry(args.process)
+    trail = _load_trail(args.trail)
+    case_trail = trail.for_case(args.case)
+    if len(case_trail) == 0:
+        print(f"case {args.case}: no entries in trail")
+        return EXIT_BAD_INPUT
+    purpose = registry.purpose_of_case(args.case)
+    checker = ComplianceChecker(
+        registry.encoded_for(purpose), hierarchy=_load_hierarchy(args.role)
+    )
+    result = checker.check(case_trail)
+    if result.compliant:
+        status = "compliant (open)" if result.may_continue else "compliant (complete)"
+        print(f"case {args.case} [{purpose}]: {status}, "
+              f"{result.trail_length} entries replayed")
+        return EXIT_OK
+    entry = result.failed_entry
+    print(
+        f"case {args.case} [{purpose}]: INFRINGEMENT at entry "
+        f"{result.failed_index} ({entry.user} {entry.role} {entry.task})"
+    )
+    from repro.core.explain import explain
+
+    explanation = explain(checker, case_trail.entries, result)
+    if explanation is not None:
+        print(f"diagnosis: {explanation}")
+    if args.verbose:
+        for step in result.steps:
+            print(f"  {step}")
+    return EXIT_INFRINGEMENT
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    registry = _load_registry(args.process)
+    trail = _load_trail(args.trail)
+    auditor = PurposeControlAuditor(
+        registry, hierarchy=_load_hierarchy(args.role)
+    )
+    report = auditor.audit(trail)
+    print(report.summary())
+    return EXIT_OK if report.compliant else EXIT_INFRINGEMENT
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.audit.generator import TrailGenerator
+
+    registry = _load_registry(args.process)
+    purposes = sorted(registry.purposes())
+    entries = []
+    for purpose in purposes:
+        encoded = registry.encoded_for(purpose)
+        prefix = registry.case_prefix_of(purpose)
+        users = {role: [(f"user-{role}", role)] for role in encoded.roles}
+        generator = TrailGenerator(encoded, users_by_role=users, seed=args.seed)
+        for index in range(1, args.cases + 1):
+            generated = generator.generate_case(
+                f"{prefix}-{index}", f"Subject{index}", min_steps=2
+            )
+            entries.extend(generated.trail)
+    trail = AuditTrail(entries)
+    document = export_xes(trail)
+    if args.out == "-":
+        print(document)
+    else:
+        Path(args.out).write_text(document)
+        print(f"wrote {len(trail)} entries ({args.cases} case(s) per purpose) "
+              f"to {args.out}")
+    return EXIT_OK
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        paper_audit_trail,
+        process_registry,
+        role_hierarchy,
+    )
+
+    auditor = PurposeControlAuditor(
+        process_registry(), hierarchy=role_hierarchy()
+    )
+    report = auditor.audit(paper_audit_trail())
+    print("Purpose control on the paper's running example (Figs 1-4):\n")
+    print(report.summary())
+    return EXIT_OK if report.compliant else EXIT_INFRINGEMENT
+
+
+# ---------------------------------------------------------------------------
+# argument parsing
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Purpose control: verify that data were processed "
+        "for the intended purpose (Petkovic, Prandi & Zannone, 2011).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="validate a BPMN process document"
+    )
+    validate.add_argument("process_file")
+    validate.set_defaults(handler=_cmd_validate)
+
+    encode_cmd = commands.add_parser(
+        "encode", help="encode a process into COWS (or export DOT)"
+    )
+    encode_cmd.add_argument("process_file")
+    encode_cmd.add_argument(
+        "--format", choices=("summary", "cows", "dot"), default="summary"
+    )
+    encode_cmd.set_defaults(handler=_cmd_encode)
+
+    check = commands.add_parser("check", help="replay one case (Algorithm 1)")
+    check.add_argument(
+        "--process", action="append", required=True, metavar="PREFIX:FILE"
+    )
+    check.add_argument("--trail", required=True, help="XES file or SQLite store")
+    check.add_argument("--case", required=True)
+    check.add_argument(
+        "--role", action="append", metavar="CHILD:PARENT",
+        help="role specialization, e.g. Cardiologist:Physician (repeatable)",
+    )
+    check.add_argument("--verbose", action="store_true")
+    check.set_defaults(handler=_cmd_check)
+
+    audit = commands.add_parser("audit", help="audit every case of a trail")
+    audit.add_argument(
+        "--process", action="append", required=True, metavar="PREFIX:FILE"
+    )
+    audit.add_argument("--trail", required=True)
+    audit.add_argument(
+        "--role", action="append", metavar="CHILD:PARENT",
+        help="role specialization, e.g. Cardiologist:Physician (repeatable)",
+    )
+    audit.set_defaults(handler=_cmd_audit)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic compliant trail (XES)"
+    )
+    generate.add_argument(
+        "--process", action="append", required=True, metavar="PREFIX:FILE"
+    )
+    generate.add_argument("--cases", type=int, default=10)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", default="-")
+    generate.set_defaults(handler=_cmd_generate)
+
+    demo = commands.add_parser("demo", help="run the paper's scenario")
+    demo.set_defaults(handler=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Conformance-checking baseline (related work [13]): Petri nets + token replay."""
+
+from repro.conformance.bpmn_to_petri import (
+    ERROR_LABEL,
+    TranslatedNet,
+    bpmn_to_petri,
+)
+from repro.conformance.petri import Marking, PetriNet, Transition
+from repro.conformance.tokenreplay import (
+    ReplayOutcome,
+    replay_events,
+    replay_trail,
+    trail_to_events,
+)
+
+__all__ = [
+    "ERROR_LABEL",
+    "Marking",
+    "PetriNet",
+    "ReplayOutcome",
+    "Transition",
+    "TranslatedNet",
+    "bpmn_to_petri",
+    "replay_events",
+    "replay_trail",
+    "trail_to_events",
+]

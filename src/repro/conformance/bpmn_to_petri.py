@@ -1,0 +1,233 @@
+"""Translation of (restricted) BPMN into Petri nets for the baseline.
+
+Section 6 of the paper notes that conformance-checking approaches are
+"often based on Petri Nets" and that "existing solutions based on Petri
+Nets either impose some restrictions on the syntax of BPMN ... or define
+a formal semantics that deviates from the informal one".  This module is
+exactly such a translation — deliberately the *baseline's* translation,
+with its standard approximations, documented here:
+
+* every sequence flow becomes a place; every task becomes a transition
+  labeled ``pool.task``;
+* a task with an attached error event routes through an intermediate
+  place, from which a silent transition continues normally and an
+  ``Err``-labeled transition takes the error path;
+* XOR gateways become one silent transition per routing; AND gateways a
+  single silent transition consuming/producing all branch places;
+* **OR gateways are approximated**: the split offers one silent
+  transition per non-empty branch subset, the join one per non-empty
+  subset of its input places — so the join may fire "early" on a subset
+  of the activated branches (a known over-approximation of OR-join
+  semantics in free-choice translations);
+* message flows become shared message places between the thrower's and
+  catcher's transitions;
+* plain start events mark their outgoing-flow place initially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.bpmn.model import Element, ElementType, Process
+from repro.conformance.petri import Marking, PetriNet
+from repro.errors import ConformanceError
+
+#: The label of error transitions, matching the observable sys.Err.
+ERROR_LABEL = "Err"
+
+
+@dataclass(frozen=True)
+class TranslatedNet:
+    """The Petri net of a BPMN process plus its initial marking."""
+
+    net: PetriNet
+    initial: Marking
+    process: Process
+
+    def task_label(self, task_id: str) -> str:
+        element = self.process.element(task_id)
+        return f"{element.pool}.{task_id}"
+
+
+def _flow_place(source: str, target: str) -> str:
+    return f"f_{source}__{target}"
+
+
+def _message_place(message: str) -> str:
+    return f"msg_{message}"
+
+
+def bpmn_to_petri(process: Process) -> TranslatedNet:
+    """Translate *process*; raises :class:`ConformanceError` on unsupported shapes."""
+    net = PetriNet(name=process.process_id)
+    initial_tokens: dict[str, int] = {}
+
+    for flow in process.flows:
+        net.add_place(_flow_place(flow.source, flow.target))
+    for error_flow in process.error_flows:
+        net.add_place(_flow_place(error_flow.source, error_flow.target))
+    messages = {
+        e.message
+        for e in process.elements.values()
+        if e.message is not None
+    }
+    for message in messages:
+        net.add_place(_message_place(str(message)))
+
+    for element in process.elements.values():
+        _translate_element(net, process, element, initial_tokens)
+
+    return TranslatedNet(net=net, initial=Marking(initial_tokens), process=process)
+
+
+def _in_places(process: Process, element: Element) -> list[str]:
+    places = [
+        _flow_place(source, element.element_id)
+        for source in process.incoming(element.element_id)
+    ]
+    places.extend(
+        _flow_place(error_flow.source, error_flow.target)
+        for error_flow in process.error_flows
+        if error_flow.target == element.element_id
+    )
+    return places
+
+
+def _out_places(process: Process, element: Element) -> list[str]:
+    return [
+        _flow_place(element.element_id, target)
+        for target in process.outgoing(element.element_id)
+    ]
+
+
+def _translate_element(
+    net: PetriNet,
+    process: Process,
+    element: Element,
+    initial_tokens: dict[str, int],
+) -> None:
+    eid = element.element_id
+    etype = element.element_type
+    ins = _in_places(process, element)
+    outs = _out_places(process, element)
+
+    if etype is ElementType.START_EVENT:
+        for place in outs:
+            initial_tokens[place] = initial_tokens.get(place, 0) + 1
+        return
+    if etype is ElementType.MESSAGE_START_EVENT:
+        transition = net.add_transition(f"t_{eid}")
+        net.add_arc(_message_place(str(element.message)), transition.name)
+        for place in outs:
+            net.add_arc(transition.name, place)
+        return
+    if etype is ElementType.END_EVENT:
+        transition = net.add_transition(f"t_{eid}")
+        for place in ins:
+            net.add_arc(place, transition.name)
+        return
+    if etype is ElementType.MESSAGE_END_EVENT:
+        transition = net.add_transition(f"t_{eid}")
+        for place in ins:
+            net.add_arc(place, transition.name)
+        net.add_arc(transition.name, _message_place(str(element.message)))
+        return
+    if etype is ElementType.MESSAGE_THROW_EVENT:
+        transition = net.add_transition(f"t_{eid}")
+        for place in ins:
+            net.add_arc(place, transition.name)
+        for place in outs:
+            net.add_arc(transition.name, place)
+        net.add_arc(transition.name, _message_place(str(element.message)))
+        return
+    if etype is ElementType.MESSAGE_CATCH_EVENT:
+        transition = net.add_transition(f"t_{eid}")
+        for place in ins:
+            net.add_arc(place, transition.name)
+        net.add_arc(_message_place(str(element.message)), transition.name)
+        for place in outs:
+            net.add_arc(transition.name, place)
+        return
+    if etype is ElementType.TASK:
+        _translate_task(net, process, element, ins, outs)
+        return
+    if etype is ElementType.EXCLUSIVE_GATEWAY:
+        for in_index, in_place in enumerate(ins):
+            for out_index, out_place in enumerate(outs):
+                transition = net.add_transition(f"t_{eid}_{in_index}_{out_index}")
+                net.add_arc(in_place, transition.name)
+                net.add_arc(transition.name, out_place)
+        return
+    if etype is ElementType.PARALLEL_GATEWAY:
+        transition = net.add_transition(f"t_{eid}")
+        for place in ins:
+            net.add_arc(place, transition.name)
+        for place in outs:
+            net.add_arc(transition.name, place)
+        return
+    if etype is ElementType.INCLUSIVE_GATEWAY:
+        _translate_inclusive(net, element, ins, outs)
+        return
+    raise ConformanceError(f"unsupported element type {etype!r}")
+
+
+def _translate_task(
+    net: PetriNet,
+    process: Process,
+    element: Element,
+    ins: list[str],
+    outs: list[str],
+) -> None:
+    eid = element.element_id
+    label = f"{element.pool}.{eid}"
+    error_target = process.error_target(eid)
+    if error_target is None:
+        for index, in_place in enumerate(ins):
+            transition = net.add_transition(f"t_{eid}_{index}", label=label)
+            net.add_arc(in_place, transition.name)
+            for place in outs:
+                net.add_arc(transition.name, place)
+        return
+    # Task with an attached error event: run, then succeed or fail.
+    mid = net.add_place(f"p_{eid}_running")
+    for index, in_place in enumerate(ins):
+        transition = net.add_transition(f"t_{eid}_{index}", label=label)
+        net.add_arc(in_place, transition.name)
+        net.add_arc(transition.name, mid)
+    success = net.add_transition(f"t_{eid}_ok")
+    net.add_arc(mid, success.name)
+    for place in outs:
+        net.add_arc(success.name, place)
+    failure = net.add_transition(f"t_{eid}_err", label=ERROR_LABEL)
+    net.add_arc(mid, failure.name)
+    net.add_arc(failure.name, _flow_place(eid, error_target))
+
+
+def _translate_inclusive(
+    net: PetriNet, element: Element, ins: list[str], outs: list[str]
+) -> None:
+    eid = element.element_id
+    if len(outs) > 1:  # split: any non-empty subset of branches
+        for subset in _subsets(outs):
+            tag = "_".join(str(outs.index(p)) for p in subset)
+            transition = net.add_transition(f"t_{eid}_s{tag}")
+            for place in ins:
+                net.add_arc(place, transition.name)
+            for place in subset:
+                net.add_arc(transition.name, place)
+    else:  # join (or pass-through): any non-empty subset of inputs
+        for subset in _subsets(ins):
+            tag = "_".join(str(ins.index(p)) for p in subset)
+            transition = net.add_transition(f"t_{eid}_j{tag}")
+            for place in subset:
+                net.add_arc(place, transition.name)
+            for place in outs:
+                net.add_arc(transition.name, place)
+
+
+def _subsets(places: list[str]) -> list[tuple[str, ...]]:
+    result: list[tuple[str, ...]] = []
+    for size in range(1, len(places) + 1):
+        result.extend(combinations(places, size))
+    return result

@@ -1,0 +1,199 @@
+"""A Petri-net substrate for the conformance-checking baseline.
+
+Related work (Section 6) contrasts the paper's approach with process
+mining / conformance checking [13], which is "often based on Petri
+Nets".  This module implements the place/transition nets that baseline
+needs: labeled and silent transitions, multiset markings, enabledness and
+firing, plus a bounded silent-closure search used by token replay to
+enable a labeled transition through invisible steps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import PetriNetError
+
+
+class Marking:
+    """An immutable multiset of tokens over places."""
+
+    __slots__ = ("_tokens", "_hash")
+
+    def __init__(self, tokens: dict[str, int] | None = None):
+        cleaned = {p: n for p, n in (tokens or {}).items() if n > 0}
+        if any(n < 0 for n in (tokens or {}).values()):
+            raise PetriNetError("negative token counts are not allowed")
+        self._tokens = dict(sorted(cleaned.items()))
+        self._hash = hash(tuple(self._tokens.items()))
+
+    def __getitem__(self, place: str) -> int:
+        return self._tokens.get(place, 0)
+
+    def __iter__(self):
+        return iter(self._tokens.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Marking):
+            return NotImplemented
+        return self._tokens == other._tokens
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return sum(self._tokens.values())
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{p}:{n}" for p, n in self._tokens.items())
+        return "{" + inner + "}"
+
+    def add(self, places: Iterable[tuple[str, int]]) -> "Marking":
+        counter = Counter(self._tokens)
+        for place, count in places:
+            counter[place] += count
+        return Marking(dict(counter))
+
+    def remove(self, places: Iterable[tuple[str, int]]) -> "Marking":
+        counter = Counter(self._tokens)
+        for place, count in places:
+            counter[place] -= count
+        if any(n < 0 for n in counter.values()):
+            raise PetriNetError("removal would make a token count negative")
+        return Marking(dict(counter))
+
+    def covers(self, places: Iterable[tuple[str, int]]) -> bool:
+        return all(self[place] >= count for place, count in places)
+
+    def places(self) -> frozenset[str]:
+        return frozenset(self._tokens)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A Petri-net transition; ``label=None`` means silent (invisible)."""
+
+    name: str
+    label: Optional[str] = None
+
+    @property
+    def is_silent(self) -> bool:
+        return self.label is None
+
+
+@dataclass
+class PetriNet:
+    """A place/transition net with weighted arcs."""
+
+    name: str = "net"
+    places: set[str] = field(default_factory=set)
+    transitions: dict[str, Transition] = field(default_factory=dict)
+    inputs: dict[str, Counter] = field(default_factory=dict)
+    outputs: dict[str, Counter] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+    def add_place(self, place: str) -> str:
+        if not place:
+            raise PetriNetError("place names must be non-empty")
+        self.places.add(place)
+        return place
+
+    def add_transition(self, name: str, label: Optional[str] = None) -> Transition:
+        if name in self.transitions:
+            raise PetriNetError(f"duplicate transition {name!r}")
+        transition = Transition(name, label)
+        self.transitions[name] = transition
+        self.inputs[name] = Counter()
+        self.outputs[name] = Counter()
+        return transition
+
+    def add_arc(self, source: str, target: str, weight: int = 1) -> None:
+        """Arc from a place to a transition or vice versa."""
+        if weight < 1:
+            raise PetriNetError("arc weights must be positive")
+        if source in self.places and target in self.transitions:
+            self.inputs[target][source] += weight
+        elif source in self.transitions and target in self.places:
+            self.outputs[source][target] += weight
+        else:
+            raise PetriNetError(
+                f"arc must connect a place and a transition: {source!r} -> {target!r}"
+            )
+
+    # -- semantics ------------------------------------------------------------
+    def is_enabled(self, marking: Marking, transition: str) -> bool:
+        return marking.covers(self.inputs[transition].items())
+
+    def enabled_transitions(self, marking: Marking) -> list[Transition]:
+        return [
+            t
+            for name, t in self.transitions.items()
+            if self.is_enabled(marking, name)
+        ]
+
+    def fire(self, marking: Marking, transition: str) -> Marking:
+        if not self.is_enabled(marking, transition):
+            raise PetriNetError(f"transition {transition!r} is not enabled")
+        return marking.remove(self.inputs[transition].items()).add(
+            self.outputs[transition].items()
+        )
+
+    def force_fire(self, marking: Marking, transition: str) -> tuple[Marking, int]:
+        """Fire even if disabled, creating missing tokens (token replay).
+
+        Returns the new marking and how many tokens had to be created.
+        """
+        missing = 0
+        needed: list[tuple[str, int]] = []
+        for place, count in self.inputs[transition].items():
+            shortfall = count - marking[place]
+            if shortfall > 0:
+                missing += shortfall
+                needed.append((place, shortfall))
+        patched = marking.add(needed)
+        return self.fire(patched, transition), missing
+
+    def labeled(self, label: str) -> list[Transition]:
+        return [t for t in self.transitions.values() if t.label == label]
+
+    def silent_transitions(self) -> list[Transition]:
+        return [t for t in self.transitions.values() if t.is_silent]
+
+    # -- silent closure ----------------------------------------------------
+    def silent_path_to_enable(
+        self, marking: Marking, transition: str, max_depth: int = 30
+    ) -> Optional[list[str]]:
+        """A shortest sequence of silent firings enabling *transition*.
+
+        Bounded breadth-first search over markings; returns ``None`` when
+        no silent path of length <= *max_depth* works.
+        """
+        if self.is_enabled(marking, transition):
+            return []
+        silent = [t.name for t in self.silent_transitions()]
+        queue: deque[tuple[Marking, list[str]]] = deque([(marking, [])])
+        visited = {marking}
+        while queue:
+            current, path = queue.popleft()
+            if len(path) >= max_depth:
+                continue
+            for name in silent:
+                if not self.is_enabled(current, name):
+                    continue
+                following = self.fire(current, name)
+                if following in visited:
+                    continue
+                extended = path + [name]
+                if self.is_enabled(following, transition):
+                    return extended
+                visited.add(following)
+                queue.append((following, extended))
+        return None
+
+    def consumed_by(self, transition: str) -> int:
+        return sum(self.inputs[transition].values())
+
+    def produced_by(self, transition: str) -> int:
+        return sum(self.outputs[transition].values())

@@ -1,0 +1,263 @@
+"""The end-to-end purpose-control auditor.
+
+Ties the three framework components together (Section 3): for every case
+in an audit trail it resolves the claimed purpose through the process
+registry, replays the case's entries with Algorithm 1, and (optionally)
+re-evaluates each entry's implied access request against the data
+protection policy — the complementary preventive check Section 3.5 calls
+for, since Algorithm 1 deliberately allows any action inside an active
+task.
+
+Two properties of the paper's Section 7 are visible in the API:
+
+* **object independence** — :meth:`PurposeControlAuditor.audit_object`
+  audits the *cases* that touched an object; a case verdict is computed
+  once and reused for every object, because Algorithm 1 does not depend
+  on the object under investigation;
+* **per-case independence** — cases are audited in isolation, so callers
+  can parallelize freely (benchmark E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+from typing import Optional
+
+from repro.audit.model import AuditTrail, LogEntry
+from repro.core.compliance import ComplianceChecker, ComplianceResult
+from repro.core.severity import SeverityAssessment, SeverityModel
+from repro.core.temporal import TemporalConstraints
+from repro.errors import UnknownPurposeError
+from repro.policy.engine import PolicyDecisionPoint
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import ObjectRef
+from repro.policy.registry import ProcessRegistry
+
+
+class InfringementKind(Enum):
+    """Why an audited case raised a flag."""
+
+    #: The case's trail is not a valid execution of the claimed purpose's
+    #: process — the re-purposing detection of Section 4.
+    INVALID_EXECUTION = "invalid-execution"
+    #: An entry's implied access request is denied by the policy (Def. 3).
+    UNAUTHORIZED_ACCESS = "unauthorized-access"
+    #: The case id does not resolve to any registered purpose.
+    UNKNOWN_PURPOSE = "unknown-purpose"
+    #: A temporal constraint of the purpose was violated (Section 4's
+    #: maximum-duration remark; see :mod:`repro.core.temporal`).
+    TEMPORAL_VIOLATION = "temporal-violation"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Infringement:
+    """One detected privacy infringement."""
+
+    kind: InfringementKind
+    case: str
+    detail: str
+    entry: Optional[LogEntry] = None
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] case {self.case}: {self.detail}"
+
+
+@dataclass
+class CaseAuditResult:
+    """The audit outcome for one process instance."""
+
+    case: str
+    purpose: Optional[str]
+    replay: Optional[ComplianceResult]
+    infringements: list[Infringement] = field(default_factory=list)
+    severity: Optional[SeverityAssessment] = None
+
+    @property
+    def compliant(self) -> bool:
+        return not self.infringements
+
+    @property
+    def open(self) -> bool:
+        """Whether the case may legitimately continue (a valid prefix)."""
+        return bool(self.replay and self.replay.compliant and self.replay.may_continue)
+
+
+@dataclass
+class AuditReport:
+    """The audit outcome for a whole trail."""
+
+    cases: dict[str, CaseAuditResult] = field(default_factory=dict)
+
+    @property
+    def infringements(self) -> list[Infringement]:
+        found: list[Infringement] = []
+        for result in self.cases.values():
+            found.extend(result.infringements)
+        return found
+
+    @property
+    def compliant(self) -> bool:
+        return not self.infringements
+
+    @property
+    def infringing_cases(self) -> list[str]:
+        return [case for case, result in self.cases.items() if not result.compliant]
+
+    def summary(self) -> str:
+        lines = [
+            f"audited {len(self.cases)} case(s); "
+            f"{len(self.infringing_cases)} with infringements"
+        ]
+        for case, result in self.cases.items():
+            status = "OK" if result.compliant else "INFRINGEMENT"
+            severity = (
+                f" severity={result.severity.score:.1f}" if result.severity else ""
+            )
+            lines.append(f"  {case} [{result.purpose}]: {status}{severity}")
+            for infringement in result.infringements:
+                lines.append(f"    - {infringement.kind}: {infringement.detail}")
+        return "\n".join(lines)
+
+
+class PurposeControlAuditor:
+    """Audits trails for compliance with purpose specifications."""
+
+    def __init__(
+        self,
+        registry: ProcessRegistry,
+        hierarchy: RoleHierarchy | None = None,
+        pdp: PolicyDecisionPoint | None = None,
+        severity_model: SeverityModel | None = None,
+        max_silent_states: int = 50_000,
+        temporal: "dict[str, TemporalConstraints] | None" = None,
+        now: "datetime | None" = None,
+    ):
+        """``temporal`` maps purpose names to their temporal constraints;
+        ``now`` is the audit time used to time out still-open cases
+        (defaults to never timing out open cases)."""
+        self._registry = registry
+        self._hierarchy = hierarchy
+        self._pdp = pdp
+        self._severity = severity_model
+        self._max_silent_states = max_silent_states
+        self._temporal = dict(temporal or {})
+        self._now = now
+        self._checkers: dict[str, ComplianceChecker] = {}
+
+    # -- checker cache -----------------------------------------------------
+    def checker_for(self, purpose: str) -> ComplianceChecker:
+        """The (shared, WeakNext-cached) checker of one purpose's process."""
+        checker = self._checkers.get(purpose)
+        if checker is None:
+            checker = ComplianceChecker(
+                self._registry.encoded_for(purpose),
+                hierarchy=self._hierarchy,
+                max_silent_states=self._max_silent_states,
+            )
+            self._checkers[purpose] = checker
+        return checker
+
+    # -- auditing ------------------------------------------------------------
+    def audit_case(self, case: str, case_trail: AuditTrail) -> CaseAuditResult:
+        """Audit one process instance (Algorithm 1 plus the policy check)."""
+        try:
+            purpose = self._registry.purpose_of_case(case)
+        except UnknownPurposeError as error:
+            return CaseAuditResult(
+                case=case,
+                purpose=None,
+                replay=None,
+                infringements=[
+                    Infringement(InfringementKind.UNKNOWN_PURPOSE, case, str(error))
+                ],
+            )
+
+        infringements: list[Infringement] = []
+        if self._pdp is not None:
+            infringements.extend(self._policy_infringements(case, case_trail))
+
+        replay = self.checker_for(purpose).check(case_trail)
+        if not replay.compliant:
+            entry = replay.failed_entry
+            detail = (
+                f"trail is not a valid execution of the {purpose!r} process; "
+                f"entry {replay.failed_index} "
+                f"({entry.role}.{entry.task} [{entry.status}]) cannot be simulated"
+                if entry is not None
+                else f"trail is not a valid execution of the {purpose!r} process"
+            )
+            infringements.append(
+                Infringement(
+                    InfringementKind.INVALID_EXECUTION, case, detail, entry
+                )
+            )
+
+        constraints = self._temporal.get(purpose)
+        if constraints is not None:
+            case_open = replay.compliant and replay.may_continue
+            for violation in constraints.check(
+                case, case_trail, now=self._now, case_open=case_open
+            ):
+                infringements.append(
+                    Infringement(
+                        InfringementKind.TEMPORAL_VIOLATION,
+                        case,
+                        violation.detail,
+                        violation.entry,
+                    )
+                )
+
+        result = CaseAuditResult(
+            case=case, purpose=purpose, replay=replay, infringements=infringements
+        )
+        if self._severity is not None and infringements:
+            result.severity = self._severity.assess(result)
+        return result
+
+    def audit(self, trail: AuditTrail) -> AuditReport:
+        """Audit every case appearing in *trail*."""
+        report = AuditReport()
+        for case in trail.cases():
+            report.cases[case] = self.audit_case(case, trail.for_case(case))
+        return report
+
+    def audit_object(self, trail: AuditTrail, obj: ObjectRef) -> AuditReport:
+        """Audit every case in which *obj* (or a descendant) was accessed.
+
+        The replay itself is object-independent: if several objects map
+        to the same case, the case is audited once (the checker's caches
+        make even repeated calls cheap) — Section 7's first scalability
+        argument.
+        """
+        report = AuditReport()
+        for case in trail.cases_touching(obj):
+            report.cases[case] = self.audit_case(case, trail.for_case(case))
+        return report
+
+    # -- the preventive complement ----------------------------------------
+    def _policy_infringements(
+        self, case: str, case_trail: AuditTrail
+    ) -> list[Infringement]:
+        assert self._pdp is not None
+        found: list[Infringement] = []
+        for entry in case_trail:
+            request = entry.as_access_request()
+            if request is None:
+                continue  # object-less events (e.g. a cancel) need no permit
+            decision = self._pdp.evaluate(request)
+            if not decision.permit:
+                found.append(
+                    Infringement(
+                        InfringementKind.UNAUTHORIZED_ACCESS,
+                        case,
+                        f"{entry.user} {entry.action} {entry.obj} in task "
+                        f"{entry.task}: {decision.reason}",
+                        entry,
+                    )
+                )
+        return found

@@ -1,0 +1,60 @@
+"""Configurations — Definition 6 of the paper.
+
+A configuration is a triple ``(state, active_tasks, next)``:
+
+* ``state`` — the current COWS state (canonical form);
+* ``active`` — the ``(role, task)`` pairs active in that state;
+* ``next`` — the WeakNext frontier: the observable events executable
+  from the state, each with its target state and active-task set.
+
+Identity (equality/hashing) is by ``(state, active)`` only: ``next`` is
+derived data, and deduplicating configurations on the semantic pair keeps
+the frontier of Algorithm 1 small (design decision D2 of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.weaknext import NextState, WeakNextEngine, state_active_tasks
+from repro.cows.terms import Term
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One point of Algorithm 1's frontier (Definition 6)."""
+
+    state: Term
+    active: frozenset[tuple[str, str]]
+    next: tuple[NextState, ...] = field(compare=False)
+
+    @classmethod
+    def initial(cls, engine: WeakNextEngine, state: Term) -> "Configuration":
+        """The starting configuration of a replay.
+
+        A BPMN process is always triggered by a start event, so the
+        initial active-task set is empty (Section 4) — asserted here as a
+        sanity check on the encoding.
+        """
+        canonical = engine.normalize(state)
+        active = state_active_tasks(canonical)
+        return cls(
+            state=canonical, active=active, next=engine.weak_next(canonical)
+        )
+
+    @classmethod
+    def reached(
+        cls, engine: WeakNextEngine, successor: NextState
+    ) -> "Configuration":
+        """The configuration created by taking one WeakNext transition."""
+        _, state, active = successor
+        return cls(state=state, active=active, next=engine.weak_next(state))
+
+    def describe(self) -> str:
+        """A Fig. 6 style rendering: the active-task set of the state."""
+        if not self.active:
+            return "(empty)"
+        inner = ", ".join(
+            f"{role}.{task}" for role, task in sorted(self.active)
+        )
+        return "{" + inner + "}"

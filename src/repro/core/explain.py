@@ -1,0 +1,231 @@
+"""Infringement explanation: *why* did the replay reject an entry?
+
+Algorithm 1 answers "is this trail a valid execution?" with a boolean
+and the failing entry.  A human auditor needs more: what the process
+*would* have allowed at that point, and what kind of deviation this
+looks like.  :func:`explain` post-processes a failed
+:class:`~repro.core.compliance.ComplianceResult` into a diagnosis:
+
+* the **expected events** — the observable labels the surviving
+  configurations offered when the entry arrived;
+* a **deviation class**:
+
+  - ``WRONG_START`` — the case's very first entry is not a possible
+    start of the process (the re-purposing signature of Fig. 4);
+  - ``SKIPPED_TASKS`` — the rejected task *is* reachable within a few
+    observable steps: someone jumped ahead (with the tasks skipped
+    over);
+  - ``WRONG_ROLE`` — the task was expected, but from a different pool
+    role than the entry's;
+  - ``WRONG_STATUS`` — a failure entry arrived where only task labels
+    were possible (or vice versa);
+  - ``ALIEN_TASK`` — the task does not occur in the process at all;
+  - ``NOT_REACHABLE`` — the task exists but is not reachable from here
+    within the search horizon (out-of-order or repeated work).
+
+The CLI's ``check --verbose`` and the auditor surface these diagnoses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.audit.model import LogEntry
+from repro.core.compliance import ComplianceChecker, ComplianceResult
+from repro.core.configuration import Configuration
+from repro.core.observables import ErrorEvent, ObservableEvent, TaskEvent
+
+
+class DeviationKind(Enum):
+    WRONG_START = "wrong-start"
+    SKIPPED_TASKS = "skipped-tasks"
+    WRONG_ROLE = "wrong-role"
+    WRONG_STATUS = "wrong-status"
+    ALIEN_TASK = "alien-task"
+    NOT_REACHABLE = "not-reachable"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The diagnosis of one rejected entry."""
+
+    entry: LogEntry
+    entry_index: int
+    kind: DeviationKind
+    expected: tuple[str, ...]  # observable events offered at the failure point
+    skipped: tuple[str, ...] = ()  # tasks jumped over (SKIPPED_TASKS only)
+    detail: str = ""
+
+    def __str__(self) -> str:
+        parts = [
+            f"entry {self.entry_index} ({self.entry.role}.{self.entry.task}) "
+            f"rejected: {self.kind}"
+        ]
+        if self.detail:
+            parts.append(self.detail)
+        if self.expected:
+            parts.append(f"expected one of: {', '.join(self.expected)}")
+        if self.skipped:
+            parts.append(f"skipped over: {', '.join(self.skipped)}")
+        return "; ".join(parts)
+
+
+def _format_event(event: ObservableEvent) -> str:
+    return str(event)
+
+
+def explain(
+    checker: ComplianceChecker,
+    entries: list[LogEntry],
+    result: ComplianceResult,
+    search_depth: int = 4,
+) -> Optional[Explanation]:
+    """Diagnose the failure recorded in *result* (None if compliant).
+
+    *entries* must be the same sequence the result was computed from.
+    """
+    if result.compliant or result.failed_index is None:
+        return None
+    index = result.failed_index
+    entry = entries[index]
+
+    # Re-run the accepted prefix to recover the frontier at the failure.
+    session = checker.session()
+    for accepted in entries[:index]:
+        session.feed(accepted)
+    frontier = session.frontier
+
+    expected_events: list[ObservableEvent] = []
+    seen: set[ObservableEvent] = set()
+    for conf in frontier:
+        for event, _, _ in conf.next:
+            if event not in seen:
+                seen.add(event)
+                expected_events.append(event)
+    expected = tuple(_format_event(e) for e in expected_events)
+
+    observables = checker.engine.observables
+    kind, skipped, detail = _classify(
+        checker, frontier, entry, expected_events, index, search_depth
+    )
+    return Explanation(
+        entry=entry,
+        entry_index=index,
+        kind=kind,
+        expected=expected,
+        skipped=skipped,
+        detail=detail,
+    )
+
+
+def _classify(
+    checker: ComplianceChecker,
+    frontier: tuple[Configuration, ...],
+    entry: LogEntry,
+    expected: list[ObservableEvent],
+    index: int,
+    search_depth: int,
+) -> tuple[DeviationKind, tuple[str, ...], str]:
+    observables = checker.engine.observables
+    task_known = entry.task in checker.encoded.tasks
+
+    if not task_known:
+        return (
+            DeviationKind.ALIEN_TASK,
+            (),
+            f"task {entry.task!r} does not belong to the "
+            f"{checker.purpose!r} process",
+        )
+
+    if entry.failed:
+        return (
+            DeviationKind.WRONG_STATUS,
+            (),
+            "a failure was logged but no error event is reachable here",
+        )
+
+    # Same task offered by a different role?
+    for event in expected:
+        if isinstance(event, TaskEvent) and event.task == entry.task:
+            if not observables.role_matches(entry.role, event.role):
+                return (
+                    DeviationKind.WRONG_ROLE,
+                    (),
+                    f"task {entry.task} is expected from role "
+                    f"{event.role}, not {entry.role}",
+                )
+            return (
+                DeviationKind.WRONG_STATUS,
+                (),
+                f"task {entry.task} is expected but only as "
+                f"{'a success' if entry.failed else 'another status'}",
+            )
+
+    # Look ahead: is the task reachable within a few observable steps?
+    path = _search_forward(checker, frontier, entry, search_depth)
+    if path is not None:
+        if index == 0 and path:
+            # The very first entry needed earlier work: a fabricated case.
+            return (
+                DeviationKind.WRONG_START,
+                tuple(path),
+                "the case skips the start of the process entirely",
+            )
+        return (
+            DeviationKind.SKIPPED_TASKS,
+            tuple(path),
+            "the entry jumps ahead of unperformed work",
+        )
+    if index == 0:
+        return (
+            DeviationKind.WRONG_START,
+            (),
+            "the process cannot start with this activity",
+        )
+    return (
+        DeviationKind.NOT_REACHABLE,
+        (),
+        f"task {entry.task} is not reachable from the current state "
+        f"within {search_depth} steps (out of order or repeated work)",
+    )
+
+
+def _search_forward(
+    checker: ComplianceChecker,
+    frontier: tuple[Configuration, ...],
+    entry: LogEntry,
+    depth: int,
+) -> Optional[list[str]]:
+    """BFS over observable steps: the shortest event path after which the
+    entry's task becomes executable; None if not found within *depth*."""
+    observables = checker.engine.observables
+    engine = checker.engine
+    queue: list[tuple[Configuration, list[str]]] = [(c, []) for c in frontier]
+    visited = {(c.state, c.active) for c in frontier}
+    for _ in range(depth):
+        next_queue: list[tuple[Configuration, list[str]]] = []
+        for conf, path in queue:
+            for successor in conf.next:
+                event = successor[0]
+                if (
+                    isinstance(event, TaskEvent)
+                    and event.task == entry.task
+                    and observables.role_matches(entry.role, event.role)
+                ):
+                    return path
+                if isinstance(event, ErrorEvent):
+                    continue  # don't explain through hypothetical failures
+                reached = Configuration.reached(engine, successor)
+                key = (reached.state, reached.active)
+                if key not in visited:
+                    visited.add(key)
+                    next_queue.append((reached, path + [str(event)]))
+        queue = next_queue
+        if not queue:
+            break
+    return None

@@ -1,0 +1,195 @@
+"""Online purpose-control monitoring.
+
+Section 4: "the analysis of the audit trail may lead the computation to
+a state for which further activities are still possible.  In this case
+the analysis should be resumed when new actions within the process
+instance are recorded."  The :class:`OnlineMonitor` is that resumable
+mode as a streaming component: log entries are observed one by one (as a
+log shipper would deliver them), each case keeps its incremental
+:class:`~repro.core.compliance.ComplianceSession`, and infringements are
+raised the moment the offending entry arrives — not at the next batch
+audit.
+
+Temporal constraints (:mod:`repro.core.temporal`) integrate through
+:meth:`OnlineMonitor.sweep`: invoked periodically with the current time,
+it times out open cases that exceeded their duration or inactivity
+budget — turning the paper's "maximum duration" remark into an
+operational check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+from typing import Optional
+
+from repro.audit.model import LogEntry
+from repro.core.auditor import Infringement, InfringementKind
+from repro.core.compliance import ComplianceChecker, ComplianceSession
+from repro.core.temporal import TemporalConstraints, TemporalViolation
+from repro.errors import UnknownPurposeError
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.registry import ProcessRegistry
+
+
+class CaseState(Enum):
+    """The monitor's view of one process instance."""
+
+    OPEN = "open"  # compliant so far, more activity possible
+    COMPLETED = "completed"  # compliant and no further activity possible
+    INFRINGING = "infringing"  # an entry could not be simulated
+    TIMED_OUT = "timed-out"  # a temporal constraint fired
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class MonitoredCase:
+    """Book-keeping for one case under observation."""
+
+    case: str
+    purpose: Optional[str]
+    session: Optional[ComplianceSession]
+    state: CaseState = CaseState.OPEN
+    entries: list[LogEntry] = field(default_factory=list)
+    first_seen: Optional[datetime] = None
+    last_seen: Optional[datetime] = None
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.entries)
+
+
+class OnlineMonitor:
+    """Streaming Algorithm 1 over every case of an organization's logs."""
+
+    def __init__(
+        self,
+        registry: ProcessRegistry,
+        hierarchy: RoleHierarchy | None = None,
+        temporal: dict[str, TemporalConstraints] | None = None,
+    ):
+        """``temporal`` maps purpose names to their temporal constraints."""
+        self._registry = registry
+        self._hierarchy = hierarchy
+        self._temporal = dict(temporal or {})
+        self._checkers: dict[str, ComplianceChecker] = {}
+        self._cases: dict[str, MonitoredCase] = {}
+        self._infringements: list[Infringement] = []
+
+    # -- internals --------------------------------------------------------
+    def _checker_for(self, purpose: str) -> ComplianceChecker:
+        checker = self._checkers.get(purpose)
+        if checker is None:
+            checker = ComplianceChecker(
+                self._registry.encoded_for(purpose), hierarchy=self._hierarchy
+            )
+            self._checkers[purpose] = checker
+        return checker
+
+    def _open_case(self, case: str) -> MonitoredCase:
+        try:
+            purpose = self._registry.purpose_of_case(case)
+        except UnknownPurposeError as error:
+            monitored = MonitoredCase(case, None, None, CaseState.INFRINGING)
+            self._cases[case] = monitored
+            self._infringements.append(
+                Infringement(InfringementKind.UNKNOWN_PURPOSE, case, str(error))
+            )
+            return monitored
+        session = self._checker_for(purpose).session()
+        monitored = MonitoredCase(case, purpose, session)
+        self._cases[case] = monitored
+        return monitored
+
+    # -- the streaming API -----------------------------------------------
+    def observe(self, entry: LogEntry) -> list[Infringement]:
+        """Feed one log entry; returns the infringements it triggered."""
+        monitored = self._cases.get(entry.case)
+        raised: list[Infringement] = []
+        if monitored is None:
+            monitored = self._open_case(entry.case)
+            if monitored.purpose is None:
+                monitored.entries.append(entry)
+                return [self._infringements[-1]]
+        monitored.entries.append(entry)
+        monitored.first_seen = monitored.first_seen or entry.timestamp
+        monitored.last_seen = entry.timestamp
+
+        if monitored.state in (CaseState.INFRINGING, CaseState.TIMED_OUT):
+            return []  # already reported; don't spam per entry
+        assert monitored.session is not None
+        still_ok = monitored.session.feed(entry)
+        if not still_ok:
+            monitored.state = CaseState.INFRINGING
+            infringement = Infringement(
+                InfringementKind.INVALID_EXECUTION,
+                entry.case,
+                f"entry for task {entry.task} by {entry.user} "
+                f"({entry.role}) is not part of a valid "
+                f"{monitored.purpose!r} execution",
+                entry,
+            )
+            self._infringements.append(infringement)
+            raised.append(infringement)
+        elif not any(conf.next for conf in monitored.session.frontier):
+            monitored.state = CaseState.COMPLETED
+        else:
+            monitored.state = CaseState.OPEN
+        return raised
+
+    def sweep(self, now: datetime) -> list[TemporalViolation]:
+        """Time out open cases against their purpose's temporal policy.
+
+        Call periodically (e.g. from a scheduler).  A case flagged here
+        transitions to TIMED_OUT and is reported once.
+        """
+        raised: list[TemporalViolation] = []
+        for monitored in self._cases.values():
+            if monitored.state is not CaseState.OPEN or monitored.purpose is None:
+                continue
+            constraints = self._temporal.get(monitored.purpose)
+            if constraints is None:
+                continue
+            from repro.audit.model import AuditTrail
+
+            violations = constraints.check(
+                monitored.case,
+                AuditTrail(monitored.entries),
+                now=now,
+                case_open=True,
+            )
+            if violations:
+                monitored.state = CaseState.TIMED_OUT
+                raised.extend(violations)
+        return raised
+
+    # -- inspection ---------------------------------------------------------
+    def case_state(self, case: str) -> Optional[CaseState]:
+        monitored = self._cases.get(case)
+        return monitored.state if monitored else None
+
+    def open_cases(self) -> list[str]:
+        return [
+            c for c, m in self._cases.items() if m.state is CaseState.OPEN
+        ]
+
+    def infringing_cases(self) -> list[str]:
+        return [
+            c
+            for c, m in self._cases.items()
+            if m.state in (CaseState.INFRINGING, CaseState.TIMED_OUT)
+        ]
+
+    @property
+    def infringements(self) -> list[Infringement]:
+        return list(self._infringements)
+
+    def statistics(self) -> dict[str, int]:
+        counts = {state.value: 0 for state in CaseState}
+        for monitored in self._cases.values():
+            counts[monitored.state.value] += 1
+        counts["entries"] = sum(m.entry_count for m in self._cases.values())
+        return counts

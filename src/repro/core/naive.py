@@ -1,0 +1,156 @@
+"""The naive purpose-control baseline the paper's introduction dismisses.
+
+Section 1: "A naive approach for purpose control would be to generate
+the transition system of the COWS process model and then verify if the
+audit trail corresponds to a valid trace of the transition system.
+Unfortunately, the number of possible traces can be infinite, for
+instance when the process has a loop, making this approach not
+feasible."
+
+This module implements exactly that approach so benchmark E8 can measure
+the blow-up: it *enumerates* the observable traces of the process (each
+trace annotated with the active-task sets along the way, so the 1-to-n
+task/entry absorption works the same as in Algorithm 1) up to a depth and
+count budget, then checks the trail against every enumerated trace
+independently.
+
+On loop-free processes it agrees with Algorithm 1 (the property tests of
+E14 assert this).  On processes with cycles it must truncate, and honest
+truncation yields the verdict ``UNDETERMINED`` — the infeasibility the
+paper points out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+from repro.audit.model import AuditTrail, LogEntry
+from repro.bpmn.encode import EncodedProcess
+from repro.core.configuration import Configuration
+from repro.core.observables import Observables, ObservableEvent
+from repro.core.weaknext import WeakNextEngine
+from repro.policy.hierarchy import RoleHierarchy
+
+#: One enumerated observable step: the event plus the active tasks after it.
+TraceStep = tuple[ObservableEvent, frozenset[tuple[str, str]]]
+
+#: A fully enumerated observable trace.
+ObservableTrace = tuple[TraceStep, ...]
+
+
+class Verdict(Enum):
+    COMPLIANT = "compliant"
+    NON_COMPLIANT = "non-compliant"
+    #: The enumeration budget was exhausted before an accepting trace was
+    #: found — the naive method cannot decide (loops!).
+    UNDETERMINED = "undetermined"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class NaiveResult:
+    verdict: Verdict
+    traces_enumerated: int
+    truncated: bool
+
+    @property
+    def compliant(self) -> bool:
+        return self.verdict is Verdict.COMPLIANT
+
+
+class NaiveChecker:
+    """Trace-enumeration compliance checking (the infeasible baseline)."""
+
+    def __init__(
+        self,
+        encoded: EncodedProcess,
+        hierarchy: RoleHierarchy | None = None,
+        max_traces: int = 200_000,
+        max_silent_states: int = 50_000,
+    ):
+        self._observables = Observables.from_encoded(encoded, hierarchy)
+        self._engine = WeakNextEngine(
+            self._observables, max_silent_states=max_silent_states
+        )
+        self._initial = Configuration.initial(self._engine, encoded.term)
+        self._max_traces = max_traces
+
+    # -- enumeration -----------------------------------------------------
+    def enumerate_traces(
+        self, max_depth: int, max_traces: int | None = None
+    ) -> Iterator[ObservableTrace]:
+        """Depth-first enumeration of observable traces up to *max_depth*.
+
+        Every prefix boundary is emitted as its own trace when the state
+        deadlocks or the depth budget runs out; intermediate prefixes are
+        *not* emitted separately (the matcher accepts mid-trace success).
+        """
+        budget = self._max_traces if max_traces is None else max_traces
+        emitted = 0
+        stack: list[tuple[Configuration, ObservableTrace, int]] = [
+            (self._initial, (), 0)
+        ]
+        while stack:
+            conf, trace, depth = stack.pop()
+            if depth >= max_depth or not conf.next:
+                yield trace
+                emitted += 1
+                if emitted >= budget:
+                    return
+                continue
+            for successor in conf.next:
+                event, _, active = successor
+                reached = Configuration.reached(self._engine, successor)
+                stack.append((reached, trace + ((event, active),), depth + 1))
+
+    def count_traces(self, max_depth: int) -> tuple[int, bool]:
+        """How many observable traces exist up to *max_depth* (count, truncated)."""
+        count = 0
+        for _ in self.enumerate_traces(max_depth):
+            count += 1
+        return count, count >= self._max_traces
+
+    # -- checking ------------------------------------------------------------
+    def check(
+        self, trail: AuditTrail | Iterable[LogEntry], depth_margin: int = 2
+    ) -> NaiveResult:
+        """Check *trail* by matching it against every enumerated trace.
+
+        The depth bound is ``len(trail) + depth_margin``: absorption can
+        only shrink the number of observable steps a trail needs, so any
+        accepting trace has at most one observable per entry; the margin
+        covers trailing silent-to-observable slack conservatively.
+        """
+        entries = list(trail)
+        max_depth = len(entries) + depth_margin
+        enumerated = 0
+        truncated = False
+        for trace in self.enumerate_traces(max_depth):
+            enumerated += 1
+            if self._accepts(trace, entries):
+                return NaiveResult(Verdict.COMPLIANT, enumerated, truncated)
+        if enumerated >= self._max_traces:
+            truncated = True
+        verdict = Verdict.UNDETERMINED if truncated else Verdict.NON_COMPLIANT
+        return NaiveResult(verdict, enumerated, truncated)
+
+    def _accepts(self, trace: ObservableTrace, entries: list[LogEntry]) -> bool:
+        """Match a trail against one linear trace (with task absorption)."""
+        observables = self._observables
+        position = 0
+        active: frozenset[tuple[str, str]] = frozenset()
+        for entry in entries:
+            if entry.succeeded and observables.entry_task_active(active, entry):
+                continue  # absorbed by the currently active task
+            if position >= len(trace):
+                return False
+            event, next_active = trace[position]
+            if not observables.event_matches_entry(event, entry):
+                return False
+            active = next_active
+            position += 1
+        return True

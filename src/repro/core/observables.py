@@ -1,0 +1,128 @@
+"""The observable label set L of Section 3.5.
+
+Audit trails record less than the COWS transition system produces: only
+task executions and error events are IT-observable.  Formally::
+
+    L = { r . q | r in R and q in Q }  union  { sys . Err }
+
+This module classifies raw COWS labels into observable events
+(:class:`TaskEvent`, :class:`ErrorEvent`) or silence, and matches
+observable events against log entries — including the role-hierarchy
+generalization of Algorithm 1, line 5 (an entry by a Cardiologist matches
+a label of the Physician pool when Cardiologist specializes Physician).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.audit.model import LogEntry
+from repro.bpmn.encode import ERROR_OPERATION, EncodedProcess
+from repro.cows.labels import CommLabel, Label
+from repro.policy.hierarchy import RoleHierarchy
+
+
+@dataclass(frozen=True, slots=True)
+class TaskEvent:
+    """The observable execution of task *task* by pool role *role* (``r . q``)."""
+
+    role: str
+    task: str
+
+    def __str__(self) -> str:
+        return f"{self.role}.{self.task}"
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorEvent:
+    """The observable error label ``sys . Err``."""
+
+    def __str__(self) -> str:
+        return f"sys.{ERROR_OPERATION}"
+
+
+ObservableEvent = Union[TaskEvent, ErrorEvent]
+
+
+class Observables:
+    """The observable vocabulary of one encoded process."""
+
+    def __init__(
+        self,
+        roles: frozenset[str],
+        tasks: frozenset[str],
+        hierarchy: RoleHierarchy | None = None,
+        silent_tasks: frozenset[str] = frozenset(),
+    ):
+        """``silent_tasks`` declares tasks that the IT systems cannot log
+        (Section 7's "silent activities": a physician discussing patient
+        data over the phone).  Their execution is treated as unobservable,
+        so WeakNext steps over them and Algorithm 1 accepts trails in
+        which they leave no entries."""
+        self.roles = roles
+        self.tasks = tasks
+        self.hierarchy = hierarchy or RoleHierarchy()
+        self.silent_tasks = frozenset(silent_tasks)
+
+    @classmethod
+    def from_encoded(
+        cls,
+        encoded: EncodedProcess,
+        hierarchy: RoleHierarchy | None = None,
+        silent_tasks: frozenset[str] = frozenset(),
+    ) -> "Observables":
+        unknown = set(silent_tasks) - set(encoded.tasks)
+        if unknown:
+            raise ValueError(
+                f"silent tasks {sorted(unknown)} do not exist in the process"
+            )
+        return cls(encoded.roles, encoded.tasks, hierarchy, silent_tasks)
+
+    def classify(self, label: Label) -> Optional[ObservableEvent]:
+        """The observable event *label* denotes, or ``None`` if silent."""
+        if not isinstance(label, CommLabel):
+            return None
+        partner = label.endpoint.partner.value
+        operation = label.endpoint.operation.value
+        if operation == ERROR_OPERATION:
+            return ErrorEvent()
+        if (
+            partner in self.roles
+            and operation in self.tasks
+            and operation not in self.silent_tasks
+        ):
+            return TaskEvent(partner, operation)
+        return None
+
+    def is_observable(self, label: Label) -> bool:
+        return self.classify(label) is not None
+
+    # -- matching against log entries -----------------------------------
+    def role_matches(self, entry_role: str, pool_role: str) -> bool:
+        """Whether the entry's role specializes the pool's role (line 5)."""
+        return self.hierarchy.is_specialization_of(entry_role, pool_role)
+
+    def event_matches_entry(self, event: ObservableEvent, entry: LogEntry) -> bool:
+        """Algorithm 1, line 10: does taking *event* simulate *entry*?
+
+        A task label matches a *successful* entry for the same task by a
+        role specializing the pool role; the error label matches any
+        *failed* entry.
+        """
+        if isinstance(event, ErrorEvent):
+            return entry.failed
+        return (
+            entry.succeeded
+            and event.task == entry.task
+            and self.role_matches(entry.role, event.role)
+        )
+
+    def entry_task_active(
+        self, active: frozenset[tuple[str, str]], entry: LogEntry
+    ) -> bool:
+        """Algorithm 1, line 8: is the entry's task among the active ones?"""
+        return any(
+            task == entry.task and self.role_matches(entry.role, role)
+            for role, task in active
+        )

@@ -1,0 +1,139 @@
+"""Infringement-severity metrics (the paper's future work, Section 7).
+
+The conclusion of the paper proposes "metrics for measuring the severity
+of privacy infringements" to narrow down which detected deviations an
+auditor should investigate first.  This module implements a transparent,
+deterministic scoring model over the evidence Algorithm 1 already
+produces:
+
+========================  =====================================================
+factor                    meaning
+========================  =====================================================
+``progress``              fraction of the trail replayed before failure — a
+                          case rejected at entry 0 (a fabricated case) is more
+                          suspicious than one failing at the last step
+``rejected_entries``      how many entries could not be simulated
+``sensitivity``           the most sensitive object touched by rejected
+                          entries, from a configurable path-prefix weight map
+``cross_purpose``         whether a rejected entry's task belongs to a
+                          *different* registered process — direct evidence of
+                          re-purposing (the clinical-trial attack of Fig. 4)
+========================  =====================================================
+
+``score`` combines the factors into [0, 10]::
+
+    score = 4 * (1 - progress)
+          + 2 * min(rejected_entries, 5) / 5
+          + 3 * sensitivity
+          + 1 * cross_purpose
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.audit.model import LogEntry
+from repro.policy.registry import ProcessRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.auditor import CaseAuditResult
+
+#: Default object-sensitivity weights by leading path components.
+DEFAULT_SENSITIVITY: dict[tuple[str, ...], float] = {
+    ("EPR", "Clinical"): 1.0,
+    ("EPR", "Demographics"): 0.6,
+    ("EPR",): 0.8,
+}
+
+
+@dataclass(frozen=True)
+class SeverityAssessment:
+    """The severity of one infringing case."""
+
+    score: float
+    progress: float
+    rejected_entries: int
+    sensitivity: float
+    cross_purpose: bool
+
+    def __str__(self) -> str:
+        return (
+            f"severity {self.score:.1f}/10 "
+            f"(progress={self.progress:.0%}, rejected={self.rejected_entries}, "
+            f"sensitivity={self.sensitivity:.1f}, cross_purpose={self.cross_purpose})"
+        )
+
+
+class SeverityModel:
+    """Scores infringing cases; see the module docstring for the formula."""
+
+    def __init__(
+        self,
+        registry: Optional[ProcessRegistry] = None,
+        sensitivity: Optional[Mapping[tuple[str, ...], float]] = None,
+    ):
+        self._registry = registry
+        self._sensitivity = dict(
+            DEFAULT_SENSITIVITY if sensitivity is None else sensitivity
+        )
+
+    def object_sensitivity(self, entry: LogEntry) -> float:
+        """The sensitivity weight of the entry's object (0 if object-less)."""
+        if entry.obj is None:
+            return 0.0
+        best = 0.0
+        path = entry.obj.path
+        for prefix, weight in self._sensitivity.items():
+            if path[: len(prefix)] == prefix and weight > best:
+                best = weight
+        return best
+
+    def is_cross_purpose(self, entry: LogEntry, claimed_purpose: str) -> bool:
+        """Whether the entry's task belongs to another registered process."""
+        if self._registry is None:
+            return False
+        for purpose in self._registry.purposes():
+            if purpose == claimed_purpose:
+                continue
+            if self._registry.task_in_purpose(entry.task, purpose):
+                return True
+        return False
+
+    def assess(self, case_result: "CaseAuditResult") -> SeverityAssessment:
+        """Score an audited case (meaningful for infringing cases)."""
+        replay = case_result.replay
+        if replay is None or replay.trail_length == 0:
+            return SeverityAssessment(
+                score=10.0,
+                progress=0.0,
+                rejected_entries=0,
+                sensitivity=1.0,
+                cross_purpose=False,
+            )
+        progress = replay.accepted_prefix_length / replay.trail_length
+        rejected = replay.trail_length - replay.accepted_prefix_length
+        rejected_entries = [
+            step.entry
+            for step in replay.steps[replay.accepted_prefix_length :]
+        ]
+        sensitivity = max(
+            (self.object_sensitivity(e) for e in rejected_entries), default=0.0
+        )
+        claimed = case_result.purpose or ""
+        cross = any(
+            self.is_cross_purpose(e, claimed) for e in rejected_entries
+        )
+        score = (
+            4.0 * (1.0 - progress)
+            + 2.0 * min(rejected, 5) / 5.0
+            + 3.0 * sensitivity
+            + (1.0 if cross else 0.0)
+        )
+        return SeverityAssessment(
+            score=round(min(score, 10.0), 3),
+            progress=progress,
+            rejected_entries=rejected,
+            sensitivity=sensitivity,
+            cross_purpose=cross,
+        )

@@ -1,0 +1,168 @@
+"""Temporal constraints on process instances (Section 4).
+
+The paper: "if a maximum duration for the process is defined, an
+infringement can be raised in the case where this temporal constraint is
+violated."  This module implements that check and two natural
+generalizations a deployment needs:
+
+* ``max_case_duration`` — the maximum wall-clock span of one case (the
+  paper's constraint);
+* ``max_inactivity`` — the maximum silence between consecutive entries
+  of an open case (a stalled case is suspicious, and it bounds how long
+  the mimicry "open window" of Section 4 stays exploitable);
+* ``task_deadlines`` — per-task deadlines relative to the case's first
+  entry (e.g. "results must be exported within 14 days").
+
+Constraints are evaluated on a case's trail, optionally against a
+*now* timestamp so still-open cases can time out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from enum import Enum
+from typing import Optional
+
+from repro.audit.model import AuditTrail, LogEntry
+
+
+class TemporalViolationKind(Enum):
+    CASE_TOO_LONG = "case-duration-exceeded"
+    CASE_STALLED = "inactivity-exceeded"
+    TASK_DEADLINE_MISSED = "task-deadline-missed"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TemporalViolation:
+    """One violated temporal constraint of a case."""
+
+    kind: TemporalViolationKind
+    case: str
+    detail: str
+    entry: Optional[LogEntry] = None
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] case {self.case}: {self.detail}"
+
+
+@dataclass
+class TemporalConstraints:
+    """The temporal policy attached to one purpose's process."""
+
+    max_case_duration: Optional[timedelta] = None
+    max_inactivity: Optional[timedelta] = None
+    task_deadlines: dict[str, timedelta] = field(default_factory=dict)
+
+    def with_deadline(self, task: str, deadline: timedelta) -> "TemporalConstraints":
+        self.task_deadlines[task] = deadline
+        return self
+
+    # -- evaluation -------------------------------------------------------
+    def check(
+        self,
+        case: str,
+        trail: AuditTrail,
+        now: Optional[datetime] = None,
+        case_open: bool = True,
+    ) -> list[TemporalViolation]:
+        """Every temporal violation of *case*'s trail.
+
+        ``now`` extends the duration/inactivity checks to still-open
+        cases: an open case that has exceeded its budget is flagged even
+        though no entry has arrived (that is precisely the point).
+        ``case_open=False`` (the process instance completed) disables the
+        open-ended checks against *now*.
+        """
+        entries = trail.entries
+        if not entries:
+            return []
+        violations: list[TemporalViolation] = []
+        started = entries[0].timestamp
+        last = entries[-1].timestamp
+
+        if self.max_case_duration is not None:
+            observed = last - started
+            if observed > self.max_case_duration:
+                violations.append(
+                    TemporalViolation(
+                        TemporalViolationKind.CASE_TOO_LONG,
+                        case,
+                        f"case spans {observed}, allowed "
+                        f"{self.max_case_duration}",
+                        entries[-1],
+                    )
+                )
+            elif case_open and now is not None and now - started > self.max_case_duration:
+                violations.append(
+                    TemporalViolation(
+                        TemporalViolationKind.CASE_TOO_LONG,
+                        case,
+                        f"case open for {now - started}, allowed "
+                        f"{self.max_case_duration}",
+                    )
+                )
+
+        if self.max_inactivity is not None:
+            for earlier, later in zip(entries, entries[1:]):
+                gap = later.timestamp - earlier.timestamp
+                if gap > self.max_inactivity:
+                    violations.append(
+                        TemporalViolation(
+                            TemporalViolationKind.CASE_STALLED,
+                            case,
+                            f"{gap} of silence before task {later.task}, "
+                            f"allowed {self.max_inactivity}",
+                            later,
+                        )
+                    )
+            if case_open and now is not None:
+                tail_gap = now - last
+                if tail_gap > self.max_inactivity:
+                    violations.append(
+                        TemporalViolation(
+                            TemporalViolationKind.CASE_STALLED,
+                            case,
+                            f"no activity for {tail_gap}, allowed "
+                            f"{self.max_inactivity}",
+                        )
+                    )
+
+        for task, deadline in self.task_deadlines.items():
+            first_occurrence = next(
+                (e for e in entries if e.task == task), None
+            )
+            if first_occurrence is not None:
+                lateness = first_occurrence.timestamp - started
+                if lateness > deadline:
+                    violations.append(
+                        TemporalViolation(
+                            TemporalViolationKind.TASK_DEADLINE_MISSED,
+                            case,
+                            f"task {task} first performed after {lateness}, "
+                            f"deadline {deadline}",
+                            first_occurrence,
+                        )
+                    )
+            elif case_open and now is not None and now - started > deadline:
+                violations.append(
+                    TemporalViolation(
+                        TemporalViolationKind.TASK_DEADLINE_MISSED,
+                        case,
+                        f"task {task} not performed within {deadline} "
+                        "(case still open)",
+                    )
+                )
+        return violations
+
+    def is_satisfied(
+        self,
+        case: str,
+        trail: AuditTrail,
+        now: Optional[datetime] = None,
+        case_open: bool = True,
+    ) -> bool:
+        return not self.check(case, trail, now=now, case_open=case_open)

@@ -1,0 +1,117 @@
+"""COWS — the Calculus of Orchestration of Web Services (minimal fragment).
+
+This package is the formal substrate of the purpose-control framework: it
+provides the term language of Section 3.3 of the paper, its structural
+operational semantics, and labeled-transition-system exploration.  The
+BPMN encoder (:mod:`repro.bpmn.encode`) produces terms in this language;
+WeakNext and Algorithm 1 (:mod:`repro.core`) run over its transitions.
+"""
+
+from repro.cows.congruence import canonical_key, normalize
+from repro.cows.equivalence import (
+    IncompleteFragmentError,
+    ObservableAutomaton,
+    observable_determinization,
+    strong_bisimilar,
+    weak_trace_equivalent,
+)
+from repro.cows.labels import (
+    CommLabel,
+    InvokeLabel,
+    KillDone,
+    KillSignal,
+    Label,
+    RequestLabel,
+    is_kill_label,
+    match,
+)
+from repro.cows.lts import LTS, ExplorationResult, TraceStatistics, count_traces
+from repro.cows.names import (
+    Binder,
+    Endpoint,
+    KillerLabel,
+    Name,
+    Parameter,
+    Variable,
+    endpoint,
+    killer,
+    name,
+    var,
+)
+from repro.cows.parser import parse
+from repro.cows.pretty import format_label, pretty
+from repro.cows.semantics import enabled, halt, transitions
+from repro.cows.terms import (
+    Choice,
+    Invoke,
+    Kill,
+    Nil,
+    Parallel,
+    Protect,
+    Replicate,
+    Request,
+    Scope,
+    TaskMarker,
+    Term,
+    active_tasks,
+    choice,
+    free_identifiers,
+    parallel,
+    scope,
+    substitute,
+)
+
+__all__ = [
+    "LTS",
+    "Binder",
+    "IncompleteFragmentError",
+    "ObservableAutomaton",
+    "observable_determinization",
+    "strong_bisimilar",
+    "weak_trace_equivalent",
+    "Choice",
+    "CommLabel",
+    "Endpoint",
+    "ExplorationResult",
+    "Invoke",
+    "InvokeLabel",
+    "Kill",
+    "KillDone",
+    "KillSignal",
+    "KillerLabel",
+    "Label",
+    "Name",
+    "Nil",
+    "Parallel",
+    "Parameter",
+    "Protect",
+    "Replicate",
+    "Request",
+    "RequestLabel",
+    "Scope",
+    "TaskMarker",
+    "Term",
+    "TraceStatistics",
+    "Variable",
+    "active_tasks",
+    "canonical_key",
+    "choice",
+    "count_traces",
+    "enabled",
+    "endpoint",
+    "format_label",
+    "free_identifiers",
+    "halt",
+    "is_kill_label",
+    "killer",
+    "match",
+    "name",
+    "normalize",
+    "parallel",
+    "parse",
+    "pretty",
+    "scope",
+    "substitute",
+    "transitions",
+    "var",
+]

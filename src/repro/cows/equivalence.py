@@ -1,0 +1,206 @@
+"""Behavioural equivalences over finite LTS fragments.
+
+Used to *prove* (on explored, finite fragments) that the library's
+BPMN -> COWS encoder agrees with the paper's hand-written appendix
+terms, and generally useful when developing encodings:
+
+* :func:`strong_bisimilar` — classical partition-refinement strong
+  bisimulation: every label, including silent bookkeeping, must match;
+* :func:`weak_trace_equivalent` — equality of the *observable* trace
+  languages after hiding silent labels (the equivalence that matters for
+  Algorithm 1, which only sees observable labels);
+* :func:`observable_determinization` — the determinized observable
+  automaton of a fragment, the common object both checks reduce to.
+
+All functions operate on :class:`repro.cows.lts.ExplorationResult`
+fragments; exploring with a bound and comparing incomplete fragments
+would be unsound, so both entry points insist on ``complete=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cows.labels import Label
+from repro.cows.lts import ExplorationResult
+from repro.cows.terms import Term
+from repro.errors import CowsError
+
+
+class IncompleteFragmentError(CowsError):
+    """Equivalence checking requires fully explored (finite) fragments."""
+
+
+LabelKey = Callable[[Label], Optional[str]]
+
+
+def _require_complete(*fragments: ExplorationResult) -> None:
+    for fragment in fragments:
+        if not fragment.complete:
+            raise IncompleteFragmentError(
+                "equivalence checking needs a complete exploration; "
+                "raise max_states or restrict the process"
+            )
+
+
+# ---------------------------------------------------------------------------
+# strong bisimulation
+
+
+def strong_bisimilar(
+    left: ExplorationResult,
+    right: ExplorationResult,
+    label_key: LabelKey | None = None,
+) -> bool:
+    """Whether the initial states of two fragments are strongly bisimilar.
+
+    *label_key* maps labels to comparison keys (default: their string
+    rendering); labels mapping to ``None`` are treated like any other
+    key, not hidden — strong bisimulation sees everything.
+    """
+    _require_complete(left, right)
+    key = label_key or (lambda label: str(label))
+
+    # Work on the disjoint union, then refine partitions.
+    states: list[tuple[int, Term]] = [(0, s) for s in left.states] + [
+        (1, s) for s in right.states
+    ]
+    successors: dict[tuple[int, Term], list[tuple[str, tuple[int, Term]]]] = {
+        node: [] for node in states
+    }
+    for side, fragment in ((0, left), (1, right)):
+        for source, label, target in fragment.edges:
+            successors[(side, source)].append(
+                (str(key(label)), (side, target))
+            )
+
+    # Initial partition: a single block.
+    block_of: dict[tuple[int, Term], int] = {node: 0 for node in states}
+    while True:
+        signatures: dict[tuple[int, Term], frozenset[tuple[str, int]]] = {}
+        for node in states:
+            signatures[node] = frozenset(
+                (label, block_of[target]) for label, target in successors[node]
+            )
+        # Re-block by (old block, signature).
+        keys: dict[tuple[int, frozenset], int] = {}
+        new_block_of: dict[tuple[int, Term], int] = {}
+        for node in states:
+            block_key = (block_of[node], signatures[node])
+            if block_key not in keys:
+                keys[block_key] = len(keys)
+            new_block_of[node] = keys[block_key]
+        if new_block_of == block_of:
+            break
+        block_of = new_block_of
+
+    return block_of[(0, left.initial)] == block_of[(1, right.initial)]
+
+
+# ---------------------------------------------------------------------------
+# weak (observable) trace equivalence
+
+
+@dataclass(frozen=True)
+class ObservableAutomaton:
+    """A determinized automaton over observable label keys."""
+
+    initial: frozenset[Term]
+    transitions: dict[frozenset[Term], dict[str, frozenset[Term]]]
+    accepting: frozenset[frozenset[Term]]  # macro-states containing a deadlock
+
+    def step(self, macro: frozenset[Term], label: str) -> Optional[frozenset[Term]]:
+        return self.transitions.get(macro, {}).get(label)
+
+
+def observable_determinization(
+    fragment: ExplorationResult, classify: LabelKey
+) -> ObservableAutomaton:
+    """Subset-construct the observable automaton of a fragment.
+
+    *classify* maps a label to its observable key, or ``None`` when the
+    label is silent.  Macro-states are silent-closure sets; a macro-state
+    is *accepting* when it contains a state with no outgoing edges (the
+    process may stop there).
+    """
+    _require_complete(fragment)
+    silent_next: dict[Term, list[Term]] = {}
+    observable_next: dict[Term, list[tuple[str, Term]]] = {}
+    out_degree: dict[Term, int] = {s: 0 for s in fragment.states}
+    for source, label, target in fragment.edges:
+        out_degree[source] += 1
+        observable = classify(label)
+        if observable is None:
+            silent_next.setdefault(source, []).append(target)
+        else:
+            observable_next.setdefault(source, []).append((observable, target))
+
+    def closure(seeds: frozenset[Term]) -> frozenset[Term]:
+        seen = set(seeds)
+        stack = list(seeds)
+        while stack:
+            state = stack.pop()
+            for target in silent_next.get(state, ()):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    initial = closure(frozenset({fragment.initial}))
+    transitions: dict[frozenset[Term], dict[str, frozenset[Term]]] = {}
+    accepting: set[frozenset[Term]] = set()
+    pending = [initial]
+    visited = {initial}
+    while pending:
+        macro = pending.pop()
+        if any(out_degree[s] == 0 for s in macro):
+            accepting.add(macro)
+        moves: dict[str, set[Term]] = {}
+        for state in macro:
+            for label, target in observable_next.get(state, ()):
+                moves.setdefault(label, set()).add(target)
+        row: dict[str, frozenset[Term]] = {}
+        for label, targets in moves.items():
+            successor = closure(frozenset(targets))
+            row[label] = successor
+            if successor not in visited:
+                visited.add(successor)
+                pending.append(successor)
+        transitions[macro] = row
+    return ObservableAutomaton(
+        initial=initial,
+        transitions=transitions,
+        accepting=frozenset(accepting),
+    )
+
+
+def weak_trace_equivalent(
+    left: ExplorationResult,
+    right: ExplorationResult,
+    classify: LabelKey,
+) -> bool:
+    """Whether two fragments have the same observable trace language.
+
+    Compares the determinized observable automata by synchronous
+    product search: any reachable pair must offer the same observable
+    labels and agree on acceptance (the ability to stop).
+    """
+    left_auto = observable_determinization(left, classify)
+    right_auto = observable_determinization(right, classify)
+    pending = [(left_auto.initial, right_auto.initial)]
+    seen = {(left_auto.initial, right_auto.initial)}
+    while pending:
+        l_macro, r_macro = pending.pop()
+        l_row = left_auto.transitions.get(l_macro, {})
+        r_row = right_auto.transitions.get(r_macro, {})
+        if set(l_row) != set(r_row):
+            return False
+        if (l_macro in left_auto.accepting) != (r_macro in right_auto.accepting):
+            return False
+        for label, l_target in l_row.items():
+            pair = (l_target, r_row[label])
+            if pair not in seen:
+                seen.add(pair)
+                pending.append(pair)
+    return True

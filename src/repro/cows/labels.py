@@ -1,0 +1,121 @@
+"""Transition labels of the COWS operational semantics.
+
+From Section 3.3 of the paper::
+
+    l ::= (p.o) <| w   invoke label
+        | (p.o) |> w   request label
+        | p.o (v)      communication (synchronization) label
+        | +k           ongoing kill signal for killer label k
+        | +            an already executed (delimited) kill
+
+Communication labels additionally carry the substitution produced by
+matching the request pattern against the invoke values; the semantics
+applies it eagerly at synchronization time (see DESIGN.md, Section 3, for
+why this is sound on the BPMN fragment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.cows.names import Endpoint, KillerLabel, Name, Parameter, Variable
+
+Label = Union["InvokeLabel", "RequestLabel", "CommLabel", "KillSignal", "KillDone"]
+
+
+@dataclass(frozen=True, slots=True)
+class InvokeLabel:
+    """``(p.o) <| v``: an invoke activity offering values at an endpoint."""
+
+    endpoint: Endpoint
+    values: tuple[Name, ...] = ()
+
+    def __str__(self) -> str:
+        vals = ", ".join(str(v) for v in self.values)
+        return f"({self.endpoint}) <| <{vals}>"
+
+
+@dataclass(frozen=True, slots=True)
+class RequestLabel:
+    """``(p.o) |> w``: a request activity waiting with a pattern."""
+
+    endpoint: Endpoint
+    params: tuple[Parameter, ...] = ()
+
+    def __str__(self) -> str:
+        pats = ", ".join(str(p) for p in self.params)
+        return f"({self.endpoint}) |> <{pats}>"
+
+
+@dataclass(frozen=True, slots=True)
+class CommLabel:
+    """``p.o (v)``: a completed communication over an endpoint.
+
+    When the communication carried no values (a pure synchronization,
+    which is what every sequence flow of the BPMN encoding produces) the
+    label prints simply as ``p.o`` — the form the paper's figures use.
+    """
+
+    endpoint: Endpoint
+    values: tuple[Name, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.values:
+            return str(self.endpoint)
+        vals = ", ".join(str(v) for v in self.values)
+        return f"{self.endpoint} ({vals})"
+
+
+@dataclass(frozen=True, slots=True)
+class KillSignal:
+    """``+k``: an ongoing kill for killer label *k* (not yet delimited)."""
+
+    label: KillerLabel
+
+    def __str__(self) -> str:
+        return f"+{self.label.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class KillDone:
+    """``+``: a kill that has been absorbed by its scope delimiter."""
+
+    def __str__(self) -> str:
+        return "+"
+
+
+def match(
+    params: tuple[Parameter, ...], values: tuple[Name, ...]
+) -> Optional[dict[Variable, Name]]:
+    """Match a request pattern against invoke values (the M function of COWS).
+
+    Returns the substitution binding the pattern's variables to the
+    corresponding values, or ``None`` when the match fails — a name in the
+    pattern must equal the value at the same position, and arities must
+    agree.  A variable occurring twice must match equal values.
+    """
+    if len(params) != len(values):
+        return None
+    bindings: dict[Variable, Name] = {}
+    for param, value in zip(params, values):
+        if isinstance(param, Name):
+            if param != value:
+                return None
+        else:
+            bound = bindings.get(param)
+            if bound is None:
+                bindings[param] = value
+            elif bound != value:
+                return None
+    return bindings
+
+
+def is_kill_label(label: Label) -> bool:
+    """Whether *label* is a kill signal or a delimited kill.
+
+    Kill activities are *eager* in COWS: whenever one is enabled it takes
+    precedence over every other activity.  The LTS layer uses this
+    predicate to implement that priority.
+    """
+    return isinstance(label, (KillSignal, KillDone))

@@ -1,0 +1,128 @@
+"""Identifiers of the COWS calculus: names, variables, killer labels, endpoints.
+
+COWS (Calculus of Orchestration of Web Services, Lapadula et al. [10])
+relies on three countable and pairwise disjoint sets:
+
+* **names** — partners, operations and data values (e.g. ``GP``, ``T01``,
+  ``msg1``);
+* **variables** — placeholders bound by a scope delimiter ``[x]s`` and
+  instantiated by communication (e.g. the ``z`` of Fig. 10 in the paper);
+* **killer labels** — the targets of ``kill(k)`` activities, bound by
+  ``[k]s``.
+
+Basic activities take place at *endpoints* ``p . o`` identified by a
+partner name ``p`` and an operation name ``o``.
+
+All identifier classes are immutable, hashable value objects so that COWS
+terms built from them can themselves be immutable and hashable — the LTS
+machinery dedupes states by term identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Name:
+    """A COWS name: a partner, an operation, or a ground data value."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("a Name must be a non-empty string")
+
+    def __str__(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Name({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A COWS variable, bound by a scope delimiter and filled in by matching.
+
+    The textual syntax writes variables with a leading question mark
+    (``?x``) to keep them visually distinct from names.
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("a Variable must be a non-empty string")
+
+    def __str__(self) -> str:
+        return f"?{self.value}"
+
+    def __repr__(self) -> str:
+        return f"Variable({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class KillerLabel:
+    """A COWS killer label, the target of ``kill(k)`` and bound by ``[k]s``."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("a KillerLabel must be a non-empty string")
+
+    def __str__(self) -> str:
+        return f"+{self.value}"
+
+    def __repr__(self) -> str:
+        return f"KillerLabel({self.value!r})"
+
+
+#: Anything a scope delimiter ``[d]s`` may bind.
+Binder = Union[Name, Variable, KillerLabel]
+
+#: Anything that may appear as a communication parameter.
+Parameter = Union[Name, Variable]
+
+
+@dataclass(frozen=True, slots=True)
+class Endpoint:
+    """An endpoint ``partner . operation`` at which activities take place."""
+
+    partner: Name
+    operation: Name
+
+    def __str__(self) -> str:
+        return f"{self.partner}.{self.operation}"
+
+    def __repr__(self) -> str:
+        return f"Endpoint({self.partner.value!r}, {self.operation.value!r})"
+
+    def mentions(self, name: Name) -> bool:
+        """Return whether *name* occurs as this endpoint's partner or operation."""
+        return self.partner == name or self.operation == name
+
+
+def name(value: str) -> Name:
+    """Shorthand constructor for :class:`Name`."""
+    return Name(value)
+
+
+def var(value: str) -> Variable:
+    """Shorthand constructor for :class:`Variable`."""
+    return Variable(value)
+
+
+def killer(value: str) -> KillerLabel:
+    """Shorthand constructor for :class:`KillerLabel`."""
+    return KillerLabel(value)
+
+
+def endpoint(partner: str | Name, operation: str | Name) -> Endpoint:
+    """Build an :class:`Endpoint` from strings or :class:`Name` objects."""
+    if isinstance(partner, str):
+        partner = Name(partner)
+    if isinstance(operation, str):
+        operation = Name(operation)
+    return Endpoint(partner, operation)

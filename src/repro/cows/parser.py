@@ -1,0 +1,282 @@
+"""A small textual syntax for COWS services.
+
+The grammar mirrors the paper's notation, ASCII-fied::
+
+    term     := par
+    par      := choice ('|' choice)*
+    choice   := prefix ('+' prefix)*
+    prefix   := '0'
+              | endpoint '!' '<' args '>'                  (invoke)
+              | endpoint '?' '<' params '>' ('.' prefix)?  (request)
+              | '[' binder (',' binder)* ']' prefix        (scope)
+              | '{|' term '|}'                             (protect)
+              | 'kill' '(' ident ')'
+              | '*' prefix                                 (replication)
+              | '(' term ')'
+    endpoint := ident '.' ident
+    binder   := ident | '?' ident | '+' ident     (name / variable / killer)
+    param    := ident | '?' ident
+
+Example — the exclusive-gateway service of Fig. 8::
+
+    parse("P.G?<>. [ +k, sys ] ( sys.T1!<> | sys.T2!<>"
+          " | sys.T1?<>.(kill(k) | {| P.T1!<> |})"
+          " | sys.T2?<>.(kill(k) | {| P.T2!<> |}) )")
+
+The parser exists for tests, examples and interactive exploration; the
+BPMN encoder builds terms programmatically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import CowsSyntaxError
+from repro.cows.names import (
+    Binder,
+    Endpoint,
+    KillerLabel,
+    Name,
+    Parameter,
+    Variable,
+)
+from repro.cows.terms import (
+    Choice,
+    Invoke,
+    Kill,
+    Nil,
+    Parallel,
+    Protect,
+    Replicate,
+    Request,
+    Scope,
+    Term,
+    choice,
+    parallel,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<protect_open>\{\|)
+  | (?P<protect_close>\|\})
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<number>[0-9]+)
+  | (?P<punct>[()\[\].!?<>,*+|])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(source):
+        matched = _TOKEN_RE.match(source, position)
+        if matched is None:
+            raise CowsSyntaxError(
+                f"unexpected character {source[position]!r}", position
+            )
+        kind = matched.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, matched.group(), position))
+        position = matched.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._source = source
+        self._tokens = _tokenize(source)
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise CowsSyntaxError("unexpected end of input", len(self._source))
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise CowsSyntaxError(
+                f"expected {text!r}, found {token.text!r}", token.position
+            )
+        return token
+
+    def _at(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.text == text
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> Term:
+        term = self._parse_parallel()
+        leftover = self._peek()
+        if leftover is not None:
+            raise CowsSyntaxError(
+                f"trailing input starting at {leftover.text!r}", leftover.position
+            )
+        return term
+
+    def _parse_parallel(self) -> Term:
+        components = [self._parse_choice()]
+        while self._at("|"):
+            self._next()
+            components.append(self._parse_choice())
+        if len(components) == 1:
+            return components[0]
+        return parallel(*components)
+
+    def _parse_choice(self) -> Term:
+        first = self._parse_prefix()
+        if not self._at("+"):
+            return first
+        branches = [first]
+        while self._at("+"):
+            self._next()
+            branches.append(self._parse_prefix())
+        for branch in branches:
+            if not isinstance(branch, Request):
+                raise CowsSyntaxError(
+                    "only request prefixes may be summed in a choice", 0
+                )
+        return choice(*branches)  # type: ignore[arg-type]
+
+    def _parse_prefix(self) -> Term:
+        token = self._peek()
+        if token is None:
+            raise CowsSyntaxError("unexpected end of input", len(self._source))
+        if token.text == "0":
+            self._next()
+            return Nil()
+        if token.text == "(":
+            self._next()
+            inner = self._parse_parallel()
+            self._expect(")")
+            return inner
+        if token.text == "*":
+            self._next()
+            return Replicate(self._parse_prefix())
+        if token.text == "[":
+            return self._parse_scope()
+        if token.kind == "protect_open":
+            self._next()
+            inner = self._parse_parallel()
+            inner_end = self._next()
+            if inner_end.kind != "protect_close":
+                raise CowsSyntaxError(
+                    f"expected '|}}', found {inner_end.text!r}", inner_end.position
+                )
+            return Protect(inner)
+        if token.text == "kill":
+            self._next()
+            self._expect("(")
+            label = self._next()
+            if label.kind != "ident":
+                raise CowsSyntaxError("expected a killer label", label.position)
+            self._expect(")")
+            return Kill(KillerLabel(label.text))
+        if token.kind == "ident":
+            return self._parse_activity()
+        raise CowsSyntaxError(
+            f"unexpected token {token.text!r}", token.position
+        )
+
+    def _parse_scope(self) -> Term:
+        self._expect("[")
+        binders = [self._parse_binder()]
+        while self._at(","):
+            self._next()
+            binders.append(self._parse_binder())
+        self._expect("]")
+        body = self._parse_prefix()
+        for binder in reversed(binders):
+            body = Scope(binder, body)
+        return body
+
+    def _parse_binder(self) -> Binder:
+        token = self._next()
+        if token.text == "?":
+            ident = self._next()
+            if ident.kind != "ident":
+                raise CowsSyntaxError("expected a variable name", ident.position)
+            return Variable(ident.text)
+        if token.text == "+":
+            ident = self._next()
+            if ident.kind != "ident":
+                raise CowsSyntaxError("expected a killer label", ident.position)
+            return KillerLabel(ident.text)
+        if token.kind != "ident":
+            raise CowsSyntaxError(
+                f"expected a binder, found {token.text!r}", token.position
+            )
+        return Name(token.text)
+
+    def _parse_activity(self) -> Term:
+        partner = self._next()
+        self._expect(".")
+        operation = self._next()
+        if operation.kind != "ident":
+            raise CowsSyntaxError(
+                "expected an operation name", operation.position
+            )
+        ep = Endpoint(Name(partner.text), Name(operation.text))
+        mode = self._next()
+        if mode.text == "!":
+            params = self._parse_params()
+            return Invoke(ep, params)
+        if mode.text == "?":
+            params = self._parse_params()
+            if self._at("."):
+                self._next()
+                continuation = self._parse_prefix()
+            else:
+                continuation = Nil()
+            return Request(ep, params, continuation)
+        raise CowsSyntaxError(
+            f"expected '!' or '?', found {mode.text!r}", mode.position
+        )
+
+    def _parse_params(self) -> tuple[Parameter, ...]:
+        self._expect("<")
+        params: list[Parameter] = []
+        if not self._at(">"):
+            params.append(self._parse_param())
+            while self._at(","):
+                self._next()
+                params.append(self._parse_param())
+        self._expect(">")
+        return tuple(params)
+
+    def _parse_param(self) -> Parameter:
+        token = self._next()
+        if token.text == "?":
+            ident = self._next()
+            if ident.kind != "ident":
+                raise CowsSyntaxError("expected a variable name", ident.position)
+            return Variable(ident.text)
+        if token.kind != "ident":
+            raise CowsSyntaxError(
+                f"expected a parameter, found {token.text!r}", token.position
+            )
+        return Name(token.text)
+
+
+def parse(source: str) -> Term:
+    """Parse a textual COWS specification into a term."""
+    return _Parser(source).parse()

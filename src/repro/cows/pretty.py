@@ -1,0 +1,75 @@
+"""Readable, paper-style rendering of COWS terms and labels.
+
+``str(term)`` already yields a compact single-line form; this module adds
+an indented multi-line layout for large terms (the encoding of a whole
+BPMN process) and the ``r . q`` label notation used in the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from repro.cows.labels import (
+    CommLabel,
+    InvokeLabel,
+    KillDone,
+    KillSignal,
+    Label,
+    RequestLabel,
+)
+from repro.cows.terms import (
+    Choice,
+    Invoke,
+    Kill,
+    Nil,
+    Parallel,
+    Protect,
+    Replicate,
+    Request,
+    Scope,
+    TaskMarker,
+    Term,
+)
+
+_INDENT = "  "
+
+
+def pretty(term: Term, indent: int = 0) -> str:
+    """An indented multi-line rendering of *term*."""
+    pad = _INDENT * indent
+    if isinstance(term, (Nil, Invoke, Kill)):
+        return pad + str(term)
+    if isinstance(term, Request):
+        head = str(Request(term.endpoint, term.params, Nil()))
+        if isinstance(term.continuation, Nil):
+            return pad + head
+        return f"{pad}{head}.\n{pretty(term.continuation, indent + 1)}"
+    if isinstance(term, Choice):
+        rendered = f"\n{pad}+\n".join(pretty(b, indent + 1) for b in term.branches)
+        return f"{pad}(\n{rendered}\n{pad})"
+    if isinstance(term, Parallel):
+        rendered = f"\n{pad}|\n".join(
+            pretty(c, indent + 1) for c in term.components
+        )
+        return f"{pad}(\n{rendered}\n{pad})"
+    if isinstance(term, Scope):
+        return f"{pad}[{term.binder}]\n{pretty(term.body, indent + 1)}"
+    if isinstance(term, Protect):
+        return f"{pad}{{|\n{pretty(term.body, indent + 1)}\n{pad}|}}"
+    if isinstance(term, Replicate):
+        return f"{pad}*\n{pretty(term.body, indent + 1)}"
+    if isinstance(term, TaskMarker):
+        return f"{pad}<{term.role}.{term.task}>\n{pretty(term.body, indent + 1)}"
+    raise TypeError(f"not a COWS term: {type(term).__name__}")
+
+
+def format_label(label: Label) -> str:
+    """Render a label the way the paper's figures do.
+
+    Pure synchronizations print as ``P.T1``; value-carrying
+    communications as ``P1.S2 (msg2)``; kill bookkeeping as ``+k`` / ``+``.
+    """
+    if isinstance(label, CommLabel):
+        return str(label)
+    if isinstance(label, (InvokeLabel, RequestLabel, KillSignal, KillDone)):
+        return str(label)
+    raise TypeError(f"not a COWS label: {type(label).__name__}")

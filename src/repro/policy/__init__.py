@@ -1,0 +1,50 @@
+"""Data-protection policies: the preventive half of purpose control.
+
+Implements Definitions 1-3 of the paper: statements ``(s, a, o, p)``,
+access requests ``(u, a, o, q, c)``, role and object hierarchies, and the
+authorization check — including consent-conditional statements and the
+purpose -> process registry that ties policies to organizational
+processes.
+"""
+
+from repro.policy.chains import Act, Chain, ChainPolicy, ChainVerdict
+from repro.policy.engine import Decision, PolicyDecisionPoint
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import (
+    ANY_SUBJECT,
+    EXECUTE,
+    READ,
+    WRITE,
+    AccessRequest,
+    ConsentRegistry,
+    ObjectRef,
+    Policy,
+    Statement,
+    UserDirectory,
+)
+from repro.policy.parser import format_policy, parse_policy, parse_statement
+from repro.policy.registry import ProcessRegistry
+
+__all__ = [
+    "ANY_SUBJECT",
+    "Act",
+    "Chain",
+    "ChainPolicy",
+    "ChainVerdict",
+    "EXECUTE",
+    "READ",
+    "WRITE",
+    "AccessRequest",
+    "ConsentRegistry",
+    "Decision",
+    "ObjectRef",
+    "Policy",
+    "PolicyDecisionPoint",
+    "ProcessRegistry",
+    "RoleHierarchy",
+    "Statement",
+    "UserDirectory",
+    "format_policy",
+    "parse_policy",
+    "parse_statement",
+]

@@ -1,0 +1,117 @@
+"""Access-request evaluation — Definition 3 of the paper.
+
+An access request ``(u, a, o, q, c)`` is authorized when some statement
+``(s, a', o', p)`` of the policy satisfies all of:
+
+(i)   ``s = u``, or ``s`` is a role, the user has an active role ``r2``
+      and ``r2 >=R s`` (the user's role specializes the statement's);
+(ii)  ``a = a'``;
+(iii) ``o' >=O o`` (the statement's object subtree contains the request's);
+(iv)  ``c`` is an instance of ``p`` and ``q`` is a task in ``p``.
+
+Statements flagged ``requires_consent`` additionally demand that the data
+subject of the requested object consented to the statement's purpose —
+the mechanism behind footnote 3: a physician asking for EPRs *for
+clinical trial* only sees consenting patients' records.
+
+This engine is the *preventive* half of the framework; Section 3.5 notes
+purpose control must be complemented by exactly such a mechanism.  The
+a-posteriori half is :mod:`repro.core.compliance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import (
+    AccessRequest,
+    ConsentRegistry,
+    Policy,
+    Statement,
+    UserDirectory,
+)
+from repro.policy.registry import ProcessRegistry
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of evaluating an access request."""
+
+    permit: bool
+    request: AccessRequest
+    matched: Optional[Statement] = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.permit
+
+
+class PolicyDecisionPoint:
+    """Evaluates access requests against a data protection policy."""
+
+    def __init__(
+        self,
+        policy: Policy,
+        users: UserDirectory,
+        hierarchy: RoleHierarchy,
+        registry: ProcessRegistry,
+        consent: ConsentRegistry | None = None,
+    ):
+        self._policy = policy
+        self._users = users
+        self._hierarchy = hierarchy
+        self._registry = registry
+        self._consent = consent or ConsentRegistry()
+
+    def evaluate(self, request: AccessRequest) -> Decision:
+        """Definition 3: permit iff some statement matches the request."""
+        failures: list[str] = []
+        for statement in self._policy:
+            failure = self._mismatch(statement, request)
+            if failure is None:
+                return Decision(
+                    permit=True,
+                    request=request,
+                    matched=statement,
+                    reason=f"matched statement {statement}",
+                )
+            failures.append(f"{statement}: {failure}")
+        return Decision(
+            permit=False,
+            request=request,
+            reason="no statement matches; " + "; ".join(failures[:3]),
+        )
+
+    def is_authorized(self, request: AccessRequest) -> bool:
+        return self.evaluate(request).permit
+
+    # -- matching --------------------------------------------------------
+    def _mismatch(
+        self, statement: Statement, request: AccessRequest
+    ) -> Optional[str]:
+        """The first Definition-3 condition *statement* fails, or None."""
+        if not self._subject_matches(statement.subject, request.user):
+            return "subject mismatch"
+        if statement.action != request.action:
+            return "action mismatch"
+        if not statement.obj.covers(request.obj):
+            return "object not covered"
+        if not self._registry.is_instance_of(request.case, statement.purpose):
+            return "case is not an instance of the statement's purpose"
+        if not self._registry.task_in_purpose(request.task, statement.purpose):
+            return "task does not belong to the purpose's process"
+        if statement.requires_consent and not self._consent.has_consented(
+            request.obj.subject, statement.purpose
+        ):
+            return "data subject has not consented to the purpose"
+        return None
+
+    def _subject_matches(self, subject: str, user: str) -> bool:
+        if subject == user:
+            return True
+        for active_role in self._users.roles_of(user):
+            if self._hierarchy.is_specialization_of(active_role, subject):
+                return True
+        return False

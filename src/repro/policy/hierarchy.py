@@ -1,0 +1,92 @@
+"""The role hierarchy ``>=R`` of Section 3.1.
+
+Roles are organized in a partial order reflecting generalization and
+specialization: ``r1 >=R r2`` means *r1 is a specialization of r2* (a
+Cardiologist is a Physician).  The hierarchy supports multiple parents
+(a role may specialize several more general roles) and rejects cycles.
+
+Two call sites depend on it:
+
+* policy evaluation (Definition 3): a statement granted to role ``r1``
+  applies to a user whose active role ``r2`` satisfies ``r2 >=R r1``;
+* Algorithm 1 (line 5): a log entry with role ``e.role`` may match an
+  observable label ``r . q`` when ``r`` is a generalization of
+  ``e.role``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+
+
+class RoleHierarchy:
+    """A DAG of roles under the specialization order.
+
+    The order is reflexive: every role is a specialization of itself,
+    even when it was never explicitly added (so a flat organization needs
+    no setup at all).
+    """
+
+    def __init__(self) -> None:
+        self._parents: dict[str, frozenset[str]] = {}
+        self._ancestor_cache: dict[str, frozenset[str]] = {}
+
+    def add_role(self, role: str, *parents: str) -> "RoleHierarchy":
+        """Declare *role*, optionally as a specialization of *parents*.
+
+        May be called repeatedly for the same role; parent sets accumulate.
+        Raises :class:`PolicyError` if the addition would create a cycle.
+        """
+        if not role:
+            raise PolicyError("role names must be non-empty")
+        existing = self._parents.get(role, frozenset())
+        merged = existing | frozenset(parents)
+        for parent in parents:
+            if not parent:
+                raise PolicyError("role names must be non-empty")
+            if parent == role or role in self._ancestors_uncached(parent):
+                raise PolicyError(
+                    f"adding {role!r} below {parent!r} would create a cycle"
+                )
+        self._parents[role] = merged
+        for parent in parents:
+            self._parents.setdefault(parent, frozenset())
+        self._ancestor_cache.clear()
+        return self
+
+    def _ancestors_uncached(self, role: str) -> frozenset[str]:
+        seen: set[str] = set()
+        stack = [role]
+        while stack:
+            current = stack.pop()
+            parents = self._parents.get(current, frozenset())
+            for parent in parents:
+                if parent not in seen:
+                    seen.add(parent)
+                    stack.append(parent)
+        return frozenset(seen)
+
+    def ancestors(self, role: str) -> frozenset[str]:
+        """Every strict generalization of *role*."""
+        cached = self._ancestor_cache.get(role)
+        if cached is None:
+            cached = self._ancestors_uncached(role)
+            self._ancestor_cache[role] = cached
+        return cached
+
+    def roles(self) -> frozenset[str]:
+        """Every role ever mentioned."""
+        return frozenset(self._parents)
+
+    def is_specialization_of(self, role: str, ancestor: str) -> bool:
+        """Whether ``role >=R ancestor`` (reflexive)."""
+        if role == ancestor:
+            return True
+        return ancestor in self.ancestors(role)
+
+    def generalizations(self, role: str) -> frozenset[str]:
+        """*role* together with all its ancestors (the upward closure)."""
+        return self.ancestors(role) | {role}
+
+    def __contains__(self, role: str) -> bool:
+        return role in self._parents

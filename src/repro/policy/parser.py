@@ -1,0 +1,83 @@
+"""Textual syntax for data protection statements, matching Fig. 3.
+
+A policy document is a sequence of lines; blank lines and ``#`` comments
+are ignored.  Each statement line is a 4-tuple::
+
+    (Physician, read, [.]EPR/Clinical, treatment)
+    (MedicalLabTech, write, [.]EPR/Clinical/Tests, treatment)
+    (Physician, read, [X]EPR, clinicaltrial)
+
+The subject tag of the object follows the paper's conventions:
+
+* ``[.]`` or ``[*]`` — any data subject;
+* ``[X]`` — any *consenting* data subject (the statement becomes
+  consent-conditional, footnote 3);
+* ``[Jane]`` — the named subject only;
+* no tag — a subject-less resource such as ``ClinicalTrial/Criteria``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicySyntaxError
+from repro.policy.model import ObjectRef, Policy, Statement
+
+#: The consent placeholder of Fig. 3's last row.
+CONSENT_TAG = "X"
+
+
+def parse_statement(line: str) -> Statement:
+    """Parse one ``(subject, action, object, purpose)`` statement."""
+    text = line.strip()
+    if not (text.startswith("(") and text.endswith(")")):
+        raise PolicySyntaxError(f"statement must be parenthesized: {line!r}")
+    fields = [field.strip() for field in text[1:-1].split(",")]
+    if len(fields) != 4:
+        raise PolicySyntaxError(
+            f"statement needs exactly 4 fields, got {len(fields)}: {line!r}"
+        )
+    subject, action, object_text, purpose = fields
+    if not all(fields):
+        raise PolicySyntaxError(f"statement has empty fields: {line!r}")
+    requires_consent = False
+    if object_text.startswith(f"[{CONSENT_TAG}]"):
+        requires_consent = True
+        object_text = "[*]" + object_text[len(CONSENT_TAG) + 2 :]
+    try:
+        obj = ObjectRef.parse(object_text)
+    except Exception as error:
+        raise PolicySyntaxError(f"bad object in {line!r}: {error}") from error
+    return Statement(
+        subject=subject,
+        action=action,
+        obj=obj,
+        purpose=purpose,
+        requires_consent=requires_consent,
+    )
+
+
+def parse_policy(text: str) -> Policy:
+    """Parse a multi-line policy document into a :class:`Policy`."""
+    policy = Policy()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            policy.add(parse_statement(line))
+        except PolicySyntaxError as error:
+            raise PolicySyntaxError(f"line {line_number}: {error}") from error
+    return policy
+
+
+def format_policy(policy: Policy) -> str:
+    """Render a policy back into the textual syntax (round-trippable)."""
+    lines = []
+    for statement in policy:
+        obj_text = str(statement.obj)
+        if statement.requires_consent and obj_text.startswith("[.]"):
+            obj_text = f"[{CONSENT_TAG}]" + obj_text[3:]
+        lines.append(
+            f"({statement.subject}, {statement.action}, "
+            f"{obj_text}, {statement.purpose})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""The purpose -> organizational-process registry.
+
+The central idea of the paper (Section 3.1) is that a *purpose* is
+represented by the organizational process implemented to achieve the
+corresponding goal.  This registry realizes the link: it maps purpose
+names to BPMN processes and resolves *cases* (process instances, the
+``c`` of Definitions 2/4) to the purpose they instantiate.
+
+Cases follow the paper's naming scheme — ``HT-1``, ``CT-1``: a prefix
+identifying the process and an instance number.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.bpmn.encode import EncodedProcess, encode
+from repro.bpmn.model import Process
+from repro.errors import UnknownPurposeError
+
+
+class ProcessRegistry:
+    """Registered organizational processes, indexed by purpose and case prefix."""
+
+    def __init__(self) -> None:
+        self._by_purpose: dict[str, Process] = {}
+        self._by_prefix: dict[str, str] = {}
+        self._encoded: dict[str, EncodedProcess] = {}
+
+    def register(self, process: Process, case_prefix: str) -> "ProcessRegistry":
+        """Register *process* under its purpose and the given case prefix."""
+        purpose = process.purpose
+        if purpose in self._by_purpose:
+            raise UnknownPurposeError(
+                f"purpose {purpose!r} is already registered"
+            )
+        if case_prefix in self._by_prefix:
+            raise UnknownPurposeError(
+                f"case prefix {case_prefix!r} is already registered"
+            )
+        self._by_purpose[purpose] = process
+        self._by_prefix[case_prefix] = purpose
+        return self
+
+    def purposes(self) -> frozenset[str]:
+        return frozenset(self._by_purpose)
+
+    def process_for(self, purpose: str) -> Process:
+        try:
+            return self._by_purpose[purpose]
+        except KeyError:
+            raise UnknownPurposeError(f"no process registered for purpose {purpose!r}") from None
+
+    def encoded_for(self, purpose: str) -> EncodedProcess:
+        """The (cached) COWS encoding of the purpose's process."""
+        cached = self._encoded.get(purpose)
+        if cached is None:
+            cached = encode(self.process_for(purpose))
+            self._encoded[purpose] = cached
+        return cached
+
+    def purpose_of_case(self, case: str) -> str:
+        """Resolve a case id like ``HT-17`` to its purpose.
+
+        Raises :class:`UnknownPurposeError` for malformed or unknown cases.
+        """
+        prefix, separator, _ = case.partition("-")
+        if not separator or not prefix:
+            raise UnknownPurposeError(
+                f"case id {case!r} does not follow the <prefix>-<n> scheme"
+            )
+        try:
+            return self._by_prefix[prefix]
+        except KeyError:
+            raise UnknownPurposeError(
+                f"case {case!r} references unknown process prefix {prefix!r}"
+            ) from None
+
+    def process_of_case(self, case: str) -> Process:
+        return self.process_for(self.purpose_of_case(case))
+
+    def is_instance_of(self, case: str, purpose: str) -> bool:
+        """Definition 3 (iv), first half: is *case* an instance of *purpose*?"""
+        try:
+            return self.purpose_of_case(case) == purpose
+        except UnknownPurposeError:
+            return False
+
+    def task_in_purpose(self, task: str, purpose: str) -> bool:
+        """Definition 3 (iv), second half: is *task* a task of the process?"""
+        try:
+            return task in self.process_for(purpose).task_ids
+        except UnknownPurposeError:
+            return False
+
+    def __iter__(self) -> Iterator[Process]:
+        return iter(self._by_purpose.values())
+
+    def __len__(self) -> int:
+        return len(self._by_purpose)
+
+    def case_prefix_of(self, purpose: str) -> Optional[str]:
+        for prefix, registered in self._by_prefix.items():
+            if registered == purpose:
+                return prefix
+        return None

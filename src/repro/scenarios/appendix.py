@@ -1,0 +1,107 @@
+"""The appendix examples of the paper (Figs 7-10), in both notations.
+
+For each figure this module provides the COWS specification verbatim
+(:data:`FIG7_COWS` ... :data:`FIG10_COWS`, parseable with
+:func:`repro.cows.parse`) and an equivalent BPMN process built with the
+library's builder, so the encoder can be cross-checked against the
+hand-written terms.
+"""
+
+from __future__ import annotations
+
+from repro.bpmn.builder import ProcessBuilder
+from repro.bpmn.model import Process
+
+#: Fig. 7 — start -> task -> end within pool P.
+FIG7_COWS = "P.T!<> | P.T?<>.P.E!<> | P.E?<>"
+
+#: Fig. 8 — an exclusive gateway choosing between T1 and T2.
+FIG8_COWS = """
+P.T!<>
+| P.T?<>. P.G!<>
+| P.G?<>. [ +k, sys ] ( sys.T1!<> | sys.T2!<>
+    | sys.T1?<>.(kill(k) | {| P.T1!<> |})
+    | sys.T2?<>.(kill(k) | {| P.T2!<> |}) )
+| P.T1?<>. P.E1!<>
+| P.E1?<>
+| P.T2?<>. P.E2!<>
+| P.E2?<>
+"""
+
+#: Fig. 9 — a task that proceeds normally or signals sys.Err.
+FIG9_COWS = """
+P.T!<>
+| P.T?<>. [ +k, sys ] ( sys.Err!<> | sys.T2!<>
+    | sys.Err?<>.(kill(k) | {| P.T1!<> |})
+    | sys.T2?<>.(kill(k) | {| P.T2!<> |}) )
+| P.T1?<>. P.E1!<>
+| P.E1?<>
+| P.T2?<>. P.E2!<>
+| P.E2?<>
+"""
+
+#: Fig. 10 — two pools exchanging messages in a cycle.
+FIG10_COWS = """
+P1.T1!<>
+| *( [?z] P1.S2?<?z>. P1.T1!<> )
+| *( P1.T1?<>. P1.E1!<> )
+| *( P1.E1?<>. P2.S3!<msg1> )
+| *( [?z] P2.S3?<?z>. P2.T2!<> )
+| *( P2.T2?<>. P2.E2!<> )
+| *( P2.E2?<>. P1.S2!<msg2> )
+"""
+
+
+def fig7_process() -> Process:
+    """The BPMN process of Fig. 7(a): S -> T -> E in pool P."""
+    builder = ProcessBuilder("fig7", purpose="fig7")
+    builder.pool("P").start_event("S").task("T").end_event("E")
+    builder.chain("S", "T", "E")
+    return builder.build()
+
+
+def fig8_process() -> Process:
+    """The BPMN process of Fig. 8(a): an exclusive choice between T1 and T2."""
+    builder = ProcessBuilder("fig8", purpose="fig8")
+    pool = builder.pool("P")
+    pool.start_event("S").task("T").exclusive_gateway("G")
+    pool.task("T1").end_event("E1").task("T2").end_event("E2")
+    builder.chain("S", "T", "G")
+    builder.flow("G", "T1").flow("G", "T2")
+    builder.chain("T1", "E1")
+    builder.chain("T2", "E2")
+    return builder.build()
+
+
+def fig9_process() -> Process:
+    """The BPMN process of Fig. 9(a): task T with an attached error event.
+
+    On success the token reaches T2; on error it is diverted to T1 (the
+    error-handling task).
+    """
+    builder = ProcessBuilder("fig9", purpose="fig9")
+    pool = builder.pool("P")
+    pool.start_event("S").task("T")
+    pool.task("T1").end_event("E1").task("T2").end_event("E2")
+    builder.chain("S", "T", "T2", "E2")
+    builder.chain("T1", "E1")
+    builder.error_flow("T", "T1")
+    return builder.build()
+
+
+def fig10_process() -> Process:
+    """The BPMN process of Fig. 10(a): two pools ping-ponging messages."""
+    builder = ProcessBuilder("fig10", purpose="fig10")
+    pool1 = builder.pool("P1")
+    pool1.start_event("S1")
+    pool1.message_start_event("S2", message="msg2")
+    pool1.task("T1")
+    pool1.message_end_event("E1", message="msg1")
+    pool2 = builder.pool("P2")
+    pool2.message_start_event("S3", message="msg1")
+    pool2.task("T2")
+    pool2.message_end_event("E2", message="msg2")
+    builder.chain("S1", "T1", "E1")
+    builder.chain("S2", "T1")
+    builder.chain("S3", "T2", "E2")
+    return builder.build()

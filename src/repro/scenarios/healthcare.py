@@ -1,0 +1,263 @@
+"""The paper's running example (Section 2), ready-made.
+
+* :func:`healthcare_treatment_process` — the BPMN process of **Fig. 1**:
+  a GP examines the patient and either diagnoses directly or refers to a
+  cardiologist, who may order lab tests and/or radiology scans from the
+  lab and radiology departments before diagnosing; the GP then
+  prescribes and discharges.
+* :func:`clinical_trial_process` — the physician's part of the clinical
+  trial of **Fig. 2**: define criteria, select candidates, enroll,
+  perform the trial (repeatedly), analyze results.
+* :func:`role_hierarchy` — GP/Cardiologist/Radiologist specialize
+  Physician; MedicalLabTech specializes MedicalTech (Section 3.2).
+* :func:`paper_policy` — the data protection policy of **Fig. 3**,
+  verbatim; :func:`extended_policy` adds the clinical-trial workspace
+  statements an operational deployment needs.
+* :func:`paper_audit_trail` — the audit trail of **Fig. 4**, verbatim:
+  the compliant treatment of Jane (case HT-1), plus the cardiologist's
+  re-purposing attack — EPRs of many patients opened under fresh
+  treatment cases HT-10 ... HT-30 while actually selecting clinical-trial
+  candidates (case CT-1).
+
+Identifiers follow the paper where it names them (T01..T15, T91..T95,
+S1..S6, G1..G3, HT-n, CT-n); connective elements the figures leave
+implicit (message events, the inclusive join) get descriptive ids.
+"""
+
+from __future__ import annotations
+
+from repro.audit.model import AuditTrail, LogEntry, Status
+from repro.bpmn.builder import ProcessBuilder
+from repro.bpmn.model import Process
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import ConsentRegistry, Policy, UserDirectory
+from repro.policy.parser import parse_policy
+from repro.policy.registry import ProcessRegistry
+
+#: Purposes, as named in Fig. 3.
+TREATMENT = "treatment"
+CLINICAL_TRIAL = "clinicaltrial"
+
+#: Case prefixes, as used in Fig. 4.
+HT_PREFIX = "HT"
+CT_PREFIX = "CT"
+
+#: Roles.
+GP = "GP"
+CARDIOLOGIST = "Cardiologist"
+RADIOLOGIST = "Radiologist"
+MEDICAL_LAB_TECH = "MedicalLabTech"
+PHYSICIAN = "Physician"
+MEDICAL_TECH = "MedicalTech"
+
+
+def healthcare_treatment_process() -> Process:
+    """The healthcare-treatment process of Fig. 1."""
+    builder = ProcessBuilder("healthcare-treatment", purpose=TREATMENT)
+
+    gp = builder.pool(GP)
+    gp.start_event("S1", name="Patient visits GP")
+    gp.message_start_event("S2", message="diagnosis_ready", name="Diagnosis received")
+    gp.task("T01", name="Retrieve EPR and collect symptoms")
+    gp.exclusive_gateway("G1", name="Diagnosis possible?")
+    gp.task("T02", name="Make diagnosis")
+    gp.task("T03", name="Prescribe medical treatment")
+    gp.task("T04", name="Discharge patient")
+    gp.task("T05", name="Refer to specialist")
+    gp.end_event("E0", name="Treatment completed")
+    gp.message_end_event("E1", message="referral", name="Referral sent")
+    builder.chain("S1", "T01")
+    builder.chain("S2", "T01")
+    builder.chain("T01", "G1")
+    builder.flow("G1", "T02").flow("G1", "T05")
+    builder.chain("T02", "T03", "T04", "E0")
+    builder.chain("T05", "E1")
+    builder.error_flow("T02", "T01")  # diagnosis failed: examine again
+
+    cardio = builder.pool(CARDIOLOGIST)
+    cardio.message_start_event("S3", message="referral", name="Referral received")
+    cardio.task("T06", name="Access medical history / retrieve results")
+    cardio.exclusive_gateway("G2", name="Diagnosis possible?")
+    cardio.task("T07", name="Make diagnosis")
+    cardio.message_end_event("E4", message="diagnosis_ready", name="Notify GP")
+    cardio.inclusive_gateway("G3", name="Order tests and/or scans")
+    cardio.task("T08", name="Order lab tests")
+    cardio.task("T09", name="Order radiology scans")
+    cardio.message_throw_event("V1", message="lab_order", name="Send lab order")
+    cardio.message_throw_event("V2", message="scan_order", name="Send scan order")
+    cardio.message_catch_event("V3", message="lab_done", name="Await lab results")
+    cardio.message_catch_event("V4", message="scan_done", name="Await scans")
+    cardio.inclusive_gateway("J3", join_of="G3", name="All ordered results in")
+    builder.chain("S3", "T06", "G2")
+    builder.flow("G2", "T07").flow("G2", "G3")
+    builder.chain("T07", "E4")
+    builder.flow("G3", "T08").flow("G3", "T09")
+    builder.chain("T08", "V1", "V3", "J3")
+    builder.chain("T09", "V2", "V4", "J3")
+    builder.flow("J3", "T06")  # S4 of Fig. 1: retrieve results, try to diagnose
+
+    lab = builder.pool(MEDICAL_LAB_TECH)
+    lab.message_start_event("S5", message="lab_order", name="Lab order received")
+    lab.task("T13", name="Check EPR for counter-indications")
+    lab.task("T14", name="Perform lab tests")
+    lab.task("T15", name="Export results to HIS")
+    lab.message_end_event("E6", message="lab_done", name="Notify cardiologist")
+    builder.chain("S5", "T13", "T14", "T15", "E6")
+
+    radiology = builder.pool(RADIOLOGIST)
+    radiology.message_start_event("S6", message="scan_order", name="Scan order received")
+    radiology.task("T10", name="Check EPR for counter-indications")
+    radiology.task("T11", name="Perform radiology scan")
+    radiology.task("T12", name="Export scans to HIS")
+    radiology.message_end_event("E7", message="scan_done", name="Notify cardiologist")
+    builder.chain("S6", "T10", "T11", "T12", "E7")
+
+    return builder.build()
+
+
+def clinical_trial_process() -> Process:
+    """The physician's part of the clinical-trial process of Fig. 2."""
+    builder = ProcessBuilder("clinical-trial", purpose=CLINICAL_TRIAL)
+    physician = builder.pool(PHYSICIAN)
+    physician.start_event("S90", name="Trial starts")
+    physician.task("T91", name="Define eligibility criteria")
+    physician.task("T92", name="Select candidates from EPRs")
+    physician.task("T93", name="Ask candidates to participate")
+    physician.task("T94", name="Perform trial")
+    physician.exclusive_gateway("G90", name="Trial complete?")
+    physician.task("T95", name="Analyze results")
+    physician.end_event("E90", name="Trial finished")
+    builder.chain("S90", "T91", "T92", "T93", "T94", "G90")
+    builder.flow("G90", "T94")  # further measurement rounds
+    builder.flow("G90", "T95")
+    builder.chain("T95", "E90")
+    return builder.build()
+
+
+def role_hierarchy() -> RoleHierarchy:
+    """GP, Cardiologist, Radiologist <- Physician; MedicalLabTech <- MedicalTech."""
+    hierarchy = RoleHierarchy()
+    hierarchy.add_role(PHYSICIAN)
+    hierarchy.add_role(MEDICAL_TECH)
+    hierarchy.add_role(GP, PHYSICIAN)
+    hierarchy.add_role(CARDIOLOGIST, PHYSICIAN)
+    hierarchy.add_role(RADIOLOGIST, PHYSICIAN)
+    hierarchy.add_role(MEDICAL_LAB_TECH, MEDICAL_TECH)
+    return hierarchy
+
+
+#: Fig. 3, verbatim (the [X] row is the consent-conditional statement).
+PAPER_POLICY_TEXT = """
+(Physician, read, [.]EPR/Clinical, treatment)
+(Physician, write, [.]EPR/Clinical, treatment)
+(Physician, read, [.]EPR/Demographics, treatment)
+(MedicalTech, read, [.]EPR/Clinical, treatment)
+(MedicalTech, read, [.]EPR/Demographics, treatment)
+(MedicalLabTech, write, [.]EPR/Clinical/Tests, treatment)
+(Physician, read, [X]EPR, clinicaltrial)
+"""
+
+#: Operational additions: the trial workspace and scan software are not
+#: personal data, but a deployed PDP still needs statements for them.
+EXTENDED_POLICY_TEXT = PAPER_POLICY_TEXT + """
+(Physician, write, ClinicalTrial, clinicaltrial)
+(Physician, read, ClinicalTrial, clinicaltrial)
+(Physician, execute, ScanSoftware, treatment)
+(MedicalTech, execute, ScanSoftware, treatment)
+"""
+
+
+def paper_policy() -> Policy:
+    """The data protection policy of Fig. 3, verbatim."""
+    return parse_policy(PAPER_POLICY_TEXT)
+
+
+def extended_policy() -> Policy:
+    """Fig. 3 plus the operational statements the full trail exercises."""
+    return parse_policy(EXTENDED_POLICY_TEXT)
+
+
+def user_directory() -> UserDirectory:
+    """The staff of the running example."""
+    directory = UserDirectory()
+    directory.assign("John", GP)
+    directory.assign("Bob", CARDIOLOGIST)
+    directory.assign("Charlie", RADIOLOGIST)
+    directory.assign("Dana", MEDICAL_LAB_TECH)
+    return directory
+
+
+def consent_registry() -> ConsentRegistry:
+    """Consents: Jane gave **no** research consent (Section 2); Alice did."""
+    registry = ConsentRegistry()
+    registry.grant("Alice", CLINICAL_TRIAL)
+    return registry
+
+
+def process_registry() -> ProcessRegistry:
+    """Both organizational processes, under their Fig. 4 case prefixes."""
+    registry = ProcessRegistry()
+    registry.register(healthcare_treatment_process(), HT_PREFIX)
+    registry.register(clinical_trial_process(), CT_PREFIX)
+    return registry
+
+
+def _entry(
+    user: str,
+    role: str,
+    action: str,
+    obj: str | None,
+    task: str,
+    case: str,
+    timestamp: str,
+    status: Status = Status.SUCCESS,
+) -> LogEntry:
+    return LogEntry.at(user, role, action, obj, task, case, timestamp, status)
+
+
+def paper_audit_trail() -> AuditTrail:
+    """The audit trail of Fig. 4, verbatim."""
+    e = _entry
+    entries = [
+        e("John", GP, "read", "[Jane]EPR/Clinical", "T01", "HT-1", "201003121210"),
+        e("John", GP, "write", "[Jane]EPR/Clinical", "T02", "HT-1", "201003121212"),
+        e("John", GP, "cancel", None, "T02", "HT-1", "201003121216", Status.FAILURE),
+        e("John", GP, "read", "[Jane]EPR/Clinical", "T01", "HT-1", "201003121218"),
+        e("John", GP, "write", "[Jane]EPR/Clinical", "T05", "HT-1", "201003121220"),
+        e("John", GP, "read", "[David]EPR/Demographics", "T01", "HT-2", "201003121230"),
+        e("Bob", CARDIOLOGIST, "read", "[Jane]EPR/Clinical", "T06", "HT-1", "201003141010"),
+        e("Bob", CARDIOLOGIST, "write", "[Jane]EPR/Clinical", "T09", "HT-1", "201003141025"),
+        e("Charlie", RADIOLOGIST, "read", "[Jane]EPR/Clinical", "T10", "HT-1", "201003201640"),
+        e("Charlie", RADIOLOGIST, "execute", "ScanSoftware", "T11", "HT-1", "201003201645"),
+        e("Charlie", RADIOLOGIST, "write", "[Jane]EPR/Clinical/Scan", "T12", "HT-1", "201003201730"),
+        e("Bob", CARDIOLOGIST, "read", "[Jane]EPR/Clinical", "T06", "HT-1", "201003301010"),
+        e("Bob", CARDIOLOGIST, "write", "[Jane]EPR/Clinical", "T07", "HT-1", "201003301020"),
+        e("John", GP, "read", "[Jane]EPR/Clinical", "T01", "HT-1", "201004151210"),
+        e("John", GP, "write", "[Jane]EPR/Clinical", "T02", "HT-1", "201004151210"),
+        e("John", GP, "write", "[Jane]EPR/Clinical", "T03", "HT-1", "201004151215"),
+        e("John", GP, "write", "[Jane]EPR/Clinical", "T04", "HT-1", "201004151220"),
+        e("Bob", CARDIOLOGIST, "write", "ClinicalTrial/Criteria", "T91", "CT-1", "201004151450"),
+        e("Bob", CARDIOLOGIST, "read", "[Alice]EPR/Clinical", "T06", "HT-10", "201004151500"),
+        e("Bob", CARDIOLOGIST, "read", "[Jane]EPR/Clinical", "T06", "HT-11", "201004151501"),
+        e("Bob", CARDIOLOGIST, "read", "[David]EPR/Clinical", "T06", "HT-20", "201004151515"),
+        e("Bob", CARDIOLOGIST, "write", "ClinicalTrial/ListOfSelCand", "T92", "CT-1", "201004151520"),
+        e("Bob", CARDIOLOGIST, "read", "[Alice]EPR/Demographics", "T06", "HT-21", "201004151530"),
+        e("Bob", CARDIOLOGIST, "read", "[David]EPR/Demographics", "T06", "HT-30", "201004151550"),
+        e("Bob", CARDIOLOGIST, "write", "ClinicalTrial/ListOfEnrCand", "T93", "CT-1", "201004201200"),
+        e("Bob", CARDIOLOGIST, "write", "ClinicalTrial/Measurements", "T94", "CT-1", "201004221600"),
+        e("Bob", CARDIOLOGIST, "write", "ClinicalTrial/Measurements", "T94", "CT-1", "201004291600"),
+        e("Bob", CARDIOLOGIST, "write", "ClinicalTrial/Results", "T95", "CT-1", "201004301200"),
+    ]
+    return AuditTrail(entries)
+
+
+#: The cases of Fig. 4 that are valid executions of their claimed process.
+COMPLIANT_CASES = frozenset({"HT-1", "CT-1"})
+
+#: The fresh treatment cases Bob opened purely to harvest EPRs for the
+#: trial — each is a single T06 access, not a valid HT execution.
+REPURPOSED_CASES = frozenset({"HT-10", "HT-11", "HT-20", "HT-21", "HT-30"})
+
+#: HT-2 is a different patient's treatment that has only begun: its trail
+#: is a valid *prefix* (compliant so far, to be resumed later).
+OPEN_CASES = frozenset({"HT-2"})

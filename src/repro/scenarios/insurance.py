@@ -1,0 +1,208 @@
+"""A second domain scenario: insurance claim handling vs marketing.
+
+The paper's purpose taxonomy (via the XSPA healthcare profile it cites)
+includes *payment* and *marketing* next to treatment and research; this
+scenario instantiates the framework outside the hospital:
+
+* :func:`claim_handling_process` — the **claim-handling** purpose: an
+  agent registers a claim; an adjuster investigates, possibly ordering
+  an external expert assessment (with an error retry on the
+  investigation); the payments office settles approved claims.
+* :func:`marketing_process` — the **marketing** purpose: an analyst
+  builds a campaign audience from customer profiles and sends offers.
+* :func:`insurance_policy` — customer files may be read/written for
+  claim handling; profiles may be used for marketing only with consent.
+* :func:`insurance_audit_trail` — a day of activity with an embedded
+  re-purposing attack: an adjuster trawls customer files under fresh
+  claim cases to build a marketing audience (the Fig. 4 pattern
+  transplanted).
+
+Identifiers: claim cases ``CL-n``, marketing cases ``MK-n``.
+"""
+
+from __future__ import annotations
+
+from repro.audit.model import AuditTrail, LogEntry, Status
+from repro.bpmn.builder import ProcessBuilder
+from repro.bpmn.model import Process
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import ConsentRegistry, Policy, UserDirectory
+from repro.policy.parser import parse_policy
+from repro.policy.registry import ProcessRegistry
+
+CLAIM_HANDLING = "claimhandling"
+MARKETING = "marketing"
+
+CL_PREFIX = "CL"
+MK_PREFIX = "MK"
+
+AGENT = "Agent"
+ADJUSTER = "Adjuster"
+PAYMENTS = "PaymentsOfficer"
+ANALYST = "MarketingAnalyst"
+CLERK = "Clerk"  # generalization of Agent and PaymentsOfficer
+
+
+def claim_handling_process() -> Process:
+    """Claim handling across three pools with an expert side-process."""
+    builder = ProcessBuilder("claim-handling", purpose=CLAIM_HANDLING)
+
+    agent = builder.pool(AGENT)
+    agent.start_event("S1", name="Claim reported")
+    agent.task("C01", name="Register claim")
+    agent.message_end_event("E1", message="claim_filed", name="Forward to adjuster")
+    builder.chain("S1", "C01", "E1")
+
+    adjuster = builder.pool(ADJUSTER)
+    adjuster.message_start_event("S2", message="claim_filed")
+    adjuster.task("C02", name="Investigate claim")
+    adjuster.exclusive_gateway("G1", name="Expert needed?")
+    adjuster.task("C03", name="Order expert assessment")
+    adjuster.message_throw_event("V1", message="assessment_order")
+    adjuster.message_catch_event("V2", message="assessment_done")
+    adjuster.exclusive_gateway("M1")
+    adjuster.task("C04", name="Decide claim")
+    adjuster.exclusive_gateway("G2", name="Approved?")
+    adjuster.message_end_event("E2", message="settlement_order", name="To payments")
+    adjuster.end_event("E3", name="Claim rejected")
+    builder.chain("S2", "C02", "G1")
+    builder.flow("G1", "C03").flow("G1", "M1")
+    builder.chain("C03", "V1", "V2", "M1")
+    builder.chain("M1", "C04", "G2")
+    builder.flow("G2", "E2").flow("G2", "E3")
+    builder.error_flow("C02", "C02")  # incomplete file: investigate again
+
+    expert = builder.pool("Expert")
+    expert.message_start_event("S3", message="assessment_order")
+    expert.task("C10", name="Assess damage")
+    expert.message_end_event("E4", message="assessment_done")
+    builder.chain("S3", "C10", "E4")
+
+    payments = builder.pool(PAYMENTS)
+    payments.message_start_event("S4", message="settlement_order")
+    payments.task("C05", name="Verify account")
+    payments.task("C06", name="Pay out")
+    payments.end_event("E5", name="Settled")
+    builder.chain("S4", "C05", "C06", "E5")
+
+    return builder.build()
+
+
+def marketing_process() -> Process:
+    """Campaign building: audience -> offers -> evaluation (loop)."""
+    builder = ProcessBuilder("marketing-campaign", purpose=MARKETING)
+    analyst = builder.pool(ANALYST)
+    analyst.start_event("S1", name="Campaign starts")
+    analyst.task("M01", name="Define campaign")
+    analyst.task("M02", name="Select audience from profiles")
+    analyst.task("M03", name="Send offers")
+    analyst.exclusive_gateway("G1", name="Another wave?")
+    analyst.task("M04", name="Evaluate response")
+    analyst.end_event("E1", name="Campaign done")
+    builder.chain("S1", "M01", "M02", "M03", "G1")
+    builder.flow("G1", "M03")  # another wave of offers
+    builder.flow("G1", "M04")
+    builder.chain("M04", "E1")
+    return builder.build()
+
+
+def insurance_role_hierarchy() -> RoleHierarchy:
+    hierarchy = RoleHierarchy()
+    hierarchy.add_role(CLERK)
+    hierarchy.add_role(AGENT, CLERK)
+    hierarchy.add_role(PAYMENTS, CLERK)
+    hierarchy.add_role(ADJUSTER)
+    hierarchy.add_role(ANALYST)
+    hierarchy.add_role("Expert")
+    return hierarchy
+
+
+INSURANCE_POLICY_TEXT = """
+# claim handling: the customer file is fair game for the handlers
+(Clerk, read, [.]CustomerFile, claimhandling)
+(Clerk, write, [.]CustomerFile/Claims, claimhandling)
+(Adjuster, read, [.]CustomerFile, claimhandling)
+(Adjuster, write, [.]CustomerFile/Claims, claimhandling)
+(Expert, read, [.]CustomerFile/Claims, claimhandling)
+(PaymentsOfficer, read, [.]CustomerFile/Payments, claimhandling)
+(PaymentsOfficer, write, [.]CustomerFile/Payments, claimhandling)
+# marketing: profiles only with consent
+(MarketingAnalyst, read, [X]CustomerFile/Profile, marketing)
+(MarketingAnalyst, write, Campaign, marketing)
+(MarketingAnalyst, read, Campaign, marketing)
+"""
+
+
+def insurance_policy() -> Policy:
+    return parse_policy(INSURANCE_POLICY_TEXT)
+
+
+def insurance_user_directory() -> UserDirectory:
+    directory = UserDirectory()
+    directory.assign("Amira", AGENT)
+    directory.assign("Ade", ADJUSTER)
+    directory.assign("Xin", "Expert")
+    directory.assign("Pat", PAYMENTS)
+    directory.assign("Mika", ANALYST)
+    return directory
+
+
+def insurance_consent_registry() -> ConsentRegistry:
+    registry = ConsentRegistry()
+    registry.grant("Noor", MARKETING)
+    return registry
+
+
+def insurance_registry() -> ProcessRegistry:
+    registry = ProcessRegistry()
+    registry.register(claim_handling_process(), CL_PREFIX)
+    registry.register(marketing_process(), MK_PREFIX)
+    return registry
+
+
+def _entry(user, role, action, obj, task, case, ts, status=Status.SUCCESS):
+    return LogEntry.at(user, role, action, obj, task, case, ts, status)
+
+
+def insurance_audit_trail() -> AuditTrail:
+    """A day of claims plus an embedded profile-harvesting attack.
+
+    CL-1 is a complete, expert-assisted claim; CL-2 a rejected one.
+    MK-1 is a legitimate campaign.  CL-10..CL-12 are the attack: the
+    adjuster opens customer files under fresh claim cases while actually
+    building a marketing audience.
+    """
+    e = _entry
+    entries = [
+        # CL-1: full happy path with an expert assessment and a retry.
+        e("Amira", AGENT, "write", "[Noor]CustomerFile/Claims", "C01", "CL-1", "202601050900"),
+        e("Ade", ADJUSTER, "read", "[Noor]CustomerFile", "C02", "CL-1", "202601051000"),
+        e("Ade", ADJUSTER, "cancel", None, "C02", "CL-1", "202601051015", Status.FAILURE),
+        e("Ade", ADJUSTER, "read", "[Noor]CustomerFile", "C02", "CL-1", "202601051100"),
+        e("Ade", ADJUSTER, "write", "[Noor]CustomerFile/Claims", "C03", "CL-1", "202601051130"),
+        e("Xin", "Expert", "read", "[Noor]CustomerFile/Claims", "C10", "CL-1", "202601060900"),
+        e("Ade", ADJUSTER, "write", "[Noor]CustomerFile/Claims", "C04", "CL-1", "202601061400"),
+        e("Pat", PAYMENTS, "read", "[Noor]CustomerFile/Payments", "C05", "CL-1", "202601070900"),
+        e("Pat", PAYMENTS, "write", "[Noor]CustomerFile/Payments", "C06", "CL-1", "202601070930"),
+        # CL-2: investigated and rejected, no expert.
+        e("Amira", AGENT, "write", "[Ravi]CustomerFile/Claims", "C01", "CL-2", "202601051300"),
+        e("Ade", ADJUSTER, "read", "[Ravi]CustomerFile", "C02", "CL-2", "202601051400"),
+        e("Ade", ADJUSTER, "write", "[Ravi]CustomerFile/Claims", "C04", "CL-2", "202601051500"),
+        # MK-1: legitimate campaign over consenting customers.
+        e("Mika", ANALYST, "write", "Campaign/Definition", "M01", "MK-1", "202601080900"),
+        e("Mika", ANALYST, "read", "[Noor]CustomerFile/Profile", "M02", "MK-1", "202601080930"),
+        e("Mika", ANALYST, "write", "Campaign/Audience", "M02", "MK-1", "202601080940"),
+        e("Mika", ANALYST, "write", "Campaign/Offers", "M03", "MK-1", "202601081000"),
+        e("Mika", ANALYST, "write", "Campaign/Offers", "M03", "MK-1", "202601090900"),
+        e("Mika", ANALYST, "write", "Campaign/Report", "M04", "MK-1", "202601100900"),
+        # The attack: Ade harvests profiles under fresh claim cases.
+        e("Ade", ADJUSTER, "read", "[Noor]CustomerFile/Profile", "C02", "CL-10", "202601081010"),
+        e("Ade", ADJUSTER, "read", "[Ravi]CustomerFile/Profile", "C02", "CL-11", "202601081012"),
+        e("Ade", ADJUSTER, "read", "[Sena]CustomerFile/Profile", "C02", "CL-12", "202601081015"),
+    ]
+    return AuditTrail(entries)
+
+
+#: Ground truth for the insurance trail.
+INSURANCE_COMPLIANT_CASES = frozenset({"CL-1", "CL-2", "MK-1"})
+INSURANCE_REPURPOSED_CASES = frozenset({"CL-10", "CL-11", "CL-12"})

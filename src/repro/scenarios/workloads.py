@@ -1,0 +1,326 @@
+"""Parameterized workload generators for the scalability experiments.
+
+Two families:
+
+* **synthetic process families** — processes with a single tunable knob
+  (length, branching, looping, parallelism), used by the benchmarks to
+  sweep Algorithm 1's cost drivers and to exhibit the trace blow-up of
+  the naive baseline (experiment E8);
+* **hospital-scale workloads** — a synthetic "day at the hospital" in the
+  spirit of the Geneva University Hospitals figure the paper cites
+  (20,000 records opened every day): many concurrent treatment cases,
+  a configurable fraction of them infringing, with ground truth for
+  precision/recall accounting (experiment E11).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.audit.generator import TaskAction, TaskProfile, TrailGenerator
+from repro.audit.model import AuditTrail, LogEntry, Status
+from repro.bpmn.builder import ProcessBuilder
+from repro.bpmn.encode import EncodedProcess, encode
+from repro.bpmn.model import Process
+from repro.policy.model import ObjectRef
+from repro.scenarios.healthcare import (
+    CARDIOLOGIST,
+    GP,
+    MEDICAL_LAB_TECH,
+    RADIOLOGIST,
+    healthcare_treatment_process,
+    role_hierarchy,
+)
+
+# ---------------------------------------------------------------------------
+# synthetic process families
+
+
+def sequential_process(n_tasks: int, role: str = "Staff") -> Process:
+    """A straight-line process: S -> T1 -> ... -> Tn -> E."""
+    if n_tasks < 1:
+        raise ValueError("need at least one task")
+    builder = ProcessBuilder(f"seq-{n_tasks}", purpose=f"seq-{n_tasks}")
+    pool = builder.pool(role)
+    pool.start_event("S")
+    for i in range(1, n_tasks + 1):
+        pool.task(f"T{i}")
+    pool.end_event("E")
+    builder.chain("S", *(f"T{i}" for i in range(1, n_tasks + 1)), "E")
+    return builder.build()
+
+
+def xor_process(n_branches: int, role: str = "Staff") -> Process:
+    """S -> T0 -> XOR -> one of B1..Bn -> XOR-join -> E."""
+    if n_branches < 2:
+        raise ValueError("need at least two branches")
+    builder = ProcessBuilder(f"xor-{n_branches}", purpose=f"xor-{n_branches}")
+    pool = builder.pool(role)
+    pool.start_event("S").task("T0").exclusive_gateway("G")
+    pool.exclusive_gateway("J").end_event("E")
+    builder.chain("S", "T0", "G")
+    for i in range(1, n_branches + 1):
+        pool.task(f"B{i}")
+        builder.flow("G", f"B{i}").flow(f"B{i}", "J")
+    builder.chain("J", "E")
+    return builder.build()
+
+
+def loop_process(body_tasks: int, role: str = "Staff") -> Process:
+    """A loop: S -> T1..Tn -> XOR -> (back to T1 | E).
+
+    The cycle contains tasks, so the process is well-founded — but its
+    trace set is infinite, which is what breaks the naive baseline.
+    """
+    if body_tasks < 1:
+        raise ValueError("need at least one body task")
+    builder = ProcessBuilder(f"loop-{body_tasks}", purpose=f"loop-{body_tasks}")
+    pool = builder.pool(role)
+    pool.start_event("S")
+    for i in range(1, body_tasks + 1):
+        pool.task(f"T{i}")
+    pool.exclusive_gateway("G").end_event("E")
+    builder.chain("S", *(f"T{i}" for i in range(1, body_tasks + 1)), "G")
+    builder.flow("G", "T1")
+    builder.flow("G", "E")
+    return builder.build()
+
+
+def parallel_process(n_branches: int, role: str = "Staff") -> Process:
+    """S -> T0 -> AND-split -> B1..Bn (concurrently) -> AND-join -> E."""
+    if n_branches < 2:
+        raise ValueError("need at least two branches")
+    builder = ProcessBuilder(f"par-{n_branches}", purpose=f"par-{n_branches}")
+    pool = builder.pool(role)
+    pool.start_event("S").task("T0").parallel_gateway("G")
+    pool.parallel_gateway("J").task("TZ").end_event("E")
+    builder.chain("S", "T0", "G")
+    for i in range(1, n_branches + 1):
+        pool.task(f"B{i}")
+        builder.flow("G", f"B{i}").flow(f"B{i}", "J")
+    builder.chain("J", "TZ", "E")
+    return builder.build()
+
+
+def staged_xor_process(stages: int, width: int = 2, role: str = "Staff") -> Process:
+    """*stages* consecutive XOR choices of *width* branches each.
+
+    The number of observable traces is ``width ** stages`` — the
+    combinatorial generator for the naive-baseline blow-up bench.
+    """
+    if stages < 1 or width < 2:
+        raise ValueError("need stages >= 1 and width >= 2")
+    builder = ProcessBuilder(
+        f"stagedxor-{stages}x{width}", purpose=f"stagedxor-{stages}x{width}"
+    )
+    pool = builder.pool(role)
+    pool.start_event("S")
+    previous = "S"
+    for stage in range(1, stages + 1):
+        split, join = f"G{stage}", f"J{stage}"
+        pool.exclusive_gateway(split)
+        pool.exclusive_gateway(join)
+        builder.flow(previous, split)
+        for branch in range(1, width + 1):
+            task = f"T{stage}_{branch}"
+            pool.task(task)
+            builder.flow(split, task).flow(task, join)
+        previous = join
+    pool.end_event("E")
+    builder.flow(previous, "E")
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# hospital-scale workload
+
+
+#: What staff actually do inside the Fig. 1 tasks (objects per task).
+HOSPITAL_PROFILE = TaskProfile(
+    actions={
+        "T01": [
+            TaskAction("read", "[{subject}]EPR/Clinical"),
+            TaskAction("read", "[{subject}]EPR/Demographics"),
+        ],
+        "T02": [TaskAction("write", "[{subject}]EPR/Clinical")],
+        "T03": [TaskAction("write", "[{subject}]EPR/Clinical")],
+        "T04": [TaskAction("write", "[{subject}]EPR/Clinical")],
+        "T05": [TaskAction("write", "[{subject}]EPR/Clinical")],
+        "T06": [TaskAction("read", "[{subject}]EPR/Clinical")],
+        "T07": [TaskAction("write", "[{subject}]EPR/Clinical")],
+        "T08": [TaskAction("write", "[{subject}]EPR/Clinical")],
+        "T09": [TaskAction("write", "[{subject}]EPR/Clinical")],
+        "T10": [TaskAction("read", "[{subject}]EPR/Clinical")],
+        "T11": [TaskAction("execute", "ScanSoftware")],
+        "T12": [TaskAction("write", "[{subject}]EPR/Clinical/Scan")],
+        "T13": [TaskAction("read", "[{subject}]EPR/Clinical")],
+        "T14": [TaskAction("execute", "LabAnalyzer")],
+        "T15": [TaskAction("write", "[{subject}]EPR/Clinical/Tests")],
+    }
+)
+
+#: Default staffing of the Fig. 1 pools.
+HOSPITAL_STAFF: dict[str, list[tuple[str, str]]] = {
+    GP: [("John", GP), ("Grace", GP)],
+    CARDIOLOGIST: [("Bob", CARDIOLOGIST), ("Carol", CARDIOLOGIST)],
+    RADIOLOGIST: [("Charlie", RADIOLOGIST)],
+    MEDICAL_LAB_TECH: [("Dana", MEDICAL_LAB_TECH)],
+}
+
+
+@dataclass(frozen=True)
+class HospitalWorkload:
+    """A generated day of hospital logs with per-case ground truth.
+
+    ``violation_kinds`` maps each non-compliant case to its injected
+    violation class (``mimicry`` / ``wrong-role`` / ``skip`` /
+    ``reorder``); compliant cases are absent from it.
+    """
+
+    trail: AuditTrail
+    ground_truth: dict[str, bool]  # case -> is compliant
+    encoded: EncodedProcess
+    violation_kinds: dict[str, str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.violation_kinds is None:
+            object.__setattr__(self, "violation_kinds", {})
+
+    @property
+    def case_count(self) -> int:
+        return len(self.ground_truth)
+
+    @property
+    def violation_count(self) -> int:
+        return sum(1 for ok in self.ground_truth.values() if not ok)
+
+    def cases_of_kind(self, kind: str) -> list[str]:
+        return [c for c, k in self.violation_kinds.items() if k == kind]
+
+
+#: The default mix of injected violation classes (weights).
+DEFAULT_VIOLATION_MIX: dict[str, float] = {"mimicry": 1.0}
+
+#: All supported violation classes.
+VIOLATION_KINDS = ("mimicry", "wrong-role", "skip", "reorder")
+
+
+def hospital_day(
+    n_cases: int,
+    violation_rate: float = 0.1,
+    seed: int = 0,
+    min_steps: int = 2,
+    violation_mix: dict[str, float] | None = None,
+) -> HospitalWorkload:
+    """Generate *n_cases* treatment cases, a fraction of them infringing.
+
+    ``violation_mix`` weights the injected violation classes:
+
+    * ``mimicry`` — a single fresh-case T06 read (the HT-11 pattern);
+    * ``wrong-role`` — a compliant run whose first entry is relabeled to
+      a role outside the GP pool;
+    * ``skip`` — a compliant run with the opening task's entries dropped;
+    * ``reorder`` — a compliant run whose first two distinct-task blocks
+      swap their timestamps.
+
+    All four constructions are provably non-compliant (they each break
+    the mandatory ``GP.T01`` opening of the Fig. 1 process), so the
+    ground truth is exact by construction.
+    """
+    if not 0.0 <= violation_rate <= 1.0:
+        raise ValueError("violation_rate must be within [0, 1]")
+    mix = violation_mix or DEFAULT_VIOLATION_MIX
+    unknown = set(mix) - set(VIOLATION_KINDS)
+    if unknown:
+        raise ValueError(f"unknown violation kinds: {sorted(unknown)}")
+    kinds = sorted(mix)
+    weights = [mix[k] for k in kinds]
+
+    process = healthcare_treatment_process()
+    encoded = encode(process)
+    rng = random.Random(seed)
+    generator = TrailGenerator(
+        encoded,
+        users_by_role=HOSPITAL_STAFF,
+        profile=HOSPITAL_PROFILE,
+        hierarchy=role_hierarchy(),
+        seed=rng.randrange(2**31),
+        start_time=datetime(2010, 3, 1, 7, 0),
+    )
+    entries: list[LogEntry] = []
+    truth: dict[str, bool] = {}
+    violation_kinds: dict[str, str] = {}
+    clock = datetime(2010, 3, 1, 7, 0)
+    for index in range(1, n_cases + 1):
+        case = f"HT-{index}"
+        subject = f"Patient{index}"
+        clock += timedelta(minutes=rng.randint(1, 10))
+        if rng.random() < violation_rate:
+            kind = rng.choices(kinds, weights=weights)[0]
+            case_entries = _violating_case(
+                generator, rng, case, subject, kind, min_steps
+            )
+            violation_kinds[case] = kind
+            truth[case] = False
+        else:
+            generated = generator.generate_case(
+                case, subject, min_steps=min_steps
+            )
+            case_entries = generated.trail.entries
+            truth[case] = True
+        if case_entries:
+            offset = clock - min(e.timestamp for e in case_entries)
+            entries.extend(e.shifted(offset) for e in case_entries)
+    return HospitalWorkload(
+        trail=AuditTrail(entries),
+        ground_truth=truth,
+        encoded=encoded,
+        violation_kinds=violation_kinds,
+    )
+
+
+def _violating_case(
+    generator: TrailGenerator,
+    rng: random.Random,
+    case: str,
+    subject: str,
+    kind: str,
+    min_steps: int,
+) -> list[LogEntry]:
+    """Construct one provably non-compliant case of the given class."""
+    from dataclasses import replace
+
+    if kind == "mimicry":
+        return [
+            LogEntry(
+                user="Bob",
+                role=CARDIOLOGIST,
+                action="read",
+                obj=ObjectRef.parse(f"[{subject}]EPR/Clinical"),
+                task="T06",
+                case=case,
+                timestamp=datetime(2010, 3, 1),
+                status=Status.SUCCESS,
+            )
+        ]
+    base = generator.generate_case(
+        case, subject, min_steps=max(min_steps, 3)
+    ).trail.entries
+    first_task = base[0].task  # always T01: the process opens with it
+    if kind == "wrong-role":
+        base[0] = replace(base[0], role=MEDICAL_LAB_TECH, user="Dana")
+        return base
+    if kind == "skip":
+        return [e for e in base if e.task != first_task]
+    if kind == "reorder":
+        # Swap the first entry with the first entry of the next task.
+        other = next(i for i, e in enumerate(base) if e.task != first_task)
+        t0, t1 = base[0].timestamp, base[other].timestamp
+        base[0], base[other] = (
+            replace(base[other], timestamp=t0),
+            replace(base[0], timestamp=t1),
+        )
+        return base
+    raise ValueError(f"unknown violation kind {kind!r}")

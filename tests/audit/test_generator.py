@@ -1,0 +1,190 @@
+"""Tests for the synthetic trail generator and violation injection."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.audit import (
+    AuditTrail,
+    TaskAction,
+    TaskProfile,
+    TrailGenerator,
+    inject_mimicry_case,
+    inject_repurposed_tail,
+    inject_swap,
+    inject_task_skip,
+    inject_wrong_role,
+)
+from repro.bpmn import encode
+from repro.core import ComplianceChecker
+from repro.errors import GenerationError
+from repro.scenarios import (
+    healthcare_treatment_process,
+    role_hierarchy,
+    sequential_process,
+)
+from repro.scenarios.workloads import HOSPITAL_PROFILE, HOSPITAL_STAFF
+
+
+@pytest.fixture(scope="module")
+def ht_encoded():
+    return encode(healthcare_treatment_process())
+
+
+@pytest.fixture(scope="module")
+def ht_checker(ht_encoded):
+    return ComplianceChecker(ht_encoded, role_hierarchy())
+
+
+def make_generator(encoded, seed=7):
+    return TrailGenerator(
+        encoded,
+        users_by_role=HOSPITAL_STAFF,
+        profile=HOSPITAL_PROFILE,
+        hierarchy=role_hierarchy(),
+        seed=seed,
+    )
+
+
+class TestTaskProfile:
+    def test_defined_actions_returned(self):
+        profile = TaskProfile()
+        profile.define("T01", TaskAction("read", "[{subject}]EPR"))
+        assert profile.actions_for("T01")[0].action == "read"
+
+    def test_default_action_for_unknown_task(self):
+        profile = TaskProfile()
+        assert profile.actions_for("T99") == [profile.default]
+
+    def test_materialize_substitutes_subject(self):
+        action = TaskAction("read", "[{subject}]EPR/Clinical")
+        assert str(action.materialize("Jane")) == "[Jane]EPR/Clinical"
+
+    def test_materialize_none_template(self):
+        assert TaskAction("cancel", None).materialize("Jane") is None
+
+
+class TestGeneratedCompliance:
+    """The generator's central contract: its output replays compliantly."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_cases_are_compliant(self, ht_encoded, ht_checker, seed):
+        generator = make_generator(ht_encoded, seed=seed)
+        generated = generator.generate_case(f"HT-{seed}", "PatientX", min_steps=2)
+        result = ht_checker.check(generated.trail)
+        assert result.compliant, (
+            f"seed {seed}: failed at {result.failed_entry}"
+        )
+
+    def test_entries_carry_case_and_subject_objects(self, ht_encoded):
+        generated = make_generator(ht_encoded).generate_case("HT-5", "Zoe", min_steps=2)
+        assert all(e.case == "HT-5" for e in generated.trail)
+        subject_objects = [
+            e.obj for e in generated.trail if e.obj and e.obj.subject
+        ]
+        assert all(o.subject == "Zoe" for o in subject_objects)
+
+    def test_timestamps_strictly_increase(self, ht_encoded):
+        generated = make_generator(ht_encoded).generate_case("HT-5", "Zoe", min_steps=3)
+        times = [e.timestamp for e in generated.trail]
+        assert times == sorted(times)
+
+    def test_determinism_per_seed(self, ht_encoded):
+        one = make_generator(ht_encoded, seed=42).generate_case("HT-1", "A", min_steps=2)
+        two = make_generator(ht_encoded, seed=42).generate_case("HT-1", "A", min_steps=2)
+        assert one.trail == two.trail
+
+    def test_roles_come_from_pool_staffing(self, ht_encoded):
+        generated = make_generator(ht_encoded).generate_case("HT-5", "Zoe", min_steps=4)
+        known_roles = {r for staff in HOSPITAL_STAFF.values() for _, r in staff}
+        assert all(e.role in known_roles for e in generated.trail)
+
+    def test_missing_staffing_rejected(self, ht_encoded):
+        with pytest.raises(GenerationError):
+            TrailGenerator(ht_encoded, users_by_role={"GP": [("John", "GP")]})
+
+
+class TestInjection:
+    @pytest.fixture
+    def compliant(self, ht_encoded):
+        return make_generator(ht_encoded, seed=3).generate_case(
+            "HT-1", "Jane", min_steps=4, stop_probability=0.0
+        ).trail
+
+    def test_wrong_role_breaks_compliance(self, ht_checker, compliant):
+        violated = inject_wrong_role(compliant, 0, "MedicalLabTech")
+        assert not ht_checker.check(violated).compliant
+
+    def test_task_skip_usually_breaks_compliance(self, ht_checker, compliant):
+        # Dropping the first task's entries makes the prefix invalid.
+        first_task = compliant[0].task
+        violated = inject_task_skip(compliant, first_task)
+        assert not ht_checker.check(violated).compliant
+
+    def test_task_skip_requires_existing_task(self, compliant):
+        with pytest.raises(GenerationError):
+            inject_task_skip(compliant, "T99")
+
+    def test_swap_exchanges_timestamps(self, compliant):
+        swapped = inject_swap(compliant, 0)
+        assert swapped[0].task == compliant[1].task
+        assert swapped[1].task == compliant[0].task
+
+    def test_swap_past_end_rejected(self, compliant):
+        with pytest.raises(GenerationError):
+            inject_swap(compliant, len(compliant) - 1)
+
+    def test_mimicry_case_detected(self, ht_checker, compliant):
+        violated = inject_mimicry_case(
+            compliant,
+            case="HT-99",
+            user="Bob",
+            role="Cardiologist",
+            task="T06",
+            obj="[Jane]EPR/Clinical",
+            when=datetime(2010, 5, 1, 9, 0),
+        )
+        assert not ht_checker.check(violated.for_case("HT-99")).compliant
+        # the original case is untouched
+        assert ht_checker.check(violated.for_case("HT-1")).compliant
+
+    def test_repurposed_tail_relabels_entries(self, compliant):
+        moved = inject_repurposed_tail(compliant, "HT-1", "HT-2", count=2)
+        assert len(moved.for_case("HT-2")) == 2
+        assert len(moved.for_case("HT-1")) == len(compliant) - 2
+
+    def test_repurposed_tail_needs_enough_entries(self, compliant):
+        with pytest.raises(GenerationError):
+            inject_repurposed_tail(compliant, "HT-1", "HT-2", count=999)
+
+
+class TestErrorPaths:
+    def test_generator_emits_failure_entries(self):
+        # The sequential process has no error events, so no failures ever;
+        # the HT process can produce T02 failures - look for one.
+        encoded = encode(healthcare_treatment_process())
+        saw_failure = False
+        for seed in range(30):
+            generator = make_generator(encoded, seed=seed)
+            trail = generator.generate_case(
+                "HT-1", "P", min_steps=3, stop_probability=0.0
+            ).trail
+            if any(e.failed for e in trail):
+                saw_failure = True
+                break
+        assert saw_failure
+
+    def test_sequential_process_generation(self):
+        encoded = encode(sequential_process(4, role="Staff"))
+        generator = TrailGenerator(
+            encoded,
+            users_by_role={"Staff": [("Sam", "Staff")]},
+            seed=1,
+        )
+        generated = generator.generate_case(
+            "SEQ-1", "Subject", min_steps=10, stop_probability=0.0
+        )
+        tasks = [e.task for e in generated.trail]
+        # All four tasks in order (with possible repeats from 1-to-n entries)
+        deduped = [t for i, t in enumerate(tasks) if i == 0 or tasks[i - 1] != t]
+        assert deduped == ["T1", "T2", "T3", "T4"]

@@ -1,0 +1,100 @@
+"""Tests for audit-log retention (prefix purge with chain re-anchoring)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.audit import AuditStore, GENESIS
+from repro.errors import IntegrityError
+from repro.scenarios import paper_audit_trail
+
+
+@pytest.fixture
+def store():
+    with AuditStore(":memory:") as s:
+        s.append_many(paper_audit_trail())
+        yield s
+
+
+class TestPurge:
+    def test_purge_removes_old_prefix(self, store):
+        before = len(store)
+        purged = store.purge_before(datetime(2010, 4, 1))
+        assert purged > 0
+        assert len(store) == before - purged
+        remaining = store.query()
+        assert all(e.timestamp >= datetime(2010, 4, 1) for e in remaining)
+
+    def test_chain_still_verifies_after_purge(self, store):
+        store.purge_before(datetime(2010, 4, 1))
+        store.verify_integrity()
+        assert store.is_intact()
+
+    def test_appends_continue_after_purge(self, store):
+        store.purge_before(datetime(2010, 4, 1))
+        extra = paper_audit_trail()[0].shifted(
+            datetime(2011, 1, 1) - paper_audit_trail()[0].timestamp
+        )
+        store.append(extra)
+        store.verify_integrity()
+
+    def test_tamper_after_purge_still_detected(self, store):
+        store.purge_before(datetime(2010, 4, 1))
+        first_remaining = store._connection.execute(
+            "SELECT seq FROM audit_log ORDER BY seq LIMIT 1"
+        ).fetchone()[0]
+        store.tamper(first_remaining, user="Mallory")
+        with pytest.raises(IntegrityError):
+            store.verify_integrity()
+
+    def test_purge_everything(self, store):
+        purged = store.purge_before(datetime(2030, 1, 1))
+        assert purged == 28
+        assert len(store) == 0
+        store.verify_integrity()  # empty but anchored: fine
+
+    def test_purge_nothing(self, store):
+        assert store.purge_before(datetime(2000, 1, 1)) == 0
+        assert len(store) == 28
+
+    def test_repeated_purges_accumulate(self, store):
+        first = store.purge_before(datetime(2010, 3, 15))
+        second = store.purge_before(datetime(2010, 4, 1))
+        info = store.retention_info()
+        assert info["purged_entries"] == first + second
+        store.verify_integrity()
+
+    def test_interleaved_young_entry_blocks_purge(self):
+        """Prefix semantics: an old entry logged *after* a young one is
+        retained (the chain cannot be holed)."""
+        from repro.audit import LogEntry, Status
+
+        with AuditStore(":memory:") as store:
+            young = LogEntry.at(
+                "u", "r", "read", "[A]EPR", "T1", "C-1", "202006010900"
+            )
+            old = LogEntry.at(
+                "u", "r", "read", "[A]EPR", "T1", "C-2", "201001010900"
+            )
+            store.append(young)
+            store.append(old)  # logged later, but timestamped older
+            purged = store.purge_before(datetime(2015, 1, 1))
+            assert purged == 0  # the young head blocks the prefix
+            assert len(store) == 2
+
+
+class TestRetentionInfo:
+    def test_fresh_store_unanchored(self):
+        with AuditStore(":memory:") as store:
+            info = store.retention_info()
+            assert info["anchored"] is False
+            assert info["anchor_hash"] == GENESIS
+            assert info["purged_entries"] == 0
+
+    def test_anchored_after_purge(self, store):
+        store.purge_before(datetime(2010, 4, 1))
+        info = store.retention_info()
+        assert info["anchored"] is True
+        assert info["anchor_hash"] != GENESIS
+        assert info["purged_upto"] == datetime(2010, 4, 1).isoformat()
+        assert info["retained_entries"] == len(store)

@@ -1,0 +1,117 @@
+"""Tests for the statistical triage model."""
+
+import pytest
+
+from repro.audit.stats import (
+    BehaviourModel,
+    entry_key,
+    triage_precision_at_k,
+)
+from repro.scenarios import hospital_day
+from repro.scenarios.workloads import VIOLATION_KINDS
+
+
+@pytest.fixture(scope="module")
+def history():
+    """A clean historical day to fit on."""
+    return hospital_day(n_cases=60, violation_rate=0.0, seed=101).trail
+
+
+@pytest.fixture(scope="module")
+def model(history):
+    return BehaviourModel().fit(history)
+
+
+@pytest.fixture(scope="module")
+def mixed_day():
+    return hospital_day(
+        n_cases=40,
+        violation_rate=0.3,
+        seed=202,
+        violation_mix={kind: 1.0 for kind in VIOLATION_KINDS},
+    )
+
+
+class TestFitting:
+    def test_unfitted_model_refuses_to_score(self, history):
+        model = BehaviourModel()
+        with pytest.raises(ValueError):
+            model.entry_surprise(history[0])
+        with pytest.raises(ValueError):
+            model.case_surprise(history)
+
+    def test_fit_returns_self(self, history):
+        model = BehaviourModel()
+        assert model.fit(history) is model
+        assert model.fitted
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BehaviourModel(alpha=0)
+
+    def test_entry_key_shape(self, history):
+        key = entry_key(history[0])
+        assert len(key) == 4
+
+
+class TestEntrySurprise:
+    def test_common_activity_scores_low(self, model, history):
+        # An entry from the history itself should be unsurprising.
+        assert model.entry_surprise(history[0]) < 8.0
+
+    def test_unknown_user_scored_against_population(self, model, history):
+        from dataclasses import replace
+
+        stranger = replace(history[0], user="Nobody")
+        assert model.entry_surprise(stranger) > 0.0
+
+    def test_unseen_activity_scores_higher(self, model, history):
+        from dataclasses import replace
+
+        known = model.entry_surprise(history[0])
+        weird = replace(history[0], action="exfiltrate", task="T99")
+        assert model.entry_surprise(weird) > known
+
+    def test_unusual_entries_thresholding(self, model, mixed_day):
+        flagged = model.unusual_entries(mixed_day.trail, threshold_bits=12.0)
+        scores = [s for _, s in flagged]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s > 12.0 for s in scores)
+
+
+class TestCaseSurprise:
+    def test_empty_case_scores_zero(self, model):
+        from repro.audit import AuditTrail
+
+        assert model.case_surprise(AuditTrail([])) == 0.0
+
+    def test_single_entry_mid_process_case_scores_high(self, model, mixed_day):
+        mimicry = mixed_day.cases_of_kind("mimicry")
+        if not mimicry:
+            pytest.skip("no mimicry case in this draw")
+        normal_case = next(
+            c for c, ok in mixed_day.ground_truth.items() if ok
+        )
+        bad = model.case_surprise(mixed_day.trail.for_case(mimicry[0]))
+        good = model.case_surprise(mixed_day.trail.for_case(normal_case))
+        assert bad > good
+
+
+class TestTriageRanking:
+    def test_ranking_covers_all_cases(self, model, mixed_day):
+        ranking = model.rank_cases(mixed_day.trail)
+        assert {case for case, _ in ranking} == set(mixed_day.trail.cases())
+
+    def test_ranking_prioritizes_violations(self, model, mixed_day):
+        """The triage signal is imperfect by design (it has no process
+        model), but it must beat random ordering comfortably."""
+        ranking = model.rank_cases(mixed_day.trail)
+        bad = {c for c, ok in mixed_day.ground_truth.items() if not ok}
+        precision = triage_precision_at_k(ranking, bad)
+        base_rate = len(bad) / mixed_day.case_count
+        assert precision >= min(1.0, base_rate * 1.5)
+
+    def test_precision_at_k_edge_cases(self):
+        assert triage_precision_at_k([], set()) == 1.0
+        assert triage_precision_at_k([("C-1", 5.0)], {"C-1"}) == 1.0
+        assert triage_precision_at_k([("C-1", 5.0)], {"C-2"}, k=1) == 0.0

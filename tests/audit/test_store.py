@@ -1,0 +1,125 @@
+"""Tests for the SQLite audit store and its hash-chain integrity."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.audit import AuditStore, AuditTrail, LogEntry, Status
+from repro.errors import IntegrityError
+from repro.policy import ObjectRef
+from repro.scenarios import paper_audit_trail
+
+
+@pytest.fixture
+def store():
+    with AuditStore(":memory:") as s:
+        yield s
+
+
+@pytest.fixture
+def loaded(store):
+    store.append_many(paper_audit_trail())
+    return store
+
+
+class TestAppendAndQuery:
+    def test_append_returns_increasing_seq(self, store):
+        trail = paper_audit_trail()
+        first = store.append(trail[0])
+        second = store.append(trail[1])
+        assert second == first + 1
+
+    def test_len_counts_entries(self, loaded):
+        assert len(loaded) == len(paper_audit_trail())
+
+    def test_query_all_round_trips(self, loaded):
+        assert loaded.query() == paper_audit_trail()
+
+    def test_query_by_case(self, loaded):
+        ht1 = loaded.query(case="HT-1")
+        assert len(ht1) == 16
+        assert all(e.case == "HT-1" for e in ht1)
+
+    def test_query_by_user(self, loaded):
+        bobs = loaded.query(user="Bob")
+        assert all(e.user == "Bob" for e in bobs)
+        assert len(bobs) == 15
+
+    def test_query_by_object_subtree(self, loaded):
+        jane = loaded.query(obj=ObjectRef.parse("[Jane]EPR"))
+        assert all(str(e.obj).startswith("[Jane]EPR") for e in jane)
+        assert len(jane) > 0
+
+    def test_query_time_range(self, loaded):
+        april = loaded.query(since=datetime(2010, 4, 1))
+        assert all(e.timestamp >= datetime(2010, 4, 1) for e in april)
+        march = loaded.query(until=datetime(2010, 3, 31, 23, 59))
+        assert len(april) + len(march) == len(loaded.query())
+
+    def test_combined_filters(self, loaded):
+        result = loaded.query(case="HT-1", user="Charlie")
+        assert len(result) == 3
+
+    def test_cases_in_first_seen_order(self, loaded):
+        cases = loaded.cases()
+        assert cases[0] == "HT-1"
+        assert "CT-1" in cases
+
+    def test_cases_touching(self, loaded):
+        cases = loaded.cases_touching(ObjectRef.parse("[Jane]EPR"))
+        assert set(cases) == {"HT-1", "HT-11"}
+
+    def test_objectless_entries_round_trip(self, store):
+        cancel = LogEntry.at(
+            "John", "GP", "cancel", None, "T02", "HT-1", "201003121216",
+            Status.FAILURE,
+        )
+        store.append(cancel)
+        fetched = store.query()[0]
+        assert fetched.obj is None
+        assert fetched.failed
+
+
+class TestIntegrity:
+    def test_fresh_store_is_intact(self, store):
+        store.verify_integrity()
+        assert store.is_intact()
+
+    def test_loaded_store_is_intact(self, loaded):
+        assert loaded.is_intact()
+
+    def test_modified_row_detected(self, loaded):
+        loaded.tamper(3, user="Mallory")
+        with pytest.raises(IntegrityError) as excinfo:
+            loaded.verify_integrity()
+        assert excinfo.value.first_bad_seq == 3
+        assert not loaded.is_intact()
+
+    def test_case_relabeling_detected(self, loaded):
+        # The mimicry cover-up: relabeling an access to another case.
+        loaded.tamper(7, case_id="HT-99")
+        assert not loaded.is_intact()
+
+    def test_status_flip_detected(self, loaded):
+        loaded.tamper(3, status="success")
+        assert not loaded.is_intact()
+
+    def test_tamper_rejects_unknown_columns(self, loaded):
+        with pytest.raises(ValueError):
+            loaded.tamper(1, hash="0" * 64)
+
+
+class TestStoreTrailInterop:
+    def test_store_query_feeds_algorithm(self, loaded):
+        from repro.bpmn import encode
+        from repro.core import ComplianceChecker
+        from repro.scenarios import healthcare_treatment_process, role_hierarchy
+
+        checker = ComplianceChecker(
+            encode(healthcare_treatment_process()), role_hierarchy()
+        )
+        assert checker.check(loaded.query(case="HT-1")).compliant
+        assert not checker.check(loaded.query(case="HT-11")).compliant
+
+    def test_round_trip_preserves_order_strictly(self, loaded):
+        AuditTrail(loaded.query().entries, strict=True)

@@ -1,0 +1,136 @@
+"""Tests for XES import/export."""
+
+import pytest
+
+from repro.audit import AuditTrail
+from repro.audit.xes import XesError, export_xes, import_xes
+from repro.bpmn import encode
+from repro.core import ComplianceChecker
+from repro.scenarios import (
+    healthcare_treatment_process,
+    paper_audit_trail,
+    role_hierarchy,
+)
+
+
+class TestRoundTrip:
+    def test_paper_trail_round_trips(self):
+        original = paper_audit_trail()
+        rebuilt = import_xes(export_xes(original))
+        assert len(rebuilt) == len(original)
+        assert rebuilt.cases() == original.cases()
+        for left, right in zip(original, rebuilt):
+            assert (left.user, left.role, left.action) == (
+                right.user, right.role, right.action,
+            )
+            assert left.obj == right.obj
+            assert (left.task, left.case) == (right.task, right.case)
+            assert left.timestamp == right.timestamp
+            assert left.status == right.status
+
+    def test_imported_trail_replays_identically(self):
+        checker = ComplianceChecker(
+            encode(healthcare_treatment_process()), role_hierarchy()
+        )
+        rebuilt = import_xes(export_xes(paper_audit_trail()))
+        assert checker.check(rebuilt.for_case("HT-1")).compliant
+        assert not checker.check(rebuilt.for_case("HT-11")).compliant
+
+    def test_empty_trail(self):
+        assert len(import_xes(export_xes(AuditTrail([])))) == 0
+
+
+class TestDocumentShape:
+    def test_one_trace_per_case(self):
+        document = export_xes(paper_audit_trail())
+        assert document.count("<trace>") == len(paper_audit_trail().cases())
+
+    def test_xml_declaration_present(self):
+        assert export_xes(paper_audit_trail()).startswith("<?xml")
+
+    def test_objectless_entries_have_no_object_attribute(self):
+        document = export_xes(paper_audit_trail())
+        # the one cancel entry exports without purpose:object
+        rebuilt = import_xes(document)
+        cancels = [e for e in rebuilt if e.action == "cancel"]
+        assert len(cancels) == 1
+        assert cancels[0].obj is None
+
+
+class TestPlainXesImport:
+    """Task-level XES without the purpose extension still imports."""
+
+    PLAIN = """<?xml version='1.0'?>
+    <log xes.version="1.0">
+      <trace>
+        <string key="concept:name" value="HT-5"/>
+        <event>
+          <string key="concept:name" value="T01"/>
+          <string key="org:resource" value="John"/>
+          <string key="org:role" value="GP"/>
+          <date key="time:timestamp" value="2010-03-12T12:10:00"/>
+        </event>
+      </trace>
+    </log>
+    """
+
+    def test_defaults_applied(self):
+        trail = import_xes(self.PLAIN)
+        entry = trail[0]
+        assert entry.task == "T01"
+        assert entry.case == "HT-5"
+        assert entry.action == "execute"
+        assert entry.obj is None
+        assert entry.succeeded
+
+    def test_plain_log_is_replayable(self):
+        checker = ComplianceChecker(
+            encode(healthcare_treatment_process()), role_hierarchy()
+        )
+        assert checker.check(import_xes(self.PLAIN)).compliant
+
+    def test_timezone_aware_timestamps_normalized(self):
+        document = self.PLAIN.replace(
+            "2010-03-12T12:10:00", "2010-03-12T12:10:00+02:00"
+        )
+        trail = import_xes(document)
+        assert trail[0].timestamp.tzinfo is None
+
+
+class TestErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(XesError):
+            import_xes("<log><trace>")
+
+    def test_wrong_root(self):
+        with pytest.raises(XesError):
+            import_xes("<notalog/>")
+
+    def test_event_missing_task(self):
+        document = """<log><trace>
+            <string key="concept:name" value="C-1"/>
+            <event><date key="time:timestamp" value="2010-01-01T00:00:00"/></event>
+        </trace></log>"""
+        with pytest.raises(XesError):
+            import_xes(document)
+
+    def test_bad_timestamp(self):
+        document = """<log><trace>
+            <string key="concept:name" value="C-1"/>
+            <event>
+              <string key="concept:name" value="T01"/>
+              <date key="time:timestamp" value="yesterday"/>
+            </event>
+        </trace></log>"""
+        with pytest.raises(XesError):
+            import_xes(document)
+
+    def test_unnamed_trace_gets_index_case(self):
+        document = """<log><trace>
+            <event>
+              <string key="concept:name" value="T01"/>
+              <date key="time:timestamp" value="2010-01-01T00:00:00"/>
+            </event>
+        </trace></log>"""
+        trail = import_xes(document)
+        assert trail[0].case == "trace-0"

@@ -1,0 +1,202 @@
+"""Tests for the BPMN -> COWS encoding: every element type's behaviour at
+the LTS level, cross-checked against the paper's appendix patterns."""
+
+import pytest
+
+from repro.bpmn import ProcessBuilder, encode
+from repro.cows import LTS, CommLabel, format_label
+from repro.errors import EncodingError
+from repro.scenarios import (
+    FIG7_COWS,
+    fig7_process,
+    fig8_process,
+    fig9_process,
+    fig10_process,
+)
+from repro.cows import parse
+
+
+def observable_traces(encoded, max_length=30, partner_filter=None):
+    lts = LTS(encoded.term)
+
+    def keep(label):
+        if not isinstance(label, CommLabel):
+            return False
+        partner = str(label.endpoint.partner)
+        operation = str(label.endpoint.operation)
+        if operation == "Err":
+            return True
+        if partner_filter is not None and partner not in partner_filter:
+            return False
+        return partner in encoded.roles and operation in encoded.tasks
+
+    return {
+        tuple(format_label(l) for l in t)
+        for t in lts.traces(max_length, label_filter=keep)
+    }
+
+
+class TestBasicShapes:
+    def test_fig7_sequence(self):
+        encoded = encode(fig7_process())
+        assert observable_traces(encoded) == {("P.T",)}
+
+    def test_fig7_matches_hand_written_cows(self):
+        encoded = encode(fig7_process())
+        ours = LTS(encoded.term).explore()
+        paper = LTS(parse(FIG7_COWS)).explore()
+        assert {format_label(l) for l in ours.labels()} >= {
+            format_label(l) for l in paper.labels()
+        }
+
+    def test_exclusive_gateway_fig8(self):
+        encoded = encode(fig8_process())
+        traces = observable_traces(encoded)
+        assert traces == {("P.T", "P.T1"), ("P.T", "P.T2")}
+
+    def test_error_event_fig9(self):
+        encoded = encode(fig9_process())
+        traces = observable_traces(encoded)
+        assert traces == {
+            ("P.T", "P.T2"),
+            ("P.T", "sys.Err", "P.T1"),
+        }
+
+    def test_message_flow_cycle_fig10(self):
+        encoded = encode(fig10_process())
+        result = LTS(encoded.term).explore(max_states=200)
+        assert result.complete  # normalization closes the cycle
+        labels = {format_label(l) for l in result.labels()}
+        assert "P2.S3 (msg1)" in labels
+        assert "P1.S2 (msg2)" in labels
+
+
+class TestGateways:
+    def test_parallel_gateway_interleaves_branches(self):
+        builder = ProcessBuilder("par")
+        pool = builder.pool("P")
+        pool.start_event("S").parallel_gateway("G")
+        pool.task("A").task("B")
+        pool.parallel_gateway("J").task("Z").end_event("E")
+        builder.chain("S", "G")
+        builder.flow("G", "A").flow("G", "B")
+        builder.flow("A", "J").flow("B", "J")
+        builder.chain("J", "Z", "E")
+        traces = observable_traces(encode(builder.build()))
+        assert traces == {("P.A", "P.B", "P.Z"), ("P.B", "P.A", "P.Z")}
+
+    def test_parallel_join_waits_for_all_branches(self):
+        builder = ProcessBuilder("parwait")
+        pool = builder.pool("P")
+        pool.start_event("S").parallel_gateway("G")
+        pool.task("A").task("B")
+        pool.parallel_gateway("J").task("Z").end_event("E")
+        builder.chain("S", "G")
+        builder.flow("G", "A").flow("G", "B")
+        builder.flow("A", "J").flow("B", "J")
+        builder.chain("J", "Z", "E")
+        for trace in observable_traces(encode(builder.build())):
+            if "P.Z" in trace:
+                assert trace.index("P.Z") > max(
+                    trace.index("P.A"), trace.index("P.B")
+                )
+
+    def test_inclusive_gateway_offers_all_subsets(self):
+        builder = ProcessBuilder("orsplit")
+        pool = builder.pool("P")
+        pool.start_event("S").inclusive_gateway("G")
+        pool.task("A").task("B")
+        pool.inclusive_gateway("J", join_of="G")
+        pool.task("Z").end_event("E")
+        builder.chain("S", "G")
+        builder.flow("G", "A").flow("G", "B")
+        builder.flow("A", "J").flow("B", "J")
+        builder.chain("J", "Z", "E")
+        traces = observable_traces(encode(builder.build()))
+        assert traces == {
+            ("P.A", "P.Z"),
+            ("P.B", "P.Z"),
+            ("P.A", "P.B", "P.Z"),
+            ("P.B", "P.A", "P.Z"),
+        }
+
+    def test_inclusive_join_waits_for_chosen_branches_only(self):
+        # With both branches chosen, Z never fires after just one of them.
+        builder = ProcessBuilder("orwait")
+        pool = builder.pool("P")
+        pool.start_event("S").inclusive_gateway("G")
+        pool.task("A").task("B")
+        pool.inclusive_gateway("J", join_of="G")
+        pool.task("Z").end_event("E")
+        builder.chain("S", "G")
+        builder.flow("G", "A").flow("G", "B")
+        builder.flow("A", "J").flow("B", "J")
+        builder.chain("J", "Z", "E")
+        for trace in observable_traces(encode(builder.build())):
+            if "P.A" in trace and "P.B" in trace:
+                assert trace.index("P.Z") > max(
+                    trace.index("P.A"), trace.index("P.B")
+                )
+
+    def test_exclusive_gateway_as_merge(self):
+        builder = ProcessBuilder("merge")
+        pool = builder.pool("P")
+        pool.start_event("S").exclusive_gateway("G")
+        pool.task("A").task("B").exclusive_gateway("M").task("Z").end_event("E")
+        builder.chain("S", "G")
+        builder.flow("G", "A").flow("G", "B")
+        builder.flow("A", "M").flow("B", "M")
+        builder.chain("M", "Z", "E")
+        traces = observable_traces(encode(builder.build()))
+        assert traces == {("P.A", "P.Z"), ("P.B", "P.Z")}
+
+
+class TestCyclesAndErrors:
+    def test_loop_via_error_flow(self):
+        builder = ProcessBuilder("errloop")
+        pool = builder.pool("P")
+        pool.start_event("S").task("T").task("Z").end_event("E")
+        builder.chain("S", "T", "Z", "E")
+        builder.error_flow("T", "T")
+        encoded = encode(builder.build())
+        traces = observable_traces(encoded, max_length=25)
+        assert ("P.T", "P.Z") in traces
+        assert any(
+            t[:3] == ("P.T", "sys.Err", "P.T") for t in traces
+        )
+
+    def test_xor_loop_closes_finitely(self):
+        from repro.scenarios import loop_process
+
+        encoded = encode(loop_process(2))
+        result = LTS(encoded.term).explore(max_states=500)
+        assert result.complete  # canonical forms close the loop
+
+
+class TestEncodedMetadata:
+    def test_roles_and_tasks_exposed(self):
+        encoded = encode(fig8_process())
+        assert encoded.roles == {"P"}
+        assert encoded.tasks == {"T", "T1", "T2"}
+
+    def test_purpose_passthrough(self):
+        encoded = encode(fig7_process())
+        assert encoded.purpose == "fig7"
+
+    def test_invalid_process_rejected_at_encode(self):
+        builder = ProcessBuilder("bad")
+        builder.pool("P").task("T")  # no start event, no flows
+        from repro.errors import ProcessValidationError
+
+        with pytest.raises(ProcessValidationError):
+            encode(builder.build(validate=False))
+
+    def test_duplicate_gateway_flows_rejected(self):
+        builder = ProcessBuilder("dup")
+        pool = builder.pool("P")
+        pool.start_event("S").exclusive_gateway("G").task("A").end_event("E")
+        builder.chain("S", "G")
+        builder.flow("G", "A").flow("G", "A")
+        builder.chain("A", "E")
+        with pytest.raises(EncodingError):
+            encode(builder.build(validate=False), validated=True)

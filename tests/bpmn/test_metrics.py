@@ -1,0 +1,78 @@
+"""Tests for the structural process metrics."""
+
+import pytest
+
+from repro.bpmn.metrics import measure
+from repro.scenarios import (
+    clinical_trial_process,
+    healthcare_treatment_process,
+    loop_process,
+    parallel_process,
+    sequential_process,
+    xor_process,
+)
+
+
+class TestPaperProcesses:
+    def test_treatment_profile(self):
+        metrics = measure(healthcare_treatment_process())
+        assert metrics.process_id == "healthcare-treatment"
+        assert metrics.elements == 33
+        assert metrics.tasks == 15
+        assert metrics.pools == 4
+        assert metrics.inclusive_gateways == 2
+        assert metrics.error_flows == 1
+        # referral, diagnosis_ready, lab_order, scan_order, lab_done, scan_done
+        assert metrics.message_links == 6
+        assert metrics.cycles >= 2  # the T02 error loop + the G2/G3 loop
+
+    def test_trial_profile(self):
+        metrics = measure(clinical_trial_process())
+        assert metrics.tasks == 5
+        assert metrics.pools == 1
+        assert metrics.cycles == 1  # the T94 measurement loop
+        assert metrics.exclusive_gateways == 1
+
+
+class TestFamilies:
+    def test_sequential(self):
+        metrics = measure(sequential_process(4))
+        assert metrics.tasks == 4
+        assert metrics.cycles == 0
+        assert metrics.gateways == 0
+        assert metrics.depth == 5  # S -> T1 -> T2 -> T3 -> T4 -> E
+
+    def test_xor_fanout(self):
+        metrics = measure(xor_process(3))
+        assert metrics.max_split_fanout == 3
+        assert metrics.exclusive_gateways == 2
+
+    def test_loop_counted(self):
+        metrics = measure(loop_process(2))
+        assert metrics.cycles == 1
+
+    def test_parallel_gateways(self):
+        metrics = measure(parallel_process(2))
+        assert metrics.parallel_gateways == 2
+
+    def test_observable_density_bounds(self):
+        for process in (
+            sequential_process(3),
+            xor_process(2),
+            healthcare_treatment_process(),
+        ):
+            metrics = measure(process)
+            assert 0.0 < metrics.observable_density < 1.0
+
+    def test_as_rows_complete(self):
+        rows = measure(sequential_process(2)).as_rows()
+        names = [name for name, _ in rows]
+        assert "tasks" in names
+        assert "observable density" in names
+        assert len(rows) == 14
+
+    def test_depth_with_cycle_is_finite(self):
+        # Depth condenses strongly connected components, so loops don't
+        # make it diverge.
+        metrics = measure(loop_process(3))
+        assert metrics.depth >= 4

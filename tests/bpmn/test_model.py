@@ -1,0 +1,104 @@
+"""Unit tests for the BPMN process model."""
+
+import pytest
+
+from repro.bpmn import Element, ElementType, ProcessBuilder
+
+
+def two_pool_process():
+    builder = ProcessBuilder("proc", purpose="demo")
+    a = builder.pool("A")
+    a.start_event("S").task("T1").message_end_event("E1", message="m")
+    b = builder.pool("B")
+    b.message_start_event("S2", message="m").task("T2").end_event("E2")
+    builder.chain("S", "T1", "E1")
+    builder.chain("S2", "T2", "E2")
+    return builder.build()
+
+
+class TestElement:
+    def test_message_event_requires_message(self):
+        with pytest.raises(ValueError):
+            Element("E", ElementType.MESSAGE_END_EVENT, "P")
+
+    def test_join_of_only_on_inclusive(self):
+        with pytest.raises(ValueError):
+            Element("G", ElementType.EXCLUSIVE_GATEWAY, "P", join_of="X")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Element("", ElementType.TASK, "P")
+
+    def test_label_falls_back_to_id(self):
+        element = Element("T1", ElementType.TASK, "P")
+        assert element.label == "T1"
+        named = Element("T1", ElementType.TASK, "P", name="Do a thing")
+        assert named.label == "Do a thing"
+
+    def test_type_predicates(self):
+        assert ElementType.START_EVENT.is_start
+        assert ElementType.MESSAGE_START_EVENT.is_start
+        assert ElementType.END_EVENT.is_end
+        assert ElementType.MESSAGE_END_EVENT.is_end
+        assert ElementType.EXCLUSIVE_GATEWAY.is_gateway
+        assert not ElementType.TASK.is_gateway
+
+
+class TestProcessQueries:
+    def test_pools_in_first_seen_order(self):
+        assert two_pool_process().pools == ["A", "B"]
+
+    def test_purpose_defaults_to_process_id(self):
+        builder = ProcessBuilder("some-id")
+        builder.pool("P").start_event("S").task("T").end_event("E")
+        builder.chain("S", "T", "E")
+        assert builder.build().purpose == "some-id"
+
+    def test_task_ids(self):
+        assert two_pool_process().task_ids == {"T1", "T2"}
+
+    def test_incoming_outgoing(self):
+        process = two_pool_process()
+        assert process.outgoing("S") == ["T1"]
+        assert process.incoming("T1") == ["S"]
+        assert process.outgoing("E2") == []
+
+    def test_element_lookup_error(self):
+        with pytest.raises(KeyError):
+            two_pool_process().element("nope")
+
+    def test_contains_and_len(self):
+        process = two_pool_process()
+        assert "T1" in process
+        assert "zzz" not in process
+        assert len(process) == 6
+
+    def test_message_links(self):
+        process = two_pool_process()
+        links = list(process.message_links())
+        assert len(links) == 1
+        thrower, catcher = links[0]
+        assert (thrower.element_id, catcher.element_id) == ("E1", "S2")
+
+    def test_role_of_task(self):
+        process = two_pool_process()
+        assert process.role_of_task("T1") == "A"
+        assert process.role_of_task("T2") == "B"
+        with pytest.raises(ValueError):
+            process.role_of_task("S")
+
+    def test_start_and_end_events(self):
+        process = two_pool_process()
+        assert {e.element_id for e in process.start_events} == {"S", "S2"}
+        assert {e.element_id for e in process.end_events} == {"E1", "E2"}
+
+    def test_error_target(self):
+        builder = ProcessBuilder("err")
+        pool = builder.pool("P")
+        pool.start_event("S").task("T").task("H").end_event("E").end_event("E9")
+        builder.chain("S", "T", "E")
+        builder.chain("H", "E9")
+        builder.error_flow("T", "H")
+        process = builder.build(validate=False)
+        assert process.error_target("T") == "H"
+        assert process.error_target("H") is None

@@ -1,0 +1,90 @@
+"""Tests for JSON serialization and Graphviz export of BPMN processes."""
+
+import json
+
+import pytest
+
+from repro.bpmn import (
+    dumps,
+    loads,
+    lts_to_dot,
+    process_from_dict,
+    process_to_dict,
+    process_to_dot,
+)
+from repro.cows import LTS
+from repro.bpmn import encode
+from repro.errors import ProcessValidationError
+from repro.scenarios import (
+    clinical_trial_process,
+    fig8_process,
+    fig9_process,
+    fig10_process,
+    healthcare_treatment_process,
+)
+
+ALL_PROCESSES = [
+    fig8_process,
+    fig9_process,
+    fig10_process,
+    clinical_trial_process,
+    healthcare_treatment_process,
+]
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("factory", ALL_PROCESSES)
+    def test_round_trip_preserves_structure(self, factory):
+        original = factory()
+        rebuilt = loads(dumps(original))
+        assert rebuilt.process_id == original.process_id
+        assert rebuilt.purpose == original.purpose
+        assert set(rebuilt.elements) == set(original.elements)
+        assert rebuilt.flows == original.flows
+        assert rebuilt.error_flows == original.error_flows
+        for eid, element in original.elements.items():
+            assert rebuilt.elements[eid] == element
+
+    def test_dict_is_json_compatible(self):
+        data = process_to_dict(fig9_process())
+        assert json.loads(json.dumps(data)) == data
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ProcessValidationError):
+            process_from_dict({"process_id": "x", "elements": [{"id": "a"}]})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProcessValidationError):
+            loads("{not json")
+
+    def test_deserialization_validates(self):
+        data = process_to_dict(fig8_process())
+        data["flows"].append(["G", "ghost"])
+        with pytest.raises(ProcessValidationError):
+            process_from_dict(data)
+
+    def test_validation_can_be_skipped(self):
+        data = process_to_dict(fig8_process())
+        data["flows"].append(["G", "ghost"])
+        process = process_from_dict(data, validated=False)
+        assert ["G", "ghost"] in data["flows"]
+        assert process.process_id == "fig8"
+
+
+class TestDotExport:
+    def test_process_dot_contains_pools_and_elements(self):
+        dot = process_to_dot(healthcare_treatment_process())
+        assert dot.startswith("digraph")
+        for pool in ("GP", "Cardiologist", "MedicalLabTech", "Radiologist"):
+            assert f'label="{pool}"' in dot
+        assert '"T01"' in dot
+        assert "style=dashed" in dot  # the error flow
+        assert "style=dotted" in dot  # message links
+
+    def test_lts_dot_renders_explored_fragment(self):
+        encoded = encode(fig8_process())
+        result = LTS(encoded.term).explore()
+        dot = lts_to_dot(result)
+        assert dot.startswith("digraph LTS")
+        assert '"St0"' in dot  # the initial state
+        assert "->" in dot

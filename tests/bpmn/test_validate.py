@@ -1,0 +1,203 @@
+"""Tests for structural validation and the well-foundedness check (Section 5)."""
+
+import pytest
+
+from repro.bpmn import (
+    ProcessBuilder,
+    is_well_founded,
+    non_well_founded_cycles,
+    structural_problems,
+    validate,
+)
+from repro.errors import NotWellFoundedError, ProcessValidationError
+
+
+def linear(builder_id="p"):
+    builder = ProcessBuilder(builder_id)
+    builder.pool("P").start_event("S").task("T").end_event("E")
+    builder.chain("S", "T", "E")
+    return builder
+
+
+class TestStructuralValidation:
+    def test_valid_process_passes(self):
+        validate(linear().build(validate=False))
+
+    def test_empty_process_rejected(self):
+        problems = structural_problems(ProcessBuilder("x").build(validate=False))
+        assert problems == ["process has no elements"]
+
+    def test_unknown_flow_endpoint(self):
+        builder = linear()
+        builder.flow("T", "ghost")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("unknown element 'ghost'" in p for p in problems)
+
+    def test_missing_start_event(self):
+        builder = ProcessBuilder("p")
+        builder.pool("P").task("T").end_event("E")
+        builder.flow("T", "E")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("no start event" in p for p in problems)
+
+    def test_start_event_with_incoming_rejected(self):
+        builder = linear()
+        builder.flow("T", "S")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("has incoming flows" in p for p in problems)
+
+    def test_task_needs_exactly_one_outgoing(self):
+        builder = ProcessBuilder("p")
+        builder.pool("P").start_event("S").task("T").end_event("E1").end_event("E2")
+        builder.chain("S", "T")
+        builder.flow("T", "E1").flow("T", "E2")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("exactly one outgoing flow" in p for p in problems)
+
+    def test_end_event_with_outgoing_rejected(self):
+        builder = ProcessBuilder("p")
+        builder.pool("P").start_event("S").task("T").end_event("E")
+        builder.chain("S", "T", "E")
+        builder.flow("E", "T")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("end event 'E' has outgoing" in p for p in problems)
+
+    def test_unreachable_element_flagged(self):
+        builder = linear()
+        builder.pool("P").task("orphan").end_event("E9")
+        builder.flow("orphan", "E9")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("'orphan' is unreachable" in p for p in problems)
+
+    def test_thrown_message_needs_catcher(self):
+        builder = ProcessBuilder("p")
+        builder.pool("P").start_event("S").task("T").message_end_event(
+            "E", message="lost"
+        )
+        builder.chain("S", "T", "E")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("no catching event" in p for p in problems)
+
+    def test_awaited_message_needs_thrower(self):
+        builder = ProcessBuilder("p")
+        builder.pool("P").message_start_event("S", message="never").task(
+            "T"
+        ).end_event("E")
+        builder.chain("S", "T", "E")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("is never thrown" in p for p in problems)
+
+    def test_mixed_parallel_gateway_rejected(self):
+        builder = ProcessBuilder("p")
+        pool = builder.pool("P")
+        pool.start_event("S1").start_event("S2")
+        pool.parallel_gateway("G")
+        pool.task("A").task("B").end_event("E1").end_event("E2")
+        builder.flow("S1", "G").flow("S2", "G")
+        builder.flow("G", "A").flow("G", "B")
+        builder.chain("A", "E1")
+        builder.chain("B", "E2")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("mixes split and join" in p for p in problems)
+
+    def test_inclusive_join_needs_pairing(self):
+        builder = ProcessBuilder("p")
+        pool = builder.pool("P")
+        pool.start_event("S").inclusive_gateway("G").task("A").task("B")
+        pool.inclusive_gateway("J")  # join_of missing
+        pool.task("Z").end_event("E")
+        builder.chain("S", "G")
+        builder.flow("G", "A").flow("G", "B")
+        builder.flow("A", "J").flow("B", "J")
+        builder.chain("J", "Z", "E")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("must declare join_of" in p for p in problems)
+
+    def test_error_flow_source_must_be_task(self):
+        builder = linear()
+        builder.error_flow("S", "T")
+        problems = structural_problems(builder.build(validate=False))
+        assert any("is not a task" in p for p in problems)
+
+    def test_validate_raises_with_problem_list(self):
+        builder = linear()
+        builder.flow("T", "ghost")
+        with pytest.raises(ProcessValidationError) as excinfo:
+            validate(builder.build(validate=False))
+        assert excinfo.value.problems
+
+
+class TestWellFoundedness:
+    def test_task_cycle_is_well_founded(self):
+        builder = ProcessBuilder("p")
+        pool = builder.pool("P")
+        pool.start_event("S").task("T").exclusive_gateway("G").end_event("E")
+        builder.chain("S", "T", "G")
+        builder.flow("G", "T")
+        builder.flow("G", "E")
+        assert is_well_founded(builder.build(validate=False))
+
+    def test_gateway_only_cycle_is_not_well_founded(self):
+        builder = ProcessBuilder("p")
+        pool = builder.pool("P")
+        pool.start_event("S").task("T")
+        pool.exclusive_gateway("G1").exclusive_gateway("G2")
+        pool.end_event("E")
+        builder.chain("S", "T", "G1", "G2")
+        builder.flow("G2", "G1")  # silent loop between two gateways
+        builder.flow("G2", "E")
+        process = builder.build(validate=False)
+        assert not is_well_founded(process)
+        cycles = non_well_founded_cycles(process)
+        assert cycles and set(cycles[0]) == {"G1", "G2"}
+
+    def test_validate_rejects_non_well_founded(self):
+        builder = ProcessBuilder("p")
+        pool = builder.pool("P")
+        pool.start_event("S").task("T")
+        pool.exclusive_gateway("G1").exclusive_gateway("G2")
+        pool.end_event("E")
+        builder.chain("S", "T", "G1", "G2")
+        builder.flow("G2", "G1")
+        builder.flow("G2", "E")
+        with pytest.raises(NotWellFoundedError):
+            validate(builder.build(validate=False))
+
+    def test_error_edge_makes_cycle_well_founded(self):
+        # A cycle closed purely by an error flow is observable via sys.Err.
+        builder = ProcessBuilder("p")
+        pool = builder.pool("P")
+        pool.start_event("S").task("T").end_event("E")
+        builder.chain("S", "T", "E")
+        builder.error_flow("T", "T")  # retry the task on failure
+        # the error self-cycle contains the task anyway; the check passes
+        assert is_well_founded(builder.build(validate=False))
+
+    def test_message_cycle_with_tasks_is_well_founded(self):
+        from repro.scenarios import fig10_process
+
+        assert is_well_founded(fig10_process())
+
+    def test_builder_build_validates_by_default(self):
+        builder = linear()
+        builder.flow("T", "ghost")
+        with pytest.raises(ProcessValidationError):
+            builder.build()
+
+
+class TestBuilderBasics:
+    def test_duplicate_element_id_rejected(self):
+        builder = ProcessBuilder("p")
+        builder.pool("P").task("T")
+        with pytest.raises(ProcessValidationError):
+            builder.pool("Q").task("T")
+
+    def test_same_pool_returned_for_same_role(self):
+        builder = ProcessBuilder("p")
+        assert builder.pool("P") is builder.pool("P")
+
+    def test_self_loop_flow_rejected(self):
+        builder = ProcessBuilder("p")
+        builder.pool("P").task("T")
+        with pytest.raises(ValueError):
+            builder.flow("T", "T")

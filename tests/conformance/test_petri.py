@@ -1,0 +1,126 @@
+"""Tests for the Petri-net substrate."""
+
+import pytest
+
+from repro.conformance import Marking, PetriNet
+from repro.errors import PetriNetError
+
+
+@pytest.fixture
+def simple_net():
+    """p1 -> [a] -> p2 -> [tau] -> p3 -> [b] -> p4"""
+    net = PetriNet("simple")
+    for place in ("p1", "p2", "p3", "p4"):
+        net.add_place(place)
+    net.add_transition("a", label="A")
+    net.add_transition("tau")
+    net.add_transition("b", label="B")
+    net.add_arc("p1", "a")
+    net.add_arc("a", "p2")
+    net.add_arc("p2", "tau")
+    net.add_arc("tau", "p3")
+    net.add_arc("p3", "b")
+    net.add_arc("b", "p4")
+    return net
+
+
+class TestMarking:
+    def test_zero_counts_dropped(self):
+        marking = Marking({"p1": 1, "p2": 0})
+        assert marking.places() == {"p1"}
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(PetriNetError):
+            Marking({"p1": -1})
+
+    def test_equality_and_hash(self):
+        assert Marking({"a": 1, "b": 2}) == Marking({"b": 2, "a": 1})
+        assert hash(Marking({"a": 1})) == hash(Marking({"a": 1}))
+
+    def test_add_remove(self):
+        marking = Marking({"a": 1}).add([("b", 2)])
+        assert marking["b"] == 2
+        reduced = marking.remove([("b", 1)])
+        assert reduced["b"] == 1
+
+    def test_remove_below_zero_rejected(self):
+        with pytest.raises(PetriNetError):
+            Marking({"a": 1}).remove([("a", 2)])
+
+    def test_covers(self):
+        marking = Marking({"a": 2, "b": 1})
+        assert marking.covers([("a", 2)])
+        assert not marking.covers([("a", 3)])
+
+    def test_len_counts_tokens(self):
+        assert len(Marking({"a": 2, "b": 1})) == 3
+
+
+class TestFiring:
+    def test_enabled_and_fire(self, simple_net):
+        marking = Marking({"p1": 1})
+        assert simple_net.is_enabled(marking, "a")
+        after = simple_net.fire(marking, "a")
+        assert after == Marking({"p2": 1})
+
+    def test_disabled_fire_rejected(self, simple_net):
+        with pytest.raises(PetriNetError):
+            simple_net.fire(Marking({}), "a")
+
+    def test_force_fire_counts_missing(self, simple_net):
+        after, missing = simple_net.force_fire(Marking({}), "a")
+        assert missing == 1
+        assert after == Marking({"p2": 1})
+
+    def test_enabled_transitions(self, simple_net):
+        enabled = simple_net.enabled_transitions(Marking({"p1": 1, "p3": 1}))
+        assert {t.name for t in enabled} == {"a", "b"}
+
+    def test_labeled_lookup(self, simple_net):
+        assert [t.name for t in simple_net.labeled("A")] == ["a"]
+        assert simple_net.labeled("missing") == []
+
+    def test_silent_transitions(self, simple_net):
+        assert [t.name for t in simple_net.silent_transitions()] == ["tau"]
+
+
+class TestSilentClosure:
+    def test_path_found_through_silent_step(self, simple_net):
+        path = simple_net.silent_path_to_enable(Marking({"p2": 1}), "b")
+        assert path == ["tau"]
+
+    def test_already_enabled_gives_empty_path(self, simple_net):
+        assert simple_net.silent_path_to_enable(Marking({"p3": 1}), "b") == []
+
+    def test_unreachable_gives_none(self, simple_net):
+        assert simple_net.silent_path_to_enable(Marking({}), "b") is None
+
+    def test_depth_bound_respected(self, simple_net):
+        assert (
+            simple_net.silent_path_to_enable(Marking({"p2": 1}), "b", max_depth=0)
+            is None
+        )
+
+
+class TestConstructionErrors:
+    def test_duplicate_transition_rejected(self):
+        net = PetriNet()
+        net.add_transition("t")
+        with pytest.raises(PetriNetError):
+            net.add_transition("t")
+
+    def test_arc_requires_place_transition_pair(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        with pytest.raises(PetriNetError):
+            net.add_arc("p", "p")
+        with pytest.raises(PetriNetError):
+            net.add_arc("t", "t")
+
+    def test_arc_weight_positive(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        with pytest.raises(PetriNetError):
+            net.add_arc("p", "t", weight=0)

@@ -1,0 +1,125 @@
+"""Tests for BPMN->Petri translation and token-replay fitness, including
+the comparison points against Algorithm 1 (experiment E12)."""
+
+import pytest
+
+from repro.conformance import (
+    bpmn_to_petri,
+    replay_events,
+    replay_trail,
+    trail_to_events,
+)
+from repro.scenarios import (
+    fig8_process,
+    fig9_process,
+    healthcare_treatment_process,
+    paper_audit_trail,
+    sequential_process,
+    xor_process,
+)
+
+
+@pytest.fixture(scope="module")
+def ht_net():
+    return bpmn_to_petri(healthcare_treatment_process())
+
+
+class TestTranslation:
+    def test_sequential_net_structure(self):
+        translated = bpmn_to_petri(sequential_process(2))
+        labels = {
+            t.label for t in translated.net.transitions.values() if t.label
+        }
+        assert labels == {"Staff.T1", "Staff.T2"}
+        assert len(translated.initial) == 1
+
+    def test_error_task_has_err_transition(self):
+        translated = bpmn_to_petri(fig9_process())
+        assert translated.net.labeled("Err")
+
+    def test_task_label_helper(self, ht_net):
+        assert ht_net.task_label("T01") == "GP.T01"
+
+    def test_message_places_created(self, ht_net):
+        assert "msg_referral" in ht_net.net.places
+
+
+class TestEventProjection:
+    def test_consecutive_same_task_collapse(self):
+        trail = paper_audit_trail().for_case("CT-1")
+        events = trail_to_events(trail)
+        assert events == [
+            "Cardiologist.T91",
+            "Cardiologist.T92",
+            "Cardiologist.T93",
+            "Cardiologist.T94",  # the two T94 entries collapse
+            "Cardiologist.T95",
+        ]
+
+    def test_failures_become_err(self):
+        trail = paper_audit_trail().for_case("HT-1")
+        events = trail_to_events(trail)
+        assert "Err" in events
+
+
+class TestReplayFitness:
+    def test_perfect_sequential_replay(self):
+        translated = bpmn_to_petri(sequential_process(2))
+        outcome = replay_events(translated, ["Staff.T1", "Staff.T2"])
+        assert outcome.fits
+        assert outcome.fitness == 1.0
+
+    def test_skipped_task_penalized(self):
+        translated = bpmn_to_petri(sequential_process(3))
+        outcome = replay_events(translated, ["Staff.T1", "Staff.T3"])
+        assert not outcome.fits
+        assert outcome.missing > 0
+        assert outcome.fitness < 1.0
+
+    def test_unknown_event_penalized(self):
+        translated = bpmn_to_petri(sequential_process(2))
+        outcome = replay_events(translated, ["Staff.T1", "Ghost.T9", "Staff.T2"])
+        assert not outcome.fits
+
+    def test_xor_replay_through_silent_routing(self):
+        translated = bpmn_to_petri(xor_process(2))
+        for branch in ("B1", "B2"):
+            outcome = replay_events(translated, ["Staff.T0", f"Staff.{branch}"])
+            assert outcome.fits, branch
+
+    def test_fig8_single_branch_fits(self):
+        translated = bpmn_to_petri(fig8_process())
+        outcome = replay_events(translated, ["P.T", "P.T1"])
+        assert outcome.fits
+
+    def test_error_path_replay(self):
+        translated = bpmn_to_petri(fig9_process())
+        outcome = replay_events(translated, ["P.T", "Err", "P.T1"])
+        assert outcome.fits
+
+    def test_fitness_bounds(self):
+        translated = bpmn_to_petri(sequential_process(2))
+        outcome = replay_events(translated, ["Ghost.1", "Ghost.2"])
+        assert 0.0 <= outcome.fitness <= 1.0
+
+
+class TestPaperTrailComparison:
+    """E12: where the baseline agrees with Algorithm 1 and where it differs."""
+
+    def test_ht1_fits_perfectly(self, ht_net):
+        outcome = replay_trail(ht_net, paper_audit_trail().for_case("HT-1"))
+        assert outcome.fits
+
+    def test_mimicry_case_has_low_fitness(self, ht_net):
+        outcome = replay_trail(ht_net, paper_audit_trail().for_case("HT-11"))
+        assert not outcome.fits
+        assert outcome.fitness < 0.7
+
+    def test_open_prefix_penalized_unlike_algorithm1(self, ht_net):
+        # HT-2 is a perfectly valid *open* case; Algorithm 1 accepts it,
+        # token replay's remaining-token term penalizes it. This is a
+        # genuine difference between the approaches (Section 6).
+        outcome = replay_trail(ht_net, paper_audit_trail().for_case("HT-2"))
+        assert not outcome.fits
+        assert outcome.missing == 0  # nothing wrong happened...
+        assert outcome.remaining > 0  # ...the case simply is not finished

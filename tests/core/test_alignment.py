@@ -1,0 +1,160 @@
+"""Tests for optimal trail-to-process alignments."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.audit import LogEntry, Status
+from repro.bpmn import encode
+from repro.core import ComplianceChecker
+from repro.core.alignment import MoveKind, align
+from repro.scenarios import (
+    healthcare_treatment_process,
+    paper_audit_trail,
+    role_hierarchy,
+    sequential_process,
+    xor_process,
+)
+
+
+def entries_for(tasks, role="Staff"):
+    clock = datetime(2010, 1, 1)
+    out = []
+    for task in tasks:
+        clock += timedelta(minutes=1)
+        out.append(
+            LogEntry(
+                user="Sam", role=role, action="work", obj=None, task=task,
+                case="C-1", timestamp=clock, status=Status.SUCCESS,
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def seq_checker():
+    return ComplianceChecker(encode(sequential_process(4)))
+
+
+class TestPerfectAlignments:
+    def test_compliant_trail_costs_zero(self, seq_checker):
+        alignment = align(seq_checker, entries_for(["T1", "T2", "T3"]))
+        assert alignment.is_perfect
+        assert all(m.kind is MoveKind.SYNC for m in alignment.moves)
+
+    def test_absorbed_repeats_cost_zero(self, seq_checker):
+        alignment = align(seq_checker, entries_for(["T1", "T1", "T1", "T2"]))
+        assert alignment.is_perfect
+
+    def test_empty_trail(self, seq_checker):
+        alignment = align(seq_checker, [])
+        assert alignment.is_perfect
+        assert alignment.moves == ()
+
+
+class TestRepairs:
+    def test_skipped_task_costs_one_model_move(self, seq_checker):
+        alignment = align(seq_checker, entries_for(["T1", "T3"]))
+        assert alignment.complete
+        assert alignment.cost == 1
+        assert [str(m) for m in alignment.model_moves] == [
+            "model-only(Staff.T2)"
+        ]
+
+    def test_far_jump_prefers_cheapest_repair(self, seq_checker):
+        # Jumping T1 -> T4 over two tasks: deleting the single T4 entry
+        # (1 log move) is cheaper than inserting T2 and T3 (2 model moves).
+        alignment = align(seq_checker, entries_for(["T1", "T4"]))
+        assert alignment.cost == 1
+        assert [str(m) for m in alignment.log_moves] == ["log-only(Staff.T4)"]
+
+    def test_two_skipped_tasks_with_corroborated_jump(self, seq_checker):
+        # Two T4 entries corroborate that T4 really ran: now the two
+        # model moves tie with two log moves, and the tie-break prefers
+        # explaining through the process.
+        alignment = align(seq_checker, entries_for(["T1", "T4", "T4"]))
+        assert alignment.cost == 2
+        assert {str(m) for m in alignment.model_moves} == {
+            "model-only(Staff.T2)", "model-only(Staff.T3)",
+        }
+        assert not alignment.log_moves
+
+    def test_garbage_entry_costs_one_log_move(self, seq_checker):
+        alignment = align(seq_checker, entries_for(["T1", "T99", "T2"]))
+        assert alignment.cost == 1
+        assert [str(m) for m in alignment.log_moves] == [
+            "log-only(Staff.T99)"
+        ]
+
+    def test_swap_costs_one(self, seq_checker):
+        # T2 before T1: since any prefix of a valid run is acceptable,
+        # the cheapest repair treats the premature T2 as extra work (one
+        # log move) and syncs the T1 that follows.
+        alignment = align(seq_checker, entries_for(["T2", "T1"]))
+        assert alignment.complete
+        assert alignment.cost == 1
+
+    def test_moves_keep_trail_order(self, seq_checker):
+        alignment = align(seq_checker, entries_for(["T1", "T3"]))
+        kinds = [m.kind for m in alignment.moves]
+        assert kinds == [MoveKind.SYNC, MoveKind.MODEL, MoveKind.SYNC]
+
+
+class TestBranching:
+    def test_alignment_picks_the_cheaper_branch(self):
+        checker = ComplianceChecker(encode(xor_process(2)))
+        # B1 taken but logged as B2: one log + one model, or vice versa.
+        alignment = align(checker, entries_for(["T0", "B1", "B2"]))
+        assert alignment.cost == 1  # the extra branch entry is log-only
+
+    def test_fitness_normalization(self, seq_checker):
+        entries = entries_for(["T1", "T3"])
+        alignment = align(seq_checker, entries)
+        fitness = alignment.fitness(len(entries))
+        assert 0.0 < fitness < 1.0
+        perfect = align(seq_checker, entries_for(["T1", "T2"]))
+        assert perfect.fitness(2) == 1.0
+
+
+class TestPaperScenario:
+    @pytest.fixture(scope="class")
+    def ht_checker(self):
+        return ComplianceChecker(
+            encode(healthcare_treatment_process()), role_hierarchy()
+        )
+
+    def test_ht1_aligns_perfectly(self, ht_checker):
+        trail = list(paper_audit_trail().for_case("HT-1"))
+        alignment = align(ht_checker, trail)
+        assert alignment.is_perfect
+
+    def test_harvesting_case_repair_plan(self, ht_checker):
+        trail = list(paper_audit_trail().for_case("HT-11"))
+        alignment = align(ht_checker, trail)
+        assert alignment.complete
+        # Cheapest explanations: treat the lone T06 read as extra work
+        # (1 log move), since legitimizing it needs >= 2 model moves.
+        assert alignment.cost == 1
+        assert alignment.log_moves
+
+    def test_graded_signal(self, ht_checker):
+        """Alignment cost grades violations the boolean verdict cannot:
+        a nearly-complete case scores closer to legitimate than a lone
+        harvesting read."""
+        legitimate = list(paper_audit_trail().for_case("HT-1"))
+        nearly = legitimate[:5] + legitimate[6:]  # drop the first T06 read
+        nearly_alignment = align(ht_checker, nearly)
+        assert nearly_alignment.complete
+        fitness_nearly = nearly_alignment.fitness(len(nearly))
+        harvest = list(paper_audit_trail().for_case("HT-11"))
+        fitness_harvest = align(ht_checker, harvest).fitness(len(harvest))
+        assert fitness_nearly > fitness_harvest
+
+
+class TestBudget:
+    def test_budget_exhaustion_reports_incomplete(self, seq_checker):
+        alignment = align(
+            seq_checker, entries_for(["T9"] * 3), max_cost=0
+        )
+        assert not alignment.complete
+        assert alignment.cost == 3  # the all-log-moves fallback bound

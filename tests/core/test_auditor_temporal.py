@@ -1,0 +1,79 @@
+"""Tests for temporal constraints integrated into the full auditor."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core import (
+    InfringementKind,
+    PurposeControlAuditor,
+    TemporalConstraints,
+)
+from repro.scenarios import (
+    paper_audit_trail,
+    process_registry,
+    role_hierarchy,
+)
+
+
+def make_auditor(constraints, now=None):
+    return PurposeControlAuditor(
+        process_registry(),
+        hierarchy=role_hierarchy(),
+        temporal={"treatment": constraints},
+        now=now,
+    )
+
+
+class TestTemporalAuditing:
+    def test_ht1_spans_a_month_and_can_be_flagged(self):
+        # HT-1 runs 2010-03-12 .. 2010-04-15 (about 34 days).
+        auditor = make_auditor(
+            TemporalConstraints(max_case_duration=timedelta(days=30))
+        )
+        report = auditor.audit(paper_audit_trail())
+        result = report.cases["HT-1"]
+        kinds = {i.kind for i in result.infringements}
+        assert InfringementKind.TEMPORAL_VIOLATION in kinds
+
+    def test_generous_budget_keeps_ht1_clean(self):
+        auditor = make_auditor(
+            TemporalConstraints(max_case_duration=timedelta(days=60))
+        )
+        report = auditor.audit(paper_audit_trail())
+        assert report.cases["HT-1"].compliant
+
+    def test_open_case_times_out_against_audit_time(self):
+        auditor = make_auditor(
+            TemporalConstraints(max_case_duration=timedelta(days=30)),
+            now=datetime(2010, 8, 1),
+        )
+        report = auditor.audit(paper_audit_trail())
+        result = report.cases["HT-2"]  # a single March entry, still open
+        kinds = {i.kind for i in result.infringements}
+        assert InfringementKind.TEMPORAL_VIOLATION in kinds
+
+    def test_open_case_without_now_not_timed_out(self):
+        auditor = make_auditor(
+            TemporalConstraints(max_case_duration=timedelta(days=30))
+        )
+        report = auditor.audit(paper_audit_trail())
+        assert report.cases["HT-2"].compliant
+
+    def test_purposes_without_constraints_unaffected(self):
+        auditor = make_auditor(
+            TemporalConstraints(max_case_duration=timedelta(minutes=1)),
+        )
+        report = auditor.audit(paper_audit_trail())
+        # clinical trial has no constraints registered
+        assert report.cases["CT-1"].compliant
+
+    def test_temporal_and_replay_infringements_compose(self):
+        auditor = make_auditor(
+            TemporalConstraints(max_case_duration=timedelta(days=1)),
+            now=datetime(2010, 8, 1),
+        )
+        report = auditor.audit(paper_audit_trail())
+        # HT-11 is both an invalid execution and (as an open case) overdue.
+        kinds = {i.kind for i in report.cases["HT-11"].infringements}
+        assert InfringementKind.INVALID_EXECUTION in kinds

@@ -1,0 +1,123 @@
+"""Tests for infringement explanations (deviation classification)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.audit import LogEntry, Status
+from repro.bpmn import encode
+from repro.core import ComplianceChecker
+from repro.core.explain import DeviationKind, explain
+from repro.scenarios import (
+    healthcare_treatment_process,
+    paper_audit_trail,
+    role_hierarchy,
+    sequential_process,
+)
+
+
+def entries_for(tasks, role="Staff", statuses=None):
+    clock = datetime(2010, 1, 1)
+    out = []
+    for position, task in enumerate(tasks):
+        clock += timedelta(minutes=1)
+        status = (
+            statuses[position] if statuses else Status.SUCCESS
+        )
+        out.append(
+            LogEntry(
+                user="Sam", role=role, action="work", obj=None, task=task,
+                case="C-1", timestamp=clock, status=status,
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def seq_checker():
+    return ComplianceChecker(encode(sequential_process(4)))
+
+
+def diagnose(checker, entries):
+    result = checker.check(entries)
+    assert not result.compliant
+    explanation = explain(checker, entries, result)
+    assert explanation is not None
+    return explanation
+
+
+class TestDeviationKinds:
+    def test_compliant_result_has_no_explanation(self, seq_checker):
+        entries = entries_for(["T1", "T2"])
+        result = seq_checker.check(entries)
+        assert explain(seq_checker, entries, result) is None
+
+    def test_skipped_task(self, seq_checker):
+        explanation = diagnose(seq_checker, entries_for(["T1", "T3"]))
+        assert explanation.kind is DeviationKind.SKIPPED_TASKS
+        assert explanation.skipped == ("Staff.T2",)
+
+    def test_multiple_skipped_tasks(self, seq_checker):
+        explanation = diagnose(seq_checker, entries_for(["T1", "T4"]))
+        assert explanation.kind is DeviationKind.SKIPPED_TASKS
+        assert explanation.skipped == ("Staff.T2", "Staff.T3")
+
+    def test_wrong_start(self, seq_checker):
+        explanation = diagnose(seq_checker, entries_for(["T3"]))
+        assert explanation.kind is DeviationKind.WRONG_START
+        assert explanation.entry_index == 0
+
+    def test_alien_task(self, seq_checker):
+        explanation = diagnose(seq_checker, entries_for(["T1", "T99"]))
+        assert explanation.kind is DeviationKind.ALIEN_TASK
+
+    def test_wrong_role(self, seq_checker):
+        entries = entries_for(["T1"], role="Impostor")
+        explanation = diagnose(seq_checker, entries)
+        assert explanation.kind is DeviationKind.WRONG_ROLE
+        assert "Staff" in explanation.detail
+
+    def test_wrong_status(self, seq_checker):
+        entries = entries_for(
+            ["T1", "T2"], statuses=[Status.SUCCESS, Status.FAILURE]
+        )
+        explanation = diagnose(seq_checker, entries)
+        assert explanation.kind is DeviationKind.WRONG_STATUS
+
+    def test_not_reachable_backwards_jump(self, seq_checker):
+        explanation = diagnose(
+            seq_checker, entries_for(["T1", "T2", "T3", "T1"])
+        )
+        assert explanation.kind is DeviationKind.NOT_REACHABLE
+
+    def test_expected_events_reported(self, seq_checker):
+        explanation = diagnose(seq_checker, entries_for(["T1", "T3"]))
+        assert explanation.expected == ("Staff.T2",)
+
+    def test_str_is_informative(self, seq_checker):
+        text = str(diagnose(seq_checker, entries_for(["T1", "T3"])))
+        assert "skipped-tasks" in text
+        assert "Staff.T2" in text
+
+
+class TestPaperScenarioExplanations:
+    @pytest.fixture(scope="class")
+    def ht_checker(self):
+        return ComplianceChecker(
+            encode(healthcare_treatment_process()), role_hierarchy()
+        )
+
+    def test_harvesting_case_is_wrong_start(self, ht_checker):
+        entries = list(paper_audit_trail().for_case("HT-11"))
+        result = ht_checker.check(entries)
+        explanation = explain(ht_checker, entries, result)
+        assert explanation.kind is DeviationKind.WRONG_START
+        # Bob's T06 needed the whole referral prefix first.
+        assert "GP.T01" in explanation.skipped
+        assert "GP.T05" in explanation.skipped
+
+    def test_expected_start_is_gp_t01(self, ht_checker):
+        entries = list(paper_audit_trail().for_case("HT-11"))
+        result = ht_checker.check(entries)
+        explanation = explain(ht_checker, entries, result)
+        assert explanation.expected == ("GP.T01",)

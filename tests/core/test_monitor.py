@@ -1,0 +1,124 @@
+"""Tests for the online (streaming) purpose-control monitor."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.monitor import CaseState, OnlineMonitor
+from repro.core.temporal import TemporalConstraints
+from repro.scenarios import (
+    paper_audit_trail,
+    process_registry,
+    role_hierarchy,
+)
+
+
+@pytest.fixture
+def monitor():
+    return OnlineMonitor(process_registry(), hierarchy=role_hierarchy())
+
+
+class TestStreamingPaperTrail:
+    def test_streaming_matches_batch_verdicts(self, monitor):
+        for entry in paper_audit_trail():
+            monitor.observe(entry)
+        assert set(monitor.infringing_cases()) == {
+            "HT-10", "HT-11", "HT-20", "HT-21", "HT-30",
+        }
+        assert monitor.case_state("HT-2") is CaseState.OPEN
+        assert monitor.case_state("HT-1") in (CaseState.OPEN, CaseState.COMPLETED)
+
+    def test_infringement_raised_at_offending_entry(self, monitor):
+        trail = paper_audit_trail()
+        raised = []
+        for entry in trail:
+            raised.extend((entry, i) for i in monitor.observe(entry))
+        # The first infringement fires exactly on Bob's first harvest read.
+        first_entry, first_infringement = raised[0]
+        assert first_entry.case == "HT-10"
+        assert first_infringement.case == "HT-10"
+
+    def test_compliant_entries_raise_nothing(self, monitor):
+        for entry in paper_audit_trail().for_case("HT-1"):
+            assert monitor.observe(entry) == []
+
+    def test_infringing_case_reported_once(self, monitor):
+        trail = list(paper_audit_trail().for_case("HT-11"))
+        extra = trail[0].shifted(timedelta(minutes=5))
+        first = monitor.observe(trail[0])
+        second = monitor.observe(extra)
+        assert len(first) == 1
+        assert second == []  # same case, already reported
+        assert len(monitor.infringements) == 1
+
+    def test_statistics(self, monitor):
+        for entry in paper_audit_trail():
+            monitor.observe(entry)
+        stats = monitor.statistics()
+        assert stats["entries"] == 28
+        assert stats["infringing"] == 5
+
+
+class TestUnknownPurpose:
+    def test_unknown_case_prefix(self, monitor):
+        entry = paper_audit_trail()[0]
+        from dataclasses import replace
+
+        alien = replace(entry, case="ZZ-1")
+        raised = monitor.observe(alien)
+        assert len(raised) == 1
+        assert monitor.case_state("ZZ-1") is CaseState.INFRINGING
+
+
+class TestTemporalSweep:
+    def test_open_case_times_out(self):
+        constraints = TemporalConstraints(max_case_duration=timedelta(days=10))
+        monitor = OnlineMonitor(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            temporal={"treatment": constraints},
+        )
+        for entry in paper_audit_trail().for_case("HT-2"):
+            monitor.observe(entry)
+        assert monitor.sweep(datetime(2010, 3, 15)) == []
+        violations = monitor.sweep(datetime(2010, 6, 1))
+        assert violations
+        assert monitor.case_state("HT-2") is CaseState.TIMED_OUT
+
+    def test_timed_out_case_not_reswept(self):
+        constraints = TemporalConstraints(max_case_duration=timedelta(days=1))
+        monitor = OnlineMonitor(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            temporal={"treatment": constraints},
+        )
+        for entry in paper_audit_trail().for_case("HT-2"):
+            monitor.observe(entry)
+        first = monitor.sweep(datetime(2010, 6, 1))
+        second = monitor.sweep(datetime(2010, 7, 1))
+        assert first and not second
+
+    def test_purposes_without_constraints_never_time_out(self, monitor):
+        for entry in paper_audit_trail().for_case("HT-2"):
+            monitor.observe(entry)
+        assert monitor.sweep(datetime(2030, 1, 1)) == []
+
+
+class TestCaseLifecycle:
+    def test_open_cases_listing(self, monitor):
+        for entry in paper_audit_trail().for_case("HT-2"):
+            monitor.observe(entry)
+        assert monitor.open_cases() == ["HT-2"]
+
+    def test_unknown_case_state_is_none(self, monitor):
+        assert monitor.case_state("HT-404") is None
+
+    def test_ct_case_completes(self, monitor):
+        # The CT-1 trail ends at T95 -> E90; depending on the loop the
+        # frontier may still allow more T94 rounds from an earlier branch,
+        # so accept OPEN or COMPLETED but require compliance.
+        for entry in paper_audit_trail().for_case("CT-1"):
+            assert monitor.observe(entry) == []
+        assert monitor.case_state("CT-1") in (
+            CaseState.OPEN, CaseState.COMPLETED,
+        )

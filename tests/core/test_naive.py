@@ -1,0 +1,144 @@
+"""Tests for the naive trace-enumeration baseline (Section 1)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.audit import LogEntry, Status
+from repro.bpmn import encode
+from repro.core import ComplianceChecker, NaiveChecker, Verdict
+from repro.scenarios import (
+    fig9_process,
+    loop_process,
+    sequential_process,
+    staged_xor_process,
+    xor_process,
+)
+
+
+def entries_for(tasks, role="Staff", case="C-1"):
+    clock = datetime(2010, 1, 1)
+    result = []
+    for task in tasks:
+        clock += timedelta(minutes=1)
+        status = Status.FAILURE if task == "!" else Status.SUCCESS
+        result.append(
+            LogEntry(
+                user="Sam",
+                role=role if task != "!" else role,
+                action="work",
+                obj=None,
+                task=task if task != "!" else result[-1].task,
+                case=case,
+                timestamp=clock,
+                status=status,
+            )
+        )
+    return result
+
+
+class TestAgreementWithAlgorithm1:
+    """On loop-free processes the baseline and Algorithm 1 must agree."""
+
+    @pytest.mark.parametrize(
+        "tasks, expected",
+        [
+            (["T1", "T2", "T3"], True),
+            (["T1", "T1", "T2", "T3"], True),  # absorption
+            (["T1", "T3"], False),
+            (["T2"], False),
+            ([], True),
+        ],
+    )
+    def test_sequential(self, tasks, expected):
+        encoded = encode(sequential_process(3))
+        naive = NaiveChecker(encoded)
+        fast = ComplianceChecker(encoded)
+        trail = entries_for(tasks)
+        assert naive.check(trail).compliant == expected
+        assert fast.check(trail).compliant == expected
+
+    @pytest.mark.parametrize(
+        "tasks, expected",
+        [
+            (["T0", "B1"], True),
+            (["T0", "B2"], True),
+            (["T0", "B1", "B2"], False),
+            (["B1"], False),
+        ],
+    )
+    def test_xor(self, tasks, expected):
+        encoded = encode(xor_process(2))
+        assert NaiveChecker(encoded).check(entries_for(tasks)).compliant == expected
+        assert (
+            ComplianceChecker(encoded).check(entries_for(tasks)).compliant
+            == expected
+        )
+
+    def test_error_path(self):
+        encoded = encode(fig9_process())
+        trail = entries_for(["T", "!", "T1"], role="P")
+        assert NaiveChecker(encoded).check(trail).compliant
+        assert ComplianceChecker(encoded).check(trail).compliant
+
+
+class TestLoopInfeasibility:
+    """The paper's point: loops make enumeration explode or truncate."""
+
+    def test_loop_process_compliant_trail_found_within_budget(self):
+        encoded = encode(loop_process(1))
+        trail = entries_for(["T1", "T1"])  # absorbed repeat: short trace
+        result = NaiveChecker(encoded).check(trail)
+        assert result.compliant
+
+    def test_loop_trace_count_grows_with_depth(self):
+        # A loop whose body contains a choice: the observable trace count
+        # doubles per iteration, the blow-up the paper points out.
+        from repro.bpmn import ProcessBuilder
+
+        builder = ProcessBuilder("loopchoice")
+        pool = builder.pool("Staff")
+        pool.start_event("S").task("T1").exclusive_gateway("G1")
+        pool.task("T2").task("T3").exclusive_gateway("M")
+        pool.exclusive_gateway("G").end_event("E")
+        builder.chain("S", "T1", "G1")
+        builder.flow("G1", "T2").flow("G1", "T3")
+        builder.flow("T2", "M").flow("T3", "M")
+        builder.chain("M", "G")
+        builder.flow("G", "T1")
+        builder.flow("G", "E")
+        encoded = encode(builder.build())
+        naive = NaiveChecker(encoded)
+        shallow, _ = naive.count_traces(max_depth=4)
+        deep, _ = naive.count_traces(max_depth=8)
+        assert deep > shallow
+
+    def test_truncation_yields_undetermined(self):
+        encoded = encode(loop_process(2))
+        naive = NaiveChecker(encoded, max_traces=3)
+        # A non-compliant trail that the tiny budget cannot refute.
+        trail = entries_for(["T2", "T1"])
+        result = naive.check(trail)
+        assert result.verdict in (Verdict.UNDETERMINED, Verdict.NON_COMPLIANT)
+        if result.verdict is Verdict.UNDETERMINED:
+            assert result.truncated
+
+    def test_staged_xor_counts_are_exponential(self):
+        # width ** stages maximal traces.
+        encoded = encode(staged_xor_process(3, width=2))
+        naive = NaiveChecker(encoded)
+        count, truncated = naive.count_traces(max_depth=10)
+        assert not truncated
+        assert count == 8
+
+
+class TestVerdictPlumbing:
+    def test_result_counts_traces(self):
+        encoded = encode(sequential_process(2))
+        result = NaiveChecker(encoded).check(entries_for(["T1", "T2"]))
+        assert result.traces_enumerated >= 1
+
+    def test_compliant_property(self):
+        encoded = encode(sequential_process(1))
+        assert NaiveChecker(encoded).check(entries_for(["T1"])).compliant
+        assert not NaiveChecker(encoded).check(entries_for(["T9"])).compliant

@@ -1,0 +1,119 @@
+"""Tests for the observable label set L (Section 3.5)."""
+
+from repro.audit import LogEntry, Status
+from repro.bpmn import encode
+from repro.core import ErrorEvent, Observables, TaskEvent
+from repro.cows import CommLabel, InvokeLabel, KillDone, endpoint
+from repro.scenarios import fig8_process, role_hierarchy
+
+
+def make_observables():
+    return Observables.from_encoded(encode(fig8_process()))
+
+
+def entry(role="P", task="T", status=Status.SUCCESS):
+    return LogEntry.at(
+        "user", role, "read", "[X]EPR", task, "C-1",
+        "201001010000", status,
+    )
+
+
+class TestClassification:
+    def test_task_label_is_observable(self):
+        obs = make_observables()
+        label = CommLabel(endpoint("P", "T1"), ())
+        assert obs.classify(label) == TaskEvent("P", "T1")
+
+    def test_error_label_is_observable(self):
+        obs = make_observables()
+        label = CommLabel(endpoint("sys", "Err"), ())
+        assert obs.classify(label) == ErrorEvent()
+
+    def test_gateway_sync_is_silent(self):
+        obs = make_observables()
+        label = CommLabel(endpoint("sys", "br_T1"), ())
+        assert obs.classify(label) is None
+
+    def test_non_task_operation_is_silent(self):
+        obs = make_observables()
+        label = CommLabel(endpoint("P", "G"), ())  # gateway trigger
+        assert obs.classify(label) is None
+
+    def test_unknown_partner_is_silent(self):
+        obs = make_observables()
+        label = CommLabel(endpoint("Q", "T1"), ())
+        assert obs.classify(label) is None
+
+    def test_partial_labels_are_silent(self):
+        obs = make_observables()
+        assert obs.classify(InvokeLabel(endpoint("P", "T1"), ())) is None
+        assert obs.classify(KillDone()) is None
+
+    def test_is_observable(self):
+        obs = make_observables()
+        assert obs.is_observable(CommLabel(endpoint("P", "T1"), ()))
+        assert not obs.is_observable(CommLabel(endpoint("P", "G"), ()))
+
+
+class TestEntryMatching:
+    def test_task_event_matches_same_role_success(self):
+        obs = make_observables()
+        assert obs.event_matches_entry(TaskEvent("P", "T"), entry())
+
+    def test_task_event_rejects_failure(self):
+        obs = make_observables()
+        assert not obs.event_matches_entry(
+            TaskEvent("P", "T"), entry(status=Status.FAILURE)
+        )
+
+    def test_error_event_matches_any_failure(self):
+        obs = make_observables()
+        assert obs.event_matches_entry(
+            ErrorEvent(), entry(status=Status.FAILURE)
+        )
+        assert not obs.event_matches_entry(ErrorEvent(), entry())
+
+    def test_task_mismatch_rejected(self):
+        obs = make_observables()
+        assert not obs.event_matches_entry(TaskEvent("P", "T2"), entry(task="T"))
+
+    def test_role_mismatch_rejected_without_hierarchy(self):
+        obs = make_observables()
+        assert not obs.event_matches_entry(
+            TaskEvent("P", "T"), entry(role="Q")
+        )
+
+    def test_role_specialization_accepted_with_hierarchy(self):
+        encoded = encode(fig8_process())
+        obs = Observables.from_encoded(encoded, role_hierarchy())
+        # A Cardiologist entry matches a Physician pool label.
+        event = TaskEvent("Physician", "T")
+        assert obs.event_matches_entry(event, entry(role="Cardiologist"))
+
+    def test_generalization_not_accepted(self):
+        encoded = encode(fig8_process())
+        obs = Observables.from_encoded(encoded, role_hierarchy())
+        # A Physician entry does NOT match a Cardiologist pool label.
+        event = TaskEvent("Cardiologist", "T")
+        assert not obs.event_matches_entry(event, entry(role="Physician"))
+
+
+class TestActiveTaskMatching:
+    def test_active_exact_match(self):
+        obs = make_observables()
+        active = frozenset({("P", "T")})
+        assert obs.entry_task_active(active, entry())
+
+    def test_active_respects_hierarchy(self):
+        obs = Observables.from_encoded(encode(fig8_process()), role_hierarchy())
+        active = frozenset({("Physician", "T")})
+        assert obs.entry_task_active(active, entry(role="GP"))
+
+    def test_inactive_task(self):
+        obs = make_observables()
+        active = frozenset({("P", "T2")})
+        assert not obs.entry_task_active(active, entry(task="T"))
+
+    def test_empty_active_set(self):
+        obs = make_observables()
+        assert not obs.entry_task_active(frozenset(), entry())

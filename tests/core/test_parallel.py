@@ -1,0 +1,47 @@
+"""Tests for parallel case auditing (Section 7's parallelization claim)."""
+
+import pytest
+
+from repro.core.parallel import audit_cases_parallel
+from repro.scenarios import (
+    hospital_day,
+    paper_audit_trail,
+    process_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return process_registry()
+
+
+class TestSerialPath:
+    def test_paper_trail_verdicts(self, registry):
+        verdicts = audit_cases_parallel(registry, paper_audit_trail(), workers=1)
+        assert verdicts["HT-1"] is True
+        assert verdicts["CT-1"] is False or verdicts["CT-1"] is True
+        # without a hierarchy CT-1's Cardiologist cannot match Physician:
+        assert verdicts["CT-1"] is False
+        for case in ("HT-10", "HT-11", "HT-20", "HT-21", "HT-30"):
+            assert verdicts[case] is False
+
+    def test_unknown_prefix_counts_as_non_compliant(self, registry):
+        from repro.audit import AuditTrail
+        from dataclasses import replace
+
+        entry = replace(paper_audit_trail()[0], case="ZZ-1")
+        verdicts = audit_cases_parallel(registry, AuditTrail([entry]), workers=1)
+        assert verdicts == {"ZZ-1": False}
+
+
+class TestMultiprocessPath:
+    def test_workers_agree_with_serial(self, registry):
+        workload = hospital_day(n_cases=12, violation_rate=0.25, seed=2)
+        serial = audit_cases_parallel(registry, workload.trail, workers=1)
+        multi = audit_cases_parallel(registry, workload.trail, workers=2)
+        assert serial == multi == workload.ground_truth
+
+    def test_every_case_gets_a_verdict(self, registry):
+        workload = hospital_day(n_cases=7, violation_rate=0.0, seed=3)
+        verdicts = audit_cases_parallel(registry, workload.trail, workers=2)
+        assert set(verdicts) == set(workload.trail.cases())

@@ -1,0 +1,104 @@
+"""Tests for the infringement-severity metrics (Section 7 future work)."""
+
+import pytest
+
+from repro.core import PurposeControlAuditor, SeverityModel
+from repro.scenarios import (
+    paper_audit_trail,
+    process_registry,
+    role_hierarchy,
+)
+from repro.audit import LogEntry, Status
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return process_registry()
+
+
+@pytest.fixture(scope="module")
+def model(registry):
+    return SeverityModel(registry)
+
+
+@pytest.fixture(scope="module")
+def audited(registry, model):
+    auditor = PurposeControlAuditor(
+        registry, hierarchy=role_hierarchy(), severity_model=model
+    )
+    return auditor.audit(paper_audit_trail())
+
+
+def make_entry(task, obj):
+    return LogEntry.at(
+        "Bob", "Cardiologist", "read", obj, task, "HT-99",
+        "201005010900", Status.SUCCESS,
+    )
+
+
+class TestFactors:
+    def test_object_sensitivity_clinical_highest(self, model):
+        clinical = make_entry("T06", "[Jane]EPR/Clinical")
+        demographics = make_entry("T06", "[Jane]EPR/Demographics")
+        assert model.object_sensitivity(clinical) > model.object_sensitivity(
+            demographics
+        )
+
+    def test_object_sensitivity_unknown_object(self, model):
+        other = make_entry("T06", "SomethingElse")
+        assert model.object_sensitivity(other) == 0.0
+
+    def test_objectless_entry_sensitivity_zero(self, model):
+        entry = LogEntry.at(
+            "Bob", "Cardiologist", "cancel", None, "T06", "HT-99",
+            "201005010900", Status.FAILURE,
+        )
+        assert model.object_sensitivity(entry) == 0.0
+
+    def test_cross_purpose_detection(self, model):
+        # T91 belongs to the clinical-trial process, claimed as treatment.
+        assert model.is_cross_purpose(make_entry("T91", "[Jane]EPR"), "treatment")
+        assert not model.is_cross_purpose(make_entry("T06", "[Jane]EPR"), "treatment")
+
+    def test_cross_purpose_without_registry(self):
+        model = SeverityModel()
+        assert not model.is_cross_purpose(make_entry("T91", "[Jane]EPR"), "treatment")
+
+
+class TestScores:
+    def test_repurposed_cases_scored_high(self, audited):
+        for case in ("HT-10", "HT-11", "HT-20"):
+            severity = audited.cases[case].severity
+            assert severity is not None
+            assert severity.score >= 5.0
+
+    def test_clinical_access_scores_above_demographics(self, audited):
+        clinical = audited.cases["HT-11"].severity  # read EPR/Clinical
+        demographics = audited.cases["HT-21"].severity  # read EPR/Demographics
+        assert clinical.score > demographics.score
+
+    def test_compliant_cases_have_no_severity(self, audited):
+        assert audited.cases["HT-1"].severity is None
+
+    def test_score_bounded(self, audited):
+        for result in audited.cases.values():
+            if result.severity:
+                assert 0.0 <= result.severity.score <= 10.0
+
+    def test_str_rendering(self, audited):
+        severity = audited.cases["HT-11"].severity
+        assert "severity" in str(severity)
+
+    def test_zero_progress_case(self, audited):
+        severity = audited.cases["HT-11"].severity
+        assert severity.progress == 0.0
+        assert severity.rejected_entries == 1
+
+
+class TestCustomSensitivity:
+    def test_custom_weights_used(self, registry):
+        model = SeverityModel(
+            registry, sensitivity={("ClinicalTrial",): 0.9}
+        )
+        entry = make_entry("T91", "ClinicalTrial/Criteria")
+        assert model.object_sensitivity(entry) == 0.9

@@ -1,0 +1,116 @@
+"""Tests for silent (unloggable) activities — Section 7 future work.
+
+"Process specifications may contain human activities that cannot be
+logged by the IT system (e.g., a physician discussing patient data over
+the phone for second opinion).  These silent activities make it not
+possible to determine if an audit trail corresponds to a valid execution
+of the organizational process."  Declaring such tasks *silent* makes
+their execution unobservable: WeakNext steps over them and the replay
+accepts trails in which they leave no entries.
+"""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.audit import LogEntry, Status
+from repro.bpmn import ProcessBuilder, encode
+from repro.core import ComplianceChecker, Observables, TaskEvent
+
+
+def entries_for(tasks, role="Physician"):
+    clock = datetime(2010, 1, 1)
+    out = []
+    for task in tasks:
+        clock += timedelta(minutes=1)
+        out.append(
+            LogEntry(
+                user="Eve", role=role, action="work", obj=None, task=task,
+                case="C-1", timestamp=clock, status=Status.SUCCESS,
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def consult_process():
+    """Examine -> discuss on the phone (unloggable) -> prescribe."""
+    builder = ProcessBuilder("consult")
+    pool = builder.pool("Physician")
+    pool.start_event("S").task("Examine").task("Discuss").task("Prescribe")
+    pool.end_event("E")
+    builder.chain("S", "Examine", "Discuss", "Prescribe", "E")
+    return encode(builder.build())
+
+
+class TestSilentTaskReplay:
+    def test_without_declaration_missing_task_rejected(self, consult_process):
+        checker = ComplianceChecker(consult_process)
+        trail = entries_for(["Examine", "Prescribe"])
+        result = checker.check(trail)
+        assert not result.compliant
+        assert result.failed_entry.task == "Prescribe"
+
+    def test_declared_silent_task_may_be_skipped(self, consult_process):
+        checker = ComplianceChecker(
+            consult_process, silent_tasks=frozenset({"Discuss"})
+        )
+        assert checker.check(entries_for(["Examine", "Prescribe"])).compliant
+
+    def test_other_violations_still_detected(self, consult_process):
+        checker = ComplianceChecker(
+            consult_process, silent_tasks=frozenset({"Discuss"})
+        )
+        assert not checker.check(entries_for(["Prescribe"])).compliant
+        assert not checker.check(
+            entries_for(["Prescribe", "Examine"])
+        ).compliant
+
+    def test_unknown_silent_task_rejected(self, consult_process):
+        with pytest.raises(ValueError):
+            ComplianceChecker(
+                consult_process, silent_tasks=frozenset({"Ghost"})
+            )
+
+
+class TestSilentClassification:
+    def test_silent_task_label_classified_as_silence(self, consult_process):
+        from repro.cows import CommLabel, endpoint
+
+        observables = Observables.from_encoded(
+            consult_process, silent_tasks=frozenset({"Discuss"})
+        )
+        assert observables.classify(
+            CommLabel(endpoint("Physician", "Discuss"), ())
+        ) is None
+        assert observables.classify(
+            CommLabel(endpoint("Physician", "Examine"), ())
+        ) == TaskEvent("Physician", "Examine")
+
+
+class TestBranchingWithSilence:
+    def test_silent_branch_choice_ambiguity_is_tracked(self):
+        """When one XOR branch is silent, the replay must keep both the
+        'silent branch ran' and the 'other branch pending' explanations
+        alive until evidence arrives."""
+        builder = ProcessBuilder("silentbranch")
+        pool = builder.pool("Physician")
+        pool.start_event("S").task("T0").exclusive_gateway("G")
+        pool.task("Loud").task("Quiet")
+        pool.exclusive_gateway("M").task("Final").end_event("E")
+        builder.chain("S", "T0", "G")
+        builder.flow("G", "Loud").flow("G", "Quiet")
+        builder.flow("Loud", "M").flow("Quiet", "M")
+        builder.chain("M", "Final", "E")
+        encoded = encode(builder.build())
+        checker = ComplianceChecker(
+            encoded, silent_tasks=frozenset({"Quiet"})
+        )
+        # Quiet path: no entry between T0 and Final.
+        assert checker.check(entries_for(["T0", "Final"])).compliant
+        # Loud path still replays explicitly.
+        assert checker.check(entries_for(["T0", "Loud", "Final"])).compliant
+        # But Loud cannot come after Final.
+        assert not checker.check(
+            entries_for(["T0", "Final", "Loud"])
+        ).compliant

@@ -1,0 +1,130 @@
+"""Tests for temporal constraints (Section 4's maximum-duration remark)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.audit import AuditTrail, LogEntry, Status
+from repro.core.temporal import (
+    TemporalConstraints,
+    TemporalViolationKind,
+)
+
+
+def entry(task, day, hour=9, case="HT-1"):
+    return LogEntry(
+        user="John", role="GP", action="work", obj=None, task=task,
+        case=case, timestamp=datetime(2010, 3, day, hour, 0),
+        status=Status.SUCCESS,
+    )
+
+
+@pytest.fixture
+def week_long_trail():
+    return AuditTrail([entry("T01", 1), entry("T02", 3), entry("T03", 8)])
+
+
+class TestCaseDuration:
+    def test_within_budget(self, week_long_trail):
+        constraints = TemporalConstraints(max_case_duration=timedelta(days=30))
+        assert constraints.is_satisfied("HT-1", week_long_trail)
+
+    def test_exceeded_by_recorded_entries(self, week_long_trail):
+        constraints = TemporalConstraints(max_case_duration=timedelta(days=5))
+        violations = constraints.check("HT-1", week_long_trail)
+        assert [v.kind for v in violations] == [
+            TemporalViolationKind.CASE_TOO_LONG
+        ]
+        assert violations[0].entry.task == "T03"
+
+    def test_open_case_times_out_against_now(self, week_long_trail):
+        constraints = TemporalConstraints(max_case_duration=timedelta(days=10))
+        late = datetime(2010, 3, 20)
+        violations = constraints.check("HT-1", week_long_trail, now=late)
+        assert violations
+        assert violations[0].kind is TemporalViolationKind.CASE_TOO_LONG
+        assert violations[0].entry is None  # no entry caused it: time did
+
+    def test_completed_case_ignores_now(self, week_long_trail):
+        constraints = TemporalConstraints(max_case_duration=timedelta(days=10))
+        late = datetime(2010, 3, 20)
+        assert constraints.is_satisfied(
+            "HT-1", week_long_trail, now=late, case_open=False
+        )
+
+
+class TestInactivity:
+    def test_gap_between_entries_flagged(self, week_long_trail):
+        constraints = TemporalConstraints(max_inactivity=timedelta(days=3))
+        violations = constraints.check("HT-1", week_long_trail)
+        assert len(violations) == 1
+        assert violations[0].kind is TemporalViolationKind.CASE_STALLED
+        assert violations[0].entry.task == "T03"  # after the 5-day gap
+
+    def test_tail_silence_flagged_for_open_case(self, week_long_trail):
+        constraints = TemporalConstraints(max_inactivity=timedelta(days=10))
+        violations = constraints.check(
+            "HT-1", week_long_trail, now=datetime(2010, 3, 25)
+        )
+        assert [v.kind for v in violations] == [
+            TemporalViolationKind.CASE_STALLED
+        ]
+
+
+class TestTaskDeadlines:
+    def test_met_deadline(self, week_long_trail):
+        constraints = TemporalConstraints().with_deadline(
+            "T02", timedelta(days=5)
+        )
+        assert constraints.is_satisfied("HT-1", week_long_trail)
+
+    def test_missed_deadline(self, week_long_trail):
+        constraints = TemporalConstraints().with_deadline(
+            "T03", timedelta(days=5)
+        )
+        violations = constraints.check("HT-1", week_long_trail)
+        assert violations[0].kind is TemporalViolationKind.TASK_DEADLINE_MISSED
+        assert "T03" in violations[0].detail
+
+    def test_unperformed_task_times_out_when_open(self, week_long_trail):
+        constraints = TemporalConstraints().with_deadline(
+            "T04", timedelta(days=10)
+        )
+        violations = constraints.check(
+            "HT-1", week_long_trail, now=datetime(2010, 3, 20)
+        )
+        assert violations
+        assert violations[0].kind is TemporalViolationKind.TASK_DEADLINE_MISSED
+
+    def test_unperformed_task_ok_within_budget(self, week_long_trail):
+        constraints = TemporalConstraints().with_deadline(
+            "T04", timedelta(days=30)
+        )
+        assert constraints.is_satisfied(
+            "HT-1", week_long_trail, now=datetime(2010, 3, 20)
+        )
+
+
+class TestEdgeCases:
+    def test_empty_trail_never_violates(self):
+        constraints = TemporalConstraints(
+            max_case_duration=timedelta(seconds=1),
+            max_inactivity=timedelta(seconds=1),
+        )
+        assert constraints.is_satisfied("HT-1", AuditTrail([]))
+
+    def test_single_entry_trail(self):
+        constraints = TemporalConstraints(
+            max_case_duration=timedelta(days=1),
+            max_inactivity=timedelta(days=1),
+        )
+        assert constraints.is_satisfied("HT-1", AuditTrail([entry("T01", 1)]))
+
+    def test_no_constraints_accept_everything(self, week_long_trail):
+        assert TemporalConstraints().is_satisfied("HT-1", week_long_trail)
+
+    def test_violation_str(self, week_long_trail):
+        constraints = TemporalConstraints(max_case_duration=timedelta(days=5))
+        violation = constraints.check("HT-1", week_long_trail)[0]
+        assert "HT-1" in str(violation)
+        assert "case-duration-exceeded" in str(violation)

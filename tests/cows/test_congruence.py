@@ -1,0 +1,126 @@
+"""Unit tests for structural normalization (canonical forms)."""
+
+from repro.cows import (
+    Choice,
+    Invoke,
+    Kill,
+    Nil,
+    Parallel,
+    Protect,
+    Replicate,
+    Request,
+    Scope,
+    TaskMarker,
+    endpoint,
+    killer,
+    name,
+    normalize,
+    var,
+)
+
+
+def invoke(p, o):
+    return Invoke(endpoint(p, o), ())
+
+
+def request(p, o, cont=None):
+    return Request(endpoint(p, o), (), cont if cont is not None else Nil())
+
+
+class TestParallelNormalization:
+    def test_drops_nil_components(self):
+        term = Parallel((invoke("a", "b"), Nil(), Nil()))
+        assert normalize(term) == invoke("a", "b")
+
+    def test_all_nil_collapses_to_nil(self):
+        assert normalize(Parallel((Nil(), Nil()))) == Nil()
+
+    def test_flattens_nested_parallel(self):
+        inner = Parallel((invoke("a", "b"), invoke("c", "d")))
+        outer = Parallel((inner, invoke("e", "f")))
+        result = normalize(outer)
+        assert isinstance(result, Parallel)
+        assert len(result.components) == 3
+
+    def test_sorts_components_commutativity(self):
+        t1 = normalize(Parallel((invoke("a", "b"), invoke("c", "d"))))
+        t2 = normalize(Parallel((invoke("c", "d"), invoke("a", "b"))))
+        assert t1 == t2
+
+    def test_associativity(self):
+        a, b, c = invoke("a", "x"), invoke("b", "x"), invoke("c", "x")
+        left = Parallel((Parallel((a, b)), c))
+        right = Parallel((a, Parallel((b, c))))
+        assert normalize(left) == normalize(right)
+
+
+class TestScopeNormalization:
+    def test_unused_binder_garbage_collected(self):
+        term = Scope(name("sys"), invoke("a", "b"))
+        assert normalize(term) == invoke("a", "b")
+
+    def test_used_binder_kept(self):
+        term = Scope(name("sys"), invoke("sys", "b"))
+        assert normalize(term) == term
+
+    def test_unused_killer_label_collected(self):
+        term = Scope(killer("k"), invoke("a", "b"))
+        assert normalize(term) == invoke("a", "b")
+
+    def test_used_killer_label_kept(self):
+        term = Scope(killer("k"), Kill(killer("k")))
+        assert normalize(term) == term
+
+    def test_scope_of_nil_is_nil(self):
+        assert normalize(Scope(name("sys"), Nil())) == Nil()
+
+    def test_unused_variable_collected(self):
+        term = Scope(var("z"), invoke("a", "b"))
+        assert normalize(term) == invoke("a", "b")
+
+
+class TestOtherNormalizations:
+    def test_protect_of_nil(self):
+        assert normalize(Protect(Nil())) == Nil()
+
+    def test_nested_protect_collapses(self):
+        inner = Protect(invoke("a", "b"))
+        assert normalize(Protect(inner)) == inner
+
+    def test_replicate_of_nil(self):
+        assert normalize(Replicate(Nil())) == Nil()
+
+    def test_nested_replicate_collapses(self):
+        inner = Replicate(request("a", "b"))
+        assert normalize(Replicate(inner)) == inner
+
+    def test_marker_of_nil_vanishes(self):
+        term = TaskMarker(name("GP"), name("T01"), Nil())
+        assert normalize(term) == Nil()
+
+    def test_choice_duplicates_removed(self):
+        r = request("p", "o")
+        assert normalize(Choice((r, r))) == r
+
+    def test_choice_branches_sorted(self):
+        r1, r2 = request("p", "o1"), request("p", "o2")
+        assert normalize(Choice((r1, r2))) == normalize(Choice((r2, r1)))
+
+    def test_normalizes_under_request_continuation(self):
+        cont = Parallel((invoke("a", "b"), Nil()))
+        term = request("p", "o", cont=cont)
+        assert normalize(term) == request("p", "o", cont=invoke("a", "b"))
+
+
+class TestIdempotence:
+    def test_normalize_is_idempotent_on_samples(self):
+        samples = [
+            Parallel((Nil(), Parallel((invoke("a", "b"), Nil())))),
+            Scope(name("s"), Scope(killer("k"), Kill(killer("k")))),
+            Protect(Protect(Protect(invoke("x", "y")))),
+            Replicate(Parallel((request("p", "o"), Nil()))),
+            TaskMarker(name("GP"), name("T01"), Parallel((Nil(),))),
+        ]
+        for term in samples:
+            once = normalize(term)
+            assert normalize(once) == once

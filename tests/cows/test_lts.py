@@ -1,0 +1,201 @@
+"""LTS-level tests: the appendix encodings of the paper (Figs 7-10) and the
+generic exploration/trace machinery."""
+
+import pytest
+
+from repro.cows import (
+    LTS,
+    CommLabel,
+    count_traces,
+    endpoint,
+    format_label,
+    parse,
+)
+
+FIG7 = "P.T!<> | P.T?<>.P.E!<> | P.E?<>"
+
+FIG8 = """
+P.T!<>
+| P.T?<>. P.G!<>
+| P.G?<>. [ +k, sys ] ( sys.T1!<> | sys.T2!<>
+    | sys.T1?<>.(kill(k) | {| P.T1!<> |})
+    | sys.T2?<>.(kill(k) | {| P.T2!<> |}) )
+| P.T1?<>. P.E1!<>
+| P.E1?<>
+| P.T2?<>. P.E2!<>
+| P.E2?<>
+"""
+
+FIG9 = """
+P.T!<>
+| P.T?<>. [ +k, sys ] ( sys.Err!<> | sys.T2!<>
+    | sys.Err?<>.(kill(k) | {| P.T1!<> |})
+    | sys.T2?<>.(kill(k) | {| P.T2!<> |}) )
+| P.T1?<>. P.E1!<>
+| P.E1?<>
+| P.T2?<>. P.E2!<>
+| P.E2?<>
+"""
+
+FIG10 = """
+P1.T1!<>
+| *( [?z] P1.S2?<?z>. P1.T1!<> )
+| *( P1.T1?<>. P1.E1!<> )
+| *( P1.E1?<>. P2.S3!<msg1> )
+| *( [?z] P2.S3?<?z>. P2.T2!<> )
+| *( P2.T2?<>. P2.E2!<> )
+| *( P2.E2?<>. P1.S2!<msg2> )
+"""
+
+
+def comm_labels(result):
+    return {format_label(l) for l in result.labels() if isinstance(l, CommLabel)}
+
+
+class TestFig7SimpleSequence:
+    """Fig. 7: start -> task -> end gives the two-step LTS of the paper."""
+
+    def test_three_states(self):
+        result = LTS(parse(FIG7)).explore()
+        assert result.state_count == 3
+        assert result.complete
+
+    def test_single_path_p_t_then_p_e(self):
+        lts = LTS(parse(FIG7))
+        traces = list(lts.traces(max_length=10))
+        assert len(traces) == 1
+        assert [format_label(l) for l in traces[0]] == ["P.T", "P.E"]
+
+
+class TestFig8ExclusiveGateway:
+    """Fig. 8: exactly one of T1/T2 runs; both paths converge."""
+
+    def test_no_trace_contains_both_tasks(self):
+        lts = LTS(parse(FIG8))
+        for trace in lts.traces(max_length=20):
+            labels = [format_label(l) for l in trace]
+            assert not ("P.T1" in labels and "P.T2" in labels)
+
+    def test_both_alternatives_possible(self):
+        lts = LTS(parse(FIG8))
+        flat = [tuple(format_label(l) for l in t) for t in lts.traces(max_length=20)]
+        assert any("P.T1" in t for t in flat)
+        assert any("P.T2" in t for t in flat)
+
+    def test_terminates(self):
+        result = LTS(parse(FIG8)).explore()
+        assert result.complete
+
+    def test_each_branch_reaches_a_deadlocked_end(self):
+        # The paper's Fig. 8(c) draws one shared end state St6; at the COWS
+        # level the two ends differ by which inert task request survived
+        # the kill, but both are deadlocked (no communication possible).
+        result = LTS(parse(FIG8)).explore()
+        terminal = [s for s in result.states if not result.successors_of(s)]
+        assert len(terminal) == 2
+
+
+class TestFig9ErrorEvent:
+    """Fig. 9: a task either proceeds normally or signals sys.Err."""
+
+    def test_error_and_normal_paths_exist(self):
+        lts = LTS(parse(FIG9))
+        flat = [tuple(format_label(l) for l in t) for t in lts.traces(max_length=20)]
+        assert any("sys.Err" in t and "P.T1" in t for t in flat)
+        assert any("sys.T2" in t and "P.T2" in t for t in flat)
+
+    def test_error_path_excludes_normal_task(self):
+        lts = LTS(parse(FIG9))
+        for trace in lts.traces(max_length=20):
+            labels = [format_label(l) for l in trace]
+            if "sys.Err" in labels:
+                assert "P.T2" not in labels
+
+
+class TestFig10MessageFlowCycle:
+    """Fig. 10: two pools ping-pong messages in an infinite cycle."""
+
+    def test_cycle_closes_into_six_states(self):
+        result = LTS(parse(FIG10)).explore(max_states=100)
+        assert result.complete
+        assert result.state_count == 6
+
+    def test_labels_match_paper(self):
+        result = LTS(parse(FIG10)).explore(max_states=100)
+        assert comm_labels(result) == {
+            "P1.T1",
+            "P1.E1",
+            "P2.S3 (msg1)",
+            "P2.T2",
+            "P2.E2",
+            "P1.S2 (msg2)",
+        }
+
+    def test_every_state_has_exactly_one_successor(self):
+        result = LTS(parse(FIG10)).explore(max_states=100)
+        for state in result.states:
+            assert len(result.successors_of(state)) == 1
+
+
+class TestExploration:
+    def test_max_states_truncates(self):
+        result = LTS(parse(FIG8)).explore(max_states=3)
+        assert not result.complete
+        assert result.state_count == 3
+
+    def test_initial_state_is_canonical(self):
+        lts = LTS(parse("P.a!<> | 0 | (P.b!<> | 0)"))
+        assert str(lts.initial) == str(LTS(parse("P.b!<> | P.a!<>")).initial)
+
+    def test_successors_are_memoized(self):
+        lts = LTS(parse(FIG7))
+        first = lts.successors(lts.initial)
+        second = lts.successors(lts.initial)
+        assert first is second
+
+    def test_open_mode_exposes_partial_labels(self):
+        lts = LTS(parse("P.T!<>"), closed=False)
+        ((label, _),) = lts.successors(lts.initial)
+        assert format_label(label) == "(P.T) <| <>"
+
+    def test_closed_mode_hides_partial_labels(self):
+        lts = LTS(parse("P.T!<>"))
+        assert lts.successors(lts.initial) == ()
+
+
+class TestTraces:
+    def test_trace_count_fig8(self):
+        stats = count_traces(LTS(parse(FIG8)), max_length=20)
+        assert stats.trace_count == 2  # one per exclusive branch
+        assert not stats.truncated
+
+    def test_max_traces_truncation(self):
+        stats = count_traces(LTS(parse(FIG10)), max_length=30, max_traces=1)
+        assert stats.trace_count == 1
+
+    def test_label_filter_projects_traces(self):
+        lts = LTS(parse(FIG8))
+        observable = lambda l: isinstance(l, CommLabel) and str(
+            l.endpoint.partner
+        ) == "P"
+        traces = {
+            tuple(format_label(l) for l in t)
+            for t in lts.traces(max_length=20, label_filter=observable)
+        }
+        assert traces == {
+            ("P.T", "P.G", "P.T1", "P.E1"),
+            ("P.T", "P.G", "P.T2", "P.E2"),
+        }
+
+
+class TestReachableBy:
+    def test_follows_exact_label_sequence(self):
+        lts = LTS(parse(FIG7))
+        labels = [CommLabel(endpoint("P", "T"), ())]
+        states = lts.reachable_by(labels)
+        assert len(states) == 1
+
+    def test_unreachable_sequence_gives_empty(self):
+        lts = LTS(parse(FIG7))
+        labels = [CommLabel(endpoint("P", "E"), ())]
+        assert lts.reachable_by(labels) == []

@@ -1,0 +1,70 @@
+"""Unit tests for COWS identifiers (names, variables, killer labels, endpoints)."""
+
+import pytest
+
+from repro.cows import Endpoint, KillerLabel, Name, Variable, endpoint, killer, name, var
+
+
+class TestName:
+    def test_equality_is_by_value(self):
+        assert Name("GP") == Name("GP")
+        assert Name("GP") != Name("C")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Name("a"), Name("a"), Name("b")}) == 2
+
+    def test_str(self):
+        assert str(Name("T01")) == "T01"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Name("")
+
+    def test_disjoint_from_variables_and_killers(self):
+        assert Name("x") != Variable("x")
+        assert Name("k") != KillerLabel("k")
+        assert Variable("k") != KillerLabel("k")
+
+
+class TestVariable:
+    def test_str_has_question_mark(self):
+        assert str(Variable("z")) == "?z"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+
+class TestKillerLabel:
+    def test_str_has_plus(self):
+        assert str(KillerLabel("k")) == "+k"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KillerLabel("")
+
+
+class TestEndpoint:
+    def test_str_uses_dot(self):
+        assert str(Endpoint(Name("GP"), Name("T01"))) == "GP.T01"
+
+    def test_equality(self):
+        assert endpoint("P", "o") == Endpoint(Name("P"), Name("o"))
+        assert endpoint("P", "o") != endpoint("P", "o2")
+        assert endpoint("P", "o") != endpoint("Q", "o")
+
+    def test_mentions(self):
+        ep = endpoint("P", "o")
+        assert ep.mentions(Name("P"))
+        assert ep.mentions(Name("o"))
+        assert not ep.mentions(Name("x"))
+
+
+class TestShorthands:
+    def test_name_var_killer(self):
+        assert name("a") == Name("a")
+        assert var("x") == Variable("x")
+        assert killer("k") == KillerLabel("k")
+
+    def test_endpoint_accepts_names_and_strings(self):
+        assert endpoint(Name("P"), "o") == endpoint("P", Name("o"))

@@ -1,0 +1,147 @@
+"""Unit tests for the textual COWS syntax."""
+
+import pytest
+
+from repro.cows import (
+    Choice,
+    Invoke,
+    Kill,
+    Nil,
+    Parallel,
+    Protect,
+    Replicate,
+    Request,
+    Scope,
+    endpoint,
+    killer,
+    name,
+    normalize,
+    parse,
+    var,
+)
+from repro.errors import CowsSyntaxError
+
+
+class TestBasicForms:
+    def test_nil(self):
+        assert parse("0") == Nil()
+
+    def test_invoke_no_args(self):
+        assert parse("P.T!<>") == Invoke(endpoint("P", "T"), ())
+
+    def test_invoke_with_args(self):
+        assert parse("P2.S3!<msg1>") == Invoke(endpoint("P2", "S3"), (name("msg1"),))
+
+    def test_request_with_continuation(self):
+        term = parse("P.T?<>.P.E!<>")
+        assert term == Request(endpoint("P", "T"), (), Invoke(endpoint("P", "E"), ()))
+
+    def test_request_without_continuation(self):
+        assert parse("P.E?<>") == Request(endpoint("P", "E"), (), Nil())
+
+    def test_request_with_variable_pattern(self):
+        term = parse("[?z] P1.S2?<?z>.P1.T1!<>")
+        assert isinstance(term, Scope)
+        assert term.binder == var("z")
+        assert term.body.params == (var("z"),)
+
+    def test_kill(self):
+        assert parse("kill(k)") == Kill(killer("k"))
+
+    def test_protect(self):
+        assert parse("{| P.T1!<> |}") == Protect(Invoke(endpoint("P", "T1"), ()))
+
+    def test_replication(self):
+        term = parse("*(P.T?<>)")
+        assert isinstance(term, Replicate)
+        assert isinstance(term.body, Request)
+
+    def test_replication_binds_tighter_than_parallel(self):
+        term = parse("* P.T?<> | P.T!<>")
+        assert isinstance(term, Parallel)
+        kinds = {type(c) for c in term.components}
+        assert kinds == {Replicate, Invoke}
+
+
+class TestCompositeForms:
+    def test_parallel(self):
+        term = parse("P.T!<> | P.T?<>")
+        assert isinstance(term, Parallel)
+        assert len(term.components) == 2
+
+    def test_choice(self):
+        term = parse("p.o1?<> + p.o2?<>")
+        assert isinstance(term, Choice)
+        assert len(term.branches) == 2
+
+    def test_choice_of_non_requests_rejected(self):
+        with pytest.raises(CowsSyntaxError):
+            parse("p.o!<> + p.o2?<>")
+
+    def test_scope_multiple_binders(self):
+        term = parse("[ +k, sys ] ( kill(k) | sys.a!<> )")
+        assert isinstance(term, Scope)
+        assert term.binder == killer("k")
+        assert isinstance(term.body, Scope)
+        assert term.body.binder == name("sys")
+
+    def test_parentheses_group(self):
+        term = parse("(P.a!<> | P.b!<>) | P.c!<>")
+        assert isinstance(term, Parallel)
+        # parallel() flattens, so all three at the same level after parse
+        assert len(normalize(term).components) == 3
+
+    def test_fig8_gateway_parses(self):
+        term = parse(
+            "P.G?<>. [ +k, sys ] ( sys.T1!<> | sys.T2!<>"
+            " | sys.T1?<>.(kill(k) | {| P.T1!<> |})"
+            " | sys.T2?<>.(kill(k) | {| P.T2!<> |}) )"
+        )
+        assert isinstance(term, Request)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "0",
+            "P.T!<>",
+            "P2.S3!<msg1>",
+            "P.T?<>.P.E!<>",
+            "kill(k)",
+            "{|P.T1!<>|}",
+            "*(P.T?<>)",
+            "P.T!<> | P.T?<>",
+            "[sys](sys.a!<> | sys.a?<>)",
+            "[?z](P1.S2?<?z>.P1.T1!<>)",
+        ],
+    )
+    def test_parse_str_parse_fixpoint(self, source):
+        term = parse(source)
+        assert parse(str(term)) == term
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(CowsSyntaxError):
+            parse("P.T!<>;")
+
+    def test_truncated_input(self):
+        with pytest.raises(CowsSyntaxError):
+            parse("P.T!")
+
+    def test_trailing_input(self):
+        with pytest.raises(CowsSyntaxError):
+            parse("P.T!<> P.E!<>")
+
+    def test_missing_operation(self):
+        with pytest.raises(CowsSyntaxError):
+            parse("P.!<>")
+
+    def test_error_carries_position(self):
+        try:
+            parse("P.T!<> @")
+        except CowsSyntaxError as error:
+            assert error.position == 7
+        else:
+            pytest.fail("expected CowsSyntaxError")

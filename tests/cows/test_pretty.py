@@ -1,0 +1,74 @@
+"""Tests for the multi-line pretty printer and label formatting."""
+
+import pytest
+
+from repro.cows import (
+    InvokeLabel,
+    KillDone,
+    KillSignal,
+    RequestLabel,
+    endpoint,
+    format_label,
+    killer,
+    parse,
+    pretty,
+)
+from repro.cows.labels import CommLabel
+from repro.cows.names import Name
+
+
+class TestPretty:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "0",
+            "P.T!<>",
+            "P.T?<>.P.E!<>",
+            "kill(k)",
+            "{|P.T!<>|}",
+            "*(P.T?<>)",
+            "P.a!<> | P.b!<>",
+            "p.o1?<> + p.o2?<>",
+            "[ +k, sys ] ( sys.a!<> | kill(k) )",
+            "[?z] P1.S2?<?z>.P1.T1!<>",
+        ],
+    )
+    def test_pretty_round_trips_through_parser(self, source):
+        term = parse(source)
+        rendered = pretty(term)
+        # Multi-line layout must still be parseable and mean the same.
+        assert parse(rendered) == term
+
+    def test_indentation_increases_with_depth(self):
+        term = parse("P.a?<>.P.b?<>.P.c!<>")
+        lines = pretty(term).splitlines()
+        indents = [len(line) - len(line.lstrip()) for line in lines]
+        assert indents == sorted(indents)
+
+    def test_marker_rendering(self):
+        from repro.cows import Invoke, TaskMarker
+
+        marker = TaskMarker(Name("GP"), Name("T01"), Invoke(endpoint("GP", "G1"), ()))
+        rendered = pretty(marker)
+        assert "<GP.T01>" in rendered
+
+
+class TestFormatLabel:
+    def test_pure_synchronization(self):
+        assert format_label(CommLabel(endpoint("GP", "T01"), ())) == "GP.T01"
+
+    def test_value_carrying_communication(self):
+        label = CommLabel(endpoint("P2", "S3"), (Name("msg1"),))
+        assert format_label(label) == "P2.S3 (msg1)"
+
+    def test_partial_labels(self):
+        assert "<|" in format_label(InvokeLabel(endpoint("P", "o"), ()))
+        assert "|>" in format_label(RequestLabel(endpoint("P", "o"), ()))
+
+    def test_kill_labels(self):
+        assert format_label(KillSignal(killer("k"))) == "+k"
+        assert format_label(KillDone()) == "+"
+
+    def test_rejects_non_labels(self):
+        with pytest.raises(TypeError):
+            format_label("not a label")  # type: ignore[arg-type]

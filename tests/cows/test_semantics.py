@@ -1,0 +1,273 @@
+"""Unit tests for the COWS operational semantics: each rule in isolation,
+kill priority, the halt function, pattern matching, scope crossing."""
+
+from repro.cows import (
+    CommLabel,
+    Invoke,
+    InvokeLabel,
+    Kill,
+    KillDone,
+    KillSignal,
+    Nil,
+    Protect,
+    Replicate,
+    Request,
+    RequestLabel,
+    Scope,
+    TaskMarker,
+    enabled,
+    endpoint,
+    halt,
+    killer,
+    match,
+    name,
+    normalize,
+    parallel,
+    transitions,
+    var,
+)
+from repro.cows.terms import Choice
+
+
+def invoke(p, o, *params):
+    return Invoke(endpoint(p, o), tuple(params))
+
+
+def request(p, o, *params, cont=None):
+    return Request(endpoint(p, o), tuple(params), cont if cont is not None else Nil())
+
+
+class TestMatch:
+    def test_ground_equal_names(self):
+        assert match((name("a"),), (name("a"),)) == {}
+
+    def test_ground_unequal_names_fail(self):
+        assert match((name("a"),), (name("b"),)) is None
+
+    def test_variable_binds_value(self):
+        assert match((var("x"),), (name("v"),)) == {var("x"): name("v")}
+
+    def test_arity_mismatch_fails(self):
+        assert match((var("x"),), (name("a"), name("b"))) is None
+
+    def test_repeated_variable_must_match_same_value(self):
+        assert match((var("x"), var("x")), (name("a"), name("a"))) == {
+            var("x"): name("a")
+        }
+        assert match((var("x"), var("x")), (name("a"), name("b"))) is None
+
+    def test_empty_patterns(self):
+        assert match((), ()) == {}
+
+
+class TestBasicRules:
+    def test_nil_has_no_transitions(self):
+        assert transitions(Nil()) == ()
+
+    def test_ground_invoke_emits_invoke_label(self):
+        term = invoke("P", "o", name("v"))
+        ((label, target),) = transitions(term)
+        assert label == InvokeLabel(endpoint("P", "o"), (name("v"),))
+        assert target == Nil()
+
+    def test_non_ground_invoke_is_stuck(self):
+        assert transitions(invoke("P", "o", var("x"))) == ()
+
+    def test_request_emits_request_label(self):
+        cont = invoke("P", "next")
+        term = request("P", "o", cont=cont)
+        ((label, target),) = transitions(term)
+        assert label == RequestLabel(endpoint("P", "o"), ())
+        assert target == cont
+
+    def test_kill_emits_kill_signal(self):
+        ((label, target),) = transitions(Kill(killer("k")))
+        assert label == KillSignal(killer("k"))
+        assert target == Nil()
+
+    def test_choice_offers_all_branches(self):
+        term = Choice((request("p", "o1"), request("p", "o2")))
+        labels = {label for label, _ in transitions(term)}
+        assert labels == {
+            RequestLabel(endpoint("p", "o1"), ()),
+            RequestLabel(endpoint("p", "o2"), ()),
+        }
+
+    def test_protect_is_transparent_but_kept(self):
+        term = Protect(invoke("P", "o"))
+        ((label, target),) = transitions(term)
+        assert isinstance(label, InvokeLabel)
+        assert target == Protect(Nil())
+
+    def test_marker_is_transparent_and_dropped(self):
+        term = TaskMarker(name("GP"), name("T01"), invoke("GP", "G1"))
+        ((label, target),) = transitions(term)
+        assert isinstance(label, InvokeLabel)
+        assert target == Nil()  # the marker evaporated with the move
+
+
+class TestCommunication:
+    def test_synchronization_without_values(self):
+        term = parallel(invoke("P", "T"), request("P", "T", cont=invoke("P", "E")))
+        comms = [t for t in transitions(term) if isinstance(t[0], CommLabel)]
+        assert len(comms) == 1
+        label, target = comms[0]
+        assert label == CommLabel(endpoint("P", "T"), ())
+        assert normalize(target) == invoke("P", "E")
+
+    def test_value_passing_substitutes_continuation(self):
+        sender = invoke("P", "S", name("msg"))
+        receiver = Scope(
+            var("z"),
+            request("P", "S", var("z"), cont=invoke("P", "out", var("z"))),
+        )
+        term = parallel(sender, receiver)
+        comms = [t for t in transitions(term) if isinstance(t[0], CommLabel)]
+        assert len(comms) == 1
+        label, target = comms[0]
+        assert label.values == (name("msg"),)
+        assert normalize(target) == invoke("P", "out", name("msg"))
+
+    def test_mismatched_endpoint_does_not_sync(self):
+        term = parallel(invoke("P", "a"), request("P", "b"))
+        assert not any(isinstance(t[0], CommLabel) for t in transitions(term))
+
+    def test_mismatched_values_do_not_sync(self):
+        term = parallel(invoke("P", "o", name("v1")), request("P", "o", name("v2")))
+        assert not any(isinstance(t[0], CommLabel) for t in transitions(term))
+
+    def test_two_competing_requests_give_two_comms(self):
+        term = parallel(
+            invoke("P", "o"),
+            request("P", "o", cont=invoke("x", "a")),
+            request("P", "o", cont=invoke("x", "b")),
+        )
+        comms = [t for t in transitions(term) if isinstance(t[0], CommLabel)]
+        targets = {normalize(t) for _, t in comms}
+        assert len(comms) == 2
+        assert targets == {
+            normalize(parallel(invoke("x", "a"), request("P", "o", cont=invoke("x", "b")))),
+            normalize(parallel(invoke("x", "b"), request("P", "o", cont=invoke("x", "a")))),
+        }
+
+
+class TestScopeRules:
+    def test_private_name_blocks_partial_labels(self):
+        term = Scope(name("sys"), invoke("sys", "o"))
+        assert transitions(term) == ()
+
+    def test_private_name_lets_internal_comm_through(self):
+        body = parallel(invoke("sys", "o"), request("sys", "o", cont=invoke("P", "next")))
+        term = Scope(name("sys"), body)
+        comms = [t for t in transitions(term) if isinstance(t[0], CommLabel)]
+        assert len(comms) == 1
+        assert comms[0][0] == CommLabel(endpoint("sys", "o"), ())
+
+    def test_private_name_blocks_value_mention(self):
+        term = Scope(name("secret"), invoke("P", "o", name("secret")))
+        assert transitions(term) == ()
+
+    def test_unrelated_label_passes_name_scope(self):
+        term = Scope(name("sys"), invoke("P", "o"))
+        ((label, target),) = transitions(term)
+        assert isinstance(label, InvokeLabel)
+        assert target == Scope(name("sys"), Nil())
+
+    def test_killer_scope_converts_signal_to_done(self):
+        term = Scope(killer("k"), Kill(killer("k")))
+        ((label, target),) = transitions(term)
+        assert label == KillDone()
+        assert normalize(target) == Nil()
+
+    def test_killer_scope_passes_other_kill_signals(self):
+        term = Scope(killer("k"), Kill(killer("j")))
+        ((label, _),) = transitions(term)
+        assert label == KillSignal(killer("j"))
+
+    def test_variable_scope_opens_for_matching_request(self):
+        term = Scope(var("z"), request("P", "o", var("z")))
+        ((label, target),) = transitions(term)
+        assert label == RequestLabel(endpoint("P", "o"), (var("z"),))
+        assert target == Nil()  # binder dropped so the comm can substitute
+
+
+class TestKillSemantics:
+    def test_halt_kills_unprotected(self):
+        term = parallel(invoke("P", "o"), request("P", "o"), Kill(killer("k")))
+        assert normalize(halt(term)) == Nil()
+
+    def test_halt_preserves_protected(self):
+        protected = Protect(invoke("P", "o"))
+        term = parallel(invoke("Q", "x"), protected)
+        assert normalize(halt(term)) == protected
+
+    def test_halt_kills_replication(self):
+        assert halt(Replicate(request("P", "o"))) == Nil()
+
+    def test_halt_drops_marker_keeps_protected_inside(self):
+        protected = Protect(invoke("P", "o"))
+        term = TaskMarker(name("GP"), name("T01"), parallel(protected, invoke("a", "b")))
+        assert normalize(halt(term)) == protected
+
+    def test_kill_signal_halts_siblings(self):
+        term = parallel(Kill(killer("k")), invoke("P", "o"), Protect(invoke("Q", "x")))
+        kills = [t for t in transitions(term) if isinstance(t[0], KillSignal)]
+        assert len(kills) == 1
+        _, target = kills[0]
+        assert normalize(target) == Protect(invoke("Q", "x"))
+
+    def test_kill_priority_suppresses_communication(self):
+        term = Scope(
+            killer("k"),
+            parallel(
+                Kill(killer("k")),
+                invoke("P", "o"),
+                request("P", "o", cont=invoke("P", "next")),
+            ),
+        )
+        labels = [label for label, _ in enabled(term)]
+        assert labels == [KillDone()]
+
+    def test_exclusive_gateway_kills_losing_branch(self):
+        # After one sys branch of Fig. 8 wins, the kill removes the other
+        # branch entirely: no state ever executes both tasks.
+        k = killer("k")
+        sys = name("sys")
+        gateway_body = parallel(
+            invoke("sys", "T1"),
+            invoke("sys", "T2"),
+            request("sys", "T1", cont=parallel(Kill(k), Protect(invoke("P", "T1")))),
+            request("sys", "T2", cont=parallel(Kill(k), Protect(invoke("P", "T2")))),
+        )
+        term = Scope(k, Scope(sys, gateway_body))
+        first = [t for t in enabled(term) if isinstance(t[0], CommLabel)]
+        assert {str(label) for label, _ in first} == {"sys.T1", "sys.T2"}
+        # Take the sys.T1 branch, then the forced kill.
+        _, after_choice = next(t for t in first if str(t[0]) == "sys.T1")
+        (kill_transition,) = enabled(normalize(after_choice))
+        assert kill_transition[0] == KillDone()
+        survivor = normalize(kill_transition[1])
+        ((label, _),) = enabled(survivor)
+        assert str(label) == "(P.T1) <| <>"
+
+
+class TestReplication:
+    def test_replication_spawns_copy(self):
+        term = Replicate(request("P", "o", cont=invoke("P", "next")))
+        ((label, target),) = transitions(term)
+        assert isinstance(label, RequestLabel)
+        normal = normalize(target)
+        assert normal == normalize(parallel(term, invoke("P", "next")))
+
+    def test_replication_allows_repeated_triggering(self):
+        service = Replicate(request("P", "T", cont=invoke("P", "E")))
+        term = parallel(invoke("P", "T"), invoke("P", "T"), service)
+        comms = [t for t in transitions(term) if isinstance(t[0], CommLabel)]
+        assert len(comms) == 2  # one per pending token
+
+    def test_cross_copy_synchronization(self):
+        body = parallel(invoke("P", "o"), request("P", "o", cont=invoke("P", "done")))
+        term = Replicate(body)
+        comms = [t for t in transitions(term) if isinstance(t[0], CommLabel)]
+        # Internal comm of one copy plus the cross-copy comm.
+        assert len(comms) >= 2

@@ -1,0 +1,201 @@
+"""Unit tests for the COWS term language: construction, free identifiers,
+substitution, active-task extraction."""
+
+import pytest
+
+from repro.cows import (
+    Choice,
+    Invoke,
+    Kill,
+    Nil,
+    Parallel,
+    Protect,
+    Replicate,
+    Request,
+    Scope,
+    TaskMarker,
+    active_tasks,
+    choice,
+    endpoint,
+    free_identifiers,
+    killer,
+    name,
+    parallel,
+    scope,
+    substitute,
+    var,
+)
+from repro.errors import SubstitutionError
+
+
+def invoke(p, o, *params):
+    return Invoke(endpoint(p, o), tuple(params))
+
+
+def request(p, o, *params, cont=None):
+    return Request(endpoint(p, o), tuple(params), cont if cont is not None else Nil())
+
+
+class TestConstruction:
+    def test_parallel_helper_flattens(self):
+        inner = parallel(invoke("a", "b"), invoke("c", "d"))
+        outer = parallel(inner, invoke("e", "f"))
+        assert isinstance(outer, Parallel)
+        assert len(outer.components) == 3
+
+    def test_parallel_helper_drops_nil(self):
+        assert parallel(Nil(), Nil()) == Nil()
+        assert parallel(invoke("a", "b"), Nil()) == invoke("a", "b")
+
+    def test_choice_helper(self):
+        r1 = request("p", "o1")
+        r2 = request("p", "o2")
+        assert choice(r1) == r1
+        assert choice() == Nil()
+        both = choice(r1, r2)
+        assert isinstance(both, Choice)
+        assert both.branches == (r1, r2)
+
+    def test_choice_rejects_non_requests(self):
+        with pytest.raises(TypeError):
+            Choice((invoke("a", "b"),))
+
+    def test_scope_helper_stacks_binders(self):
+        term = scope([killer("k"), name("sys")], invoke("a", "b"))
+        assert isinstance(term, Scope)
+        assert term.binder == killer("k")
+        assert isinstance(term.body, Scope)
+        assert term.body.binder == name("sys")
+
+    def test_scope_helper_single_binder(self):
+        term = scope(name("sys"), invoke("a", "b"))
+        assert isinstance(term, Scope)
+        assert term.binder == name("sys")
+
+    def test_terms_are_hashable(self):
+        t1 = parallel(invoke("a", "b"), request("c", "d"))
+        t2 = parallel(invoke("a", "b"), request("c", "d"))
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+
+class TestStr:
+    def test_invoke(self):
+        assert str(invoke("GP", "T01")) == "GP.T01!<>"
+        assert str(invoke("P2", "S3", name("msg1"))) == "P2.S3!<msg1>"
+
+    def test_request_with_continuation(self):
+        term = request("P", "T", cont=invoke("P", "E"))
+        assert str(term) == "P.T?<>.P.E!<>"
+
+    def test_request_without_continuation(self):
+        assert str(request("P", "E")) == "P.E?<>"
+
+    def test_kill_and_protect(self):
+        assert str(Kill(killer("k"))) == "kill(k)"
+        assert str(Protect(invoke("a", "b"))) == "{|a.b!<>|}"
+
+    def test_replicate(self):
+        assert str(Replicate(request("P", "T"))) == "*(P.T?<>)"
+
+    def test_variable_parameter(self):
+        assert str(request("P1", "S2", var("z"))) == "P1.S2?<?z>"
+
+
+class TestFreeIdentifiers:
+    def test_invoke_exposes_endpoint_and_params(self):
+        fi = free_identifiers(invoke("P", "o", name("v")))
+        assert fi == {name("P"), name("o"), name("v")}
+
+    def test_scope_removes_binder(self):
+        body = parallel(invoke("sys", "a"), Kill(killer("k")))
+        fi = free_identifiers(scope([name("sys"), killer("k")], body))
+        assert name("sys") not in fi
+        assert killer("k") not in fi
+        assert name("a") in fi
+
+    def test_variable_free_in_pattern(self):
+        fi = free_identifiers(request("P", "o", var("z")))
+        assert var("z") in fi
+
+    def test_variable_bound_by_scope(self):
+        fi = free_identifiers(Scope(var("z"), request("P", "o", var("z"))))
+        assert var("z") not in fi
+
+    def test_kill_exposes_label(self):
+        assert free_identifiers(Kill(killer("k"))) == {killer("k")}
+
+    def test_marker_exposes_role_and_task(self):
+        term = TaskMarker(name("GP"), name("T01"), Nil())
+        assert free_identifiers(term) == {name("GP"), name("T01")}
+
+
+class TestSubstitute:
+    def test_substitutes_in_invoke_params(self):
+        term = invoke("P", "o", var("x"))
+        result = substitute(term, {var("x"): name("v")})
+        assert result == invoke("P", "o", name("v"))
+
+    def test_substitutes_in_continuation(self):
+        term = request("P", "o", var("x"), cont=invoke("Q", "p", var("x")))
+        result = substitute(term, {var("x"): name("v")})
+        assert result.continuation == invoke("Q", "p", name("v"))
+
+    def test_empty_mapping_is_identity(self):
+        term = invoke("P", "o", var("x"))
+        assert substitute(term, {}) is term
+
+    def test_shadowing_scope_stops_substitution(self):
+        inner = Scope(var("x"), invoke("P", "o", var("x")))
+        result = substitute(inner, {var("x"): name("v")})
+        assert result == inner
+
+    def test_capture_of_private_name_is_an_error(self):
+        term = Scope(name("v"), invoke("P", "o", var("x")))
+        with pytest.raises(SubstitutionError):
+            substitute(term, {var("x"): name("v")})
+
+    def test_substitution_under_replication_and_protect(self):
+        term = Replicate(Protect(invoke("P", "o", var("x"))))
+        result = substitute(term, {var("x"): name("v")})
+        assert result == Replicate(Protect(invoke("P", "o", name("v"))))
+
+    def test_kill_and_nil_unaffected(self):
+        assert substitute(Kill(killer("k")), {var("x"): name("v")}) == Kill(killer("k"))
+        assert substitute(Nil(), {var("x"): name("v")}) == Nil()
+
+
+class TestActiveTasks:
+    def test_marker_at_top_level(self):
+        term = TaskMarker(name("GP"), name("T01"), invoke("GP", "G1"))
+        assert active_tasks(term) == {(name("GP"), name("T01"))}
+
+    def test_marker_under_parallel_and_scope(self):
+        marker = TaskMarker(name("C"), name("T06"), invoke("C", "G2"))
+        term = Scope(name("sys"), parallel(marker, invoke("a", "b")))
+        assert active_tasks(term) == {(name("C"), name("T06"))}
+
+    def test_marker_under_prefix_is_not_active(self):
+        marker = TaskMarker(name("GP"), name("T01"), invoke("GP", "G1"))
+        term = request("GP", "T01", cont=marker)
+        assert active_tasks(term) == frozenset()
+
+    def test_marker_under_replication_is_not_active(self):
+        marker = TaskMarker(name("GP"), name("T01"), invoke("GP", "G1"))
+        assert active_tasks(Replicate(marker)) == frozenset()
+
+    def test_multiple_markers(self):
+        m1 = TaskMarker(name("C"), name("T08"), invoke("a", "b"))
+        m2 = TaskMarker(name("C"), name("T09"), invoke("c", "d"))
+        assert active_tasks(parallel(m1, m2)) == {
+            (name("C"), name("T08")),
+            (name("C"), name("T09")),
+        }
+
+    def test_nested_markers_both_reported(self):
+        inner = TaskMarker(name("R"), name("T10"), invoke("a", "b"))
+        outer = TaskMarker(name("C"), name("T08"), inner)
+        assert active_tasks(outer) == {
+            (name("C"), name("T08")),
+            (name("R"), name("T10")),
+        }

@@ -1,0 +1,181 @@
+"""Integration tests reproducing the paper's worked scenario:
+
+* E4 — the verdicts on every case of the Fig. 4 audit trail;
+* E6 — the structure of the transition system Algorithm 1 visits while
+  replaying HT-1 (Fig. 6): the observable steps taken and the active-task
+  sets along the way.
+"""
+
+import pytest
+
+from repro.bpmn import encode
+from repro.core import (
+    ABSORBED,
+    ERROR_TRANSITION,
+    TASK_TRANSITION,
+    ComplianceChecker,
+)
+from repro.scenarios import (
+    clinical_trial_process,
+    healthcare_treatment_process,
+    paper_audit_trail,
+    role_hierarchy,
+)
+
+
+@pytest.fixture(scope="module")
+def ht_checker():
+    return ComplianceChecker(
+        encode(healthcare_treatment_process()), role_hierarchy()
+    )
+
+
+@pytest.fixture(scope="module")
+def ct_checker():
+    return ComplianceChecker(encode(clinical_trial_process()), role_hierarchy())
+
+
+@pytest.fixture(scope="module")
+def trail():
+    return paper_audit_trail()
+
+
+class TestE4Verdicts:
+    """Every case of Fig. 4, with the verdict the paper derives."""
+
+    def test_ht1_is_a_valid_execution(self, ht_checker, trail):
+        result = ht_checker.check(trail.for_case("HT-1"))
+        assert result.compliant
+        assert result.accepted_prefix_length == 16
+
+    def test_ht1_finishes_the_process(self, ht_checker, trail):
+        result = ht_checker.check(trail.for_case("HT-1"))
+        # After T04 and the end event nothing more can happen in HT-1's
+        # GP thread; residual configurations may only await dead branches.
+        assert result.compliant
+
+    def test_ht2_is_a_valid_open_prefix(self, ht_checker, trail):
+        result = ht_checker.check(trail.for_case("HT-2"))
+        assert result.compliant
+        assert result.may_continue  # "analysis should be resumed" (Section 4)
+
+    @pytest.mark.parametrize(
+        "case", ["HT-10", "HT-11", "HT-20", "HT-21", "HT-30"]
+    )
+    def test_harvested_cases_detected(self, ht_checker, trail, case):
+        """The cardiologist's EPR harvesting: every fake treatment case is
+        rejected at its very first entry."""
+        result = ht_checker.check(trail.for_case(case))
+        assert not result.compliant
+        assert result.failed_index == 0
+        assert result.failed_entry.task == "T06"
+
+    def test_ct1_is_a_valid_clinical_trial(self, ct_checker, trail):
+        result = ct_checker.check(trail.for_case("CT-1"))
+        assert result.compliant
+
+    def test_ct1_repeated_measurements_absorbed_or_looped(self, ct_checker, trail):
+        result = ct_checker.check(trail.for_case("CT-1"))
+        t94_steps = [s for s in result.steps if s.entry.task == "T94"]
+        assert len(t94_steps) == 2
+        assert t94_steps[0].outcome == TASK_TRANSITION
+
+    def test_ht1_trail_against_ct_process_fails(self, ct_checker, trail):
+        """Cross-check: a treatment trail is not a clinical-trial run."""
+        assert not ct_checker.check(trail.for_case("HT-1")).compliant
+
+
+class TestE6ReplayStructure:
+    """The Fig. 6 walk: outcomes and active-task sets along HT-1."""
+
+    @pytest.fixture(scope="class")
+    def steps(self, ht_checker, trail):
+        return ht_checker.check(trail.for_case("HT-1")).steps
+
+    def test_step_outcomes_match_fig6(self, steps):
+        expected = [
+            ("T01", TASK_TRANSITION),   # St1 -GP.T01-> St2
+            ("T02", TASK_TRANSITION),   # St2 -GP.T02-> St3
+            ("T02", ERROR_TRANSITION),  # St3 -sys.Err-> St4
+            ("T01", TASK_TRANSITION),   # St4 -GP.T01-> St2'
+            ("T05", TASK_TRANSITION),
+            ("T06", TASK_TRANSITION),
+            ("T09", TASK_TRANSITION),
+            ("T10", TASK_TRANSITION),
+            ("T11", TASK_TRANSITION),
+            ("T12", TASK_TRANSITION),
+            ("T06", TASK_TRANSITION),
+            ("T07", TASK_TRANSITION),
+            ("T01", TASK_TRANSITION),
+            ("T02", TASK_TRANSITION),
+            ("T03", TASK_TRANSITION),
+            ("T04", TASK_TRANSITION),
+        ]
+        observed = [(s.entry.task, s.outcome) for s in steps]
+        assert observed == expected
+
+    def test_frontier_never_empty_and_bounded(self, steps):
+        for step in steps:
+            assert 1 <= step.frontier_size <= 16
+
+    def test_branching_after_t09(self, steps):
+        """Fig. 6: after C.T09 both St10 (scans only) and St11 (both
+        ordered) remain possible — the frontier holds >1 configuration."""
+        t09_step = steps[6]
+        assert t09_step.entry.task == "T09"
+        assert t09_step.frontier_size >= 2
+
+    def test_session_active_tasks_track_fig6(self, ht_checker, trail):
+        session = ht_checker.session()
+        entries = list(trail.for_case("HT-1"))
+        session.feed(entries[0])  # GP.T01 -> St2
+        assert any(
+            ("GP", "T01") in conf.active for conf in session.frontier
+        )
+        session.feed(entries[1])  # GP.T02 -> St3
+        assert any(
+            ("GP", "T02") in conf.active for conf in session.frontier
+        )
+        session.feed(entries[2])  # failure -> St4 (empty)
+        assert any(conf.active == frozenset() for conf in session.frontier)
+
+    def test_absorption_in_ht1_variant(self, ht_checker, trail):
+        """Multiple actions within one task absorb without state change:
+        duplicate the first T01 read and replay."""
+        entries = list(trail.for_case("HT-1"))
+        duplicated = [entries[0], entries[0].shifted(__import__("datetime").timedelta(seconds=30)), *entries[1:]]
+        result = ht_checker.check(duplicated)
+        assert result.compliant
+        assert result.steps[1].outcome == ABSORBED
+
+
+class TestMimicryResistance:
+    """Section 4's closing discussion: mimicry attacks."""
+
+    def test_single_user_cannot_simulate_the_whole_process(self, ht_checker, trail):
+        """Replaying HT-1 but with Bob performing every entry fails at the
+        first task outside his role's pools."""
+        from dataclasses import replace
+
+        entries = [
+            replace(e, user="Bob", role="Cardiologist")
+            for e in trail.for_case("HT-1")
+        ]
+        result = ht_checker.check(entries)
+        assert not result.compliant
+        assert result.failed_entry.task == "T01"  # a GP task
+
+    def test_colluding_users_with_valid_roles_succeed(self, ht_checker, trail):
+        """The paper: a mimicry attack requires collusion across roles —
+        with the right roles the replay does pass (and that is exactly the
+        residual risk the paper acknowledges)."""
+        assert ht_checker.check(trail.for_case("HT-1")).compliant
+
+    def test_reusing_a_closed_case_fails(self, ht_checker, trail):
+        """Appending a fresh T06 access to the *completed* HT-1 trail is
+        rejected: the process instance offers no further T06."""
+        entries = list(trail.for_case("HT-1"))
+        extra = entries[6].shifted(__import__("datetime").timedelta(days=30))
+        result = ht_checker.check([*entries, extra])
+        assert not result.compliant
+        assert result.failed_index == 16

@@ -1,0 +1,149 @@
+"""Tests for the Chain-method baseline [27] and the paper's criticisms of it."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.audit import AuditTrail, LogEntry, Status
+from repro.errors import PolicyError
+from repro.policy.chains import Act, Chain, ChainPolicy
+
+
+def entry(action, obj, case="C-1", minute=[0]):
+    minute[0] += 1
+    return LogEntry(
+        user="U", role="R", action=action,
+        obj=__import__("repro.policy.model", fromlist=["ObjectRef"]).ObjectRef.parse(obj),
+        task="T", case=case,
+        timestamp=datetime(2010, 1, 1) + timedelta(minutes=minute[0]),
+        status=Status.SUCCESS,
+    )
+
+
+@pytest.fixture
+def treatment_chain_policy():
+    policy = ChainPolicy()
+    policy.add_chain(
+        "treatment",
+        ["read EPR/Clinical", "write EPR/Diagnosis", "write EPR/Prescription"],
+    )
+    policy.add_chain("lookup", ["read EPR/Demographics"])
+    return policy
+
+
+class TestActs:
+    def test_parse(self):
+        act = Act.parse("read EPR/Clinical")
+        assert act.action == "read"
+        assert act.object_prefix == ("EPR", "Clinical")
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(PolicyError):
+            Act.parse("read")
+
+    def test_matches_prefix(self):
+        act = Act.parse("read EPR/Clinical")
+        assert act.matches(entry("read", "[Jane]EPR/Clinical/Tests"))
+        assert not act.matches(entry("write", "[Jane]EPR/Clinical"))
+        assert not act.matches(entry("read", "[Jane]EPR/Demographics"))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(PolicyError):
+            Chain("bad", ())
+
+
+class TestSequentialChains:
+    def test_complete_chain_accepted(self, treatment_chain_policy):
+        trail = AuditTrail([
+            entry("read", "[Jane]EPR/Clinical"),
+            entry("write", "[Jane]EPR/Diagnosis"),
+            entry("write", "[Jane]EPR/Prescription"),
+        ])
+        assert treatment_chain_policy.check_greedy(trail).compliant
+
+    def test_out_of_order_rejected(self, treatment_chain_policy):
+        trail = AuditTrail([
+            entry("write", "[Jane]EPR/Diagnosis"),
+            entry("read", "[Jane]EPR/Clinical"),
+        ])
+        verdict = treatment_chain_policy.check_greedy(trail)
+        assert not verdict.compliant
+        assert verdict.accepted == 0
+
+    def test_single_act_chain(self, treatment_chain_policy):
+        trail = AuditTrail([entry("read", "[Jane]EPR/Demographics")])
+        assert treatment_chain_policy.check_greedy(trail).compliant
+
+    def test_unknown_act_rejected(self, treatment_chain_policy):
+        trail = AuditTrail([entry("delete", "[Jane]EPR/Clinical")])
+        verdict = treatment_chain_policy.check_greedy(trail)
+        assert not verdict.compliant
+        assert verdict.failed_entry is not None
+
+
+class TestConcurrencyWeakness:
+    """Section 6: the Chain method 'lacks capability to reconstruct the
+    sequence of acts (when chains are executed concurrently)'."""
+
+    def interleaved_trail(self):
+        # Two treatment chains for two patients, interleaved — both are
+        # individually fine.
+        return AuditTrail([
+            entry("read", "[Jane]EPR/Clinical", case="C-1"),
+            entry("read", "[Bob]EPR/Clinical", case="C-2"),
+            entry("write", "[Bob]EPR/Diagnosis", case="C-2"),
+            entry("write", "[Jane]EPR/Diagnosis", case="C-1"),
+            entry("write", "[Jane]EPR/Prescription", case="C-1"),
+            entry("write", "[Bob]EPR/Prescription", case="C-2"),
+        ])
+
+    def test_caseless_greedy_matcher_confuses_instances(self):
+        # A subject-specific chain exposes the attribution problem: the
+        # greedy matcher binds Bob's read to Jane's in-progress chain.
+        policy = ChainPolicy()
+        policy.add_chain(
+            "jane-treatment",
+            ["read EPR/Clinical", "write EPR/Diagnosis"],
+        )
+        trail = AuditTrail([
+            entry("read", "[Jane]EPR/Clinical", case="C-1"),
+            entry("read", "[Bob]EPR/Clinical", case="C-2"),
+            entry("write", "[Jane]EPR/Diagnosis", case="C-1"),
+            entry("write", "[Bob]EPR/Diagnosis", case="C-2"),
+        ])
+        caseless = policy.check_greedy(trail)
+        per_case = policy.check_per_case(trail)
+        # With case separation every instance is fine...
+        assert all(v.compliant for v in per_case.values())
+        # ...the caseless view happens to accept too, but it cannot say
+        # WHICH instance an act served: the count of open chains differs.
+        assert caseless.compliant
+
+    def test_violation_hidden_by_interleaving(self):
+        """An act sequence that is NOT a valid single chain is accepted by
+        the caseless matcher because it weaves through two instances —
+        the false-negative the paper warns about."""
+        policy = ChainPolicy()
+        policy.add_chain(
+            "treatment", ["read EPR/Clinical", "write EPR/Diagnosis"]
+        )
+        # Case C-1 alone: read, read — its second read starts ANOTHER
+        # chain instance; its write then completes the first. Fine for
+        # the caseless matcher. But per case, C-2 writes a diagnosis
+        # without ever reading — a violation the caseless view misses.
+        trail = AuditTrail([
+            entry("read", "[Jane]EPR/Clinical", case="C-1"),
+            entry("read", "[Jane]EPR/Clinical", case="C-1"),
+            entry("write", "[Jane]EPR/Diagnosis", case="C-1"),
+            entry("write", "[Jane]EPR/Diagnosis", case="C-2"),
+        ])
+        caseless = policy.check_greedy(trail)
+        per_case = policy.check_per_case(trail)
+        assert caseless.compliant  # the interleaving masks it
+        assert not per_case["C-2"].compliant  # case info reveals it
+
+    def test_per_case_agrees_with_individual_runs(self, treatment_chain_policy):
+        trail = self.interleaved_trail()
+        per_case = treatment_chain_policy.check_per_case(trail)
+        assert set(per_case) == {"C-1", "C-2"}
+        assert all(v.compliant for v in per_case.values())

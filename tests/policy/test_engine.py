@@ -1,0 +1,145 @@
+"""Tests for Definition 3: access-request evaluation, including the
+paper's consent scenario (footnote 3) and role-hierarchy matching."""
+
+import pytest
+
+from repro.policy import (
+    AccessRequest,
+    ConsentRegistry,
+    ObjectRef,
+    PolicyDecisionPoint,
+)
+from repro.scenarios import (
+    consent_registry,
+    paper_policy,
+    process_registry,
+    role_hierarchy,
+    user_directory,
+)
+
+
+@pytest.fixture(scope="module")
+def pdp():
+    return PolicyDecisionPoint(
+        paper_policy(),
+        user_directory(),
+        role_hierarchy(),
+        process_registry(),
+        consent_registry(),
+    )
+
+
+def request(user, action, obj, task, case):
+    return AccessRequest(user, action, ObjectRef.parse(obj), task, case)
+
+
+class TestDefinition3:
+    def test_gp_reads_clinical_for_treatment(self, pdp):
+        decision = pdp.evaluate(
+            request("John", "read", "[Jane]EPR/Clinical", "T01", "HT-1")
+        )
+        assert decision.permit
+        assert decision.matched is not None
+
+    def test_role_hierarchy_gp_is_physician(self, pdp):
+        # The statement names Physician; John is a GP (a specialization).
+        decision = pdp.evaluate(
+            request("John", "write", "[Jane]EPR/Clinical", "T02", "HT-1")
+        )
+        assert decision.permit
+
+    def test_lab_tech_writes_tests_section(self, pdp):
+        assert pdp.is_authorized(
+            request("Dana", "write", "[Jane]EPR/Clinical/Tests", "T15", "HT-1")
+        )
+
+    def test_lab_tech_cannot_write_whole_clinical(self, pdp):
+        assert not pdp.is_authorized(
+            request("Dana", "write", "[Jane]EPR/Clinical", "T15", "HT-1")
+        )
+
+    def test_action_must_match(self, pdp):
+        # no statement grants Dana "delete" anywhere
+        assert not pdp.is_authorized(
+            request("Dana", "delete", "[Jane]EPR/Clinical/Tests", "T13", "HT-1")
+        )
+        # but read of Clinical is granted to MedicalTech
+        assert pdp.is_authorized(
+            request("Dana", "read", "[Jane]EPR/Clinical", "T13", "HT-1")
+        )
+
+    def test_object_hierarchy_covers_descendants(self, pdp):
+        # [.]EPR/Clinical covers [Jane]EPR/Clinical/Scan
+        assert pdp.is_authorized(
+            request("Charlie", "write", "[Jane]EPR/Clinical/Scan", "T12", "HT-1")
+        )
+
+    def test_unknown_user_denied(self, pdp):
+        assert not pdp.is_authorized(
+            request("Mallory", "read", "[Jane]EPR/Clinical", "T01", "HT-1")
+        )
+
+    def test_task_must_belong_to_purpose_process(self, pdp):
+        # T91 is a clinical-trial task; the treatment statements don't apply.
+        assert not pdp.is_authorized(
+            request("John", "read", "[Jane]EPR/Clinical", "T91", "HT-1")
+        )
+
+    def test_case_must_instantiate_purpose(self, pdp):
+        # A treatment statement cannot authorize access within a CT case.
+        assert not pdp.is_authorized(
+            request("John", "read", "[Jane]EPR/Clinical", "T01", "CT-1")
+        )
+
+    def test_unknown_case_prefix_denied(self, pdp):
+        assert not pdp.is_authorized(
+            request("John", "read", "[Jane]EPR/Clinical", "T01", "XX-1")
+        )
+
+    def test_decision_reason_populated(self, pdp):
+        decision = pdp.evaluate(
+            request("Mallory", "read", "[Jane]EPR/Clinical", "T01", "HT-1")
+        )
+        assert "no statement matches" in decision.reason
+        assert not bool(decision)
+
+
+class TestConsent:
+    """Footnote 3: for clinical trial, only consenting patients' EPRs."""
+
+    def test_consenting_subject_granted(self, pdp):
+        assert pdp.is_authorized(
+            request("Bob", "read", "[Alice]EPR/Clinical", "T92", "CT-1")
+        )
+
+    def test_non_consenting_subject_denied(self, pdp):
+        # Jane did not consent to research purposes (Section 2).
+        assert not pdp.is_authorized(
+            request("Bob", "read", "[Jane]EPR/Clinical", "T92", "CT-1")
+        )
+
+    def test_consent_withdrawal_takes_effect(self):
+        consents = ConsentRegistry()
+        consents.grant("Alice", "clinicaltrial")
+        pdp = PolicyDecisionPoint(
+            paper_policy(),
+            user_directory(),
+            role_hierarchy(),
+            process_registry(),
+            consents,
+        )
+        req = request("Bob", "read", "[Alice]EPR/Clinical", "T92", "CT-1")
+        assert pdp.is_authorized(req)
+        consents.withdraw("Alice", "clinicaltrial")
+        assert not pdp.is_authorized(req)
+
+
+class TestRepurposingIsInvisibleToTheDecisionPoint:
+    """The paper's central motivation: preventive checks cannot catch
+    re-purposing — Bob's HT-11 request is indistinguishable from HT-1."""
+
+    def test_harvesting_request_looks_legitimate(self, pdp):
+        legitimate = request("Bob", "read", "[Jane]EPR/Clinical", "T06", "HT-1")
+        harvesting = request("Bob", "read", "[Jane]EPR/Clinical", "T06", "HT-11")
+        assert pdp.is_authorized(legitimate)
+        assert pdp.is_authorized(harvesting)  # this is the gap Algorithm 1 closes

@@ -1,0 +1,103 @@
+"""Tests for the role hierarchy >=R."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import RoleHierarchy
+
+
+@pytest.fixture
+def hospital():
+    hierarchy = RoleHierarchy()
+    hierarchy.add_role("Physician")
+    hierarchy.add_role("GP", "Physician")
+    hierarchy.add_role("Cardiologist", "Physician")
+    hierarchy.add_role("MedicalTech")
+    hierarchy.add_role("MedicalLabTech", "MedicalTech")
+    return hierarchy
+
+
+class TestSpecialization:
+    def test_reflexive(self, hospital):
+        assert hospital.is_specialization_of("GP", "GP")
+
+    def test_reflexive_for_unknown_roles(self):
+        assert RoleHierarchy().is_specialization_of("Anything", "Anything")
+
+    def test_direct_parent(self, hospital):
+        assert hospital.is_specialization_of("GP", "Physician")
+
+    def test_not_symmetric(self, hospital):
+        assert not hospital.is_specialization_of("Physician", "GP")
+
+    def test_siblings_unrelated(self, hospital):
+        assert not hospital.is_specialization_of("GP", "Cardiologist")
+
+    def test_cross_branch_unrelated(self, hospital):
+        assert not hospital.is_specialization_of("GP", "MedicalTech")
+
+    def test_transitive(self):
+        hierarchy = RoleHierarchy()
+        hierarchy.add_role("Staff")
+        hierarchy.add_role("Physician", "Staff")
+        hierarchy.add_role("GP", "Physician")
+        assert hierarchy.is_specialization_of("GP", "Staff")
+
+    def test_multiple_parents(self):
+        hierarchy = RoleHierarchy()
+        hierarchy.add_role("Clinician")
+        hierarchy.add_role("Researcher")
+        hierarchy.add_role("TrialPhysician", "Clinician", "Researcher")
+        assert hierarchy.is_specialization_of("TrialPhysician", "Clinician")
+        assert hierarchy.is_specialization_of("TrialPhysician", "Researcher")
+
+
+class TestStructure:
+    def test_ancestors(self, hospital):
+        assert hospital.ancestors("GP") == {"Physician"}
+        assert hospital.ancestors("Physician") == frozenset()
+
+    def test_generalizations_include_self(self, hospital):
+        assert hospital.generalizations("GP") == {"GP", "Physician"}
+
+    def test_roles_listing(self, hospital):
+        assert "GP" in hospital.roles()
+        assert "Physician" in hospital.roles()
+
+    def test_contains(self, hospital):
+        assert "GP" in hospital
+        assert "Nurse" not in hospital
+
+    def test_incremental_parent_accumulation(self):
+        hierarchy = RoleHierarchy()
+        hierarchy.add_role("A")
+        hierarchy.add_role("B")
+        hierarchy.add_role("C", "A")
+        hierarchy.add_role("C", "B")
+        assert hierarchy.ancestors("C") == {"A", "B"}
+
+
+class TestErrors:
+    def test_self_cycle_rejected(self):
+        hierarchy = RoleHierarchy()
+        with pytest.raises(PolicyError):
+            hierarchy.add_role("A", "A")
+
+    def test_two_step_cycle_rejected(self):
+        hierarchy = RoleHierarchy()
+        hierarchy.add_role("B", "A")
+        with pytest.raises(PolicyError):
+            hierarchy.add_role("A", "B")
+
+    def test_long_cycle_rejected(self):
+        hierarchy = RoleHierarchy()
+        hierarchy.add_role("B", "A")
+        hierarchy.add_role("C", "B")
+        with pytest.raises(PolicyError):
+            hierarchy.add_role("A", "C")
+
+    def test_empty_role_rejected(self):
+        with pytest.raises(PolicyError):
+            RoleHierarchy().add_role("")
+        with pytest.raises(PolicyError):
+            RoleHierarchy().add_role("A", "")

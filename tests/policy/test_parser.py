@@ -1,0 +1,69 @@
+"""Tests for the textual policy syntax (Fig. 3)."""
+
+import pytest
+
+from repro.errors import PolicySyntaxError
+from repro.policy import format_policy, parse_policy, parse_statement
+from repro.scenarios.healthcare import PAPER_POLICY_TEXT
+
+
+class TestParseStatement:
+    def test_simple_statement(self):
+        stmt = parse_statement("(Physician, read, [.]EPR/Clinical, treatment)")
+        assert stmt.subject == "Physician"
+        assert stmt.action == "read"
+        assert str(stmt.obj) == "[.]EPR/Clinical"
+        assert stmt.purpose == "treatment"
+        assert not stmt.requires_consent
+
+    def test_consent_tag(self):
+        stmt = parse_statement("(Physician, read, [X]EPR, clinicaltrial)")
+        assert stmt.requires_consent
+        assert str(stmt.obj) == "[.]EPR"
+
+    def test_named_subject_object(self):
+        stmt = parse_statement("(Bob, read, [Jane]EPR, treatment)")
+        assert stmt.obj.subject == "Jane"
+
+    def test_subjectless_object(self):
+        stmt = parse_statement("(Physician, write, ClinicalTrial/Criteria, clinicaltrial)")
+        assert stmt.obj.subject is None
+
+    def test_missing_parentheses_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_statement("Physician, read, [.]EPR, treatment")
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_statement("(Physician, read, [.]EPR)")
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_statement("(Physician, , [.]EPR, treatment)")
+
+
+class TestParsePolicy:
+    def test_paper_policy_has_seven_statements(self):
+        policy = parse_policy(PAPER_POLICY_TEXT)
+        assert len(policy) == 7
+
+    def test_comments_and_blanks_ignored(self):
+        policy = parse_policy(
+            """
+            # the treatment block
+            (Physician, read, [.]EPR/Clinical, treatment)
+
+            (Physician, write, [.]EPR/Clinical, treatment)
+            """
+        )
+        assert len(policy) == 2
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(PolicySyntaxError) as excinfo:
+            parse_policy("(A, read, X, p)\nbroken line\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_round_trip(self):
+        policy = parse_policy(PAPER_POLICY_TEXT)
+        reparsed = parse_policy(format_policy(policy))
+        assert reparsed.statements == policy.statements

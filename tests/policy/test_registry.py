@@ -1,0 +1,85 @@
+"""Tests for the purpose -> process registry and case resolution."""
+
+import pytest
+
+from repro.errors import UnknownPurposeError
+from repro.policy import ProcessRegistry
+from repro.scenarios import (
+    clinical_trial_process,
+    healthcare_treatment_process,
+    process_registry,
+)
+
+
+class TestRegistration:
+    def test_purposes_listed(self):
+        registry = process_registry()
+        assert registry.purposes() == {"treatment", "clinicaltrial"}
+
+    def test_duplicate_purpose_rejected(self):
+        registry = ProcessRegistry()
+        registry.register(healthcare_treatment_process(), "HT")
+        with pytest.raises(UnknownPurposeError):
+            registry.register(healthcare_treatment_process(), "HT2")
+
+    def test_duplicate_prefix_rejected(self):
+        registry = ProcessRegistry()
+        registry.register(healthcare_treatment_process(), "HT")
+        with pytest.raises(UnknownPurposeError):
+            registry.register(clinical_trial_process(), "HT")
+
+    def test_len_and_iter(self):
+        registry = process_registry()
+        assert len(registry) == 2
+        assert {p.purpose for p in registry} == {"treatment", "clinicaltrial"}
+
+
+class TestCaseResolution:
+    def test_case_prefix_resolution(self):
+        registry = process_registry()
+        assert registry.purpose_of_case("HT-17") == "treatment"
+        assert registry.purpose_of_case("CT-1") == "clinicaltrial"
+
+    def test_malformed_case_rejected(self):
+        registry = process_registry()
+        with pytest.raises(UnknownPurposeError):
+            registry.purpose_of_case("HT17")
+
+    def test_unknown_prefix_rejected(self):
+        registry = process_registry()
+        with pytest.raises(UnknownPurposeError):
+            registry.purpose_of_case("XX-1")
+
+    def test_is_instance_of(self):
+        registry = process_registry()
+        assert registry.is_instance_of("HT-1", "treatment")
+        assert not registry.is_instance_of("HT-1", "clinicaltrial")
+        assert not registry.is_instance_of("garbage", "treatment")
+
+    def test_task_in_purpose(self):
+        registry = process_registry()
+        assert registry.task_in_purpose("T01", "treatment")
+        assert registry.task_in_purpose("T91", "clinicaltrial")
+        assert not registry.task_in_purpose("T91", "treatment")
+        assert not registry.task_in_purpose("T01", "nonexistent")
+
+    def test_process_of_case(self):
+        registry = process_registry()
+        assert registry.process_of_case("HT-3").purpose == "treatment"
+
+    def test_case_prefix_of(self):
+        registry = process_registry()
+        assert registry.case_prefix_of("treatment") == "HT"
+        assert registry.case_prefix_of("nope") is None
+
+
+class TestEncodingCache:
+    def test_encoded_for_is_cached(self):
+        registry = process_registry()
+        first = registry.encoded_for("treatment")
+        second = registry.encoded_for("treatment")
+        assert first is second
+
+    def test_encoded_for_unknown_purpose(self):
+        with pytest.raises(UnknownPurposeError):
+            process_registry().encoded_for("nope")

@@ -1,0 +1,184 @@
+"""Property-based correctness of Algorithm 1 (experiment E14).
+
+Theorem 2 of the paper: Algorithm 1 returns true iff some trace of the
+process's transition system accepts the trail.  We test this on randomly
+generated well-founded processes:
+
+* **agreement with the naive baseline** — on loop-free processes the
+  trace-enumeration checker is a complete decision procedure, so the two
+  must agree on arbitrary trails (compliant, mutated and garbage);
+* **soundness on generated runs** — trails produced by walking the
+  process's own semantics always replay compliantly (also with loops);
+* **prefix closure** — every prefix of a compliant trail is compliant
+  (Algorithm 1 accepts ongoing cases);
+* **absorption invariance** — duplicating any successful entry in place
+  keeps a compliant trail compliant (the 1-to-n task/entry mapping);
+* **garbage rejection** — appending an unknown-task entry breaks
+  compliance.
+"""
+
+import random
+from datetime import datetime, timedelta
+
+from hypothesis import given, settings, strategies as st
+
+from repro.audit import AuditTrail, LogEntry, Status, TrailGenerator
+from repro.bpmn import ProcessBuilder, encode
+from repro.core import ComplianceChecker, NaiveChecker, Verdict
+from repro.scenarios import loop_process
+
+
+def build_random_process(block_specs):
+    """A random loop-free process: a chain of blocks, each either a single
+    task or an XOR choice among tasks."""
+    builder = ProcessBuilder("random")
+    pool = builder.pool("Staff")
+    pool.start_event("S")
+    previous = "S"
+    for index, spec in enumerate(block_specs):
+        if spec == 1:
+            task = f"T{index}"
+            pool.task(task)
+            builder.flow(previous, task)
+            previous = task
+        else:
+            split, join = f"G{index}", f"J{index}"
+            pool.exclusive_gateway(split)
+            pool.exclusive_gateway(join)
+            builder.flow(previous, split)
+            for branch in range(spec):
+                task = f"T{index}_{branch}"
+                pool.task(task)
+                builder.flow(split, task).flow(task, join)
+            previous = join
+    pool.end_event("E")
+    builder.flow(previous, "E")
+    return builder.build()
+
+
+def compliant_tasks_for(block_specs, rng):
+    """One valid task sequence through the random process."""
+    tasks = []
+    for index, spec in enumerate(block_specs):
+        if spec == 1:
+            tasks.append(f"T{index}")
+        else:
+            tasks.append(f"T{index}_{rng.randrange(spec)}")
+    return tasks
+
+
+def entries_for(tasks):
+    clock = datetime(2010, 1, 1)
+    entries = []
+    for task in tasks:
+        clock += timedelta(minutes=1)
+        entries.append(
+            LogEntry(
+                user="Sam", role="Staff", action="work", obj=None,
+                task=task, case="C-1", timestamp=clock, status=Status.SUCCESS,
+            )
+        )
+    return entries
+
+
+block_spec_lists = st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=4)
+
+
+class TestAgreementWithNaive:
+    @given(block_spec_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_compliant_run_accepted_by_both(self, specs, rng):
+        process = build_random_process(specs)
+        encoded = encode(process)
+        trail = entries_for(compliant_tasks_for(specs, rng))
+        assert ComplianceChecker(encoded).check(trail).compliant
+        assert NaiveChecker(encoded).check(trail).verdict is Verdict.COMPLIANT
+
+    @given(
+        block_spec_lists,
+        st.randoms(use_true_random=False),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mutated_runs_agree(self, specs, rng, data):
+        process = build_random_process(specs)
+        encoded = encode(process)
+        tasks = compliant_tasks_for(specs, rng)
+        mutation = data.draw(
+            st.sampled_from(["drop", "swap", "dup", "garbage", "none"])
+        )
+        if mutation == "drop" and tasks:
+            del tasks[data.draw(st.integers(0, len(tasks) - 1))]
+        elif mutation == "swap" and len(tasks) >= 2:
+            i = data.draw(st.integers(0, len(tasks) - 2))
+            tasks[i], tasks[i + 1] = tasks[i + 1], tasks[i]
+        elif mutation == "dup" and tasks:
+            i = data.draw(st.integers(0, len(tasks) - 1))
+            tasks.insert(i, tasks[i])
+        elif mutation == "garbage":
+            tasks.insert(data.draw(st.integers(0, len(tasks))), "T_GARBAGE")
+        trail = entries_for(tasks)
+        fast = ComplianceChecker(encoded).check(trail).compliant
+        slow = NaiveChecker(encoded).check(trail)
+        assert slow.verdict is not Verdict.UNDETERMINED  # loop-free: decidable
+        assert fast == slow.compliant
+
+
+class TestSoundnessOnGeneratedRuns:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_generator_walks_replay_compliantly_on_loops(self, seed):
+        encoded = encode(loop_process(2))
+        generator = TrailGenerator(
+            encoded,
+            users_by_role={"Staff": [("Sam", "Staff")]},
+            seed=seed,
+            max_steps=12,
+        )
+        trail = generator.generate_case("C-1", "Subj", min_steps=1).trail
+        assert ComplianceChecker(encoded).check(trail).compliant
+
+
+class TestClosureProperties:
+    @given(block_spec_lists, st.randoms(use_true_random=False), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_prefix_closure(self, specs, rng, data):
+        process = build_random_process(specs)
+        encoded = encode(process)
+        tasks = compliant_tasks_for(specs, rng)
+        cut = data.draw(st.integers(0, len(tasks)))
+        checker = ComplianceChecker(encoded)
+        assert checker.check(entries_for(tasks[:cut])).compliant
+
+    @given(block_spec_lists, st.randoms(use_true_random=False), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_absorption_invariance(self, specs, rng, data):
+        process = build_random_process(specs)
+        encoded = encode(process)
+        tasks = compliant_tasks_for(specs, rng)
+        i = data.draw(st.integers(0, len(tasks) - 1))
+        tasks.insert(i, tasks[i])  # duplicate one entry in place
+        assert ComplianceChecker(encoded).check(entries_for(tasks)).compliant
+
+    @given(block_spec_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_garbage_suffix_rejected(self, specs, rng):
+        process = build_random_process(specs)
+        encoded = encode(process)
+        tasks = compliant_tasks_for(specs, rng) + ["T_NOWHERE"]
+        result = ComplianceChecker(encoded).check(entries_for(tasks))
+        assert not result.compliant
+        assert result.failed_index == len(tasks) - 1
+
+
+class TestDeterminism:
+    @given(block_spec_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_verdicts_stable_across_checker_instances(self, specs, rng):
+        process = build_random_process(specs)
+        trail = entries_for(compliant_tasks_for(specs, rng))
+        verdicts = {
+            ComplianceChecker(encode(process)).check(trail).compliant
+            for _ in range(2)
+        }
+        assert verdicts == {True}

@@ -1,0 +1,89 @@
+"""Property-based correctness of trail alignments.
+
+* cost 0 if and only if Algorithm 1 accepts the trail;
+* the repair implied by an alignment *works*: applying the log-move
+  deletions and weaving the model-move events into the trail yields a
+  compliant trail;
+* cost is monotone under corruption: mutating a compliant trail never
+  decreases its alignment cost.
+"""
+
+from datetime import datetime, timedelta
+
+from hypothesis import given, settings, strategies as st
+
+from repro.audit import LogEntry, Status
+from repro.bpmn import encode
+from repro.core import ComplianceChecker, MoveKind, align
+
+from tests.properties.test_algorithm_correctness import (
+    build_random_process,
+    compliant_tasks_for,
+    entries_for,
+)
+
+block_spec_lists = st.lists(
+    st.integers(min_value=1, max_value=3), min_size=1, max_size=4
+)
+
+
+class TestAlignmentEquivalence:
+    @given(block_spec_lists, st.randoms(use_true_random=False), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_cost_zero_iff_compliant(self, specs, rng, data):
+        process = build_random_process(specs)
+        encoded = encode(process)
+        checker = ComplianceChecker(encoded)
+        tasks = compliant_tasks_for(specs, rng)
+        mutation = data.draw(st.sampled_from(["none", "drop", "garbage"]))
+        if mutation == "drop" and len(tasks) > 1:
+            del tasks[data.draw(st.integers(0, len(tasks) - 1))]
+        elif mutation == "garbage":
+            tasks.insert(data.draw(st.integers(0, len(tasks))), "T_JUNK")
+        trail = entries_for(tasks)
+        compliant = checker.check(trail).compliant
+        alignment = align(checker, trail)
+        assert alignment.complete
+        assert (alignment.cost == 0) == compliant
+
+    @given(block_spec_lists, st.randoms(use_true_random=False), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_repair_plan_works(self, specs, rng, data):
+        """Replaying the alignment's move sequence (sync entries kept,
+        log-only entries dropped, model-only events inserted) must be
+        compliant."""
+        process = build_random_process(specs)
+        encoded = encode(process)
+        checker = ComplianceChecker(encoded)
+        tasks = compliant_tasks_for(specs, rng)
+        if tasks:
+            del tasks[data.draw(st.integers(0, len(tasks) - 1))]
+        tasks.insert(data.draw(st.integers(0, len(tasks))), "T_JUNK")
+        trail = entries_for(tasks)
+        alignment = align(checker, trail)
+        assert alignment.complete
+
+        repaired_tasks = []
+        position = 0
+        for move in alignment.moves:
+            if move.kind is MoveKind.SYNC:
+                repaired_tasks.append(trail[position].task)
+                position += 1
+            elif move.kind is MoveKind.LOG:
+                position += 1  # dropped
+            else:  # MODEL: label is "Role.Task"
+                repaired_tasks.append(move.label.split(".", 1)[1])
+        assert position == len(trail)
+        assert checker.check(entries_for(repaired_tasks)).compliant
+
+    @given(block_spec_lists, st.randoms(use_true_random=False), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_corruption_never_decreases_cost(self, specs, rng, data):
+        process = build_random_process(specs)
+        checker = ComplianceChecker(encode(process))
+        tasks = compliant_tasks_for(specs, rng)
+        base_cost = align(checker, entries_for(tasks)).cost
+        assert base_cost == 0
+        tasks.insert(data.draw(st.integers(0, len(tasks))), "T_JUNK")
+        corrupted_cost = align(checker, entries_for(tasks)).cost
+        assert corrupted_cost >= base_cost

@@ -1,0 +1,94 @@
+"""Property-based tests of the BPMN -> COWS encoder.
+
+On randomly generated well-founded processes:
+
+* encoding never fails and always yields a canonical term;
+* the observable-trace language contains every task (loop-free case:
+  each task lies on some complete path through its block);
+* the closed LTS of a loop-free process is finite and deadlocks only
+  after an end event was reachable;
+* every complete observable trace of a loop-free process replays
+  compliantly when turned into a trail (the encoder and Algorithm 1
+  agree about what the process allows).
+"""
+
+from datetime import datetime, timedelta
+
+from hypothesis import given, settings, strategies as st
+
+from repro.audit import LogEntry, Status
+from repro.bpmn import encode
+from repro.core import ComplianceChecker, NaiveChecker
+from repro.cows import LTS
+from repro.cows.congruence import normalize
+
+from tests.properties.test_algorithm_correctness import build_random_process
+
+block_spec_lists = st.lists(
+    st.integers(min_value=1, max_value=3), min_size=1, max_size=4
+)
+
+
+class TestEncoderTotality:
+    @given(block_spec_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_succeeds_and_is_canonical(self, specs):
+        encoded = encode(build_random_process(specs))
+        assert normalize(encoded.term) == encoded.term
+        assert encoded.roles == {"Staff"}
+
+    @given(block_spec_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_loop_free_lts_is_finite(self, specs):
+        encoded = encode(build_random_process(specs))
+        result = LTS(encoded.term).explore(max_states=5000)
+        assert result.complete
+
+
+class TestTraceLanguage:
+    @given(block_spec_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_every_task_occurs_in_some_trace(self, specs):
+        encoded = encode(build_random_process(specs))
+        naive = NaiveChecker(encoded)
+        seen: set[str] = set()
+        for trace in naive.enumerate_traces(max_depth=len(specs) + 2):
+            for event, _ in trace:
+                seen.add(getattr(event, "task", ""))
+        assert encoded.tasks <= seen
+
+    @given(block_spec_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_every_complete_trace_replays_compliantly(self, specs):
+        encoded = encode(build_random_process(specs))
+        naive = NaiveChecker(encoded)
+        checker = ComplianceChecker(encoded)
+        clock = datetime(2010, 1, 1)
+        for trace in naive.enumerate_traces(max_depth=len(specs) + 2):
+            entries = []
+            for position, (event, _) in enumerate(trace):
+                entries.append(
+                    LogEntry(
+                        user="Sam",
+                        role=event.role,
+                        action="work",
+                        obj=None,
+                        task=event.task,
+                        case="C-1",
+                        timestamp=clock + timedelta(minutes=position),
+                        status=Status.SUCCESS,
+                    )
+                )
+            assert checker.check(entries).compliant
+
+    @given(block_spec_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_trace_count_is_the_product_of_choices(self, specs):
+        encoded = encode(build_random_process(specs))
+        naive = NaiveChecker(encoded)
+        expected = 1
+        for spec in specs:
+            expected *= spec
+        count, truncated = naive.count_traces(max_depth=len(specs) + 2)
+        assert not truncated
+        assert count == expected

@@ -1,0 +1,146 @@
+"""Tests for the paper's scenario objects (Figs 1-4): structure checks and
+the exact transcription of the figures."""
+
+import pytest
+
+from repro.bpmn import is_well_founded, validate
+from repro.scenarios import (
+    CLINICAL_TRIAL,
+    TREATMENT,
+    clinical_trial_process,
+    consent_registry,
+    healthcare_treatment_process,
+    paper_audit_trail,
+    paper_policy,
+    role_hierarchy,
+    user_directory,
+)
+
+
+class TestFig1TreatmentProcess:
+    @pytest.fixture(scope="class")
+    def process(self):
+        return healthcare_treatment_process()
+
+    def test_valid_and_well_founded(self, process):
+        validate(process)
+        assert is_well_founded(process)
+
+    def test_pools_are_the_four_roles(self, process):
+        assert process.pools == [
+            "GP",
+            "Cardiologist",
+            "MedicalLabTech",
+            "Radiologist",
+        ]
+
+    def test_all_paper_tasks_present(self, process):
+        expected = {f"T{i:02d}" for i in range(1, 16)}
+        assert process.task_ids == expected
+
+    def test_t02_has_error_boundary_to_t01(self, process):
+        assert process.error_target("T02") == "T01"
+
+    def test_referral_message_links_pools(self, process):
+        links = {
+            (t.element_id, c.element_id) for t, c in process.message_links()
+        }
+        assert ("E1", "S3") in links  # referral GP -> Cardiologist
+        assert ("E4", "S2") in links  # diagnosis Cardiologist -> GP
+
+    def test_purpose_is_treatment(self, process):
+        assert process.purpose == TREATMENT
+
+
+class TestFig2ClinicalTrialProcess:
+    @pytest.fixture(scope="class")
+    def process(self):
+        return clinical_trial_process()
+
+    def test_valid_and_well_founded(self, process):
+        validate(process)
+        assert is_well_founded(process)
+
+    def test_tasks_t91_to_t95(self, process):
+        assert process.task_ids == {"T91", "T92", "T93", "T94", "T95"}
+
+    def test_single_physician_pool(self, process):
+        assert process.pools == ["Physician"]
+
+    def test_t94_can_repeat(self, process):
+        # the XOR gateway loops back to T94
+        assert "T94" in process.outgoing("G90")
+
+    def test_purpose_is_clinicaltrial(self, process):
+        assert process.purpose == CLINICAL_TRIAL
+
+
+class TestHierarchyAndDirectory:
+    def test_specializations_of_physician(self):
+        hierarchy = role_hierarchy()
+        for role in ("GP", "Cardiologist", "Radiologist"):
+            assert hierarchy.is_specialization_of(role, "Physician")
+
+    def test_lab_tech_under_medical_tech(self):
+        hierarchy = role_hierarchy()
+        assert hierarchy.is_specialization_of("MedicalLabTech", "MedicalTech")
+        assert not hierarchy.is_specialization_of("MedicalLabTech", "Physician")
+
+    def test_staff_roles(self):
+        directory = user_directory()
+        assert directory.roles_of("John") == {"GP"}
+        assert directory.roles_of("Bob") == {"Cardiologist"}
+
+    def test_consents_match_section2(self):
+        consents = consent_registry()
+        assert consents.has_consented("Alice", CLINICAL_TRIAL)
+        assert not consents.has_consented("Jane", CLINICAL_TRIAL)
+
+
+class TestFig3Policy:
+    def test_seven_statements(self):
+        assert len(paper_policy()) == 7
+
+    def test_consent_statement_present(self):
+        consentful = [s for s in paper_policy() if s.requires_consent]
+        assert len(consentful) == 1
+        assert consentful[0].purpose == CLINICAL_TRIAL
+
+    def test_purposes_used(self):
+        purposes = {s.purpose for s in paper_policy()}
+        assert purposes == {TREATMENT, CLINICAL_TRIAL}
+
+
+class TestFig4Trail:
+    @pytest.fixture(scope="class")
+    def trail(self):
+        return paper_audit_trail()
+
+    def test_total_entries(self, trail):
+        assert len(trail) == 28
+
+    def test_cases_present(self, trail):
+        assert set(trail.cases()) == {
+            "HT-1", "HT-2", "CT-1",
+            "HT-10", "HT-11", "HT-20", "HT-21", "HT-30",
+        }
+
+    def test_ht1_has_16_entries(self, trail):
+        assert len(trail.for_case("HT-1")) == 16
+
+    def test_failure_entry_is_the_cancel(self, trail):
+        failures = [e for e in trail if e.failed]
+        assert len(failures) == 1
+        assert failures[0].action == "cancel"
+        assert failures[0].task == "T02"
+        assert failures[0].obj is None
+
+    def test_first_entry_matches_figure(self, trail):
+        first = trail[0]
+        assert (first.user, first.role, first.action) == ("John", "GP", "read")
+        assert str(first.obj) == "[Jane]EPR/Clinical"
+        assert (first.task, first.case) == ("T01", "HT-1")
+
+    def test_chronological(self, trail):
+        times = [e.timestamp for e in trail]
+        assert times == sorted(times)

@@ -1,0 +1,167 @@
+"""Tests for the insurance scenario — the framework outside healthcare."""
+
+import pytest
+
+from repro.bpmn import encode, is_well_founded, validate
+from repro.core import (
+    ComplianceChecker,
+    DeviationKind,
+    InfringementKind,
+    PurposeControlAuditor,
+    explain,
+)
+from repro.policy import AccessRequest, ObjectRef, PolicyDecisionPoint
+from repro.scenarios.insurance import (
+    INSURANCE_COMPLIANT_CASES,
+    INSURANCE_REPURPOSED_CASES,
+    claim_handling_process,
+    insurance_audit_trail,
+    insurance_consent_registry,
+    insurance_policy,
+    insurance_registry,
+    insurance_role_hierarchy,
+    insurance_user_directory,
+    marketing_process,
+)
+
+
+class TestProcesses:
+    def test_claim_process_valid(self):
+        process = claim_handling_process()
+        validate(process)
+        assert is_well_founded(process)
+        assert process.pools == [
+            "Agent", "Adjuster", "Expert", "PaymentsOfficer",
+        ]
+
+    def test_marketing_process_valid(self):
+        process = marketing_process()
+        validate(process)
+        assert is_well_founded(process)
+
+    def test_registry(self):
+        registry = insurance_registry()
+        assert registry.purpose_of_case("CL-7") == "claimhandling"
+        assert registry.purpose_of_case("MK-2") == "marketing"
+
+
+class TestReplayVerdicts:
+    @pytest.fixture(scope="class")
+    def auditor(self):
+        return PurposeControlAuditor(
+            insurance_registry(), hierarchy=insurance_role_hierarchy()
+        )
+
+    @pytest.fixture(scope="class")
+    def report(self, auditor):
+        return auditor.audit(insurance_audit_trail())
+
+    def test_compliant_cases(self, report):
+        for case in INSURANCE_COMPLIANT_CASES:
+            assert report.cases[case].compliant, case
+
+    def test_harvesting_cases_detected(self, report):
+        for case in INSURANCE_REPURPOSED_CASES:
+            result = report.cases[case]
+            assert not result.compliant, case
+            assert result.infringements[0].kind is (
+                InfringementKind.INVALID_EXECUTION
+            )
+
+    def test_cl2_is_open(self, report):
+        # CL-2 was decided but neither settled nor explicitly closed yet.
+        assert report.cases["CL-2"].compliant
+
+    def test_harvest_diagnosed_as_wrong_start(self):
+        registry = insurance_registry()
+        checker = ComplianceChecker(
+            registry.encoded_for("claimhandling"),
+            insurance_role_hierarchy(),
+        )
+        entries = list(insurance_audit_trail().for_case("CL-10"))
+        result = checker.check(entries)
+        explanation = explain(checker, entries, result)
+        assert explanation.kind is DeviationKind.WRONG_START
+        assert "Agent.C01" in explanation.skipped
+
+
+class TestPreventiveGap:
+    """The Fig. 4 gap transplanted: the adjuster's profile reads are
+    policy-legal under the claimed claim-handling purpose."""
+
+    @pytest.fixture(scope="class")
+    def pdp(self):
+        return PolicyDecisionPoint(
+            insurance_policy(),
+            insurance_user_directory(),
+            insurance_role_hierarchy(),
+            insurance_registry(),
+            insurance_consent_registry(),
+        )
+
+    def test_harvesting_read_is_permitted_preventively(self, pdp):
+        request = AccessRequest(
+            "Ade", "read",
+            ObjectRef.parse("[Ravi]CustomerFile/Profile"), "C02", "CL-11",
+        )
+        assert pdp.evaluate(request).permit  # the gap Algorithm 1 closes
+
+    def test_marketing_needs_consent(self, pdp):
+        consented = AccessRequest(
+            "Mika", "read",
+            ObjectRef.parse("[Noor]CustomerFile/Profile"), "M02", "MK-1",
+        )
+        unconsented = AccessRequest(
+            "Mika", "read",
+            ObjectRef.parse("[Ravi]CustomerFile/Profile"), "M02", "MK-1",
+        )
+        assert pdp.evaluate(consented).permit
+        assert not pdp.evaluate(unconsented).permit
+
+    def test_clerk_generalization(self, pdp):
+        # Amira is an Agent, which specializes Clerk.
+        request = AccessRequest(
+            "Amira", "read",
+            ObjectRef.parse("[Noor]CustomerFile/Claims"), "C01", "CL-1",
+        )
+        assert pdp.evaluate(request).permit
+
+
+class TestFullPipeline:
+    def test_pdp_raises_no_false_positives(self):
+        pdp = PolicyDecisionPoint(
+            insurance_policy(),
+            insurance_user_directory(),
+            insurance_role_hierarchy(),
+            insurance_registry(),
+            insurance_consent_registry(),
+        )
+        auditor = PurposeControlAuditor(
+            insurance_registry(),
+            hierarchy=insurance_role_hierarchy(),
+            pdp=pdp,
+        )
+        report = auditor.audit(insurance_audit_trail())
+        # Only the harvesting cases are flagged, and only by the replay.
+        assert set(report.infringing_cases) == INSURANCE_REPURPOSED_CASES
+        kinds = {i.kind for i in report.infringements}
+        assert kinds == {InfringementKind.INVALID_EXECUTION}
+
+
+class TestTrailShape:
+    def test_case_inventory(self):
+        trail = insurance_audit_trail()
+        assert set(trail.cases()) == (
+            INSURANCE_COMPLIANT_CASES | INSURANCE_REPURPOSED_CASES
+        )
+
+    def test_expert_round_trip_in_cl1(self):
+        trail = insurance_audit_trail().for_case("CL-1")
+        tasks = [e.task for e in trail]
+        assert "C10" in tasks  # the expert assessment happened
+        assert tasks.index("C10") < tasks.index("C04")
+
+    def test_failure_entry_present(self):
+        failures = [e for e in insurance_audit_trail() if e.failed]
+        assert len(failures) == 1
+        assert failures[0].task == "C02"

@@ -1,0 +1,72 @@
+"""Tests for the violation taxonomy of the hospital workload."""
+
+import pytest
+
+from repro.core import ComplianceChecker, DeviationKind, explain
+from repro.scenarios import hospital_day, role_hierarchy
+from repro.scenarios.workloads import VIOLATION_KINDS
+
+FULL_MIX = {kind: 1.0 for kind in VIOLATION_KINDS}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return hospital_day(
+        n_cases=40, violation_rate=0.5, seed=17, violation_mix=FULL_MIX
+    )
+
+
+@pytest.fixture(scope="module")
+def checker(workload):
+    return ComplianceChecker(workload.encoded, role_hierarchy())
+
+
+class TestTaxonomy:
+    def test_kinds_recorded_for_every_violation(self, workload):
+        flagged = {c for c, ok in workload.ground_truth.items() if not ok}
+        assert set(workload.violation_kinds) == flagged
+
+    def test_multiple_kinds_present(self, workload):
+        assert len(set(workload.violation_kinds.values())) >= 3
+
+    def test_every_violation_is_detected(self, workload, checker):
+        for case, kind in workload.violation_kinds.items():
+            result = checker.check(workload.trail.for_case(case))
+            assert not result.compliant, (case, kind)
+
+    def test_compliant_cases_still_compliant(self, workload, checker):
+        for case, ok in workload.ground_truth.items():
+            if ok:
+                assert checker.check(workload.trail.for_case(case)).compliant
+
+    def test_cases_of_kind(self, workload):
+        total = sum(len(workload.cases_of_kind(k)) for k in VIOLATION_KINDS)
+        assert total == workload.violation_count
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            hospital_day(3, violation_mix={"alien": 1.0})
+
+
+class TestDiagnosisMatchesInjectedClass:
+    """The explain() classifier should recover the injected class."""
+
+    def expected_deviations(self, kind):
+        return {
+            "mimicry": {DeviationKind.WRONG_START},
+            "wrong-role": {DeviationKind.WRONG_ROLE},
+            "skip": {DeviationKind.WRONG_START},
+            "reorder": {DeviationKind.WRONG_START, DeviationKind.WRONG_ROLE,
+                        DeviationKind.SKIPPED_TASKS,
+                        DeviationKind.NOT_REACHABLE},
+        }[kind]
+
+    def test_diagnoses(self, workload, checker):
+        for case, kind in workload.violation_kinds.items():
+            entries = workload.trail.for_case(case).entries
+            result = checker.check(entries)
+            diagnosis = explain(checker, entries, result)
+            assert diagnosis is not None, case
+            assert diagnosis.kind in self.expected_deviations(kind), (
+                case, kind, diagnosis.kind,
+            )

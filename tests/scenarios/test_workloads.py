@@ -1,0 +1,108 @@
+"""Tests for the synthetic process families and the hospital workload."""
+
+import pytest
+
+from repro.bpmn import encode, is_well_founded, validate
+from repro.core import ComplianceChecker, PurposeControlAuditor
+from repro.scenarios import (
+    hospital_day,
+    loop_process,
+    parallel_process,
+    process_registry,
+    role_hierarchy,
+    sequential_process,
+    staged_xor_process,
+    xor_process,
+)
+
+
+class TestProcessFamilies:
+    @pytest.mark.parametrize("n", [1, 3, 8])
+    def test_sequential_valid(self, n):
+        process = sequential_process(n)
+        validate(process)
+        assert len(process.task_ids) == n
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_xor_valid(self, n):
+        process = xor_process(n)
+        validate(process)
+        assert len(process.task_ids) == n + 1
+
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_loop_valid_and_well_founded(self, n):
+        process = loop_process(n)
+        validate(process)
+        assert is_well_founded(process)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_parallel_valid(self, n):
+        validate(parallel_process(n))
+
+    def test_staged_xor_valid(self):
+        validate(staged_xor_process(3, width=2))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            sequential_process(0)
+        with pytest.raises(ValueError):
+            xor_process(1)
+        with pytest.raises(ValueError):
+            loop_process(0)
+        with pytest.raises(ValueError):
+            parallel_process(1)
+        with pytest.raises(ValueError):
+            staged_xor_process(0)
+
+    def test_families_encode(self):
+        for process in (
+            sequential_process(3),
+            xor_process(2),
+            loop_process(2),
+            parallel_process(2),
+            staged_xor_process(2),
+        ):
+            encoded = encode(process)
+            assert encoded.tasks
+
+
+class TestHospitalDay:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return hospital_day(n_cases=20, violation_rate=0.25, seed=11)
+
+    def test_case_count(self, workload):
+        assert workload.case_count == 20
+        assert set(workload.ground_truth) == set(workload.trail.cases())
+
+    def test_violations_present(self, workload):
+        assert 0 < workload.violation_count < 20
+
+    def test_ground_truth_matches_algorithm(self, workload):
+        checker = ComplianceChecker(workload.encoded, role_hierarchy())
+        for case, expected in workload.ground_truth.items():
+            verdict = checker.check(workload.trail.for_case(case)).compliant
+            assert verdict == expected, case
+
+    def test_auditor_precision_and_recall_are_perfect(self, workload):
+        auditor = PurposeControlAuditor(
+            process_registry(), hierarchy=role_hierarchy()
+        )
+        report = auditor.audit(workload.trail)
+        flagged = set(report.infringing_cases)
+        actual = {c for c, ok in workload.ground_truth.items() if not ok}
+        assert flagged == actual
+
+    def test_determinism(self):
+        one = hospital_day(n_cases=5, violation_rate=0.2, seed=3)
+        two = hospital_day(n_cases=5, violation_rate=0.2, seed=3)
+        assert one.trail == two.trail
+        assert one.ground_truth == two.ground_truth
+
+    def test_zero_violation_rate(self):
+        workload = hospital_day(n_cases=5, violation_rate=0.0, seed=1)
+        assert workload.violation_count == 0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            hospital_day(n_cases=5, violation_rate=1.5)

@@ -1,0 +1,200 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.bpmn import dumps
+from repro.audit.xes import export_xes
+from repro.cli import EXIT_BAD_INPUT, EXIT_INFRINGEMENT, EXIT_OK, main
+from repro.scenarios import (
+    clinical_trial_process,
+    healthcare_treatment_process,
+    paper_audit_trail,
+)
+
+
+@pytest.fixture
+def ht_json(tmp_path):
+    path = tmp_path / "treatment.json"
+    path.write_text(dumps(healthcare_treatment_process()))
+    return str(path)
+
+
+@pytest.fixture
+def ct_json(tmp_path):
+    path = tmp_path / "trial.json"
+    path.write_text(dumps(clinical_trial_process()))
+    return str(path)
+
+
+@pytest.fixture
+def trail_xes(tmp_path):
+    path = tmp_path / "trail.xes"
+    path.write_text(export_xes(paper_audit_trail()))
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_process(self, ht_json, capsys):
+        assert main(["validate", ht_json]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "well-founded" in out
+        assert "GP" in out
+
+    def test_invalid_process(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"process_id": "x", "elements": [{"id": "T", "type": "task",'
+            ' "pool": "P"}], "flows": []}'
+        )
+        assert main(["validate", str(bad)]) == EXIT_BAD_INPUT
+        assert "problem" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/does/not/exist.json"]) == EXIT_BAD_INPUT
+
+
+class TestEncode:
+    def test_summary(self, ht_json, capsys):
+        assert main(["encode", ht_json]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "purpose : treatment" in out
+        assert "T01" in out
+
+    def test_cows_output(self, ht_json, capsys):
+        assert main(["encode", ht_json, "--format", "cows"]) == EXIT_OK
+        assert "GP.T01" in capsys.readouterr().out
+
+    def test_dot_output(self, ht_json, capsys):
+        assert main(["encode", ht_json, "--format", "dot"]) == EXIT_OK
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestCheck:
+    def test_compliant_case(self, ht_json, trail_xes, capsys):
+        code = main([
+            "check", "--process", f"HT:{ht_json}",
+            "--trail", trail_xes, "--case", "HT-1",
+        ])
+        assert code == EXIT_OK
+        assert "compliant" in capsys.readouterr().out
+
+    def test_infringing_case(self, ht_json, trail_xes, capsys):
+        code = main([
+            "check", "--process", f"HT:{ht_json}",
+            "--trail", trail_xes, "--case", "HT-11",
+        ])
+        assert code == EXIT_INFRINGEMENT
+        assert "INFRINGEMENT" in capsys.readouterr().out
+
+    def test_verbose_prints_steps(self, ht_json, trail_xes, capsys):
+        main([
+            "check", "--process", f"HT:{ht_json}",
+            "--trail", trail_xes, "--case", "HT-11", "--verbose",
+        ])
+        assert "step 0" in capsys.readouterr().out
+
+    def test_unknown_case(self, ht_json, trail_xes, capsys):
+        code = main([
+            "check", "--process", f"HT:{ht_json}",
+            "--trail", trail_xes, "--case", "HT-404",
+        ])
+        assert code == EXIT_BAD_INPUT
+
+    def test_bad_process_spec(self, trail_xes):
+        code = main([
+            "check", "--process", "no-colon.json",
+            "--trail", trail_xes, "--case", "HT-1",
+        ])
+        assert code == EXIT_BAD_INPUT
+
+
+class TestAudit:
+    def test_full_audit_finds_infringements(self, ht_json, ct_json, trail_xes, capsys):
+        code = main([
+            "audit",
+            "--process", f"HT:{ht_json}",
+            "--process", f"CT:{ct_json}",
+            "--trail", trail_xes,
+            "--role", "Cardiologist:Physician",
+        ])
+        assert code == EXIT_INFRINGEMENT
+        out = capsys.readouterr().out
+        assert "HT-11" in out
+        assert "5 with infringements" in out
+
+    def test_without_role_hierarchy_ct_case_fails_too(
+        self, ht_json, ct_json, trail_xes, capsys
+    ):
+        # Without Cardiologist:Physician, Bob's trial entries cannot match
+        # the Physician pool: the audit reports one more infringing case.
+        main([
+            "audit",
+            "--process", f"HT:{ht_json}",
+            "--process", f"CT:{ct_json}",
+            "--trail", trail_xes,
+        ])
+        assert "6 with infringements" in capsys.readouterr().out
+
+    def test_sqlite_trail_input(self, ht_json, ct_json, tmp_path, capsys):
+        from repro.audit import AuditStore
+
+        db = tmp_path / "log.db"
+        with AuditStore(str(db)) as store:
+            store.append_many(paper_audit_trail().for_case("HT-1"))
+        code = main([
+            "audit", "--process", f"HT:{ht_json}",
+            "--process", f"CT:{ct_json}", "--trail", str(db),
+        ])
+        assert code == EXIT_OK
+        assert "HT-1" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_to_stdout(self, ht_json, capsys):
+        code = main([
+            "generate", "--process", f"HT:{ht_json}", "--cases", "2",
+        ])
+        assert code == EXIT_OK
+        assert "<log" in capsys.readouterr().out
+
+    def test_generated_trail_is_compliant(self, ht_json, ct_json, tmp_path, capsys):
+        out = tmp_path / "generated.xes"
+        assert main([
+            "generate", "--process", f"HT:{ht_json}", "--cases", "3",
+            "--out", str(out), "--seed", "4",
+        ]) == EXIT_OK
+        code = main([
+            "audit", "--process", f"HT:{ht_json}", "--trail", str(out),
+        ])
+        assert code == EXIT_OK
+
+
+class TestBpmnXmlInput:
+    def test_validate_bpmn_file(self, tmp_path, capsys):
+        from repro.bpmn import process_to_bpmn_xml
+
+        path = tmp_path / "treatment.bpmn"
+        path.write_text(process_to_bpmn_xml(healthcare_treatment_process()))
+        assert main(["validate", str(path)]) == EXIT_OK
+        assert "well-founded" in capsys.readouterr().out
+
+    def test_check_with_bpmn_process(self, tmp_path, trail_xes, capsys):
+        from repro.bpmn import process_to_bpmn_xml
+
+        path = tmp_path / "treatment.bpmn"
+        path.write_text(process_to_bpmn_xml(healthcare_treatment_process()))
+        code = main([
+            "check", "--process", f"HT:{path}",
+            "--trail", trail_xes, "--case", "HT-11",
+        ])
+        assert code == EXIT_INFRINGEMENT
+        out = capsys.readouterr().out
+        assert "diagnosis" in out
+
+
+class TestDemo:
+    def test_demo_runs_paper_scenario(self, capsys):
+        code = main(["demo"])
+        assert code == EXIT_INFRINGEMENT  # the paper's trail has 5
+        out = capsys.readouterr().out
+        assert "HT-1" in out and "CT-1" in out
