@@ -1,0 +1,64 @@
+"""Telemetry overhead: the zero-cost-when-disabled guarantee.
+
+The observability layer must not tax the replay hot path when nobody
+asked for it: the default (disabled) bundle binds shared no-op
+instruments, so per-entry cost is a couple of empty method calls.  This
+benchmark documents the measurement backing that claim:
+
+* ``test_replay_disabled_telemetry`` / ``test_replay_enabled_telemetry``
+  — pytest-benchmark timings of the same audit with and without a live
+  registry;
+* ``test_disabled_overhead_is_bounded`` — a min-of-repeats comparison
+  asserting the disabled path is not measurably slower than the enabled
+  path (it should be strictly faster; the generous bound only absorbs
+  scheduler noise).
+"""
+
+import time
+
+from repro.core import PurposeControlAuditor
+from repro.obs import Telemetry
+from repro.scenarios import paper_audit_trail, process_registry, role_hierarchy
+
+
+def run_audit(telemetry=None):
+    auditor = PurposeControlAuditor(
+        process_registry(), hierarchy=role_hierarchy(), telemetry=telemetry
+    )
+    return auditor.audit(paper_audit_trail())
+
+
+class TestReplayOverhead:
+    def test_replay_disabled_telemetry(self, benchmark):
+        report = benchmark(run_audit)
+        assert len(report.cases) == 8
+
+    def test_replay_enabled_telemetry(self, benchmark):
+        def run():
+            return run_audit(Telemetry.create())
+
+        report = benchmark(run)
+        assert len(report.cases) == 8
+
+    def test_disabled_overhead_is_bounded(self, table):
+        def best_of(runs, fn):
+            times = []
+            for _ in range(runs):
+                fn()  # warm caches outside the measured call
+                start = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        disabled = best_of(5, lambda: run_audit())
+        enabled = best_of(5, lambda: run_audit(Telemetry.create()))
+        entries = len(paper_audit_trail())
+        table.comment("telemetry overhead on the paper trail (best of 5)")
+        table.row("entries", entries)
+        table.row("disabled_s", f"{disabled:.6f}")
+        table.row("enabled_s", f"{enabled:.6f}")
+        table.row("disabled_per_entry_us", f"{disabled / entries * 1e6:.1f}")
+        table.row("enabled_per_entry_us", f"{enabled / entries * 1e6:.1f}")
+        # The disabled path binds no-op instruments and reads no clocks;
+        # it must not be measurably slower than the instrumented path.
+        assert disabled <= enabled * 1.25

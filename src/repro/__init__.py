@@ -27,6 +27,7 @@ Package map:
 * :mod:`repro.audit` — audit trails, the tamper-evident store, generators;
 * :mod:`repro.core` — WeakNext, Algorithm 1, the auditor, baselines;
 * :mod:`repro.conformance` — the Petri-net token-replay baseline;
+* :mod:`repro.obs` — telemetry: metrics, structured events, span traces;
 * :mod:`repro.scenarios` — the paper's figures and synthetic workloads.
 """
 
@@ -41,6 +42,7 @@ from repro.core import (
     SeverityModel,
 )
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry, Telemetry
 from repro.policy import (
     AccessRequest,
     ObjectRef,
@@ -71,6 +73,7 @@ __all__ = [
     "ComplianceChecker",
     "ComplianceResult",
     "LogEntry",
+    "MetricsRegistry",
     "NaiveChecker",
     "ObjectRef",
     "Policy",
@@ -83,6 +86,7 @@ __all__ = [
     "Statement",
     "SeverityModel",
     "Status",
+    "Telemetry",
     "TrailGenerator",
     "UserDirectory",
     "__version__",

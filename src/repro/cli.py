@@ -6,8 +6,9 @@ Installed as the ``repro`` console script::
     repro encode    treatment.json --format dot > treatment.dot
     repro check     --process HT:treatment.json --trail day.xes --case HT-1
     repro audit     --process HT:treatment.json --process CT:trial.json \\
-                    --trail day.xes
+                    --trail day.xes --metrics metrics.json
     repro generate  --process HT:treatment.json --cases 50 --out day.xes
+    repro stats     --process HT:treatment.json --trail day.xes
     repro demo
 
 Process arguments use ``PREFIX:file.json``: the case prefix (the ``HT``
@@ -15,6 +16,14 @@ of ``HT-1``) paired with a process document produced by
 :func:`repro.bpmn.serialize.dumps`.  Trails are XES files
 (:mod:`repro.audit.xes`) or SQLite audit stores (``.db``/``.sqlite``,
 :mod:`repro.audit.store`).
+
+Telemetry (``docs/observability.md``): ``check``/``audit``/``generate``
+and ``stats`` accept ``--metrics DEST`` (metrics snapshot; ``-`` =
+stdout) with ``--metrics-format json|prometheus``, ``--events DEST``
+(JSON-lines event log; ``-`` = stderr), and ``--trace DEST`` (span
+trace; ``-`` = stderr) with ``--trace-format json|chrome``.  ``repro
+stats`` runs a full audit and prints a human-readable telemetry summary
+after the report.
 
 Exit codes: 0 — success / compliant; 1 — infringements found; 2 — bad
 input.
@@ -38,6 +47,17 @@ from repro.core.auditor import PurposeControlAuditor
 from repro.core.compliance import ComplianceChecker
 from repro.cows.pretty import pretty
 from repro.errors import ReproError
+from repro.obs import (
+    NULL_EVENTS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    dumps_json,
+    format_summary,
+    json_lines_logger,
+    to_prometheus,
+)
 from repro.policy.registry import ProcessRegistry
 
 EXIT_OK = 0
@@ -90,6 +110,77 @@ def _load_trail(path_text: str) -> AuditTrail:
             store.verify_integrity()
             return store.query()
     return import_xes(path.read_text())
+
+
+# ---------------------------------------------------------------------------
+# telemetry plumbing
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--metrics", metavar="DEST",
+        help="write a metrics snapshot to DEST after the run ('-' = stdout)",
+    )
+    group.add_argument(
+        "--metrics-format", choices=("json", "prometheus"), default="json",
+    )
+    group.add_argument(
+        "--events", metavar="DEST",
+        help="stream JSON-lines telemetry events to DEST ('-' = stderr)",
+    )
+    group.add_argument(
+        "--trace", metavar="DEST",
+        help="write a span trace to DEST after the run ('-' = stderr)",
+    )
+    group.add_argument(
+        "--trace-format", choices=("json", "chrome"), default="json",
+    )
+
+
+def _telemetry_from_args(
+    args: argparse.Namespace, force: bool = False
+) -> Telemetry:
+    """Build the Telemetry bundle the flags ask for (disabled when none)."""
+    wants_metrics = bool(getattr(args, "metrics", None)) or force
+    wants_events = bool(getattr(args, "events", None))
+    wants_trace = bool(getattr(args, "trace", None))
+    if not (wants_metrics or wants_events or wants_trace):
+        return Telemetry.disabled()
+    events = NULL_EVENTS
+    if wants_events:
+        destination = sys.stderr if args.events == "-" else args.events
+        events = json_lines_logger(destination)
+    return Telemetry.create(
+        registry=MetricsRegistry(),
+        events=events,
+        tracer=Tracer() if wants_trace else NULL_TRACER,
+    )
+
+
+def _write_output(destination: str, text: str, default_stream) -> None:
+    if destination == "-":
+        default_stream.write(text if text.endswith("\n") else text + "\n")
+    else:
+        Path(destination).write_text(
+            text if text.endswith("\n") else text + "\n"
+        )
+
+
+def _emit_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
+    """Flush the requested snapshot/trace artifacts after a command."""
+    if not telemetry.enabled:
+        return
+    if getattr(args, "metrics", None):
+        if args.metrics_format == "prometheus":
+            text = to_prometheus(telemetry.registry)
+        else:
+            text = dumps_json(telemetry.registry)
+        _write_output(args.metrics, text, sys.stdout)
+    if getattr(args, "trace", None):
+        _write_output(
+            args.trace, telemetry.tracer.dumps(args.trace_format), sys.stderr
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -146,14 +237,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"case {args.case}: no entries in trail")
         return EXIT_BAD_INPUT
     purpose = registry.purpose_of_case(args.case)
+    telemetry = _telemetry_from_args(args)
     checker = ComplianceChecker(
-        registry.encoded_for(purpose), hierarchy=_load_hierarchy(args.role)
+        registry.encoded_for(purpose),
+        hierarchy=_load_hierarchy(args.role),
+        telemetry=telemetry,
     )
     result = checker.check(case_trail)
     if result.compliant:
         status = "compliant (open)" if result.may_continue else "compliant (complete)"
         print(f"case {args.case} [{purpose}]: {status}, "
               f"{result.trail_length} entries replayed")
+        _emit_telemetry(args, telemetry)
         return EXIT_OK
     entry = result.failed_entry
     print(
@@ -168,17 +263,36 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.verbose:
         for step in result.steps:
             print(f"  {step}")
+    _emit_telemetry(args, telemetry)
     return EXIT_INFRINGEMENT
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
     registry = _load_registry(args.process)
     trail = _load_trail(args.trail)
+    telemetry = _telemetry_from_args(args)
     auditor = PurposeControlAuditor(
-        registry, hierarchy=_load_hierarchy(args.role)
+        registry, hierarchy=_load_hierarchy(args.role), telemetry=telemetry
     )
     report = auditor.audit(trail)
     print(report.summary())
+    _emit_telemetry(args, telemetry)
+    return EXIT_OK if report.compliant else EXIT_INFRINGEMENT
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Audit the trail with telemetry forced on; print the human summary."""
+    registry = _load_registry(args.process)
+    trail = _load_trail(args.trail)
+    telemetry = _telemetry_from_args(args, force=True)
+    auditor = PurposeControlAuditor(
+        registry, hierarchy=_load_hierarchy(args.role), telemetry=telemetry
+    )
+    report = auditor.audit(trail)
+    print(report.summary())
+    print()
+    print(format_summary(telemetry.registry))
+    _emit_telemetry(args, telemetry)
     return EXIT_OK if report.compliant else EXIT_INFRINGEMENT
 
 
@@ -186,6 +300,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.audit.generator import TrailGenerator
 
     registry = _load_registry(args.process)
+    telemetry = _telemetry_from_args(args)
+    m_cases = telemetry.registry.counter(
+        "cases_generated_total", "synthetic cases generated, by purpose"
+    )
+    m_entries = telemetry.registry.counter(
+        "entries_generated_total", "synthetic log entries generated, by purpose"
+    )
     purposes = sorted(registry.purposes())
     entries = []
     for purpose in purposes:
@@ -193,11 +314,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         prefix = registry.case_prefix_of(purpose)
         users = {role: [(f"user-{role}", role)] for role in encoded.roles}
         generator = TrailGenerator(encoded, users_by_role=users, seed=args.seed)
-        for index in range(1, args.cases + 1):
-            generated = generator.generate_case(
-                f"{prefix}-{index}", f"Subject{index}", min_steps=2
-            )
-            entries.extend(generated.trail)
+        with telemetry.tracer.span("generate", purpose=purpose):
+            for index in range(1, args.cases + 1):
+                generated = generator.generate_case(
+                    f"{prefix}-{index}", f"Subject{index}", min_steps=2
+                )
+                entries.extend(generated.trail)
+                m_cases.inc(purpose=purpose)
+                m_entries.inc(len(generated.trail), purpose=purpose)
     trail = AuditTrail(entries)
     document = export_xes(trail)
     if args.out == "-":
@@ -206,6 +330,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         Path(args.out).write_text(document)
         print(f"wrote {len(trail)} entries ({args.cases} case(s) per purpose) "
               f"to {args.out}")
+    _emit_telemetry(args, telemetry)
     return EXIT_OK
 
 
@@ -263,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="role specialization, e.g. Cardiologist:Physician (repeatable)",
     )
     check.add_argument("--verbose", action="store_true")
+    _add_telemetry_args(check)
     check.set_defaults(handler=_cmd_check)
 
     audit = commands.add_parser("audit", help="audit every case of a trail")
@@ -274,7 +400,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--role", action="append", metavar="CHILD:PARENT",
         help="role specialization, e.g. Cardiologist:Physician (repeatable)",
     )
+    _add_telemetry_args(audit)
     audit.set_defaults(handler=_cmd_audit)
+
+    stats = commands.add_parser(
+        "stats",
+        help="audit a trail and print a human-readable telemetry summary",
+    )
+    stats.add_argument(
+        "--process", action="append", required=True, metavar="PREFIX:FILE"
+    )
+    stats.add_argument("--trail", required=True)
+    stats.add_argument(
+        "--role", action="append", metavar="CHILD:PARENT",
+        help="role specialization, e.g. Cardiologist:Physician (repeatable)",
+    )
+    _add_telemetry_args(stats)
+    stats.set_defaults(handler=_cmd_stats)
 
     generate = commands.add_parser(
         "generate", help="generate a synthetic compliant trail (XES)"
@@ -285,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--cases", type=int, default=10)
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--out", default="-")
+    _add_telemetry_args(generate)
     generate.set_defaults(handler=_cmd_generate)
 
     demo = commands.add_parser("demo", help="run the paper's scenario")

@@ -32,7 +32,7 @@ from repro.core.configuration import Configuration
 from repro.core.explain import DeviationKind, Explanation, explain
 from repro.core.monitor import CaseState, MonitoredCase, OnlineMonitor
 from repro.core.naive import NaiveChecker, NaiveResult, Verdict
-from repro.core.parallel import audit_cases_parallel
+from repro.core.parallel import CaseVerdict, audit_cases_parallel
 from repro.core.temporal import (
     TemporalConstraints,
     TemporalViolation,
@@ -68,6 +68,7 @@ __all__ = [
     "TemporalViolation",
     "TemporalViolationKind",
     "audit_cases_parallel",
+    "CaseVerdict",
     "ComplianceChecker",
     "ComplianceResult",
     "ComplianceSession",

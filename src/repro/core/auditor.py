@@ -20,6 +20,7 @@ Two properties of the paper's Section 7 are visible in the API:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from datetime import datetime
 from enum import Enum
@@ -30,6 +31,12 @@ from repro.core.compliance import ComplianceChecker, ComplianceResult
 from repro.core.severity import SeverityAssessment, SeverityModel
 from repro.core.temporal import TemporalConstraints
 from repro.errors import UnknownPurposeError
+from repro.obs import (
+    CASE_AUDITED,
+    INFRINGEMENT_RAISED,
+    NULL_TELEMETRY,
+    Telemetry,
+)
 from repro.policy.engine import PolicyDecisionPoint
 from repro.policy.hierarchy import RoleHierarchy
 from repro.policy.model import ObjectRef
@@ -136,10 +143,13 @@ class PurposeControlAuditor:
         max_silent_states: int = 50_000,
         temporal: "dict[str, TemporalConstraints] | None" = None,
         now: "datetime | None" = None,
+        telemetry: Telemetry | None = None,
     ):
         """``temporal`` maps purpose names to their temporal constraints;
         ``now`` is the audit time used to time out still-open cases
-        (defaults to never timing out open cases)."""
+        (defaults to never timing out open cases).  ``telemetry``
+        (default: disabled) instruments the whole pipeline below this
+        auditor — see :mod:`repro.obs` and ``docs/observability.md``."""
         self._registry = registry
         self._hierarchy = hierarchy
         self._pdp = pdp
@@ -148,6 +158,17 @@ class PurposeControlAuditor:
         self._temporal = dict(temporal or {})
         self._now = now
         self._checkers: dict[str, ComplianceChecker] = {}
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = tel
+        self._m_cases = tel.registry.counter(
+            "cases_audited_total", "process instances audited"
+        )
+        self._m_infringements = tel.registry.counter(
+            "infringements_total", "infringements raised, by kind"
+        )
+        self._m_case_seconds = tel.registry.histogram(
+            "audit_case_seconds", "wall time per audited case"
+        )
 
     # -- checker cache -----------------------------------------------------
     def checker_for(self, purpose: str) -> ComplianceChecker:
@@ -158,6 +179,7 @@ class PurposeControlAuditor:
                 self._registry.encoded_for(purpose),
                 hierarchy=self._hierarchy,
                 max_silent_states=self._max_silent_states,
+                telemetry=self._tel,
             )
             self._checkers[purpose] = checker
         return checker
@@ -165,6 +187,33 @@ class PurposeControlAuditor:
     # -- auditing ------------------------------------------------------------
     def audit_case(self, case: str, case_trail: AuditTrail) -> CaseAuditResult:
         """Audit one process instance (Algorithm 1 plus the policy check)."""
+        started = time.perf_counter() if self._tel.enabled else 0.0
+        with self._tel.tracer.span("audit_case", case=case):
+            result = self._audit_case(case, case_trail)
+        self._m_cases.inc()
+        for infringement in result.infringements:
+            self._m_infringements.inc(kind=str(infringement.kind))
+            self._tel.events.emit(
+                INFRINGEMENT_RAISED,
+                case=case,
+                kind=str(infringement.kind),
+                detail=infringement.detail,
+            )
+        if self._tel.enabled:
+            duration = time.perf_counter() - started
+            self._m_case_seconds.observe(duration)
+            self._tel.events.emit(
+                CASE_AUDITED,
+                case=case,
+                purpose=result.purpose,
+                outcome="compliant" if result.compliant else "infringing",
+                entries=len(case_trail),
+                infringements=len(result.infringements),
+                duration_s=round(duration, 6),
+            )
+        return result
+
+    def _audit_case(self, case: str, case_trail: AuditTrail) -> CaseAuditResult:
         try:
             purpose = self._registry.purpose_of_case(case)
         except UnknownPurposeError as error:
@@ -222,8 +271,9 @@ class PurposeControlAuditor:
     def audit(self, trail: AuditTrail) -> AuditReport:
         """Audit every case appearing in *trail*."""
         report = AuditReport()
-        for case in trail.cases():
-            report.cases[case] = self.audit_case(case, trail.for_case(case))
+        with self._tel.tracer.span("audit", entries=len(trail)):
+            for case in trail.cases():
+                report.cases[case] = self.audit_case(case, trail.for_case(case))
         return report
 
     def audit_object(self, trail: AuditTrail, obj: ObjectRef) -> AuditReport:

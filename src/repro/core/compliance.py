@@ -26,6 +26,7 @@ mentions.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -35,6 +36,8 @@ from repro.core.configuration import Configuration
 from repro.core.observables import ErrorEvent, Observables, TaskEvent
 from repro.core.weaknext import WeakNextEngine
 from repro.errors import ReproError
+from repro.obs import ENTRY_REPLAYED, FRONTIER_GROWN, NULL_TELEMETRY, Telemetry
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 from repro.policy.hierarchy import RoleHierarchy
 
 
@@ -109,6 +112,7 @@ class ComplianceSession:
         initial: Configuration,
         max_frontier: int = 10_000,
         dedupe_frontier: bool = True,
+        telemetry: Telemetry | None = None,
     ):
         self._engine = engine
         self._frontier: list[Configuration] = [initial]
@@ -118,6 +122,19 @@ class ComplianceSession:
         self._failed: Optional[tuple[int, LogEntry]] = None
         self._count = 0
         self._created = 1
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = tel
+        self._m_entries = tel.registry.counter(
+            "replay_entries_total", "log entries replayed, by outcome"
+        )
+        self._m_frontier = tel.registry.histogram(
+            "replay_frontier_size",
+            "configuration frontier size after each replay step",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_seconds = tel.registry.histogram(
+            "replay_seconds", "wall time per replayed log entry"
+        )
 
     # -- state -----------------------------------------------------------
     @property
@@ -149,7 +166,10 @@ class ComplianceSession:
         self._count += 1
         if self._failed is not None:
             self._steps.append(ReplayStep(index, entry, REJECTED, 0))
+            self._m_entries.inc(outcome=REJECTED)
             return False
+        started = time.perf_counter() if self._tel.enabled else 0.0
+        previous_size = len(self._frontier)
 
         observables = self._engine.observables
         next_frontier: list[Configuration] = []
@@ -190,6 +210,7 @@ class ComplianceSession:
         if not next_frontier:
             self._failed = (index, entry)
             self._steps.append(ReplayStep(index, entry, REJECTED, 0))
+            self._record_step(index, entry, REJECTED, 0, previous_size, started)
             return False
         if len(next_frontier) > self._max_frontier:
             raise FrontierExplosionError(
@@ -200,7 +221,45 @@ class ComplianceSession:
         self._steps.append(
             ReplayStep(index, entry, outcome, len(next_frontier), tuple(events))
         )
+        self._record_step(
+            index, entry, outcome, len(next_frontier), previous_size, started
+        )
         return True
+
+    def _record_step(
+        self,
+        index: int,
+        entry: LogEntry,
+        outcome: str,
+        frontier_size: int,
+        previous_size: int,
+        started: float,
+    ) -> None:
+        self._m_entries.inc(outcome=outcome)
+        if not self._tel.enabled:
+            return
+        duration = time.perf_counter() - started
+        self._m_frontier.observe(frontier_size)
+        self._m_seconds.observe(duration)
+        self._tel.events.emit(
+            ENTRY_REPLAYED,
+            index=index,
+            case=entry.case,
+            role=entry.role,
+            task=entry.task,
+            status=str(entry.status),
+            outcome=outcome,
+            frontier=frontier_size,
+            duration_s=round(duration, 6),
+        )
+        if frontier_size > previous_size:
+            self._tel.events.emit(
+                FRONTIER_GROWN,
+                index=index,
+                case=entry.case,
+                size=frontier_size,
+                previous=previous_size,
+            )
 
     def result(self) -> ComplianceResult:
         failed_index, failed_entry = self._failed or (None, None)
@@ -239,19 +298,24 @@ class ComplianceChecker:
         max_frontier: int = 10_000,
         dedupe_frontier: bool = True,
         silent_tasks: frozenset[str] = frozenset(),
+        telemetry: Telemetry | None = None,
     ):
         """``silent_tasks`` marks tasks the IT systems cannot log; their
         execution becomes unobservable so trails missing them still
         replay (Section 7's "silent activities").  ``dedupe_frontier=False``
         disables the configuration deduplication of design decision D2 —
         exists for the ablation benchmark only; leave it on in production
-        use."""
+        use.  ``telemetry`` (default: disabled) instruments the engine and
+        every session this checker creates — see :mod:`repro.obs`."""
         self._encoded = encoded
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._observables = Observables.from_encoded(
             encoded, hierarchy, silent_tasks=frozenset(silent_tasks)
         )
         self._engine = WeakNextEngine(
-            self._observables, max_silent_states=max_silent_states
+            self._observables,
+            max_silent_states=max_silent_states,
+            telemetry=self._tel,
         )
         self._initial = Configuration.initial(self._engine, encoded.term)
         self._max_frontier = max_frontier
@@ -276,11 +340,13 @@ class ComplianceChecker:
             self._initial,
             max_frontier=self._max_frontier,
             dedupe_frontier=self._dedupe,
+            telemetry=self._tel,
         )
 
     def check(self, trail: AuditTrail | Iterable[LogEntry]) -> ComplianceResult:
         """Run Algorithm 1 on a (case-projected) trail."""
         session = self.session()
-        for entry in trail:
-            session.feed(entry)
+        with self._tel.tracer.span("replay", purpose=self.purpose):
+            for entry in trail:
+                session.feed(entry)
         return session.result()

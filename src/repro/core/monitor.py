@@ -19,6 +19,7 @@ operational check.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from datetime import datetime
 from enum import Enum
@@ -29,6 +30,12 @@ from repro.core.auditor import Infringement, InfringementKind
 from repro.core.compliance import ComplianceChecker, ComplianceSession
 from repro.core.temporal import TemporalConstraints, TemporalViolation
 from repro.errors import UnknownPurposeError
+from repro.obs import (
+    INFRINGEMENT_RAISED,
+    MONITOR_SWEEP,
+    NULL_TELEMETRY,
+    Telemetry,
+)
 from repro.policy.hierarchy import RoleHierarchy
 from repro.policy.registry import ProcessRegistry
 
@@ -70,24 +77,47 @@ class OnlineMonitor:
         registry: ProcessRegistry,
         hierarchy: RoleHierarchy | None = None,
         temporal: dict[str, TemporalConstraints] | None = None,
+        telemetry: Telemetry | None = None,
     ):
-        """``temporal`` maps purpose names to their temporal constraints."""
+        """``temporal`` maps purpose names to their temporal constraints;
+        ``telemetry`` (default: disabled) instruments the monitor and its
+        checkers — see :mod:`repro.obs`."""
         self._registry = registry
         self._hierarchy = hierarchy
         self._temporal = dict(temporal or {})
         self._checkers: dict[str, ComplianceChecker] = {}
         self._cases: dict[str, MonitoredCase] = {}
         self._infringements: list[Infringement] = []
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = tel
+        self._m_entries = tel.registry.counter(
+            "monitor_entries_total", "log entries observed by the monitor"
+        )
+        self._m_cases = tel.registry.gauge(
+            "monitor_cases", "cases under observation, by state"
+        )
+        self._m_sweep_seconds = tel.registry.histogram(
+            "monitor_sweep_seconds", "wall time per temporal sweep"
+        )
 
     # -- internals --------------------------------------------------------
     def _checker_for(self, purpose: str) -> ComplianceChecker:
         checker = self._checkers.get(purpose)
         if checker is None:
             checker = ComplianceChecker(
-                self._registry.encoded_for(purpose), hierarchy=self._hierarchy
+                self._registry.encoded_for(purpose),
+                hierarchy=self._hierarchy,
+                telemetry=self._tel,
             )
             self._checkers[purpose] = checker
         return checker
+
+    def _transition(self, monitored: MonitoredCase, state: CaseState) -> None:
+        """Move a case to *state*, keeping the per-state gauges current."""
+        if monitored.state is not state:
+            self._m_cases.dec(state=monitored.state.value)
+            monitored.state = state
+            self._m_cases.inc(state=state.value)
 
     def _open_case(self, case: str) -> MonitoredCase:
         try:
@@ -95,18 +125,27 @@ class OnlineMonitor:
         except UnknownPurposeError as error:
             monitored = MonitoredCase(case, None, None, CaseState.INFRINGING)
             self._cases[case] = monitored
+            self._m_cases.inc(state=CaseState.INFRINGING.value)
             self._infringements.append(
                 Infringement(InfringementKind.UNKNOWN_PURPOSE, case, str(error))
+            )
+            self._tel.events.emit(
+                INFRINGEMENT_RAISED,
+                case=case,
+                kind=InfringementKind.UNKNOWN_PURPOSE.value,
+                detail=str(error),
             )
             return monitored
         session = self._checker_for(purpose).session()
         monitored = MonitoredCase(case, purpose, session)
         self._cases[case] = monitored
+        self._m_cases.inc(state=CaseState.OPEN.value)
         return monitored
 
     # -- the streaming API -----------------------------------------------
     def observe(self, entry: LogEntry) -> list[Infringement]:
         """Feed one log entry; returns the infringements it triggered."""
+        self._m_entries.inc()
         monitored = self._cases.get(entry.case)
         raised: list[Infringement] = []
         if monitored is None:
@@ -123,7 +162,7 @@ class OnlineMonitor:
         assert monitored.session is not None
         still_ok = monitored.session.feed(entry)
         if not still_ok:
-            monitored.state = CaseState.INFRINGING
+            self._transition(monitored, CaseState.INFRINGING)
             infringement = Infringement(
                 InfringementKind.INVALID_EXECUTION,
                 entry.case,
@@ -134,10 +173,16 @@ class OnlineMonitor:
             )
             self._infringements.append(infringement)
             raised.append(infringement)
+            self._tel.events.emit(
+                INFRINGEMENT_RAISED,
+                case=entry.case,
+                kind=InfringementKind.INVALID_EXECUTION.value,
+                detail=infringement.detail,
+            )
         elif not any(conf.next for conf in monitored.session.frontier):
-            monitored.state = CaseState.COMPLETED
+            self._transition(monitored, CaseState.COMPLETED)
         else:
-            monitored.state = CaseState.OPEN
+            self._transition(monitored, CaseState.OPEN)
         return raised
 
     def sweep(self, now: datetime) -> list[TemporalViolation]:
@@ -146,7 +191,9 @@ class OnlineMonitor:
         Call periodically (e.g. from a scheduler).  A case flagged here
         transitions to TIMED_OUT and is reported once.
         """
+        started = time.perf_counter() if self._tel.enabled else 0.0
         raised: list[TemporalViolation] = []
+        checked = 0
         for monitored in self._cases.values():
             if monitored.state is not CaseState.OPEN or monitored.purpose is None:
                 continue
@@ -155,6 +202,7 @@ class OnlineMonitor:
                 continue
             from repro.audit.model import AuditTrail
 
+            checked += 1
             violations = constraints.check(
                 monitored.case,
                 AuditTrail(monitored.entries),
@@ -162,8 +210,18 @@ class OnlineMonitor:
                 case_open=True,
             )
             if violations:
-                monitored.state = CaseState.TIMED_OUT
+                self._transition(monitored, CaseState.TIMED_OUT)
                 raised.extend(violations)
+        if self._tel.enabled:
+            duration = time.perf_counter() - started
+            self._m_sweep_seconds.observe(duration)
+            self._tel.events.emit(
+                MONITOR_SWEEP,
+                checked=checked,
+                violations=len(raised),
+                cases=len(self._cases),
+                duration_s=round(duration, 6),
+            )
         return raised
 
     # -- inspection ---------------------------------------------------------

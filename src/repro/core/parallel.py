@@ -7,60 +7,161 @@ parallelization".  This module realizes that claim with a
 processes; each worker builds (once) the compliance checker for every
 purpose it encounters and replays its share of cases.
 
-The functions deliberately exchange only plain data (case ids and entry
-lists) with the workers; the expensive WeakNext caches live and grow
-inside each worker.
+The functions deliberately exchange only plain data (case ids, entry
+lists, and small per-case stat dicts) with the workers; the expensive
+WeakNext caches live and grow inside each worker.  Checker construction
+forwards the caller's role hierarchy and silent-state bound, so parallel
+verdicts match the serial :class:`repro.core.auditor.PurposeControlAuditor`
+exactly.
+
+Verdicts are tri-state (:data:`CaseVerdict`): ``True`` for a compliant
+replay, ``False`` for an invalid execution, and ``None`` when the case id
+does not resolve to any registered purpose — mirroring
+``InfringementKind.UNKNOWN_PURPOSE``, which is *not* the same finding as
+a non-compliant trail.
+
+With ``telemetry`` enabled, workers count replay outcomes per case and
+hand them back with each verdict; the parent merges them into its own
+registry under the same metric names the serial pipeline uses
+(``replay_entries_total{outcome=...}``, ``cases_audited_total``,
+``infringements_total{kind=...}``) plus a ``parallel_workers`` gauge.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import Optional
 
 from repro.audit.model import AuditTrail, LogEntry
 from repro.bpmn.serialize import process_from_dict, process_to_dict
 from repro.core.compliance import ComplianceChecker
+from repro.obs import NULL_TELEMETRY, Telemetry, WORKER_INIT
+from repro.policy.hierarchy import RoleHierarchy
 from repro.policy.registry import ProcessRegistry
+
+#: Per-case verdict: True = compliant, False = invalid execution,
+#: None = the case prefix resolves to no registered purpose
+#: (the parallel analogue of ``InfringementKind.UNKNOWN_PURPOSE``).
+CaseVerdict = Optional[bool]
 
 # Worker-process state, installed by _initialize_worker.
 _WORKER_CHECKERS: dict[str, ComplianceChecker] = {}
 _WORKER_PREFIXES: dict[str, str] = {}
+_WORKER_OPTIONS: dict = {}
 
 
 def _initialize_worker(
-    process_documents: dict[str, dict], prefixes: dict[str, str]
+    process_documents: dict[str, dict],
+    prefixes: dict[str, str],
+    hierarchy_map: Optional[dict[str, list[str]]] = None,
+    max_silent_states: int = 50_000,
+    collect_stats: bool = False,
 ) -> None:
     from repro.bpmn.encode import encode
 
     _WORKER_CHECKERS.clear()
     _WORKER_PREFIXES.clear()
+    _WORKER_OPTIONS.clear()
     _WORKER_PREFIXES.update(prefixes)
+    _WORKER_OPTIONS["collect"] = collect_stats
+    hierarchy = (
+        RoleHierarchy.from_parent_map(hierarchy_map)
+        if hierarchy_map is not None
+        else None
+    )
     for purpose, document in process_documents.items():
         process = process_from_dict(document)
-        _WORKER_CHECKERS[purpose] = ComplianceChecker(encode(process))
+        _WORKER_CHECKERS[purpose] = ComplianceChecker(
+            encode(process),
+            hierarchy=hierarchy,
+            max_silent_states=max_silent_states,
+        )
 
 
-def _audit_one(job: tuple[str, list[LogEntry]]) -> tuple[str, bool, Optional[int]]:
+def _audit_one(
+    job: tuple[str, list[LogEntry]]
+) -> tuple[str, CaseVerdict, Optional[int], Optional[dict]]:
+    """Replay one case in the worker.
+
+    Returns ``(case, verdict, failed_index, stats)``; *stats* is a small
+    plain-data dict (worker pid, replay outcome counts) when the parent
+    asked for telemetry, else ``None``.
+    """
     case, entries = job
     prefix = case.partition("-")[0]
     purpose = _WORKER_PREFIXES.get(prefix)
+    collect = _WORKER_OPTIONS.get("collect", False)
     if purpose is None or purpose not in _WORKER_CHECKERS:
-        return case, False, None
+        stats = {"pid": os.getpid(), "outcomes": {}} if collect else None
+        return case, None, None, stats
     result = _WORKER_CHECKERS[purpose].check(entries)
-    return case, result.compliant, result.failed_index
+    stats = None
+    if collect:
+        outcomes: dict[str, int] = {}
+        for step in result.steps:
+            outcomes[step.outcome] = outcomes.get(step.outcome, 0) + 1
+        stats = {"pid": os.getpid(), "outcomes": outcomes}
+    return case, result.compliant, result.failed_index, stats
+
+
+def _merge_stats(
+    telemetry: Telemetry,
+    results: list[tuple[str, CaseVerdict, Optional[int], Optional[dict]]],
+    purposes: list[str],
+) -> None:
+    """Fold worker-reported counters into the parent's registry, under
+    the same metric names the serial pipeline uses."""
+    registry = telemetry.registry
+    m_entries = registry.counter(
+        "replay_entries_total", "log entries replayed, by outcome"
+    )
+    m_cases = registry.counter("cases_audited_total", "process instances audited")
+    m_infringements = registry.counter(
+        "infringements_total", "infringements raised, by kind"
+    )
+    workers_seen: set[int] = set()
+    for _case, verdict, _failed, stats in results:
+        m_cases.inc()
+        if verdict is None:
+            m_infringements.inc(kind="unknown-purpose")
+        elif verdict is False:
+            m_infringements.inc(kind="invalid-execution")
+        if stats is None:
+            continue
+        pid = stats["pid"]
+        if pid not in workers_seen:
+            workers_seen.add(pid)
+            telemetry.events.emit(WORKER_INIT, pid=pid, purposes=purposes)
+        for outcome, count in stats["outcomes"].items():
+            m_entries.inc(count, outcome=outcome)
+    registry.gauge(
+        "parallel_workers", "distinct worker processes that audited cases"
+    ).set(len(workers_seen))
 
 
 def audit_cases_parallel(
     registry: ProcessRegistry,
     trail: AuditTrail,
     workers: int = 2,
-) -> dict[str, bool]:
+    hierarchy: RoleHierarchy | None = None,
+    max_silent_states: int = 50_000,
+    telemetry: Telemetry | None = None,
+) -> dict[str, CaseVerdict]:
     """Audit every case of *trail* across *workers* processes.
 
-    Returns the case -> compliant verdict map, identical to what
+    Returns the case -> :data:`CaseVerdict` map.  ``True``/``False``
+    verdicts are identical to what
     :class:`repro.core.auditor.PurposeControlAuditor` computes serially
-    (without the policy check — this is the replay-scaling primitive).
+    (without the policy check — this is the replay-scaling primitive);
+    cases whose prefix matches no registered purpose come back as
+    ``None`` rather than being conflated with non-compliance.
+
+    ``hierarchy`` and ``max_silent_states`` are forwarded to every
+    worker's checkers so role-specialization matches and the
+    silent-state guard behave exactly as in the serial path.
     """
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     jobs = [(case, trail.for_case(case).entries) for case in trail.cases()]
     documents = {
         purpose: process_to_dict(registry.process_for(purpose))
@@ -72,14 +173,24 @@ def audit_cases_parallel(
         for prefix in [registry.case_prefix_of(purpose)]
         if prefix is not None
     }
+    hierarchy_map = hierarchy.to_parent_map() if hierarchy is not None else None
+    initargs = (
+        documents,
+        prefixes,
+        hierarchy_map,
+        max_silent_states,
+        tel.enabled,
+    )
     if workers <= 1:
-        _initialize_worker(documents, prefixes)
+        _initialize_worker(*initargs)
         results = [_audit_one(job) for job in jobs]
     else:
         with multiprocessing.Pool(
             processes=workers,
             initializer=_initialize_worker,
-            initargs=(documents, prefixes),
+            initargs=initargs,
         ) as pool:
             results = pool.map(_audit_one, jobs, chunksize=max(1, len(jobs) // (workers * 4)))
-    return {case: compliant for case, compliant, _ in results}
+    if tel.enabled:
+        _merge_stats(tel, results, sorted(registry.purposes()))
+    return {case: verdict for case, verdict, _failed, _stats in results}

@@ -21,6 +21,7 @@ livelock fails loudly instead of hanging.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
 from repro.bpmn.encode import EncodedProcess
@@ -29,6 +30,8 @@ from repro.cows.congruence import normalize
 from repro.cows.lts import LTS
 from repro.cows.terms import Nil, Term, active_tasks
 from repro.errors import NotFinitelyObservableError
+from repro.obs import NULL_TELEMETRY, Telemetry, WEAKNEXT_COMPUTED
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 
 #: One WeakNext result: the observable event taken, the state reached,
 #: and the (role, task) pairs active in that state.
@@ -49,6 +52,7 @@ class WeakNextEngine:
         self,
         observables: Observables,
         max_silent_states: int = 50_000,
+        telemetry: Telemetry | None = None,
     ):
         self._observables = observables
         self._max_silent_states = max_silent_states
@@ -57,6 +61,24 @@ class WeakNextEngine:
         self._lts = LTS(initial=Nil(), closed=True)
         self._cache: dict[Term, tuple[NextState, ...]] = {}
         self._silent_states_explored = 0
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = tel
+        # Instruments are bound once here so the hot path pays a single
+        # attribute load + (possibly no-op) call per touch.
+        self._m_hits = tel.registry.counter(
+            "weaknext_cache_hits_total", "WeakNext frontiers served from memo"
+        )
+        self._m_misses = tel.registry.counter(
+            "weaknext_cache_misses_total", "WeakNext frontiers computed fresh"
+        )
+        self._m_silent = tel.registry.histogram(
+            "weaknext_silent_states",
+            "silent states closed over per fresh WeakNext computation",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_seconds = tel.registry.histogram(
+            "weaknext_seconds", "wall time per fresh WeakNext computation"
+        )
 
     @classmethod
     def for_encoded(
@@ -64,10 +86,12 @@ class WeakNextEngine:
         encoded: EncodedProcess,
         observables: Observables | None = None,
         max_silent_states: int = 50_000,
+        telemetry: Telemetry | None = None,
     ) -> "WeakNextEngine":
         return cls(
             observables or Observables.from_encoded(encoded),
             max_silent_states=max_silent_states,
+            telemetry=telemetry,
         )
 
     @property
@@ -83,7 +107,10 @@ class WeakNextEngine:
         """``WeakNext(state)`` with memoization.  *state* must be canonical."""
         cached = self._cache.get(state)
         if cached is not None:
+            self._m_hits.inc()
             return cached
+        self._m_misses.inc()
+        started = time.perf_counter() if self._tel.enabled else 0.0
 
         results: list[NextState] = []
         seen_results: set[tuple[ObservableEvent, Term]] = set()
@@ -114,6 +141,17 @@ class WeakNextEngine:
         self._silent_states_explored += len(visited)
         computed = tuple(results)
         self._cache[state] = computed
+        if self._tel.enabled:
+            duration = time.perf_counter() - started
+            self._m_silent.observe(len(visited))
+            self._m_seconds.observe(duration)
+            self._tel.events.emit(
+                WEAKNEXT_COMPUTED,
+                silent_states=len(visited),
+                results=len(computed),
+                cache_size=len(self._cache),
+                duration_s=round(duration, 6),
+            )
         return computed
 
     def normalize(self, term: Term) -> Term:

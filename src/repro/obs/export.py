@@ -1,0 +1,158 @@
+"""Exporters for the metrics registry.
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket`` series with
+  ``le`` labels, ``_sum``/``_count`` for histograms);
+* :func:`to_json` — a snapshot dictionary (stable shape, documented in
+  ``docs/observability.md``) for ``repro ... --metrics``;
+* :func:`format_summary` — the human-readable table behind
+  ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import Counter, Gauge, Histogram, LabelKey
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+
+def _prom_labels(key: LabelKey, extra: str = "") -> str:
+    parts = [f'{name}="{_escape(value)}"' for name, value in key]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: "MetricsRegistry") -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for instrument in registry.collect():
+        name = instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {instrument.help}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            samples = instrument.samples() or {(): 0.0}
+            for key, value in sorted(samples.items()):
+                lines.append(f"{name}{_prom_labels(key)} {_format_value(value)}")
+        elif isinstance(instrument, Histogram):
+            for key, data in sorted(instrument.samples().items()):
+                cumulative = 0
+                for bound, count in zip(
+                    instrument.buckets, data["buckets"]
+                ):
+                    cumulative += count
+                    label = _prom_labels(key, f'le="{_format_value(bound)}"')
+                    lines.append(f"{name}_bucket{label} {cumulative}")
+                cumulative += data["buckets"][-1]
+                label = _prom_labels(key, 'le="+Inf"')
+                lines.append(f"{name}_bucket{label} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_prom_labels(key)} {repr(data['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(key)} {data['count']}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: "MetricsRegistry") -> dict:
+    """A JSON-serializable snapshot of every instrument.
+
+    Shape::
+
+        {"metric_name": {
+            "type": "counter" | "gauge" | "histogram",
+            "help": "...",
+            "values": [{"labels": {...}, "value": 3}, ...]          # counter/gauge
+            "series": [{"labels": {...}, "count": n, "sum": s,      # histogram
+                        "p50": ..., "p95": ..., "max": ...,
+                        "buckets": {"0.001": 2, ..., "+Inf": 0}}, ...]
+        }}
+    """
+    snapshot: dict = {}
+    for instrument in registry.collect():
+        entry: dict = {"type": instrument.kind, "help": instrument.help}
+        if isinstance(instrument, (Counter, Gauge)):
+            entry["values"] = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(instrument.samples().items())
+            ]
+        elif isinstance(instrument, Histogram):
+            series = []
+            for key, data in sorted(instrument.samples().items()):
+                labels = dict(key)
+                summary = instrument.summary(**labels)
+                buckets = {
+                    _format_value(bound): count
+                    for bound, count in zip(instrument.buckets, data["buckets"])
+                }
+                buckets["+Inf"] = data["buckets"][-1]
+                series.append(
+                    {
+                        "labels": labels,
+                        "count": data["count"],
+                        "sum": round(data["sum"], 9),
+                        "p50": round(summary["p50"], 9),
+                        "p95": round(summary["p95"], 9),
+                        "max": round(data["max"], 9),
+                        "buckets": buckets,
+                    }
+                )
+            entry["series"] = series
+        snapshot[instrument.name] = entry
+    return snapshot
+
+
+def dumps_json(registry: "MetricsRegistry", indent: int = 2) -> str:
+    return json.dumps(to_json(registry), indent=indent, sort_keys=True)
+
+
+def format_summary(registry: "MetricsRegistry") -> str:
+    """A human-readable telemetry digest (the body of ``repro stats``)."""
+    lines: list[str] = ["telemetry summary:"]
+    instruments = registry.collect()
+    if not instruments:
+        return "telemetry summary: (no metrics recorded)"
+    for instrument in instruments:
+        if isinstance(instrument, (Counter, Gauge)):
+            samples = instrument.samples()
+            if not samples:
+                continue
+            if list(samples) == [()]:
+                lines.append(
+                    f"  {instrument.name:<34} {_format_value(samples[()])}"
+                )
+            else:
+                lines.append(f"  {instrument.name}")
+                for key, value in sorted(samples.items()):
+                    label = ", ".join(f"{k}={v}" for k, v in key) or "(all)"
+                    lines.append(f"    {label:<32} {_format_value(value)}")
+        elif isinstance(instrument, Histogram):
+            for key, _data in sorted(instrument.samples().items()):
+                labels = dict(key)
+                s = instrument.summary(**labels)
+                label = ", ".join(f"{k}={v}" for k, v in key)
+                suffix = f"{{{label}}}" if label else ""
+                lines.append(
+                    f"  {instrument.name + suffix:<34} "
+                    f"count={s['count']} sum={s['sum']:.4f} "
+                    f"p50={s['p50']:.4f} p95={s['p95']:.4f} max={s['max']:.4f}"
+                )
+    return "\n".join(lines)

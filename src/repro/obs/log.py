@@ -1,0 +1,169 @@
+"""Structured audit logging: JSON-lines events over stdlib ``logging``.
+
+Every telemetry event of the purpose-control pipeline is one JSON object
+per line, with a **stable vocabulary** so downstream collectors (and the
+regulator-facing transparency tooling Kiesel & Grünewald call for) can
+key on event names without parsing prose:
+
+==================  =====================================================
+event               emitted when
+==================  =====================================================
+``case.audited``    the auditor finished one case (fields: case, purpose,
+                    outcome, entries, infringements, duration_s)
+``entry.replayed``  Algorithm 1 replayed one log entry (fields: index,
+                    role, task, status, outcome, frontier, duration_s)
+``weaknext.computed``  the WeakNext engine computed (not cache-hit) one
+                    frontier (fields: silent_states, results, duration_s)
+``frontier.grown``  a replay step increased the configuration frontier
+                    (fields: index, size, previous)
+``infringement.raised``  any infringement was recorded (fields: case,
+                    kind, detail)
+``monitor.sweep``   the online monitor swept temporal constraints
+                    (fields: checked, violations, duration_s)
+``worker.init``     a parallel-audit worker initialized its checkers
+                    (fields: pid, purposes)
+==================  =====================================================
+
+The logger is plain :mod:`logging` under the hood (logger name
+``repro.obs``), so applications can route events through their existing
+handler tree; :func:`json_lines_logger` is the batteries-included
+constructor writing straight to a stream or file.  Like the metrics
+registry, the disabled default (:data:`NULL_EVENTS`) is a shared no-op.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import logging
+import time
+from pathlib import Path
+from typing import Optional, TextIO
+
+# -- the event vocabulary ----------------------------------------------------
+CASE_AUDITED = "case.audited"
+ENTRY_REPLAYED = "entry.replayed"
+WEAKNEXT_COMPUTED = "weaknext.computed"
+FRONTIER_GROWN = "frontier.grown"
+INFRINGEMENT_RAISED = "infringement.raised"
+MONITOR_SWEEP = "monitor.sweep"
+WORKER_INIT = "worker.init"
+
+EVENT_VOCABULARY = frozenset(
+    {
+        CASE_AUDITED,
+        ENTRY_REPLAYED,
+        WEAKNEXT_COMPUTED,
+        FRONTIER_GROWN,
+        INFRINGEMENT_RAISED,
+        MONITOR_SWEEP,
+        WORKER_INIT,
+    }
+)
+
+LOGGER_NAME = "repro.obs"
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Formats a record carrying ``record.event``/``record.fields`` as JSON."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "event": getattr(record, "event", record.getMessage()),
+        }
+        payload.update(getattr(record, "fields", {}))
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
+class EventLogger:
+    """Emits vocabulary events as structured records on a stdlib logger."""
+
+    enabled = True
+
+    def __init__(self, logger: Optional[logging.Logger] = None):
+        self._logger = logger or logging.getLogger(LOGGER_NAME)
+
+    @property
+    def logger(self) -> logging.Logger:
+        return self._logger
+
+    def emit(self, event: str, **fields) -> None:
+        """Log one structured event (unknown names are allowed but the
+        stable vocabulary above is what collectors should rely on)."""
+        self._logger.info(
+            event, extra={"event": event, "fields": fields}
+        )
+
+
+class NullEventLogger:
+    """The disabled default: ``emit`` is an empty method."""
+
+    enabled = False
+    logger = None
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+
+NULL_EVENTS = NullEventLogger()
+
+
+def json_lines_logger(
+    destination: "TextIO | str | Path",
+    *,
+    name: str = LOGGER_NAME,
+) -> EventLogger:
+    """An :class:`EventLogger` writing JSON lines to a stream or file path.
+
+    The underlying stdlib logger is configured with exactly one handler
+    for *destination* (propagation is disabled so events do not leak into
+    the application's root handlers twice).
+    """
+    if isinstance(destination, (str, Path)):
+        handler: logging.Handler = logging.FileHandler(
+            str(destination), encoding="utf-8"
+        )
+    else:
+        handler = logging.StreamHandler(destination)
+    handler.setFormatter(JsonLinesFormatter())
+    logger = logging.getLogger(name)
+    logger.setLevel(logging.INFO)
+    logger.propagate = False
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+        existing.close()
+    logger.addHandler(handler)
+    return EventLogger(logger)
+
+
+class MemoryEventLog:
+    """An in-memory JSONL sink, mainly for tests and ``repro stats``."""
+
+    _instances = itertools.count()
+
+    def __init__(self, name: Optional[str] = None):
+        # Unique logger name per instance: stdlib loggers are process-wide
+        # singletons, and two sinks sharing one would steal each other's
+        # handler.
+        if name is None:
+            name = f"{LOGGER_NAME}.memory{next(self._instances)}"
+        self._buffer = io.StringIO()
+        self.events = json_lines_logger(self._buffer, name=name)
+
+    def records(self) -> list[dict]:
+        """Every emitted event, parsed back from its JSON line."""
+        return [
+            json.loads(line)
+            for line in self._buffer.getvalue().splitlines()
+            if line.strip()
+        ]
+
+    def named(self, event: str) -> list[dict]:
+        return [r for r in self.records() if r.get("event") == event]
+
+
+def utcnow_s() -> float:
+    """Seconds since the epoch (separated out for test monkeypatching)."""
+    return time.time()

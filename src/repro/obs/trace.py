@@ -1,0 +1,182 @@
+"""Lightweight span tracing for replay forensics.
+
+``span("replay", case="HT-1")`` opens a timed span; spans nest via a
+per-thread stack, producing a timing *tree* per top-level operation —
+e.g. one ``audit`` span containing one ``replay`` span per case, each
+containing ``weaknext`` spans for the frontiers it had to compute.  The
+tree answers "where did the audit spend its time" without attaching a
+profiler to a production auditor.
+
+Exports:
+
+* :meth:`Tracer.to_json` — the nested tree, JSON-serializable;
+* :meth:`Tracer.to_chrome_trace` — a flat list of complete ("ph": "X")
+  events loadable in ``chrome://tracing`` / Perfetto.
+
+As everywhere in :mod:`repro.obs`, the disabled default is a shared
+no-op (:data:`NULL_TRACER`): its ``span()`` returns a reusable null
+context manager and never reads the clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One timed operation; ``children`` are the spans opened inside it."""
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    start: float = 0.0  # perf_counter seconds, tracer-relative
+    duration: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "start_s": round(self.start, 6),
+            "duration_s": round(self.duration, 6),
+        }
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Collects span trees; thread-safe via per-thread span stacks."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._local = threading.local()
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a span: ``with tracer.span("replay", case=case):``."""
+        return _SpanContext(self, Span(name=name, attrs=attrs))
+
+    def _push(self, span: Span) -> None:
+        span.start = time.perf_counter() - self._epoch
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.duration = (time.perf_counter() - self._epoch) - span.start
+        stack = self._stack()
+        assert stack and stack[-1] is span, "unbalanced span nesting"
+        stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    # -- export ------------------------------------------------------------
+    @property
+    def roots(self) -> list[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def to_json(self) -> list[dict]:
+        """The finished span trees as nested dictionaries."""
+        return [root.to_dict() for root in self.roots]
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Flat Chrome-trace ("ph": "X") events; microsecond timestamps."""
+        events: list[dict] = []
+        pid = os.getpid()
+        for root in self.roots:
+            for span in root.walk():
+                events.append(
+                    {
+                        "name": span.name,
+                        "ph": "X",
+                        "ts": round(span.start * 1e6, 1),
+                        "dur": round(span.duration * 1e6, 1),
+                        "pid": pid,
+                        "tid": 0,
+                        "args": span.attrs,
+                    }
+                )
+        return events
+
+    def dumps(self, format: str = "json") -> str:
+        if format == "chrome":
+            return json.dumps(self.to_chrome_trace(), default=str)
+        return json.dumps(self.to_json(), default=str, indent=2)
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled default: spans cost one method call, no clock reads."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    @property
+    def roots(self) -> list:
+        return []
+
+    def to_json(self) -> list:
+        return []
+
+    def to_chrome_trace(self) -> list:
+        return []
+
+    def dumps(self, format: str = "json") -> str:
+        return "[]"
+
+
+NULL_TRACER = NullTracer()

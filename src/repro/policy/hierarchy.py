@@ -90,3 +90,18 @@ class RoleHierarchy:
 
     def __contains__(self, role: str) -> bool:
         return role in self._parents
+
+    # -- serialization (e.g. shipping the hierarchy to worker processes) --
+    def to_parent_map(self) -> dict[str, list[str]]:
+        """A plain ``role -> sorted parents`` dict, JSON/pickle friendly."""
+        return {
+            role: sorted(parents) for role, parents in self._parents.items()
+        }
+
+    @classmethod
+    def from_parent_map(cls, parent_map: dict[str, list[str]]) -> "RoleHierarchy":
+        """Rebuild a hierarchy from :meth:`to_parent_map` output."""
+        hierarchy = cls()
+        for role, parents in parent_map.items():
+            hierarchy.add_role(role, *parents)
+        return hierarchy

@@ -3,10 +3,12 @@
 import pytest
 
 from repro.core.parallel import audit_cases_parallel
+from repro.obs import Telemetry
 from repro.scenarios import (
     hospital_day,
     paper_audit_trail,
     process_registry,
+    role_hierarchy,
 )
 
 
@@ -19,19 +21,40 @@ class TestSerialPath:
     def test_paper_trail_verdicts(self, registry):
         verdicts = audit_cases_parallel(registry, paper_audit_trail(), workers=1)
         assert verdicts["HT-1"] is True
-        assert verdicts["CT-1"] is False or verdicts["CT-1"] is True
         # without a hierarchy CT-1's Cardiologist cannot match Physician:
         assert verdicts["CT-1"] is False
         for case in ("HT-10", "HT-11", "HT-20", "HT-21", "HT-30"):
             assert verdicts[case] is False
 
-    def test_unknown_prefix_counts_as_non_compliant(self, registry):
+    def test_unknown_prefix_is_distinguishable_from_non_compliant(self, registry):
+        # An unknown case prefix mirrors InfringementKind.UNKNOWN_PURPOSE:
+        # the verdict is None, not the False of an invalid execution.
         from repro.audit import AuditTrail
         from dataclasses import replace
 
         entry = replace(paper_audit_trail()[0], case="ZZ-1")
         verdicts = audit_cases_parallel(registry, AuditTrail([entry]), workers=1)
-        assert verdicts == {"ZZ-1": False}
+        assert verdicts == {"ZZ-1": None}
+        assert verdicts["ZZ-1"] is not False
+
+    def test_hierarchy_is_forwarded_to_checkers(self, registry):
+        # With the Cardiologist:Physician specialization, CT-1's entries
+        # match the Physician pool — exactly as the serial auditor decides.
+        verdicts = audit_cases_parallel(
+            registry,
+            paper_audit_trail(),
+            workers=1,
+            hierarchy=role_hierarchy(),
+        )
+        assert verdicts["CT-1"] is True
+
+    def test_max_silent_states_is_forwarded(self, registry):
+        from repro.errors import NotFinitelyObservableError
+
+        with pytest.raises(NotFinitelyObservableError):
+            audit_cases_parallel(
+                registry, paper_audit_trail(), workers=1, max_silent_states=1
+            )
 
 
 class TestMultiprocessPath:
@@ -44,4 +67,52 @@ class TestMultiprocessPath:
     def test_every_case_gets_a_verdict(self, registry):
         workload = hospital_day(n_cases=7, violation_rate=0.0, seed=3)
         verdicts = audit_cases_parallel(registry, workload.trail, workers=2)
+        assert set(verdicts) == set(workload.trail.cases())
+
+    def test_hierarchy_forwarded_across_processes(self, registry):
+        verdicts = audit_cases_parallel(
+            registry,
+            paper_audit_trail(),
+            workers=2,
+            hierarchy=role_hierarchy(),
+        )
+        assert verdicts["CT-1"] is True
+
+
+class TestWorkerTelemetry:
+    def test_worker_counters_merge_into_parent_registry(self, registry):
+        telemetry = Telemetry.create()
+        trail = paper_audit_trail()
+        verdicts = audit_cases_parallel(
+            registry, trail, workers=2, telemetry=telemetry
+        )
+        reg = telemetry.registry
+        assert reg.counter("cases_audited_total").total == len(verdicts)
+        # every replayed entry is accounted for under some outcome label
+        entries = reg.counter("replay_entries_total")
+        assert entries.total == len(trail)
+        assert entries.value(outcome="rejected") > 0
+        # the paper trail has invalid executions (and CT-1 without a
+        # hierarchy), so infringement counters must be populated by kind
+        assert reg.counter("infringements_total").value(
+            kind="invalid-execution"
+        ) > 0
+        assert 1 <= reg.gauge("parallel_workers").value() <= 2
+
+    def test_unknown_purpose_counted_by_kind(self, registry):
+        from repro.audit import AuditTrail
+        from dataclasses import replace
+
+        entry = replace(paper_audit_trail()[0], case="ZZ-1")
+        telemetry = Telemetry.create()
+        audit_cases_parallel(
+            registry, AuditTrail([entry]), workers=1, telemetry=telemetry
+        )
+        assert telemetry.registry.counter("infringements_total").value(
+            kind="unknown-purpose"
+        ) == 1
+
+    def test_disabled_telemetry_hands_back_no_stats(self, registry):
+        workload = hospital_day(n_cases=3, violation_rate=0.0, seed=5)
+        verdicts = audit_cases_parallel(registry, workload.trail, workers=1)
         assert set(verdicts) == set(workload.trail.cases())

@@ -1,0 +1,89 @@
+"""Tests for the Prometheus and JSON exporters and the stats summary."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    dumps_json,
+    format_summary,
+    to_json,
+    to_prometheus,
+)
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("cases_audited_total", "cases").inc(8)
+    infringements = registry.counter("infringements_total", "by kind")
+    infringements.inc(5, kind="invalid-execution")
+    infringements.inc(kind="unknown-purpose")
+    registry.gauge("monitor_cases", "by state").set(3, state="open")
+    histogram = registry.histogram(
+        "replay_seconds", "latency", buckets=(0.001, 0.1, 1.0)
+    )
+    for value in (0.0005, 0.05, 0.5):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_headers_and_samples(self):
+        text = to_prometheus(sample_registry())
+        assert "# HELP cases_audited_total cases" in text
+        assert "# TYPE cases_audited_total counter" in text
+        assert "cases_audited_total 8" in text
+        assert 'infringements_total{kind="invalid-execution"} 5' in text
+        assert 'monitor_cases{state="open"} 3' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = to_prometheus(sample_registry())
+        assert 'replay_seconds_bucket{le="0.001"} 1' in text
+        assert 'replay_seconds_bucket{le="0.1"} 2' in text
+        assert 'replay_seconds_bucket{le="1"} 3' in text
+        assert 'replay_seconds_bucket{le="+Inf"} 3' in text
+        assert "replay_seconds_count 3" in text
+        assert "replay_seconds_sum" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(detail='say "hi"\nthere')
+        text = to_prometheus(registry)
+        assert '\\"hi\\"' in text and "\\n" in text
+
+
+class TestJsonSnapshot:
+    def test_counter_and_gauge_values(self):
+        snapshot = to_json(sample_registry())
+        assert snapshot["cases_audited_total"]["type"] == "counter"
+        assert snapshot["cases_audited_total"]["values"] == [
+            {"labels": {}, "value": 8.0}
+        ]
+        kinds = {
+            entry["labels"]["kind"]: entry["value"]
+            for entry in snapshot["infringements_total"]["values"]
+        }
+        assert kinds == {"invalid-execution": 5.0, "unknown-purpose": 1.0}
+
+    def test_histogram_series(self):
+        snapshot = to_json(sample_registry())
+        series = snapshot["replay_seconds"]["series"][0]
+        assert series["count"] == 3
+        assert series["max"] == 0.5
+        assert series["buckets"]["0.001"] == 1
+        assert series["buckets"]["+Inf"] == 0
+        assert 0 < series["p50"] <= 0.1
+
+    def test_dumps_is_valid_json(self):
+        parsed = json.loads(dumps_json(sample_registry()))
+        assert "replay_seconds" in parsed
+
+
+class TestSummary:
+    def test_human_readable_digest(self):
+        text = format_summary(sample_registry())
+        assert "cases_audited_total" in text
+        assert "kind=invalid-execution" in text
+        assert "p95=" in text
+
+    def test_empty_registry(self):
+        assert "no metrics" in format_summary(MetricsRegistry())

@@ -1,0 +1,80 @@
+"""Tests for span tracing."""
+
+import json
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+class TestTracer:
+    def test_spans_nest_into_trees(self):
+        tracer = Tracer()
+        with tracer.span("audit", trail="day.xes"):
+            with tracer.span("replay", case="HT-1"):
+                with tracer.span("weaknext"):
+                    pass
+            with tracer.span("replay", case="HT-2"):
+                pass
+        roots = tracer.roots
+        assert len(roots) == 1
+        audit = roots[0]
+        assert audit.name == "audit"
+        assert [c.name for c in audit.children] == ["replay", "replay"]
+        assert audit.children[0].children[0].name == "weaknext"
+        assert audit.children[0].attrs == {"case": "HT-1"}
+
+    def test_durations_are_non_negative_and_contained(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration >= inner.duration >= 0.0
+        assert inner.start >= outer.start
+
+    def test_to_json_shape(self):
+        tracer = Tracer()
+        with tracer.span("a", k="v"):
+            pass
+        tree = tracer.to_json()[0]
+        assert tree["name"] == "a"
+        assert tree["attrs"] == {"k": "v"}
+        assert "duration_s" in tree and "start_s" in tree
+
+    def test_chrome_trace_is_flat_and_loadable(self):
+        tracer = Tracer()
+        with tracer.span("audit"):
+            with tracer.span("replay", case="HT-1"):
+                pass
+        events = json.loads(tracer.dumps("chrome"))
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid"}
+        assert events[1]["args"] == {"case": "HT-1"}
+
+    def test_sequential_roots_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        assert [r.name for r in tracer.roots] == ["one", "two"]
+
+
+class TestNullTracer:
+    def test_noop_span_and_exports(self):
+        tracer = NullTracer()
+        with tracer.span("anything", case="HT-1") as span:
+            assert span is None
+        assert tracer.roots == []
+        assert tracer.to_json() == []
+        assert tracer.to_chrome_trace() == []
+        assert tracer.dumps() == "[]"
+        assert not tracer.enabled
+
+    def test_shared_context_manager(self):
+        # the null span context is reusable (no allocation per span)
+        first = NULL_TRACER.span("a")
+        second = NULL_TRACER.span("b")
+        assert first is second

@@ -192,6 +192,182 @@ class TestBpmnXmlInput:
         assert "diagnosis" in out
 
 
+class TestTelemetryFlags:
+    def _split_report_and_json(self, out: str):
+        """The report precedes the snapshot; the JSON starts at the first
+        line that is exactly '{'."""
+        lines = out.splitlines()
+        start = lines.index("{")
+        return "\n".join(lines[:start]), "\n".join(lines[start:])
+
+    def test_audit_metrics_stdout_keeps_infringement_exit_code(
+        self, ht_json, ct_json, trail_xes, capsys
+    ):
+        import json
+
+        code = main([
+            "audit",
+            "--process", f"HT:{ht_json}",
+            "--process", f"CT:{ct_json}",
+            "--trail", trail_xes,
+            "--role", "Cardiologist:Physician",
+            "--metrics", "-",
+        ])
+        assert code == EXIT_INFRINGEMENT
+        out = capsys.readouterr().out
+        report, snapshot_text = self._split_report_and_json(out)
+        # the report is intact, not interleaved with the snapshot
+        assert "5 with infringements" in report
+        assert "HT-11" in report
+        snapshot = json.loads(snapshot_text)
+        assert snapshot["cases_audited_total"]["values"][0]["value"] == 8
+        assert any(
+            entry["labels"].get("kind") == "invalid-execution"
+            for entry in snapshot["infringements_total"]["values"]
+        )
+        outcomes = {
+            entry["labels"]["outcome"]
+            for entry in snapshot["replay_entries_total"]["values"]
+        }
+        assert "rejected" in outcomes and "task" in outcomes
+        assert snapshot["weaknext_cache_hits_total"]["values"][0]["value"] > 0
+        assert snapshot["weaknext_cache_misses_total"]["values"][0]["value"] > 0
+        assert snapshot["replay_seconds"]["series"][0]["count"] > 0
+        assert snapshot["replay_seconds"]["series"][0]["sum"] > 0
+
+    def test_audit_metrics_file_and_compliant_exit_code(
+        self, ht_json, tmp_path, capsys
+    ):
+        import json
+
+        out_xes = tmp_path / "ok.xes"
+        assert main([
+            "generate", "--process", f"HT:{ht_json}", "--cases", "2",
+            "--out", str(out_xes), "--seed", "1",
+        ]) == EXIT_OK
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "audit", "--process", f"HT:{ht_json}", "--trail", str(out_xes),
+            "--metrics", str(metrics_path),
+        ])
+        assert code == EXIT_OK
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["cases_audited_total"]["values"][0]["value"] == 2
+        # the report stream was not polluted by the file-bound snapshot
+        assert "{" not in capsys.readouterr().out.splitlines()
+
+    def test_audit_metrics_prometheus_format(
+        self, ht_json, ct_json, trail_xes, tmp_path
+    ):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main([
+            "audit",
+            "--process", f"HT:{ht_json}",
+            "--process", f"CT:{ct_json}",
+            "--trail", trail_xes,
+            "--metrics", str(metrics_path),
+            "--metrics-format", "prometheus",
+        ])
+        assert code == EXIT_INFRINGEMENT
+        text = metrics_path.read_text()
+        assert "# TYPE cases_audited_total counter" in text
+        assert 'infringements_total{kind="invalid-execution"}' in text
+        assert "replay_seconds_bucket" in text
+
+    def test_check_metrics_keeps_exit_codes(self, ht_json, trail_xes, tmp_path):
+        metrics_path = tmp_path / "m.json"
+        assert main([
+            "check", "--process", f"HT:{ht_json}",
+            "--trail", trail_xes, "--case", "HT-1",
+            "--metrics", str(metrics_path),
+        ]) == EXIT_OK
+        assert main([
+            "check", "--process", f"HT:{ht_json}",
+            "--trail", trail_xes, "--case", "HT-11",
+            "--metrics", str(metrics_path),
+        ]) == EXIT_INFRINGEMENT
+
+    def test_events_jsonl_written(self, ht_json, trail_xes, tmp_path):
+        import json
+
+        events_path = tmp_path / "events.jsonl"
+        main([
+            "check", "--process", f"HT:{ht_json}",
+            "--trail", trail_xes, "--case", "HT-1",
+            "--events", str(events_path),
+        ])
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        assert any(e["event"] == "entry.replayed" for e in events)
+        assert any(e["event"] == "weaknext.computed" for e in events)
+
+    def test_trace_chrome_written(self, ht_json, ct_json, trail_xes, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        main([
+            "audit",
+            "--process", f"HT:{ht_json}",
+            "--process", f"CT:{ct_json}",
+            "--trail", trail_xes,
+            "--trace", str(trace_path), "--trace-format", "chrome",
+        ])
+        events = json.loads(trace_path.read_text())
+        assert any(e["name"] == "audit" for e in events)
+        assert all(e["ph"] == "X" for e in events)
+
+
+class TestStats:
+    def test_stats_prints_report_and_telemetry_summary(
+        self, ht_json, ct_json, trail_xes, capsys
+    ):
+        code = main([
+            "stats",
+            "--process", f"HT:{ht_json}",
+            "--process", f"CT:{ct_json}",
+            "--trail", trail_xes,
+            "--role", "Cardiologist:Physician",
+        ])
+        assert code == EXIT_INFRINGEMENT  # mirrors audit's exit code
+        out = capsys.readouterr().out
+        assert "5 with infringements" in out
+        assert "telemetry summary:" in out
+        assert "cases_audited_total" in out
+        assert "weaknext_cache_hits_total" in out
+        assert "replay_seconds" in out
+
+    def test_stats_compliant_trail_exits_ok(self, ht_json, tmp_path, capsys):
+        out_xes = tmp_path / "ok.xes"
+        main([
+            "generate", "--process", f"HT:{ht_json}", "--cases", "2",
+            "--out", str(out_xes), "--seed", "7",
+        ])
+        assert main([
+            "stats", "--process", f"HT:{ht_json}", "--trail", str(out_xes),
+        ]) == EXIT_OK
+
+
+class TestGenerateTelemetry:
+    def test_generate_metrics_counts_cases_and_entries(
+        self, ht_json, tmp_path, capsys
+    ):
+        import json
+
+        metrics_path = tmp_path / "gen.json"
+        out_xes = tmp_path / "gen.xes"
+        assert main([
+            "generate", "--process", f"HT:{ht_json}", "--cases", "3",
+            "--out", str(out_xes), "--metrics", str(metrics_path),
+        ]) == EXIT_OK
+        snapshot = json.loads(metrics_path.read_text())
+        cases = snapshot["cases_generated_total"]["values"]
+        assert cases == [{"labels": {"purpose": "treatment"}, "value": 3.0}]
+        entries = snapshot["entries_generated_total"]["values"][0]["value"]
+        assert entries >= 6  # min_steps=2 per case
+
+
 class TestDemo:
     def test_demo_runs_paper_scenario(self, capsys):
         code = main(["demo"])
