@@ -15,7 +15,7 @@ import time
 import pytest
 
 from repro.core import ComplianceChecker
-from repro.core.parallel import audit_cases_parallel
+from repro.core.parallel import audit_cases_parallel, verdicts_from_outcomes
 from repro.scenarios import hospital_day, process_registry, role_hierarchy
 
 
@@ -30,7 +30,11 @@ class TestIndependence:
             registry = process_registry()
             serial = audit_cases_parallel(registry, workload.trail, workers=1)
             parallel = audit_cases_parallel(registry, workload.trail, workers=2)
-            assert serial == parallel == workload.ground_truth
+            assert (
+                verdicts_from_outcomes(serial)
+                == verdicts_from_outcomes(parallel)
+                == workload.ground_truth
+            )
 
         benchmark.pedantic(run, rounds=1, iterations=1)
 
@@ -80,7 +84,8 @@ class TestThroughput:
             table.row("workers", "seconds", "correct")
             for workers in (1, 2):
                 started = time.perf_counter()
-                verdicts = audit_cases_parallel(registry, workload.trail, workers=workers)
+                outcomes = audit_cases_parallel(registry, workload.trail, workers=workers)
+                verdicts = verdicts_from_outcomes(outcomes)
                 elapsed = time.perf_counter() - started
                 table.row(workers, f"{elapsed:.2f}", verdicts == workload.ground_truth)
                 assert verdicts == workload.ground_truth

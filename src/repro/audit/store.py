@@ -21,12 +21,15 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
-from datetime import datetime
-from typing import Iterable, Optional
+from datetime import datetime, timezone
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.audit.model import AuditTrail, LogEntry, Status
-from repro.errors import IntegrityError
+from repro.errors import IntegrityError, MalformedEntryError
 from repro.policy.model import ObjectRef
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.resilience import Quarantine
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS audit_log (
@@ -80,33 +83,64 @@ class AuditStore:
         """Append one entry; returns its sequence number."""
         with self._connection:  # one transaction per append
             prev_hash = self._last_hash()
-            digest = _entry_hash(prev_hash, entry)
-            cursor = self._connection.execute(
-                "INSERT INTO audit_log "
-                "(user, role, action, obj, task, case_id, ts, status, prev_hash, hash) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    entry.user,
-                    entry.role,
-                    entry.action,
-                    str(entry.obj) if entry.obj is not None else None,
-                    entry.task,
-                    entry.case,
-                    entry.timestamp.isoformat(),
-                    entry.status.value,
-                    prev_hash,
-                    digest,
-                ),
-            )
+            cursor, _ = self._insert_entry(entry, prev_hash, position=0)
         return int(cursor.lastrowid or 0)
 
     def append_many(self, entries: Iterable[LogEntry]) -> int:
-        """Append entries in order; returns how many were written."""
+        """Append entries in order, atomically; returns how many were written.
+
+        The whole batch is **one transaction**: if any entry fails
+        validation (raising :class:`repro.errors.MalformedEntryError`
+        with its batch offset), nothing is written — no partial prefix
+        is left behind to anchor a hash chain against garbage.
+        """
         count = 0
-        for entry in entries:
-            self.append(entry)
-            count += 1
+        with self._connection:  # one transaction for the whole batch
+            prev_hash = self._last_hash()
+            for position, entry in enumerate(entries):
+                _, prev_hash = self._insert_entry(entry, prev_hash, position)
+                count += 1
         return count
+
+    def _insert_entry(
+        self, entry: LogEntry, prev_hash: str, position: int
+    ) -> tuple[sqlite3.Cursor, str]:
+        """Insert one row inside the caller's transaction.
+
+        Returns ``(cursor, hash)`` so batch appends can chain without
+        re-reading the table.  Serialization failures are wrapped as
+        :class:`MalformedEntryError` — inside a ``with connection:``
+        block the raise rolls the whole transaction back.
+        """
+        try:
+            entry = _normalize_entry(entry)
+            digest = _entry_hash(prev_hash, entry)
+            row = (
+                entry.user,
+                entry.role,
+                entry.action,
+                str(entry.obj) if entry.obj is not None else None,
+                entry.task,
+                entry.case,
+                entry.timestamp.isoformat(),
+                entry.status.value,
+                prev_hash,
+                digest,
+            )
+        except MalformedEntryError:
+            raise
+        except Exception as error:
+            raise MalformedEntryError(
+                f"entry at batch offset {position} cannot be serialized: {error}",
+                position=position,
+            ) from error
+        cursor = self._connection.execute(
+            "INSERT INTO audit_log "
+            "(user, role, action, obj, task, case_id, ts, status, prev_hash, hash) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            row,
+        )
+        return cursor, digest
 
     def _anchor(self) -> tuple[str, Optional[str], int]:
         """(anchor hash, purged-up-to timestamp, purged count)."""
@@ -134,11 +168,20 @@ class AuditStore:
         obj: Optional[ObjectRef] = None,
         since: Optional[datetime] = None,
         until: Optional[datetime] = None,
+        quarantine: "Quarantine | None" = None,
     ) -> AuditTrail:
         """Entries matching every given filter, as an ordered trail.
 
         The object filter matches the *subtree* of ``obj`` — querying for
         ``[Jane]EPR`` returns accesses to any of its sections.
+        Timezone-aware ``since``/``until`` bounds are normalized to naive
+        UTC, the representation entries are stored in.
+
+        Rows that no longer decode into a valid
+        :class:`~repro.audit.model.LogEntry` (e.g. after tampering)
+        raise :class:`repro.errors.MalformedEntryError` — unless a
+        *quarantine* is given, in which case they are diverted to the
+        dead-letter collection and the healthy rows are returned.
         """
         clauses: list[str] = []
         params: list[object] = []
@@ -150,16 +193,31 @@ class AuditStore:
             params.append(user)
         if since is not None:
             clauses.append("ts >= ?")
-            params.append(since.isoformat())
+            params.append(_normalize_ts(since).isoformat())
         if until is not None:
             clauses.append("ts <= ?")
-            params.append(until.isoformat())
-        sql = "SELECT user, role, action, obj, task, case_id, ts, status FROM audit_log"
+            params.append(_normalize_ts(until).isoformat())
+        sql = (
+            "SELECT seq, user, role, action, obj, task, case_id, ts, status "
+            "FROM audit_log"
+        )
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
         sql += " ORDER BY seq"
         rows = self._connection.execute(sql, params).fetchall()
-        entries = [_entry_from_row(row) for row in rows]
+        entries = []
+        for row in rows:
+            try:
+                entries.append(_entry_from_row(row[1:], position=int(row[0])))
+            except MalformedEntryError as error:
+                if quarantine is None:
+                    raise
+                quarantine.add(
+                    source="store",
+                    position=int(row[0]),
+                    reason=str(error),
+                    raw=repr(tuple(row[1:])),
+                )
         if obj is not None:
             entries = [
                 e for e in entries if e.obj is not None and obj.covers(e.obj)
@@ -190,7 +248,16 @@ class AuditStore:
         expected_prev = self._anchor()[0]
         for row in rows:
             seq = int(row[0])
-            entry = _entry_from_row(row[1:9])
+            try:
+                entry = _entry_from_row(row[1:9], position=seq)
+            except MalformedEntryError as error:
+                # A row that no longer decodes cannot hash to what was
+                # logged — it was modified after the fact.
+                raise IntegrityError(
+                    f"entry {seq} was modified after being logged "
+                    f"(no longer decodes: {error})",
+                    first_bad_seq=seq,
+                ) from error
             stored_prev, stored_hash = row[9], row[10]
             if stored_prev != expected_prev:
                 raise IntegrityError(
@@ -226,6 +293,7 @@ class AuditStore:
 
         Returns the number of entries erased.
         """
+        cutoff = _normalize_ts(cutoff)
         rows = self._connection.execute(
             "SELECT seq, ts, hash FROM audit_log ORDER BY seq"
         ).fetchall()
@@ -281,6 +349,28 @@ class AuditStore:
             )
 
 
+def _normalize_ts(when: datetime) -> datetime:
+    """Naive-UTC canonical form: the store's single timestamp dialect.
+
+    Entries, query bounds and purge cutoffs may arrive timezone-aware or
+    naive; mixing the two makes lexicographic ISO comparison (what the
+    SQL filters do) meaningless, so everything is normalized on the way
+    in.  Naive inputs are taken at face value (the paper's ``YYYYMMDDHHMM``
+    timestamps carry no zone).
+    """
+    if when.tzinfo is None:
+        return when
+    return when.astimezone(timezone.utc).replace(tzinfo=None)
+
+
+def _normalize_entry(entry: LogEntry) -> LogEntry:
+    if entry.timestamp.tzinfo is None:
+        return entry
+    from dataclasses import replace
+
+    return replace(entry, timestamp=_normalize_ts(entry.timestamp))
+
+
 def _entry_hash(prev_hash: str, entry: LogEntry) -> str:
     payload = json.dumps(
         {
@@ -298,15 +388,22 @@ def _entry_hash(prev_hash: str, entry: LogEntry) -> str:
     return hashlib.sha256((prev_hash + payload).encode("utf-8")).hexdigest()
 
 
-def _entry_from_row(row: tuple) -> LogEntry:
+def _entry_from_row(row: tuple, position: Optional[int] = None) -> LogEntry:
     user, role, action, obj, task, case_id, ts, status = row
-    return LogEntry(
-        user=user,
-        role=role,
-        action=action,
-        obj=ObjectRef.parse(obj) if obj else None,
-        task=task,
-        case=case_id,
-        timestamp=datetime.fromisoformat(ts),
-        status=Status(status),
-    )
+    try:
+        return LogEntry(
+            user=user,
+            role=role,
+            action=action,
+            obj=ObjectRef.parse(obj) if obj else None,
+            task=task,
+            case=case_id,
+            timestamp=datetime.fromisoformat(ts),
+            status=Status(status),
+        )
+    except Exception as error:
+        where = f"row {position}" if position is not None else "row"
+        raise MalformedEntryError(
+            f"{where} does not decode into a valid log entry: {error}",
+            position=position,
+        ) from error

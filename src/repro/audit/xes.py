@@ -32,10 +32,14 @@ from __future__ import annotations
 
 import xml.etree.ElementTree as ET
 from datetime import datetime
+from typing import TYPE_CHECKING
 
 from repro.audit.model import AuditTrail, LogEntry, Status
 from repro.errors import AuditError
 from repro.policy.model import ObjectRef
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.resilience import Quarantine
 
 
 class XesError(AuditError):
@@ -85,11 +89,53 @@ def _attributes(element: ET.Element) -> dict[str, str]:
     return found
 
 
-def import_xes(document: str) -> AuditTrail:
+def _event_entry(case: str, attributes: dict[str, str]) -> LogEntry:
+    """Decode one event's attribute map; raises :class:`XesError`."""
+    task = attributes.get("concept:name")
+    raw_timestamp = attributes.get("time:timestamp")
+    if task is None or raw_timestamp is None:
+        raise XesError(
+            f"event in trace {case!r} lacks concept:name or time:timestamp"
+        )
+    try:
+        timestamp = datetime.fromisoformat(raw_timestamp)
+    except ValueError as error:
+        raise XesError(
+            f"bad timestamp {raw_timestamp!r} in trace {case!r}"
+        ) from error
+    if timestamp.tzinfo is not None:
+        timestamp = timestamp.replace(tzinfo=None)
+    raw_object = attributes.get("purpose:object")
+    try:
+        obj = ObjectRef.parse(raw_object) if raw_object else None
+        status = Status(attributes.get("purpose:status", "success"))
+    except ValueError as error:
+        raise XesError(
+            f"bad purpose-extension attribute in trace {case!r}: {error}"
+        ) from error
+    return LogEntry(
+        user=attributes.get("org:resource", "unknown"),
+        role=attributes.get("org:role", "unknown"),
+        action=attributes.get("purpose:action", "execute"),
+        obj=obj,
+        task=task,
+        case=case,
+        timestamp=timestamp,
+        status=status,
+    )
+
+
+def import_xes(
+    document: str, quarantine: "Quarantine | None" = None
+) -> AuditTrail:
     """Parse an XES document into an :class:`AuditTrail`.
 
     Raises :class:`XesError` for malformed documents or events missing
-    the mandatory attributes (task name, timestamp).
+    the mandatory attributes (task name, timestamp) or carrying invalid
+    purpose-extension values.  With a *quarantine*, per-event failures
+    are diverted to the dead-letter collection instead (one corrupt
+    event costs one event, not the import); only document-level errors
+    (broken XML, wrong root) still raise.
     """
     try:
         root = ET.fromstring(document)
@@ -99,39 +145,22 @@ def import_xes(document: str) -> AuditTrail:
         raise XesError(f"expected a <log> root element, found <{root.tag}>")
 
     entries: list[LogEntry] = []
+    event_index = 0
     for trace_index, trace in enumerate(root.iter("trace")):
         trace_attributes = _attributes(trace)
         case = trace_attributes.get("concept:name", f"trace-{trace_index}")
         for event in trace.iter("event"):
             attributes = _attributes(event)
-            task = attributes.get("concept:name")
-            raw_timestamp = attributes.get("time:timestamp")
-            if task is None or raw_timestamp is None:
-                raise XesError(
-                    f"event in trace {case!r} lacks concept:name or "
-                    "time:timestamp"
-                )
             try:
-                timestamp = datetime.fromisoformat(raw_timestamp)
-            except ValueError as error:
-                raise XesError(
-                    f"bad timestamp {raw_timestamp!r} in trace {case!r}"
-                ) from error
-            if timestamp.tzinfo is not None:
-                timestamp = timestamp.replace(tzinfo=None)
-            raw_object = attributes.get("purpose:object")
-            entries.append(
-                LogEntry(
-                    user=attributes.get("org:resource", "unknown"),
-                    role=attributes.get("org:role", "unknown"),
-                    action=attributes.get("purpose:action", "execute"),
-                    obj=ObjectRef.parse(raw_object) if raw_object else None,
-                    task=task,
-                    case=case,
-                    timestamp=timestamp,
-                    status=Status(
-                        attributes.get("purpose:status", "success")
-                    ),
+                entries.append(_event_entry(case, attributes))
+            except XesError as error:
+                if quarantine is None:
+                    raise
+                quarantine.add(
+                    source="xes",
+                    position=event_index,
+                    reason=str(error),
+                    raw=repr(attributes),
                 )
-            )
+            event_index += 1
     return AuditTrail(entries)

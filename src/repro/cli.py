@@ -25,6 +25,10 @@ trace; ``-`` = stderr) with ``--trace-format json|chrome``.  ``repro
 stats`` runs a full audit and prints a human-readable telemetry summary
 after the report.
 
+Resilience (``docs/robustness.md``): ``repro audit`` accepts
+``--workers N`` (parallel, crash-isolated case auditing), ``--on-error
+{fail,skip,quarantine}``, ``--case-timeout SECONDS`` and ``--retries N``.
+
 Exit codes: 0 — success / compliant; 1 — infringements found; 2 — bad
 input.
 """
@@ -45,6 +49,7 @@ from repro.bpmn.serialize import loads as load_process
 from repro.bpmn.validate import structural_problems, is_well_founded
 from repro.core.auditor import PurposeControlAuditor
 from repro.core.compliance import ComplianceChecker
+from repro.core.resilience import Quarantine
 from repro.cows.pretty import pretty
 from repro.errors import ReproError
 from repro.obs import (
@@ -66,15 +71,21 @@ EXIT_BAD_INPUT = 2
 
 
 def _read_process(path_text: str):
-    """Load a process document: .json (native) or .bpmn/.xml (BPMN 2.0)."""
+    """Load a process document: .json (native) or .bpmn/.xml (BPMN 2.0).
+
+    Validation is deferred to encoding time (``registry.encoded_for``),
+    so one invalid process poisons only its own cases — the auditor
+    contains the failure as UNDECIDABLE instead of refusing the whole
+    run (``repro validate`` remains the eager checker).
+    """
     path = Path(path_text)
     if not path.exists():
         raise ReproError(f"process file not found: {path}")
     if path.suffix in (".bpmn", ".xml"):
         from repro.bpmn.xml import process_from_bpmn_xml
 
-        return process_from_bpmn_xml(path.read_text())
-    return load_process(path.read_text())
+        return process_from_bpmn_xml(path.read_text(), validated=False)
+    return load_process(path.read_text(), validated=False)
 
 
 def _load_registry(specs: Sequence[str]) -> ProcessRegistry:
@@ -101,15 +112,43 @@ def _load_hierarchy(specs: Sequence[str] | None):
     return hierarchy
 
 
-def _load_trail(path_text: str) -> AuditTrail:
+def _load_trail(
+    path_text: str, quarantine: Quarantine | None = None
+) -> AuditTrail:
+    """Load a trail; with a *quarantine*, per-record failures are
+    diverted to it instead of aborting the load (``--on-error
+    quarantine``)."""
     path = Path(path_text)
     if not path.exists():
         raise ReproError(f"trail file not found: {path}")
     if path.suffix in (".db", ".sqlite"):
+        from repro.errors import IntegrityError
+
         with AuditStore(str(path)) as store:
-            store.verify_integrity()
-            return store.query()
-    return import_xes(path.read_text())
+            if quarantine is None:
+                store.verify_integrity()
+                return store.query()
+            try:
+                store.verify_integrity()
+            except IntegrityError as error:
+                broken_seq = getattr(error, "first_bad_seq", None)
+                trail = store.query(quarantine=quarantine)
+                # An undecodable row is dead-lettered by query() itself;
+                # only a tampered-but-decodable row needs its own record.
+                already = {
+                    record.position
+                    for record in quarantine.entries
+                    if record.source == "store"
+                }
+                if broken_seq not in already:
+                    quarantine.add(
+                        source="store",
+                        position=broken_seq,
+                        reason=f"integrity check failed: {error}",
+                    )
+                return trail
+            return store.query(quarantine=quarantine)
+    return import_xes(path.read_text(), quarantine=quarantine)
 
 
 # ---------------------------------------------------------------------------
@@ -267,14 +306,61 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return EXIT_INFRINGEMENT
 
 
+def _print_parallel_outcomes(outcomes, quarantine) -> bool:
+    """Print the outcome summary of a parallel audit; True if all clean."""
+    from repro.core.resilience import OutcomeKind
+
+    counts: dict[str, int] = {}
+    for outcome in outcomes.values():
+        counts[outcome.kind.value] = counts.get(outcome.kind.value, 0) + 1
+    ordered = ", ".join(
+        f"{counts[kind.value]} {kind.value}"
+        for kind in OutcomeKind
+        if counts.get(kind.value)
+    )
+    print(f"Parallel audit: {len(outcomes)} case(s) — {ordered or 'empty'}")
+    clean = True
+    for outcome in outcomes.values():
+        if outcome.kind is not OutcomeKind.COMPLIANT:
+            clean = False
+            print(f"  {outcome}")
+    if quarantine is not None and quarantine:
+        clean = False
+        print(quarantine.summary())
+    return clean
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     registry = _load_registry(args.process)
-    trail = _load_trail(args.trail)
     telemetry = _telemetry_from_args(args)
-    auditor = PurposeControlAuditor(
-        registry, hierarchy=_load_hierarchy(args.role), telemetry=telemetry
+    quarantine = (
+        Quarantine(telemetry) if args.on_error == "quarantine" else None
     )
-    report = auditor.audit(trail)
+    trail = _load_trail(args.trail, quarantine=quarantine)
+    if args.workers > 1:
+        from repro.core.parallel import audit_cases_parallel
+        from repro.core.resilience import RetryPolicy
+
+        outcomes = audit_cases_parallel(
+            registry,
+            trail,
+            workers=args.workers,
+            hierarchy=_load_hierarchy(args.role),
+            telemetry=telemetry,
+            retry_policy=RetryPolicy(max_attempts=args.retries + 1),
+            case_timeout_s=args.case_timeout,
+        )
+        clean = _print_parallel_outcomes(outcomes, quarantine)
+        _emit_telemetry(args, telemetry)
+        return EXIT_OK if clean else EXIT_INFRINGEMENT
+    auditor = PurposeControlAuditor(
+        registry,
+        hierarchy=_load_hierarchy(args.role),
+        telemetry=telemetry,
+        on_error=args.on_error,
+        case_timeout_s=args.case_timeout,
+    )
+    report = auditor.audit(trail, quarantine=quarantine)
     print(report.summary())
     _emit_telemetry(args, telemetry)
     return EXIT_OK if report.compliant else EXIT_INFRINGEMENT
@@ -399,6 +485,26 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument(
         "--role", action="append", metavar="CHILD:PARENT",
         help="role specialization, e.g. Cardiologist:Physician (repeatable)",
+    )
+    resilience = audit.add_argument_group("resilience")
+    resilience.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; >1 audits cases in parallel with "
+        "crash isolation (default: 1, serial)",
+    )
+    resilience.add_argument(
+        "--on-error", choices=("fail", "skip", "quarantine"), default="fail",
+        help="unexpected per-case failures: abort the audit (fail, "
+        "default), contain them as findings (skip), or also divert "
+        "malformed input records to a dead-letter list (quarantine)",
+    )
+    resilience.add_argument(
+        "--case-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-case wall-clock replay budget (contained as TIMEOUT)",
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=2,
+        help="re-dispatches per case after worker loss (default: 2)",
     )
     _add_telemetry_args(audit)
     audit.set_defaults(handler=_cmd_audit)

@@ -6,7 +6,10 @@
 * :mod:`repro.core.compliance` — **Algorithm 1**, batch and incremental;
 * :mod:`repro.core.auditor` — the end-to-end auditor (policy + replay);
 * :mod:`repro.core.naive` — the infeasible trace-enumeration baseline (§1);
-* :mod:`repro.core.severity` — infringement severity metrics (§7).
+* :mod:`repro.core.severity` — infringement severity metrics (§7);
+* :mod:`repro.core.resilience` — fault containment: rich per-case
+  outcomes, retry policies, per-case budgets, quarantine;
+* :mod:`repro.core.parallel` — fault-isolated parallel auditing (§7).
 """
 
 from repro.core.auditor import (
@@ -32,7 +35,20 @@ from repro.core.configuration import Configuration
 from repro.core.explain import DeviationKind, Explanation, explain
 from repro.core.monitor import CaseState, MonitoredCase, OnlineMonitor
 from repro.core.naive import NaiveChecker, NaiveResult, Verdict
-from repro.core.parallel import CaseVerdict, audit_cases_parallel
+from repro.core.parallel import (
+    CaseVerdict,
+    audit_cases_parallel,
+    verdicts_from_outcomes,
+)
+from repro.core.resilience import (
+    CaseOutcome,
+    OutcomeKind,
+    Quarantine,
+    QuarantinedEntry,
+    RetryPolicy,
+    classify_failure,
+    replay_with_deadline,
+)
 from repro.core.temporal import (
     TemporalConstraints,
     TemporalViolation,
@@ -68,7 +84,15 @@ __all__ = [
     "TemporalViolation",
     "TemporalViolationKind",
     "audit_cases_parallel",
+    "classify_failure",
+    "replay_with_deadline",
+    "verdicts_from_outcomes",
+    "CaseOutcome",
     "CaseVerdict",
+    "OutcomeKind",
+    "Quarantine",
+    "QuarantinedEntry",
+    "RetryPolicy",
     "ComplianceChecker",
     "ComplianceResult",
     "ComplianceSession",

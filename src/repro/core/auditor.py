@@ -28,11 +28,25 @@ from typing import Optional
 
 from repro.audit.model import AuditTrail, LogEntry
 from repro.core.compliance import ComplianceChecker, ComplianceResult
+from repro.core.resilience import (
+    OutcomeKind,
+    Quarantine,
+    QuarantinedEntry,
+    classify_failure,
+    replay_with_deadline,
+)
 from repro.core.severity import SeverityAssessment, SeverityModel
 from repro.core.temporal import TemporalConstraints
-from repro.errors import UnknownPurposeError
+from repro.errors import (
+    CaseTimeoutError,
+    EncodingError,
+    NotFinitelyObservableError,
+    ProcessValidationError,
+    UnknownPurposeError,
+)
 from repro.obs import (
     CASE_AUDITED,
+    CASE_FAILED,
     INFRINGEMENT_RAISED,
     NULL_TELEMETRY,
     Telemetry,
@@ -56,6 +70,16 @@ class InfringementKind(Enum):
     #: A temporal constraint of the purpose was violated (Section 4's
     #: maximum-duration remark; see :mod:`repro.core.temporal`).
     TEMPORAL_VIOLATION = "temporal-violation"
+    #: Algorithm 1 could not decide the case: the purpose's process is
+    #: non-well-founded or not finitely observable (Section 5).  Not a
+    #: privacy violation — a flag that the case needs manual review.
+    UNDECIDABLE = "undecidable"
+    #: The case's replay exceeded its wall-clock budget.
+    TIMEOUT = "timeout"
+    #: An unexpected exception was contained to the case (``--on-error
+    #: skip``/``quarantine``).  Like UNDECIDABLE, an audit-quality flag,
+    #: not a detected misuse of data.
+    AUDIT_ERROR = "audit-error"
 
     def __str__(self) -> str:
         return self.value
@@ -74,19 +98,51 @@ class Infringement:
         return f"[{self.kind}] case {self.case}: {self.detail}"
 
 
+#: Infringement kinds that flag an *audit failure* rather than a
+#: detected misuse of data (the resilience layer's findings).
+FAILURE_KINDS = frozenset(
+    {
+        InfringementKind.UNDECIDABLE,
+        InfringementKind.TIMEOUT,
+        InfringementKind.AUDIT_ERROR,
+    }
+)
+
+
 @dataclass
 class CaseAuditResult:
-    """The audit outcome for one process instance."""
+    """The audit outcome for one process instance.
+
+    ``outcome`` classifies how the *replay* ended (the six-way
+    :class:`~repro.core.resilience.OutcomeKind`); the ``infringements``
+    list carries everything flagged — replay failures, policy denials,
+    temporal violations, and (for contained failures) the audit-failure
+    finding itself, with the captured exception message on ``error``.
+    """
 
     case: str
     purpose: Optional[str]
     replay: Optional[ComplianceResult]
     infringements: list[Infringement] = field(default_factory=list)
     severity: Optional[SeverityAssessment] = None
+    outcome: OutcomeKind = OutcomeKind.COMPLIANT
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    states_explored: Optional[int] = None
+    retries: int = 0
 
     @property
     def compliant(self) -> bool:
         return not self.infringements
+
+    @property
+    def failed(self) -> bool:
+        """Whether the audit itself failed on this case (contained)."""
+        return self.outcome in (
+            OutcomeKind.UNDECIDABLE,
+            OutcomeKind.ERROR,
+            OutcomeKind.TIMEOUT,
+        )
 
     @property
     def open(self) -> bool:
@@ -96,9 +152,15 @@ class CaseAuditResult:
 
 @dataclass
 class AuditReport:
-    """The audit outcome for a whole trail."""
+    """The audit outcome for a whole trail.
+
+    ``quarantined`` lists the raw records the ingestion layer diverted to
+    the dead-letter collection (``--on-error quarantine``); they were
+    never part of any replayed case.
+    """
 
     cases: dict[str, CaseAuditResult] = field(default_factory=dict)
+    quarantined: list[QuarantinedEntry] = field(default_factory=list)
 
     @property
     def infringements(self) -> list[Infringement]:
@@ -109,25 +171,46 @@ class AuditReport:
 
     @property
     def compliant(self) -> bool:
-        return not self.infringements
+        return not self.infringements and not self.quarantined
 
     @property
     def infringing_cases(self) -> list[str]:
         return [case for case, result in self.cases.items() if not result.compliant]
+
+    @property
+    def failed_cases(self) -> list[str]:
+        """Cases whose audit was contained (UNDECIDABLE / ERROR / TIMEOUT)."""
+        return [case for case, result in self.cases.items() if result.failed]
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts = {kind.value: 0 for kind in OutcomeKind}
+        for result in self.cases.values():
+            counts[result.outcome.value] += 1
+        return counts
 
     def summary(self) -> str:
         lines = [
             f"audited {len(self.cases)} case(s); "
             f"{len(self.infringing_cases)} with infringements"
         ]
+        if self.failed_cases:
+            lines[0] += f" ({len(self.failed_cases)} not auditable)"
         for case, result in self.cases.items():
-            status = "OK" if result.compliant else "INFRINGEMENT"
+            if result.failed:
+                status = str(result.outcome).upper()
+            else:
+                status = "OK" if result.compliant else "INFRINGEMENT"
             severity = (
                 f" severity={result.severity.score:.1f}" if result.severity else ""
             )
-            lines.append(f"  {case} [{result.purpose}]: {status}{severity}")
+            retried = f" retries={result.retries}" if result.retries else ""
+            lines.append(f"  {case} [{result.purpose}]: {status}{severity}{retried}")
             for infringement in result.infringements:
                 lines.append(f"    - {infringement.kind}: {infringement.detail}")
+        if self.quarantined:
+            lines.append(f"quarantined {len(self.quarantined)} record(s):")
+            for record in self.quarantined:
+                lines.append(f"  {record}")
         return "\n".join(lines)
 
 
@@ -144,12 +227,26 @@ class PurposeControlAuditor:
         temporal: "dict[str, TemporalConstraints] | None" = None,
         now: "datetime | None" = None,
         telemetry: Telemetry | None = None,
+        on_error: str = "fail",
+        case_timeout_s: "float | None" = None,
+        checker_wrapper=None,
     ):
         """``temporal`` maps purpose names to their temporal constraints;
         ``now`` is the audit time used to time out still-open cases
         (defaults to never timing out open cases).  ``telemetry``
         (default: disabled) instruments the whole pipeline below this
-        auditor — see :mod:`repro.obs` and ``docs/observability.md``."""
+        auditor — see :mod:`repro.obs` and ``docs/observability.md``.
+
+        Resilience (``docs/robustness.md``): classified failures — a
+        purpose outside the decidable fragment (UNDECIDABLE) or a blown
+        ``case_timeout_s`` budget (TIMEOUT) — are *always* contained to
+        the offending case.  ``on_error`` governs everything else:
+        ``"fail"`` (default) propagates unexpected exceptions,
+        ``"skip"``/``"quarantine"`` contain them as ERROR outcomes.
+        ``checker_wrapper`` is the ``(checker, purpose) -> checker``
+        middleware seam used by :mod:`repro.testing.faults`."""
+        if on_error not in ("fail", "skip", "quarantine"):
+            raise ValueError(f"on_error must be fail/skip/quarantine, got {on_error!r}")
         self._registry = registry
         self._hierarchy = hierarchy
         self._pdp = pdp
@@ -157,6 +254,9 @@ class PurposeControlAuditor:
         self._max_silent_states = max_silent_states
         self._temporal = dict(temporal or {})
         self._now = now
+        self._on_error = on_error
+        self._case_timeout_s = case_timeout_s
+        self._checker_wrapper = checker_wrapper
         self._checkers: dict[str, ComplianceChecker] = {}
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tel = tel
@@ -168,6 +268,9 @@ class PurposeControlAuditor:
         )
         self._m_case_seconds = tel.registry.histogram(
             "audit_case_seconds", "wall time per audited case"
+        )
+        self._m_errors = tel.registry.counter(
+            "audit_errors_total", "contained per-case audit failures, by kind"
         )
 
     # -- checker cache -----------------------------------------------------
@@ -181,15 +284,34 @@ class PurposeControlAuditor:
                 max_silent_states=self._max_silent_states,
                 telemetry=self._tel,
             )
+            if self._checker_wrapper is not None:
+                checker = self._checker_wrapper(checker, purpose)
             self._checkers[purpose] = checker
         return checker
 
     # -- auditing ------------------------------------------------------------
     def audit_case(self, case: str, case_trail: AuditTrail) -> CaseAuditResult:
-        """Audit one process instance (Algorithm 1 plus the policy check)."""
+        """Audit one process instance (Algorithm 1 plus the policy check).
+
+        Classified failures (UNDECIDABLE, TIMEOUT) are always contained
+        to this case; unexpected exceptions propagate under
+        ``on_error="fail"`` and become ERROR results otherwise.
+        """
         started = time.perf_counter() if self._tel.enabled else 0.0
         with self._tel.tracer.span("audit_case", case=case):
-            result = self._audit_case(case, case_trail)
+            try:
+                result = self._audit_case(case, case_trail)
+            except (
+                NotFinitelyObservableError,
+                ProcessValidationError,
+                EncodingError,
+                CaseTimeoutError,
+            ) as error:
+                result = self._failure_result(case, error)
+            except Exception as error:
+                if self._on_error == "fail":
+                    raise
+                result = self._failure_result(case, error)
         self._m_cases.inc()
         for infringement in result.infringements:
             self._m_infringements.inc(kind=str(infringement.kind))
@@ -213,6 +335,43 @@ class PurposeControlAuditor:
             )
         return result
 
+    def _failure_result(
+        self, case: str, error: BaseException
+    ) -> CaseAuditResult:
+        """Contain one case's failed audit as a result (never a crash)."""
+        kind = classify_failure(error)
+        states = getattr(error, "states_explored", None)
+        try:
+            purpose: Optional[str] = self._registry.purpose_of_case(case)
+        except UnknownPurposeError:
+            purpose = None
+        finding_kind = {
+            OutcomeKind.UNDECIDABLE: InfringementKind.UNDECIDABLE,
+            OutcomeKind.TIMEOUT: InfringementKind.TIMEOUT,
+        }.get(kind, InfringementKind.AUDIT_ERROR)
+        detail = f"audit did not complete: {error}"
+        if states is not None:
+            detail += f" (states explored: {states})"
+        self._m_errors.inc(kind=kind.value)
+        self._tel.events.emit(
+            CASE_FAILED,
+            case=case,
+            kind=kind.value,
+            error=str(error),
+            error_type=type(error).__name__,
+            retries=0,
+        )
+        return CaseAuditResult(
+            case=case,
+            purpose=purpose,
+            replay=None,
+            infringements=[Infringement(finding_kind, case, detail)],
+            outcome=kind,
+            error=str(error),
+            error_type=type(error).__name__,
+            states_explored=states,
+        )
+
     def _audit_case(self, case: str, case_trail: AuditTrail) -> CaseAuditResult:
         try:
             purpose = self._registry.purpose_of_case(case)
@@ -224,13 +383,16 @@ class PurposeControlAuditor:
                 infringements=[
                     Infringement(InfringementKind.UNKNOWN_PURPOSE, case, str(error))
                 ],
+                outcome=OutcomeKind.UNKNOWN_PURPOSE,
             )
 
         infringements: list[Infringement] = []
         if self._pdp is not None:
             infringements.extend(self._policy_infringements(case, case_trail))
 
-        replay = self.checker_for(purpose).check(case_trail)
+        replay = replay_with_deadline(
+            self.checker_for(purpose), case_trail, self._case_timeout_s
+        )
         if not replay.compliant:
             entry = replay.failed_entry
             detail = (
@@ -262,18 +424,36 @@ class PurposeControlAuditor:
                 )
 
         result = CaseAuditResult(
-            case=case, purpose=purpose, replay=replay, infringements=infringements
+            case=case,
+            purpose=purpose,
+            replay=replay,
+            infringements=infringements,
+            outcome=(
+                OutcomeKind.COMPLIANT
+                if replay.compliant
+                else OutcomeKind.INVALID_EXECUTION
+            ),
         )
         if self._severity is not None and infringements:
             result.severity = self._severity.assess(result)
         return result
 
-    def audit(self, trail: AuditTrail) -> AuditReport:
-        """Audit every case appearing in *trail*."""
+    def audit(
+        self, trail: AuditTrail, quarantine: "Quarantine | None" = None
+    ) -> AuditReport:
+        """Audit every case appearing in *trail*.
+
+        ``quarantine`` (optional) is the dead-letter collection the
+        ingestion layer filled while loading *trail*; its records are
+        attached to the report so the audit's output accounts for every
+        raw record, replayed or not.
+        """
         report = AuditReport()
         with self._tel.tracer.span("audit", entries=len(trail)):
             for case in trail.cases():
                 report.cases[case] = self.audit_case(case, trail.for_case(case))
+        if quarantine is not None:
+            report.quarantined = list(quarantine)
         return report
 
     def audit_object(self, trail: AuditTrail, obj: ObjectRef) -> AuditReport:

@@ -28,9 +28,11 @@ from typing import Optional
 from repro.audit.model import LogEntry
 from repro.core.auditor import Infringement, InfringementKind
 from repro.core.compliance import ComplianceChecker, ComplianceSession
+from repro.core.resilience import OutcomeKind, classify_failure
 from repro.core.temporal import TemporalConstraints, TemporalViolation
 from repro.errors import UnknownPurposeError
 from repro.obs import (
+    CASE_FAILED,
     INFRINGEMENT_RAISED,
     MONITOR_SWEEP,
     NULL_TELEMETRY,
@@ -47,9 +49,22 @@ class CaseState(Enum):
     COMPLETED = "completed"  # compliant and no further activity possible
     INFRINGING = "infringing"  # an entry could not be simulated
     TIMED_OUT = "timed-out"  # a temporal constraint fired
+    UNDECIDABLE = "undecidable"  # the case's process defeats Algorithm 1
+    FAILED = "failed"  # an unexpected exception was contained to the case
 
     def __str__(self) -> str:
         return self.value
+
+
+#: States in which further entries are short-circuited (reported once).
+_TERMINAL_STATES = frozenset(
+    {
+        CaseState.INFRINGING,
+        CaseState.TIMED_OUT,
+        CaseState.UNDECIDABLE,
+        CaseState.FAILED,
+    }
+)
 
 
 @dataclass
@@ -99,6 +114,9 @@ class OnlineMonitor:
         self._m_sweep_seconds = tel.registry.histogram(
             "monitor_sweep_seconds", "wall time per temporal sweep"
         )
+        self._m_errors = tel.registry.counter(
+            "audit_errors_total", "contained per-case audit failures, by kind"
+        )
 
     # -- internals --------------------------------------------------------
     def _checker_for(self, purpose: str) -> ComplianceChecker:
@@ -119,6 +137,45 @@ class OnlineMonitor:
             monitored.state = state
             self._m_cases.inc(state=state.value)
 
+    def _contain_failure(
+        self, case: str, purpose: Optional[str], error: BaseException
+    ) -> tuple[MonitoredCase, Infringement]:
+        """File a contained per-case failure; the monitor keeps running."""
+        kind = classify_failure(error)
+        state = (
+            CaseState.UNDECIDABLE
+            if kind is OutcomeKind.UNDECIDABLE
+            else CaseState.FAILED
+        )
+        finding_kind = (
+            InfringementKind.UNDECIDABLE
+            if kind is OutcomeKind.UNDECIDABLE
+            else InfringementKind.AUDIT_ERROR
+        )
+        monitored = self._cases.get(case)
+        if monitored is None:
+            monitored = MonitoredCase(case, purpose, None, state)
+            self._cases[case] = monitored
+            self._m_cases.inc(state=state.value)
+        else:
+            self._transition(monitored, state)
+        detail = f"monitoring did not complete: {error}"
+        states = getattr(error, "states_explored", None)
+        if states is not None:
+            detail += f" (states explored: {states})"
+        infringement = Infringement(finding_kind, case, detail)
+        self._infringements.append(infringement)
+        self._m_errors.inc(kind=kind.value)
+        self._tel.events.emit(
+            CASE_FAILED,
+            case=case,
+            kind=kind.value,
+            error=str(error),
+            error_type=type(error).__name__,
+            retries=0,
+        )
+        return monitored, infringement
+
     def _open_case(self, case: str) -> MonitoredCase:
         try:
             purpose = self._registry.purpose_of_case(case)
@@ -136,7 +193,13 @@ class OnlineMonitor:
                 detail=str(error),
             )
             return monitored
-        session = self._checker_for(purpose).session()
+        try:
+            session = self._checker_for(purpose).session()
+        except Exception as error:
+            # e.g. a non-well-founded process in the registry: contain it
+            # to this case instead of killing the stream.
+            monitored, _ = self._contain_failure(case, purpose, error)
+            return monitored
         monitored = MonitoredCase(case, purpose, session)
         self._cases[case] = monitored
         self._m_cases.inc(state=CaseState.OPEN.value)
@@ -150,17 +213,25 @@ class OnlineMonitor:
         raised: list[Infringement] = []
         if monitored is None:
             monitored = self._open_case(entry.case)
-            if monitored.purpose is None:
+            if monitored.purpose is None or monitored.session is None:
+                # unknown purpose, or a failure contained at case open:
+                # the finding was just recorded — hand it to the caller.
                 monitored.entries.append(entry)
                 return [self._infringements[-1]]
         monitored.entries.append(entry)
         monitored.first_seen = monitored.first_seen or entry.timestamp
         monitored.last_seen = entry.timestamp
 
-        if monitored.state in (CaseState.INFRINGING, CaseState.TIMED_OUT):
+        if monitored.state in _TERMINAL_STATES:
             return []  # already reported; don't spam per entry
         assert monitored.session is not None
-        still_ok = monitored.session.feed(entry)
+        try:
+            still_ok = monitored.session.feed(entry)
+        except Exception as error:
+            _, infringement = self._contain_failure(
+                entry.case, monitored.purpose, error
+            )
+            return [infringement]
         if not still_ok:
             self._transition(monitored, CaseState.INFRINGING)
             infringement = Infringement(
@@ -239,6 +310,14 @@ class OnlineMonitor:
             c
             for c, m in self._cases.items()
             if m.state in (CaseState.INFRINGING, CaseState.TIMED_OUT)
+        ]
+
+    def failed_cases(self) -> list[str]:
+        """Cases whose monitoring was contained (UNDECIDABLE / FAILED)."""
+        return [
+            c
+            for c, m in self._cases.items()
+            if m.state in (CaseState.UNDECIDABLE, CaseState.FAILED)
         ]
 
     @property

@@ -85,6 +85,48 @@ class AuditError(ReproError):
     """Base class for errors raised by the audit-trail substrate."""
 
 
+class MalformedEntryError(AuditError):
+    """A stored or serialized log entry could not be decoded.
+
+    Raised at ingestion boundaries (SQLite rows, XES events, batch
+    appends) when raw data does not round-trip into a valid
+    :class:`repro.audit.model.LogEntry`.  ``position`` locates the
+    offending record in its source (sequence number, event index, or
+    batch offset).
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class CaseTimeoutError(ReproError):
+    """A case replay exceeded its wall-clock budget.
+
+    The budget is cooperative: it is checked between replayed entries
+    (the intra-entry guard remains ``max_silent_states``), so a single
+    pathological WeakNext closure is bounded by states, not seconds.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget_s: float | None = None,
+        elapsed_s: float | None = None,
+    ):
+        super().__init__(message)
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
+class WorkerLostError(ReproError):
+    """A parallel-audit worker process died before returning a result."""
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
+
+
 class IntegrityError(AuditError):
     """The hash chain of an audit store failed verification."""
 

@@ -45,6 +45,8 @@ from repro.obs.export import (
 )
 from repro.obs.log import (
     CASE_AUDITED,
+    CASE_FAILED,
+    ENTRY_QUARANTINED,
     ENTRY_REPLAYED,
     EVENT_VOCABULARY,
     FRONTIER_GROWN,
@@ -53,6 +55,7 @@ from repro.obs.log import (
     NULL_EVENTS,
     WEAKNEXT_COMPUTED,
     WORKER_INIT,
+    WORKER_LOST,
     EventLogger,
     JsonLinesFormatter,
     MemoryEventLog,
@@ -123,8 +126,10 @@ NULL_TELEMETRY = Telemetry(
 
 __all__ = [
     "CASE_AUDITED",
+    "CASE_FAILED",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
+    "ENTRY_QUARANTINED",
     "ENTRY_REPLAYED",
     "EVENT_VOCABULARY",
     "FRONTIER_GROWN",
@@ -136,6 +141,7 @@ __all__ = [
     "NULL_TRACER",
     "WEAKNEXT_COMPUTED",
     "WORKER_INIT",
+    "WORKER_LOST",
     "Counter",
     "EventLogger",
     "Gauge",

@@ -22,6 +22,13 @@ event               emitted when
                     (fields: checked, violations, duration_s)
 ``worker.init``     a parallel-audit worker initialized its checkers
                     (fields: pid, purposes)
+``case.failed``     a case's replay was contained instead of aborting the
+                    run (fields: case, kind, error, error_type, retries)
+``worker.lost``     a worker process died and its in-flight jobs were
+                    requeued (fields: lost_jobs, attempt)
+``entry.quarantined``  a raw record failed validation at ingestion and
+                    went to the dead-letter collection (fields: source,
+                    position, reason)
 ==================  =====================================================
 
 The logger is plain :mod:`logging` under the hood (logger name
@@ -49,6 +56,9 @@ FRONTIER_GROWN = "frontier.grown"
 INFRINGEMENT_RAISED = "infringement.raised"
 MONITOR_SWEEP = "monitor.sweep"
 WORKER_INIT = "worker.init"
+CASE_FAILED = "case.failed"
+WORKER_LOST = "worker.lost"
+ENTRY_QUARANTINED = "entry.quarantined"
 
 EVENT_VOCABULARY = frozenset(
     {
@@ -59,6 +69,9 @@ EVENT_VOCABULARY = frozenset(
         INFRINGEMENT_RAISED,
         MONITOR_SWEEP,
         WORKER_INIT,
+        CASE_FAILED,
+        WORKER_LOST,
+        ENTRY_QUARANTINED,
     }
 )
 

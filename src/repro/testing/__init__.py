@@ -1,0 +1,28 @@
+"""Deterministic fault injection for exercising the resilience layer.
+
+See :mod:`repro.testing.faults`.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyChecker,
+    FaultySession,
+    InjectedFaultError,
+    cases_started,
+    corrupt_store_row,
+    corrupt_xes_event,
+    reset_fault_counters,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyChecker",
+    "FaultySession",
+    "InjectedFaultError",
+    "cases_started",
+    "corrupt_store_row",
+    "corrupt_xes_event",
+    "reset_fault_counters",
+]

@@ -1,0 +1,233 @@
+"""Deterministic fault injection for the audit pipeline.
+
+The resilience layer (:mod:`repro.core.resilience`,
+:mod:`repro.core.parallel`) promises that a batch audit completes with a
+verdict for every case no matter what individual cases do to their
+workers.  That promise is only worth something if it is *tested* against
+the failure modes it claims to survive — this module supplies those
+failure modes, reproducibly:
+
+* :class:`FaultPlan` + :class:`FaultInjector` — a picklable
+  ``checker_wrapper`` (the middleware seam of
+  :func:`repro.core.parallel.audit_cases_parallel` and
+  :class:`repro.core.auditor.PurposeControlAuditor`) that makes the
+  checker **crash its process** (``os._exit``) on the Nth case it
+  starts, **raise** an :class:`InjectedFaultError`, or **sleep** per fed
+  entry to trip the per-case wall-clock budget;
+* :func:`corrupt_xes_event` / :func:`corrupt_store_row` — entry
+  corruptors that poison exactly one record at an ingestion boundary,
+  for quarantine tests;
+* per-process case counters (:func:`cases_started`,
+  :func:`reset_fault_counters`) keyed by ``(pid, plan name)`` so forked
+  workers count from zero and "crash on the 3rd case *this worker*
+  starts" means what it says.
+
+Crashes guard on ``only_in_workers`` (default): the plan records the pid
+that built it (``armed_pid``) and ``os._exit`` only fires in a
+*different* process.  That way the parent's serial fallback — and the
+test process itself — replays the case normally instead of dying, which
+is exactly the recovery path the harness exists to exercise.  Use
+``raise_on_case`` to fault the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.audit.model import AuditTrail, LogEntry
+from repro.core.compliance import (
+    ComplianceChecker,
+    ComplianceResult,
+    ComplianceSession,
+)
+from repro.errors import ReproError
+
+
+class InjectedFaultError(ReproError):
+    """The failure a :class:`FaultPlan` with ``raise_on_case`` injects."""
+
+
+# (pid, plan name) -> number of cases started.  Keyed by pid so a forked
+# worker inheriting the parent's module state still counts from zero.
+_CASE_COUNTS: dict[tuple[int, str], int] = {}
+
+
+def cases_started(plan_name: str = "default") -> int:
+    """How many cases *this process* started under *plan_name*."""
+    return _CASE_COUNTS.get((os.getpid(), plan_name), 0)
+
+
+def reset_fault_counters(plan_name: Optional[str] = None) -> None:
+    """Forget case counts (all plans, or just *plan_name*) in this process."""
+    pid = os.getpid()
+    for key in [k for k in _CASE_COUNTS if k[0] == pid]:
+        if plan_name is None or key[1] == plan_name:
+            del _CASE_COUNTS[key]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, and when.  Picklable; crosses the process boundary.
+
+    ``crash_on_case`` / ``raise_on_case`` are 1-based indices over the
+    cases a single process starts (each process counts independently).
+    ``slow_s`` sleeps before every fed entry — pair it with
+    ``case_timeout_s`` to trip TIMEOUT outcomes deterministically.
+    """
+
+    name: str = "default"
+    crash_on_case: Optional[int] = None
+    raise_on_case: Optional[int] = None
+    slow_s: float = 0.0
+    exit_code: int = 17
+    only_in_workers: bool = True
+    armed_pid: int = field(default_factory=os.getpid)
+
+    def _next_case(self) -> int:
+        key = (os.getpid(), self.name)
+        count = _CASE_COUNTS.get(key, 0) + 1
+        _CASE_COUNTS[key] = count
+        return count
+
+    def _may_crash(self) -> bool:
+        return not self.only_in_workers or os.getpid() != self.armed_pid
+
+    def on_case_start(self, purpose: str) -> None:
+        """Apply case-level faults; called once per check/session."""
+        count = self._next_case()
+        if self.crash_on_case is not None and count == self.crash_on_case:
+            if self._may_crash():
+                os._exit(self.exit_code)  # simulate a segfault / OOM kill
+        if self.raise_on_case is not None and count == self.raise_on_case:
+            raise InjectedFaultError(
+                f"injected fault on case #{count} (purpose {purpose!r}, "
+                f"pid {os.getpid()})"
+            )
+
+    def on_entry(self) -> None:
+        """Apply entry-level faults; called before every fed entry."""
+        if self.slow_s > 0.0:
+            time.sleep(self.slow_s)
+
+
+class FaultySession:
+    """A :class:`ComplianceSession` that misbehaves per the plan."""
+
+    def __init__(self, session: ComplianceSession, plan: FaultPlan):
+        self._session = session
+        self._plan = plan
+
+    def feed(self, entry: LogEntry) -> bool:
+        self._plan.on_entry()
+        return self._session.feed(entry)
+
+    @property
+    def compliant(self) -> bool:
+        return self._session.compliant
+
+    @property
+    def frontier(self):
+        return self._session.frontier
+
+    @property
+    def steps(self):
+        return self._session.steps
+
+    @property
+    def entries_fed(self) -> int:
+        return self._session.entries_fed
+
+    def result(self) -> ComplianceResult:
+        return self._session.result()
+
+
+class FaultyChecker:
+    """A :class:`ComplianceChecker` stand-in that misbehaves per the plan.
+
+    Delegates every verdict to the wrapped checker, so when the plan is
+    inert (or its trigger has passed) results are byte-identical to the
+    unwrapped checker's.
+    """
+
+    def __init__(
+        self, checker: ComplianceChecker, plan: FaultPlan, purpose: str
+    ):
+        self._checker = checker
+        self._plan = plan
+        self._purpose = purpose
+
+    @property
+    def encoded(self):
+        return self._checker.encoded
+
+    @property
+    def engine(self):
+        return self._checker.engine
+
+    @property
+    def purpose(self) -> str:
+        return self._checker.purpose
+
+    def session(self) -> FaultySession:
+        self._plan.on_case_start(self._purpose)
+        return FaultySession(self._checker.session(), self._plan)
+
+    def check(
+        self, trail: AuditTrail | Iterable[LogEntry]
+    ) -> ComplianceResult:
+        self._plan.on_case_start(self._purpose)
+        self._plan.on_entry()
+        return self._checker.check(trail)
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """The picklable ``checker_wrapper``: wraps checkers of the targeted
+    purposes in :class:`FaultyChecker`.
+
+    ``purposes=None`` targets every purpose.  Pass an instance as
+    ``checker_wrapper=`` to :func:`~repro.core.parallel.audit_cases_parallel`
+    or :class:`~repro.core.auditor.PurposeControlAuditor`.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    purposes: Optional[tuple[str, ...]] = None
+
+    def __call__(
+        self, checker: ComplianceChecker, purpose: str
+    ) -> ComplianceChecker | FaultyChecker:
+        if self.purposes is not None and purpose not in self.purposes:
+            return checker
+        return FaultyChecker(checker, self.plan, purpose)
+
+
+# ---------------------------------------------------------------------------
+# entry corruptors (for quarantine tests)
+
+
+def corrupt_xes_event(
+    document: str, timestamp: str, replacement: str = "not-a-timestamp"
+) -> str:
+    """Replace one event timestamp in an XES document with garbage.
+
+    *timestamp* is the exact ``value=`` text of the target event's
+    ``time:timestamp`` attribute; the corrupted document still parses as
+    XML, so only that one event lands in quarantine.
+    """
+    needle = f'value="{timestamp}"'
+    if needle not in document:
+        raise ValueError(f"timestamp {timestamp!r} not found in document")
+    return document.replace(needle, f'value="{replacement}"', 1)
+
+
+def corrupt_store_row(store, seq: int, status: str = "not-a-status") -> None:
+    """Poison one stored row so it no longer decodes as a ``LogEntry``.
+
+    Uses :meth:`~repro.audit.store.AuditStore.tamper` under the hood, so
+    the hash chain breaks too — a quarantine-mode read surfaces the row
+    as a dead letter instead of failing the batch.
+    """
+    store.tamper(seq, status=status)

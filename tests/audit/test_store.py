@@ -1,11 +1,12 @@
 """Tests for the SQLite audit store and its hash-chain integrity."""
 
-from datetime import datetime
+from dataclasses import replace
+from datetime import datetime, timedelta, timezone
 
 import pytest
 
 from repro.audit import AuditStore, AuditTrail, LogEntry, Status
-from repro.errors import IntegrityError
+from repro.errors import IntegrityError, MalformedEntryError
 from repro.policy import ObjectRef
 from repro.scenarios import paper_audit_trail
 
@@ -80,6 +81,114 @@ class TestAppendAndQuery:
         assert fetched.failed
 
 
+class TestAtomicBatchAppend:
+    """append_many is one transaction: a bad entry rolls everything back."""
+
+    def test_failed_batch_leaves_no_partial_prefix(self, store):
+        trail = paper_audit_trail()
+        batch = list(trail[:5])
+        # a stringly-typed status cannot be serialized (no .value)
+        batch.insert(3, replace(trail[5], status="oops"))
+        with pytest.raises(MalformedEntryError) as excinfo:
+            store.append_many(batch)
+        assert excinfo.value.position == 3
+        # NOTHING was written — not even the three good leading entries
+        assert len(store) == 0
+        assert store.query() == AuditTrail([])
+        store.verify_integrity()  # the (empty) chain is still coherent
+
+    def test_failed_batch_preserves_earlier_appends(self, store):
+        trail = paper_audit_trail()
+        store.append_many(trail[:3])
+        bad = [trail[3], replace(trail[4], status="oops")]
+        with pytest.raises(MalformedEntryError):
+            store.append_many(bad)
+        assert len(store) == 3
+        store.verify_integrity()
+        # and the store is still appendable afterwards
+        store.append(trail[3])
+        assert len(store) == 4
+        store.verify_integrity()
+
+    def test_successful_batch_counts_entries(self, store):
+        written = store.append_many(paper_audit_trail())
+        assert written == len(paper_audit_trail()) == len(store)
+
+
+class TestTimestampNormalization:
+    """Aware and naive timestamps must compare meaningfully in queries."""
+
+    def entry_at(self, when, case="TZ-1", task="T1"):
+        return LogEntry(
+            user="Sam", role="Staff", action="work", obj=None,
+            task=task, case=case, timestamp=when,
+        )
+
+    def test_aware_entries_stored_as_naive_utc(self, store):
+        plus_two = timezone(timedelta(hours=2))
+        store.append(
+            self.entry_at(datetime(2010, 5, 1, 12, 0, tzinfo=plus_two))
+        )
+        fetched = store.query()[0]
+        assert fetched.timestamp.tzinfo is None
+        assert fetched.timestamp == datetime(2010, 5, 1, 10, 0)
+
+    def test_mixed_aware_and_naive_query_bounds(self, store):
+        plus_two = timezone(timedelta(hours=2))
+        store.append_many([
+            self.entry_at(datetime(2010, 5, 1, 10, 0), task="T1"),
+            # 12:00+02:00 == 10:30 UTC — between the two naive entries
+            self.entry_at(
+                datetime(2010, 5, 1, 12, 30, tzinfo=plus_two), task="T2"
+            ),
+            self.entry_at(datetime(2010, 5, 1, 11, 0), task="T3"),
+        ])
+        # an aware bound filters against the naive-UTC storage form
+        since = datetime(2010, 5, 1, 12, 15, tzinfo=plus_two)  # 10:15 UTC
+        late = store.query(since=since)
+        assert [e.task for e in late] == ["T2", "T3"]
+        until = datetime(2010, 5, 1, 12, 45, tzinfo=plus_two)  # 10:45 UTC
+        early = store.query(until=until)
+        assert [e.task for e in early] == ["T1", "T2"]
+        store.verify_integrity()
+
+
+class TestPurgeOutOfOrder:
+    def entry_at(self, when, task):
+        return LogEntry(
+            user="Sam", role="Staff", action="work", obj=None,
+            task=task, case="P-1", timestamp=when,
+        )
+
+    def test_young_entry_blocks_purging_older_successors(self, store):
+        # appended out of chronological order: old, young, old
+        store.append_many([
+            self.entry_at(datetime(2010, 1, 1), "T1"),
+            self.entry_at(datetime(2010, 6, 1), "T2"),
+            self.entry_at(datetime(2010, 2, 1), "T3"),
+        ])
+        purged = store.purge_before(datetime(2010, 3, 1))
+        # only the prefix strictly older than the cutoff goes: T1.  T2 is
+        # younger and blocks T3, even though T3 is old enough.
+        assert purged == 1
+        assert {e.task for e in store.query()} == {"T2", "T3"}
+        store.verify_integrity()
+
+    def test_aware_cutoff_is_normalized(self, store):
+        store.append_many([
+            self.entry_at(datetime(2010, 1, 1, 10, 0), "T1"),
+            self.entry_at(datetime(2010, 1, 1, 12, 0), "T2"),
+        ])
+        plus_two = timezone(timedelta(hours=2))
+        # 13:00+02:00 == 11:00 UTC: purges T1 (10:00), keeps T2 (12:00)
+        purged = store.purge_before(
+            datetime(2010, 1, 1, 13, 0, tzinfo=plus_two)
+        )
+        assert purged == 1
+        assert [e.task for e in store.query()] == ["T2"]
+        store.verify_integrity()
+
+
 class TestIntegrity:
     def test_fresh_store_is_intact(self, store):
         store.verify_integrity()
@@ -107,6 +216,66 @@ class TestIntegrity:
     def test_tamper_rejects_unknown_columns(self, loaded):
         with pytest.raises(ValueError):
             loaded.tamper(1, hash="0" * 64)
+
+    @pytest.mark.parametrize(
+        "column, value",
+        [
+            ("user", "Mallory"),
+            ("role", "Admin"),
+            ("action", "exfiltrate"),
+            ("obj", "[Mallory]EPR"),
+            ("task", "T99"),
+            ("case_id", "HT-99"),
+            ("status", "failure"),
+        ],
+    )
+    def test_every_tamperable_column_is_detected(self, loaded, column, value):
+        loaded.tamper(5, **{column: value})
+        with pytest.raises(IntegrityError) as excinfo:
+            loaded.verify_integrity()
+        assert excinfo.value.first_bad_seq == 5
+
+    def test_undecodable_row_is_an_integrity_breach(self, loaded):
+        # garbage that no longer parses as a Status: verify_integrity
+        # reports it as tampering, not as a crash
+        loaded.tamper(4, status="not-a-status")
+        with pytest.raises(IntegrityError) as excinfo:
+            loaded.verify_integrity()
+        assert excinfo.value.first_bad_seq == 4
+        assert "no longer decodes" in str(excinfo.value)
+
+
+class TestQuarantinedReads:
+    def test_malformed_row_raises_without_quarantine(self, loaded):
+        loaded.tamper(4, status="not-a-status")
+        with pytest.raises(MalformedEntryError) as excinfo:
+            loaded.query()
+        assert excinfo.value.position == 4
+
+    def test_malformed_row_diverted_to_quarantine(self, loaded):
+        from repro.core.resilience import Quarantine
+
+        loaded.tamper(4, status="not-a-status")
+        quarantine = Quarantine()
+        trail = loaded.query(quarantine=quarantine)
+        assert len(trail) == len(paper_audit_trail()) - 1
+        assert len(quarantine) == 1
+        record = quarantine.entries[0]
+        assert record.source == "store"
+        assert record.position == 4
+        assert "not-a-status" in record.raw
+
+    def test_quarantine_telemetry_counter(self, loaded):
+        from repro.core.resilience import Quarantine
+        from repro.obs import Telemetry
+
+        loaded.tamper(4, status="not-a-status")
+        telemetry = Telemetry.create()
+        quarantine = Quarantine(telemetry)
+        loaded.query(quarantine=quarantine)
+        assert telemetry.registry.counter(
+            "quarantined_entries_total"
+        ).value(source="store") == 1
 
 
 class TestStoreTrailInterop:

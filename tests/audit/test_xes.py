@@ -134,3 +134,57 @@ class TestErrors:
         </trace></log>"""
         trail = import_xes(document)
         assert trail[0].case == "trace-0"
+
+
+class TestQuarantine:
+    BAD_TS = """<log><trace>
+        <string key="concept:name" value="C-1"/>
+        <event>
+          <string key="concept:name" value="T01"/>
+          <date key="time:timestamp" value="2010-01-01T00:00:00"/>
+        </event>
+        <event>
+          <string key="concept:name" value="T02"/>
+          <date key="time:timestamp" value="yesterday"/>
+        </event>
+        <event>
+          <string key="concept:name" value="T03"/>
+          <date key="time:timestamp" value="2010-01-01T00:02:00"/>
+        </event>
+    </trace></log>"""
+
+    def test_bad_status_raises_xes_error(self):
+        document = """<log><trace>
+            <string key="concept:name" value="C-1"/>
+            <event>
+              <string key="concept:name" value="T01"/>
+              <date key="time:timestamp" value="2010-01-01T00:00:00"/>
+              <string key="purpose:status" value="maybe"/>
+            </event>
+        </trace></log>"""
+        with pytest.raises(XesError):
+            import_xes(document)
+
+    def test_corrupt_event_quarantined_not_fatal(self):
+        from repro.core.resilience import Quarantine
+
+        quarantine = Quarantine()
+        trail = import_xes(self.BAD_TS, quarantine=quarantine)
+        assert [e.task for e in trail] == ["T01", "T03"]
+        assert len(quarantine) == 1
+        record = quarantine.entries[0]
+        assert record.source == "xes"
+        assert record.position == 1  # the second event of the document
+        assert "yesterday" in record.reason or "yesterday" in record.raw
+
+    def test_document_level_errors_still_raise_with_quarantine(self):
+        from repro.core.resilience import Quarantine
+
+        with pytest.raises(XesError):
+            import_xes("<notalog/>", quarantine=Quarantine())
+        with pytest.raises(XesError):
+            import_xes("<log><trace>", quarantine=Quarantine())
+
+    def test_quarantine_free_import_unchanged(self):
+        with pytest.raises(XesError):
+            import_xes(self.BAD_TS)

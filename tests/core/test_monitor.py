@@ -122,3 +122,86 @@ class TestCaseLifecycle:
         assert monitor.case_state("CT-1") in (
             CaseState.OPEN, CaseState.COMPLETED,
         )
+
+
+class TestFailureContainment:
+    """Per-case failures are contained; the stream keeps flowing."""
+
+    def sick_registry(self):
+        from repro.bpmn import ProcessBuilder
+        from repro.policy.registry import ProcessRegistry
+        from repro.scenarios import sequential_process
+
+        builder = ProcessBuilder("sick", purpose="sick")
+        pool = builder.pool("Staff")
+        pool.start_event("S").task("T")
+        pool.exclusive_gateway("G1").exclusive_gateway("G2")
+        pool.end_event("E")
+        builder.chain("S", "T", "G1", "G2")
+        builder.flow("G2", "G1")
+        builder.flow("G2", "E")
+        registry = ProcessRegistry()
+        registry.register(sequential_process(2), "OK")
+        registry.register(builder.build(validate=False), "NW")
+        return registry
+
+    def entry(self, case, task, minute=0):
+        from repro.audit import LogEntry, Status
+
+        return LogEntry(
+            user="Sam", role="Staff", action="work", obj=None,
+            task=task, case=case,
+            timestamp=datetime(2010, 1, 1, 9, minute),
+            status=Status.SUCCESS,
+        )
+
+    def test_non_well_founded_case_contained_as_undecidable(self):
+        from repro.core import InfringementKind
+
+        monitor = OnlineMonitor(self.sick_registry())
+        raised = monitor.observe(self.entry("NW-1", "T"))
+        assert len(raised) == 1
+        assert raised[0].kind is InfringementKind.UNDECIDABLE
+        assert monitor.case_state("NW-1") is CaseState.UNDECIDABLE
+        assert monitor.failed_cases() == ["NW-1"]
+        # reported once: further entries for the sick case are silent
+        assert monitor.observe(self.entry("NW-1", "T", minute=1)) == []
+        # ...and healthy cases keep streaming normally
+        assert monitor.observe(self.entry("OK-1", "T1", minute=2)) == []
+        assert monitor.case_state("OK-1") is CaseState.OPEN
+
+    def test_feed_exception_contained_as_failed(self):
+        from repro.core import InfringementKind
+
+        monitor = OnlineMonitor(self.sick_registry())
+        monitor.observe(self.entry("OK-1", "T1"))
+
+        class ExplodingSession:
+            def feed(self, entry):
+                raise RuntimeError("checker blew up")
+
+        monitor._cases["OK-1"].session = ExplodingSession()
+        raised = monitor.observe(self.entry("OK-1", "T2", minute=1))
+        assert len(raised) == 1
+        assert raised[0].kind is InfringementKind.AUDIT_ERROR
+        assert "checker blew up" in raised[0].detail
+        assert monitor.case_state("OK-1") is CaseState.FAILED
+        assert monitor.failed_cases() == ["OK-1"]
+        # terminal: nothing more from this case
+        assert monitor.observe(self.entry("OK-1", "T2", minute=2)) == []
+
+    def test_contained_failures_counted_by_kind(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry.create()
+        monitor = OnlineMonitor(self.sick_registry(), telemetry=telemetry)
+        monitor.observe(self.entry("NW-1", "T"))
+        assert telemetry.registry.counter("audit_errors_total").value(
+            kind="undecidable"
+        ) == 1
+
+    def test_failed_cases_excluded_from_infringing_listing(self):
+        monitor = OnlineMonitor(self.sick_registry())
+        monitor.observe(self.entry("NW-1", "T"))
+        assert monitor.infringing_cases() == []
+        assert monitor.statistics()["undecidable"] == 1

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.parallel import audit_cases_parallel
+from repro.core.parallel import audit_cases_parallel, verdicts_from_outcomes
+from repro.core.resilience import OutcomeKind
 from repro.obs import Telemetry
 from repro.scenarios import (
     hospital_day,
@@ -19,12 +20,15 @@ def registry():
 
 class TestSerialPath:
     def test_paper_trail_verdicts(self, registry):
-        verdicts = audit_cases_parallel(registry, paper_audit_trail(), workers=1)
+        outcomes = audit_cases_parallel(registry, paper_audit_trail(), workers=1)
+        verdicts = verdicts_from_outcomes(outcomes)
         assert verdicts["HT-1"] is True
+        assert outcomes["HT-1"].kind is OutcomeKind.COMPLIANT
         # without a hierarchy CT-1's Cardiologist cannot match Physician:
         assert verdicts["CT-1"] is False
         for case in ("HT-10", "HT-11", "HT-20", "HT-21", "HT-30"):
             assert verdicts[case] is False
+            assert outcomes[case].kind is OutcomeKind.INVALID_EXECUTION
 
     def test_unknown_prefix_is_distinguishable_from_non_compliant(self, registry):
         # An unknown case prefix mirrors InfringementKind.UNKNOWN_PURPOSE:
@@ -33,28 +37,37 @@ class TestSerialPath:
         from dataclasses import replace
 
         entry = replace(paper_audit_trail()[0], case="ZZ-1")
-        verdicts = audit_cases_parallel(registry, AuditTrail([entry]), workers=1)
-        assert verdicts == {"ZZ-1": None}
-        assert verdicts["ZZ-1"] is not False
+        outcomes = audit_cases_parallel(registry, AuditTrail([entry]), workers=1)
+        assert outcomes["ZZ-1"].kind is OutcomeKind.UNKNOWN_PURPOSE
+        assert outcomes["ZZ-1"].verdict is None
+        assert "ZZ" in (outcomes["ZZ-1"].error or "")
 
     def test_hierarchy_is_forwarded_to_checkers(self, registry):
         # With the Cardiologist:Physician specialization, CT-1's entries
         # match the Physician pool — exactly as the serial auditor decides.
-        verdicts = audit_cases_parallel(
+        outcomes = audit_cases_parallel(
             registry,
             paper_audit_trail(),
             workers=1,
             hierarchy=role_hierarchy(),
         )
-        assert verdicts["CT-1"] is True
+        assert outcomes["CT-1"].verdict is True
 
-    def test_max_silent_states_is_forwarded(self, registry):
-        from repro.errors import NotFinitelyObservableError
-
-        with pytest.raises(NotFinitelyObservableError):
-            audit_cases_parallel(
-                registry, paper_audit_trail(), workers=1, max_silent_states=1
-            )
+    def test_max_silent_states_contained_as_undecidable(self, registry):
+        # The silent-state bound tripping no longer aborts the batch: the
+        # affected cases come back UNDECIDABLE with the captured error.
+        outcomes = audit_cases_parallel(
+            registry, paper_audit_trail(), workers=1, max_silent_states=1
+        )
+        assert set(outcomes) == set(paper_audit_trail().cases())
+        undecidable = [
+            o for o in outcomes.values() if o.kind is OutcomeKind.UNDECIDABLE
+        ]
+        assert undecidable
+        assert all(
+            o.error_type == "NotFinitelyObservableError" for o in undecidable
+        )
+        assert all(o.states_explored is not None for o in undecidable)
 
 
 class TestMultiprocessPath:
@@ -62,32 +75,37 @@ class TestMultiprocessPath:
         workload = hospital_day(n_cases=12, violation_rate=0.25, seed=2)
         serial = audit_cases_parallel(registry, workload.trail, workers=1)
         multi = audit_cases_parallel(registry, workload.trail, workers=2)
-        assert serial == multi == workload.ground_truth
+        assert (
+            verdicts_from_outcomes(serial)
+            == verdicts_from_outcomes(multi)
+            == workload.ground_truth
+        )
 
-    def test_every_case_gets_a_verdict(self, registry):
+    def test_every_case_gets_an_outcome(self, registry):
         workload = hospital_day(n_cases=7, violation_rate=0.0, seed=3)
-        verdicts = audit_cases_parallel(registry, workload.trail, workers=2)
-        assert set(verdicts) == set(workload.trail.cases())
+        outcomes = audit_cases_parallel(registry, workload.trail, workers=2)
+        assert set(outcomes) == set(workload.trail.cases())
+        assert all(o.kind is OutcomeKind.COMPLIANT for o in outcomes.values())
 
     def test_hierarchy_forwarded_across_processes(self, registry):
-        verdicts = audit_cases_parallel(
+        outcomes = audit_cases_parallel(
             registry,
             paper_audit_trail(),
             workers=2,
             hierarchy=role_hierarchy(),
         )
-        assert verdicts["CT-1"] is True
+        assert outcomes["CT-1"].verdict is True
 
 
 class TestWorkerTelemetry:
     def test_worker_counters_merge_into_parent_registry(self, registry):
         telemetry = Telemetry.create()
         trail = paper_audit_trail()
-        verdicts = audit_cases_parallel(
+        outcomes = audit_cases_parallel(
             registry, trail, workers=2, telemetry=telemetry
         )
         reg = telemetry.registry
-        assert reg.counter("cases_audited_total").total == len(verdicts)
+        assert reg.counter("cases_audited_total").total == len(outcomes)
         # every replayed entry is accounted for under some outcome label
         entries = reg.counter("replay_entries_total")
         assert entries.total == len(trail)
@@ -114,5 +132,5 @@ class TestWorkerTelemetry:
 
     def test_disabled_telemetry_hands_back_no_stats(self, registry):
         workload = hospital_day(n_cases=3, violation_rate=0.0, seed=5)
-        verdicts = audit_cases_parallel(registry, workload.trail, workers=1)
-        assert set(verdicts) == set(workload.trail.cases())
+        outcomes = audit_cases_parallel(registry, workload.trail, workers=1)
+        assert set(outcomes) == set(workload.trail.cases())

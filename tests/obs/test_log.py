@@ -4,6 +4,8 @@ import json
 
 from repro.obs.log import (
     CASE_AUDITED,
+    CASE_FAILED,
+    ENTRY_QUARANTINED,
     ENTRY_REPLAYED,
     EVENT_VOCABULARY,
     FRONTIER_GROWN,
@@ -12,6 +14,7 @@ from repro.obs.log import (
     NULL_EVENTS,
     WEAKNEXT_COMPUTED,
     WORKER_INIT,
+    WORKER_LOST,
     MemoryEventLog,
     json_lines_logger,
 )
@@ -21,12 +24,15 @@ class TestVocabulary:
     def test_all_documented_events_present(self):
         assert EVENT_VOCABULARY == {
             CASE_AUDITED,
+            CASE_FAILED,
+            ENTRY_QUARANTINED,
             ENTRY_REPLAYED,
             WEAKNEXT_COMPUTED,
             FRONTIER_GROWN,
             INFRINGEMENT_RAISED,
             MONITOR_SWEEP,
             WORKER_INIT,
+            WORKER_LOST,
         }
 
 

@@ -374,3 +374,110 @@ class TestDemo:
         assert code == EXIT_INFRINGEMENT  # the paper's trail has 5
         out = capsys.readouterr().out
         assert "HT-1" in out and "CT-1" in out
+
+
+class TestAuditResilienceFlags:
+    def sick_json(self, tmp_path):
+        from repro.bpmn import ProcessBuilder
+        from repro.bpmn.serialize import dumps as dump_process
+
+        builder = ProcessBuilder("sick", purpose="sick")
+        pool = builder.pool("Staff")
+        pool.start_event("S").task("T")
+        pool.exclusive_gateway("G1").exclusive_gateway("G2")
+        pool.end_event("E")
+        builder.chain("S", "T", "G1", "G2")
+        builder.flow("G2", "G1")
+        builder.flow("G2", "E")
+        path = tmp_path / "sick.json"
+        path.write_text(dump_process(builder.build(validate=False)))
+        return str(path)
+
+    def test_non_well_founded_case_reported_not_fatal(
+        self, ht_json, tmp_path, capsys
+    ):
+        from datetime import datetime
+        from repro.audit import AuditTrail, LogEntry, Status
+
+        sick = self.sick_json(tmp_path)
+        trail = AuditTrail(
+            list(paper_audit_trail().for_case("HT-1"))
+            + [LogEntry(
+                user="Sam", role="Staff", action="work", obj=None,
+                task="T", case="NW-1",
+                timestamp=datetime(2010, 5, 1), status=Status.SUCCESS,
+            )]
+        )
+        trail_path = tmp_path / "mixed.xes"
+        trail_path.write_text(export_xes(trail))
+        code = main([
+            "audit", "--process", f"HT:{ht_json}",
+            "--process", f"NW:{sick}", "--trail", str(trail_path),
+            "--role", "Cardiologist:Physician",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_INFRINGEMENT
+        assert "UNDECIDABLE" in out
+        assert "not auditable" in out
+
+    def test_case_timeout_flag_parses_and_audits(
+        self, ht_json, ct_json, trail_xes, capsys
+    ):
+        # a generous budget: behavior identical to the unbudgeted audit
+        code = main([
+            "audit", "--process", f"HT:{ht_json}",
+            "--process", f"CT:{ct_json}", "--trail", trail_xes,
+            "--role", "Cardiologist:Physician",
+            "--case-timeout", "60", "--on-error", "skip",
+        ])
+        assert code == EXIT_INFRINGEMENT
+        assert "HT-11" in capsys.readouterr().out
+
+    def test_parallel_audit_via_workers_flag(
+        self, ht_json, ct_json, trail_xes, capsys
+    ):
+        code = main([
+            "audit", "--process", f"HT:{ht_json}",
+            "--process", f"CT:{ct_json}", "--trail", trail_xes,
+            "--role", "Cardiologist:Physician",
+            "--workers", "2", "--retries", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_INFRINGEMENT
+        assert "Parallel audit" in out
+        assert "invalid-execution" in out
+
+    def test_quarantine_mode_surfaces_dead_letters(
+        self, ht_json, tmp_path, capsys
+    ):
+        from repro.audit import AuditStore
+        from repro.testing import corrupt_store_row
+
+        db = tmp_path / "log.db"
+        with AuditStore(str(db)) as store:
+            store.append_many(paper_audit_trail().for_case("HT-1"))
+            corrupt_store_row(store, 3)
+        code = main([
+            "audit", "--process", f"HT:{ht_json}", "--trail", str(db),
+            "--role", "Cardiologist:Physician",
+            "--on-error", "quarantine",
+        ])
+        out = capsys.readouterr().out
+        assert code == EXIT_INFRINGEMENT  # quarantined records taint the run
+        assert "quarantined" in out
+
+    def test_corrupt_store_without_quarantine_still_fails(
+        self, ht_json, tmp_path, capsys
+    ):
+        from repro.audit import AuditStore
+        from repro.testing import corrupt_store_row
+
+        db = tmp_path / "log.db"
+        with AuditStore(str(db)) as store:
+            store.append_many(paper_audit_trail().for_case("HT-1"))
+            corrupt_store_row(store, 3)
+        code = main([
+            "audit", "--process", f"HT:{ht_json}", "--trail", str(db),
+        ])
+        assert code == EXIT_BAD_INPUT
+        assert "error" in capsys.readouterr().err
