@@ -29,6 +29,13 @@ Resilience (``docs/robustness.md``): ``repro audit`` accepts
 ``--workers N`` (parallel, crash-isolated case auditing), ``--on-error
 {fail,skip,quarantine}``, ``--case-timeout SECONDS`` and ``--retries N``.
 
+Compiled replay (``docs/compilation.md``): ``repro compile`` builds each
+purpose's automaton eagerly and persists it under ``--automaton-dir``;
+``repro audit --compiled`` replays through (in-memory) automata, and
+``repro audit --automaton-dir DIR`` additionally loads/persists the
+warm artifacts so later runs — and parallel workers — skip re-encoding
+and re-exploration entirely.
+
 Exit codes: 0 — success / compliant; 1 — infringements found; 2 — bad
 input.
 """
@@ -349,6 +356,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             retry_policy=RetryPolicy(max_attempts=args.retries + 1),
             case_timeout_s=args.case_timeout,
+            compiled=args.compiled,
+            automaton_dir=args.automaton_dir,
         )
         clean = _print_parallel_outcomes(outcomes, quarantine)
         _emit_telemetry(args, telemetry)
@@ -359,11 +368,61 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         telemetry=telemetry,
         on_error=args.on_error,
         case_timeout_s=args.case_timeout,
+        compiled=args.compiled or None,
+        automaton_dir=args.automaton_dir,
     )
     report = auditor.audit(trail, quarantine=quarantine)
     print(report.summary())
     _emit_telemetry(args, telemetry)
     return EXIT_OK if report.compliant else EXIT_INFRINGEMENT
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Eagerly compile every registered purpose into a persisted automaton."""
+    from repro.compile import (
+        AutomatonCache,
+        compile_automaton,
+        fingerprint_encoded,
+    )
+
+    registry = _load_registry(args.process)
+    hierarchy = _load_hierarchy(args.role)
+    telemetry = _telemetry_from_args(args)
+    cache = AutomatonCache(args.automaton_dir, telemetry=telemetry)
+    failures = 0
+    for purpose in sorted(registry.purposes()):
+        try:
+            encoded = registry.encoded_for(purpose)
+            fingerprint = fingerprint_encoded(encoded, hierarchy=hierarchy)
+            automaton = cache.load(purpose, fingerprint)
+            if automaton is not None and not args.force:
+                print(
+                    f"{purpose}: up to date "
+                    f"({automaton.state_count} state(s), "
+                    f"{automaton.transition_count} transition(s), "
+                    f"fingerprint {fingerprint[:12]})"
+                )
+                continue
+            checker = ComplianceChecker(
+                encoded, hierarchy=hierarchy, telemetry=telemetry
+            )
+            automaton = compile_automaton(
+                checker,
+                fingerprint=fingerprint,
+                max_states=args.max_states,
+                telemetry=telemetry,
+            )
+            path = cache.save(automaton)
+            print(
+                f"{purpose}: compiled {automaton.state_count} state(s), "
+                f"{automaton.transition_count} transition(s), "
+                f"fingerprint {fingerprint[:12]} -> {path}"
+            )
+        except ReproError as error:
+            failures += 1
+            print(f"{purpose}: FAILED ({error})", file=sys.stderr)
+    _emit_telemetry(args, telemetry)
+    return EXIT_BAD_INPUT if failures else EXIT_OK
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -506,8 +565,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=2,
         help="re-dispatches per case after worker loss (default: 2)",
     )
+    compilation = audit.add_argument_group("compiled replay")
+    compilation.add_argument(
+        "--compiled", action="store_true",
+        help="replay through in-memory purpose automata "
+        "(docs/compilation.md)",
+    )
+    compilation.add_argument(
+        "--automaton-dir", metavar="DIR", default=None,
+        help="load/persist compiled automata in DIR (implies --compiled); "
+        "invalid artifacts are recompiled transparently",
+    )
     _add_telemetry_args(audit)
     audit.set_defaults(handler=_cmd_audit)
+
+    compile_cmd = commands.add_parser(
+        "compile",
+        help="compile purpose automata and persist them as artifacts",
+    )
+    compile_cmd.add_argument(
+        "--process", action="append", required=True, metavar="PREFIX:FILE"
+    )
+    compile_cmd.add_argument(
+        "--automaton-dir", required=True, metavar="DIR",
+        help="directory receiving the .automaton.json artifacts",
+    )
+    compile_cmd.add_argument(
+        "--role", action="append", metavar="CHILD:PARENT",
+        help="role specialization, e.g. Cardiologist:Physician (repeatable)",
+    )
+    compile_cmd.add_argument(
+        "--max-states", type=int, default=50_000,
+        help="automaton state bound (mirrors the frontier guard; "
+        "default: 50000)",
+    )
+    compile_cmd.add_argument(
+        "--force", action="store_true",
+        help="recompile even when a valid artifact exists",
+    )
+    _add_telemetry_args(compile_cmd)
+    compile_cmd.set_defaults(handler=_cmd_compile)
 
     stats = commands.add_parser(
         "stats",

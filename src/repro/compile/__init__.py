@@ -1,0 +1,142 @@
+"""Purpose-automaton compiler: shared, persistent replay acceleration.
+
+Algorithm 1's frontier-set replay is a lazy subset construction over
+observable labels, so it compiles: this package determinizes a
+well-founded process's observable LTS into a **purpose automaton** —
+integer states for deduplicated configuration frontiers, transitions
+keyed by canonical entry keys, each carrying the precomputed step
+record.  A warm replay is one dict lookup per log entry, the automaton
+is shared across cases, workers, and (via on-disk artifacts) runs.
+
+Layers:
+
+* :mod:`repro.compile.fingerprint` — content hashes keying and
+  invalidating every cached artifact;
+* :mod:`repro.compile.automaton` — the lazy subset-construction DFA
+  (with ``max_states`` guard) plus the eager :func:`compile_automaton`;
+* :mod:`repro.compile.replay` — :class:`CompiledSession` /
+  :class:`CompiledChecker`, the drop-in replay surface with interpreted
+  fallback;
+* :mod:`repro.compile.artifact` — versioned, atomic JSON persistence
+  and the :class:`AutomatonCache` directory abstraction;
+* :mod:`repro.compile.checkpoint` — revision-gated incremental saves
+  during long batch audits.
+
+Design, artifact format, and invalidation rules: ``docs/compilation.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compile.artifact import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    AutomatonCache,
+    artifact_path,
+    load_artifact,
+    save_artifact,
+)
+from repro.compile.automaton import (
+    ERR_KEY,
+    REJECTED_STATE,
+    EntryKeyer,
+    PurposeAutomaton,
+    Transition,
+    compile_automaton,
+)
+from repro.compile.checkpoint import CheckpointWriter
+from repro.compile.fingerprint import (
+    FINGERPRINT_VERSION,
+    fingerprint_encoded,
+    fingerprint_process,
+    frontier_key,
+    term_digest,
+)
+from repro.compile.replay import (
+    CompiledChecker,
+    CompiledResult,
+    CompiledSession,
+)
+from repro.errors import (
+    ArtifactError,
+    AutomatonExplosionError,
+    AutomatonUnavailableError,
+    CompileError,
+)
+
+
+def warm_checker(
+    checker,
+    cache: Optional[AutomatonCache] = None,
+    max_states: int = 50_000,
+    telemetry=None,
+) -> PurposeAutomaton:
+    """Attach a (cached, else fresh) automaton to *checker*; returns it.
+
+    This is the auditor/monitor entry point: compute the checker's
+    fingerprint, try the artifact cache, fall back to a fresh lazy
+    automaton on miss or invalid artifact, and bind it so
+    ``checker.session()`` serves compiled replays from now on.  Never
+    raises on a bad artifact (it is reported and recompiled).
+    """
+    observables = checker.observables
+    fingerprint = fingerprint_encoded(
+        checker.encoded,
+        hierarchy=observables.hierarchy,
+        silent_tasks=observables.silent_tasks,
+    )
+    if cache is not None:
+        automaton = cache.load(checker.purpose, fingerprint)
+        if automaton is not None:
+            try:
+                checker.attach_automaton(automaton)
+                return automaton
+            except CompileError as error:
+                path = cache.path_for(checker.purpose, fingerprint)
+                reported = (
+                    error
+                    if isinstance(error, ArtifactError)
+                    else ArtifactError(str(error), reason="state_mismatch")
+                )
+                cache.report_invalid(path, reported)
+    automaton = PurposeAutomaton(
+        fingerprint=fingerprint,
+        purpose=checker.purpose,
+        roles=checker.encoded.roles,
+        hierarchy=observables.hierarchy,
+        max_states=max_states,
+        telemetry=telemetry,
+    )
+    checker.attach_automaton(automaton)
+    return automaton
+
+
+__all__ = [
+    "ERR_KEY",
+    "FINGERPRINT_VERSION",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "REJECTED_STATE",
+    "ArtifactError",
+    "AutomatonCache",
+    "AutomatonExplosionError",
+    "AutomatonUnavailableError",
+    "CheckpointWriter",
+    "CompileError",
+    "CompiledChecker",
+    "CompiledResult",
+    "CompiledSession",
+    "EntryKeyer",
+    "PurposeAutomaton",
+    "Transition",
+    "artifact_path",
+    "compile_automaton",
+    "fingerprint_encoded",
+    "fingerprint_process",
+    "frontier_key",
+    "load_artifact",
+    "save_artifact",
+    "term_digest",
+    "warm_checker",
+]

@@ -230,6 +230,9 @@ class PurposeControlAuditor:
         on_error: str = "fail",
         case_timeout_s: "float | None" = None,
         checker_wrapper=None,
+        compiled: "bool | None" = None,
+        automaton_dir: "str | None" = None,
+        automaton_max_states: int = 50_000,
     ):
         """``temporal`` maps purpose names to their temporal constraints;
         ``now`` is the audit time used to time out still-open cases
@@ -244,7 +247,15 @@ class PurposeControlAuditor:
         ``"fail"`` (default) propagates unexpected exceptions,
         ``"skip"``/``"quarantine"`` contain them as ERROR outcomes.
         ``checker_wrapper`` is the ``(checker, purpose) -> checker``
-        middleware seam used by :mod:`repro.testing.faults`."""
+        middleware seam used by :mod:`repro.testing.faults`.
+
+        Compiled replay (``docs/compilation.md``): ``compiled=True``
+        attaches a purpose automaton to every checker so cases replay
+        through memoized transitions; ``automaton_dir`` additionally
+        persists automata as artifacts (warm across runs, checkpointed
+        incrementally during the audit) and implies ``compiled`` unless
+        explicitly disabled.  Invalid artifacts are reported and
+        recompiled — they never fail the audit."""
         if on_error not in ("fail", "skip", "quarantine"):
             raise ValueError(f"on_error must be fail/skip/quarantine, got {on_error!r}")
         self._registry = registry
@@ -257,9 +268,17 @@ class PurposeControlAuditor:
         self._on_error = on_error
         self._case_timeout_s = case_timeout_s
         self._checker_wrapper = checker_wrapper
+        self._compiled = compiled if compiled is not None else automaton_dir is not None
+        self._automaton_max_states = automaton_max_states
         self._checkers: dict[str, ComplianceChecker] = {}
+        self._checkpoints: list = []
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tel = tel
+        self._automaton_cache = None
+        if automaton_dir is not None:
+            from repro.compile import AutomatonCache
+
+            self._automaton_cache = AutomatonCache(automaton_dir, telemetry=tel)
         self._m_cases = tel.registry.counter(
             "cases_audited_total", "process instances audited"
         )
@@ -284,10 +303,39 @@ class PurposeControlAuditor:
                 max_silent_states=self._max_silent_states,
                 telemetry=self._tel,
             )
+            if self._compiled:
+                self._warm(checker)
             if self._checker_wrapper is not None:
                 checker = self._checker_wrapper(checker, purpose)
             self._checkers[purpose] = checker
         return checker
+
+    def _warm(self, checker: ComplianceChecker) -> None:
+        """Attach a (cached, else fresh) automaton; arm checkpointing."""
+        from repro.compile import CheckpointWriter, warm_checker
+
+        automaton = warm_checker(
+            checker,
+            cache=self._automaton_cache,
+            max_states=self._automaton_max_states,
+            telemetry=self._tel,
+        )
+        if self._automaton_cache is not None:
+            self._checkpoints.append(
+                CheckpointWriter(
+                    automaton,
+                    self._automaton_cache.path_for(
+                        automaton.purpose, automaton.fingerprint
+                    ),
+                    telemetry=self._tel,
+                )
+            )
+
+    def checkpoint_automata(self, force: bool = False) -> None:
+        """Persist newly materialized automaton states (no-op unless an
+        ``automaton_dir`` was configured)."""
+        for writer in self._checkpoints:
+            writer.maybe_save(force=force)
 
     # -- auditing ------------------------------------------------------------
     def audit_case(self, case: str, case_trail: AuditTrail) -> CaseAuditResult:
@@ -449,9 +497,17 @@ class PurposeControlAuditor:
         raw record, replayed or not.
         """
         report = AuditReport()
-        with self._tel.tracer.span("audit", entries=len(trail)):
-            for case in trail.cases():
-                report.cases[case] = self.audit_case(case, trail.for_case(case))
+        try:
+            with self._tel.tracer.span("audit", entries=len(trail)):
+                for case in trail.cases():
+                    report.cases[case] = self.audit_case(
+                        case, trail.for_case(case)
+                    )
+                    if self._checkpoints:
+                        self.checkpoint_automata()
+        finally:
+            if self._checkpoints:
+                self.checkpoint_automata(force=True)
         if quarantine is not None:
             report.quarantined = list(quarantine)
         return report

@@ -153,6 +153,13 @@ class ComplianceSession:
     def entries_fed(self) -> int:
         return self._count
 
+    @property
+    def may_continue(self) -> bool:
+        """Whether further activities are still possible from here."""
+        if self._failed is not None:
+            return False
+        return any(conf.next for conf in self._frontier)
+
     # -- the algorithm ------------------------------------------------------
     def feed(self, entry: LogEntry) -> bool:
         """Replay one entry; returns whether the trail is still compliant.
@@ -320,6 +327,7 @@ class ComplianceChecker:
         self._initial = Configuration.initial(self._engine, encoded.term)
         self._max_frontier = max_frontier
         self._dedupe = dedupe_frontier
+        self._automaton = None
 
     @property
     def encoded(self) -> EncodedProcess:
@@ -330,11 +338,55 @@ class ComplianceChecker:
         return self._engine
 
     @property
+    def observables(self) -> Observables:
+        return self._observables
+
+    @property
+    def initial_configuration(self) -> Configuration:
+        return self._initial
+
+    @property
     def purpose(self) -> str:
         return self._encoded.purpose
 
-    def session(self) -> ComplianceSession:
-        """A fresh incremental replay starting at the process's initial state."""
+    @property
+    def automaton(self):
+        """The attached purpose automaton, if compiled replay is enabled."""
+        return self._automaton
+
+    def attach_automaton(self, automaton) -> "ComplianceChecker":
+        """Enable the compiled fast path: sessions replay through
+        *automaton* (see :mod:`repro.compile`), falling back to the
+        interpreted engine on automaton miss or explosion.
+
+        The automaton memoizes the deduplicated step function, so it is
+        incompatible with the ``dedupe_frontier=False`` ablation.
+        """
+        if not self._dedupe:
+            raise ValueError(
+                "compiled replay requires dedupe_frontier=True"
+            )
+        automaton.bind(self._engine, self._initial)
+        self._automaton = automaton
+        return self
+
+    def session(self):
+        """A fresh incremental replay starting at the process's initial
+        state — compiled when an automaton is attached, interpreted
+        otherwise."""
+        if self._automaton is not None:
+            from repro.compile.replay import CompiledSession
+
+            return CompiledSession(
+                self._automaton,
+                max_frontier=self._max_frontier,
+                telemetry=self._tel,
+                fallback=self.interpreted_session,
+            )
+        return self.interpreted_session()
+
+    def interpreted_session(self) -> ComplianceSession:
+        """A fresh *interpreted* replay (ignores any attached automaton)."""
         return ComplianceSession(
             self._engine,
             self._initial,

@@ -93,18 +93,35 @@ class OnlineMonitor:
         hierarchy: RoleHierarchy | None = None,
         temporal: dict[str, TemporalConstraints] | None = None,
         telemetry: Telemetry | None = None,
+        compiled: "bool | None" = None,
+        automaton_dir: "str | None" = None,
+        automaton_max_states: int = 50_000,
     ):
         """``temporal`` maps purpose names to their temporal constraints;
         ``telemetry`` (default: disabled) instruments the monitor and its
-        checkers — see :mod:`repro.obs`."""
+        checkers — see :mod:`repro.obs`.
+
+        ``compiled=True`` replays each case over a purpose automaton
+        (``docs/compilation.md``), making the per-event cost of a warm
+        monitor an O(1) dict lookup; ``automaton_dir`` persists the
+        automata (implies ``compiled``) and :meth:`sweep` doubles as the
+        checkpoint tick."""
         self._registry = registry
         self._hierarchy = hierarchy
         self._temporal = dict(temporal or {})
+        self._compiled = compiled if compiled is not None else automaton_dir is not None
+        self._automaton_max_states = automaton_max_states
+        self._checkpoints: list = []
         self._checkers: dict[str, ComplianceChecker] = {}
         self._cases: dict[str, MonitoredCase] = {}
         self._infringements: list[Infringement] = []
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tel = tel
+        self._automaton_cache = None
+        if automaton_dir is not None:
+            from repro.compile import AutomatonCache
+
+            self._automaton_cache = AutomatonCache(automaton_dir, telemetry=tel)
         self._m_entries = tel.registry.counter(
             "monitor_entries_total", "log entries observed by the monitor"
         )
@@ -127,6 +144,25 @@ class OnlineMonitor:
                 hierarchy=self._hierarchy,
                 telemetry=self._tel,
             )
+            if self._compiled:
+                from repro.compile import CheckpointWriter, warm_checker
+
+                automaton = warm_checker(
+                    checker,
+                    cache=self._automaton_cache,
+                    max_states=self._automaton_max_states,
+                    telemetry=self._tel,
+                )
+                if self._automaton_cache is not None:
+                    self._checkpoints.append(
+                        CheckpointWriter(
+                            automaton,
+                            self._automaton_cache.path_for(
+                                automaton.purpose, automaton.fingerprint
+                            ),
+                            telemetry=self._tel,
+                        )
+                    )
             self._checkers[purpose] = checker
         return checker
 
@@ -250,7 +286,7 @@ class OnlineMonitor:
                 kind=InfringementKind.INVALID_EXECUTION.value,
                 detail=infringement.detail,
             )
-        elif not any(conf.next for conf in monitored.session.frontier):
+        elif not monitored.session.may_continue:
             self._transition(monitored, CaseState.COMPLETED)
         else:
             self._transition(monitored, CaseState.OPEN)
@@ -283,6 +319,8 @@ class OnlineMonitor:
             if violations:
                 self._transition(monitored, CaseState.TIMED_OUT)
                 raised.extend(violations)
+        for writer in self._checkpoints:
+            writer.maybe_save()
         if self._tel.enabled:
             duration = time.perf_counter() - started
             self._m_sweep_seconds.observe(duration)

@@ -90,8 +90,10 @@ class _WorkerState:
         collect_stats: bool,
         case_timeout_s: Optional[float],
         checker_wrapper: Optional[CheckerWrapper],
+        automaton_documents: Optional[dict[str, dict]] = None,
     ):
         self.documents = process_documents
+        self.automata = automaton_documents or {}
         self.prefixes = dict(prefixes)
         self.hierarchy = (
             RoleHierarchy.from_parent_map(hierarchy_map)
@@ -112,18 +114,18 @@ class _WorkerState:
         Construction failures — e.g. encoding a non-well-founded
         process — are cached and re-raised per case instead of killing
         worker startup.
-        """
-        from repro.bpmn.encode import encode
 
+        When the parent shipped a compiled automaton document for the
+        purpose, the checker is a
+        :class:`~repro.compile.replay.CompiledChecker` facade: the BPMN
+        is *not* re-encoded here — the interpreted backend is built
+        lazily, only if a case needs a transition the artifact does not
+        cover.
+        """
         cached = self._checkers.get(purpose)
         if cached is None:
             try:
-                process = process_from_dict(self.documents[purpose])
-                checker: ComplianceChecker | Exception = ComplianceChecker(
-                    encode(process),
-                    hierarchy=self.hierarchy,
-                    max_silent_states=self.max_silent_states,
-                )
+                checker = self._build_checker(purpose)
                 if self.wrapper is not None:
                     checker = self.wrapper(checker, purpose)
             except Exception as error:
@@ -133,6 +135,31 @@ class _WorkerState:
         if isinstance(cached, Exception):
             raise cached
         return cached
+
+    def _build_checker(self, purpose: str):
+        document = self.automata.get(purpose)
+        if document is not None:
+            try:
+                from repro.compile import CompiledChecker, PurposeAutomaton
+
+                automaton = PurposeAutomaton.from_document(document)
+                return CompiledChecker(
+                    automaton,
+                    checker_factory=lambda: self._build_interpreted(purpose),
+                )
+            except Exception:
+                pass  # fall through to the interpreted checker
+        return self._build_interpreted(purpose)
+
+    def _build_interpreted(self, purpose: str) -> ComplianceChecker:
+        from repro.bpmn.encode import encode
+
+        process = process_from_dict(self.documents[purpose])
+        return ComplianceChecker(
+            encode(process),
+            hierarchy=self.hierarchy,
+            max_silent_states=self.max_silent_states,
+        )
 
 
 # The one global a *worker process* holds; the parent never touches it.
@@ -359,6 +386,62 @@ def _merge_stats(
     ).set(len(workers_seen))
 
 
+def _compile_for_workers(
+    registry: ProcessRegistry,
+    hierarchy: RoleHierarchy | None,
+    max_silent_states: int,
+    automaton_dir: Optional[str],
+    automaton_max_states: int,
+    telemetry: Telemetry,
+) -> dict[str, dict]:
+    """Compile (or load) each purpose's automaton once, in the parent.
+
+    The result maps purpose -> plain automaton document, picklable into
+    worker initargs.  Every failure is contained per purpose: the BPMN
+    of a non-well-founded process used to fail lazily inside workers,
+    and still does — pre-compilation must not turn it into a batch-wide
+    startup crash.
+    """
+    from repro.compile import (
+        AutomatonCache,
+        compile_automaton,
+        fingerprint_encoded,
+    )
+
+    cache = (
+        AutomatonCache(automaton_dir, telemetry=telemetry)
+        if automaton_dir is not None
+        else None
+    )
+    shipped: dict[str, dict] = {}
+    for purpose in registry.purposes():
+        try:
+            encoded = registry.encoded_for(purpose)
+            fingerprint = fingerprint_encoded(encoded, hierarchy=hierarchy)
+            automaton = (
+                cache.load(purpose, fingerprint) if cache is not None else None
+            )
+            if automaton is None:
+                checker = ComplianceChecker(
+                    encoded,
+                    hierarchy=hierarchy,
+                    max_silent_states=max_silent_states,
+                    telemetry=telemetry,
+                )
+                automaton = compile_automaton(
+                    checker,
+                    fingerprint=fingerprint,
+                    max_states=automaton_max_states,
+                    telemetry=telemetry,
+                )
+                if cache is not None:
+                    cache.save(automaton)
+            shipped[purpose] = automaton.to_document()
+        except Exception:
+            continue
+    return shipped
+
+
 def verdicts_from_outcomes(
     outcomes: dict[str, CaseOutcome]
 ) -> dict[str, CaseVerdict]:
@@ -377,6 +460,9 @@ def audit_cases_parallel(
     case_timeout_s: Optional[float] = None,
     checker_wrapper: Optional[CheckerWrapper] = None,
     serial_fallback: bool = True,
+    compiled: bool = False,
+    automaton_dir: Optional[str] = None,
+    automaton_max_states: int = 50_000,
 ) -> dict[str, CaseOutcome]:
     """Audit every case of *trail* across *workers* processes.
 
@@ -400,6 +486,14 @@ def audit_cases_parallel(
     back to serial execution in the parent (``serial_fallback=True``)
     or is recorded as an ERROR outcome.  ``checker_wrapper`` is the
     picklable middleware seam used by :mod:`repro.testing.faults`.
+
+    ``compiled=True`` (or any ``automaton_dir``) pre-compiles each
+    purpose's automaton **once in the parent** — loading it from the
+    artifact directory when a valid one exists — and ships the plain
+    document to every worker, so workers replay warm without
+    re-encoding the BPMN or re-exploring WeakNext (see
+    ``docs/compilation.md``).  A purpose whose compilation fails keeps
+    the lazy per-case containment workers always had.
     """
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     policy = retry_policy if retry_policy is not None else RetryPolicy()
@@ -415,6 +509,16 @@ def audit_cases_parallel(
         if prefix is not None
     }
     hierarchy_map = hierarchy.to_parent_map() if hierarchy is not None else None
+    automaton_documents = None
+    if compiled or automaton_dir is not None:
+        automaton_documents = _compile_for_workers(
+            registry,
+            hierarchy,
+            max_silent_states,
+            automaton_dir,
+            automaton_max_states,
+            tel,
+        )
     state_args = (
         documents,
         prefixes,
@@ -423,6 +527,7 @@ def audit_cases_parallel(
         tel.enabled,
         case_timeout_s,
         checker_wrapper,
+        automaton_documents,
     )
     if workers <= 1 or len(jobs) <= 1:
         # Serial path: per-call state, so nothing leaks between audits.

@@ -127,6 +127,48 @@ class WorkerLostError(ReproError):
         self.attempts = attempts
 
 
+class CompileError(ReproError):
+    """Base class for errors raised by the purpose-automaton compiler."""
+
+
+class ArtifactError(CompileError):
+    """A persisted automaton artifact could not be used.
+
+    Raised when an artifact file is truncated, malformed, carries an
+    unsupported format version, or its fingerprint does not match the
+    process it is being loaded for.  Callers are expected to log a
+    ``compile.artifact_invalid`` event and recompile transparently —
+    an invalid artifact must never fail an audit.
+    """
+
+    def __init__(self, message: str, reason: str = "invalid"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class AutomatonExplosionError(CompileError):
+    """The subset construction materialized more states than allowed.
+
+    Mirrors ``FrontierExplosionError`` one level up: the *per-step*
+    frontier bound guards one replay, this bound guards the accumulated
+    state space of the compiled automaton.  Replay falls back to the
+    interpreted engine when it trips.
+    """
+
+    def __init__(self, message: str, states: int = 0):
+        super().__init__(message)
+        self.states = states
+
+
+class AutomatonUnavailableError(CompileError):
+    """A compiled transition was missing and no engine can derive it.
+
+    Raised by a pure-disk automaton (no COWS engine attached and no way
+    to build one) on a transition miss; the compiled checker catches it
+    and replays the case through the interpreted engine instead.
+    """
+
+
 class IntegrityError(AuditError):
     """The hash chain of an audit store failed verification."""
 

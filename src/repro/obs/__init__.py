@@ -44,6 +44,9 @@ from repro.obs.export import (
     to_prometheus,
 )
 from repro.obs.log import (
+    ARTIFACT_INVALID,
+    AUTOMATON_CHECKPOINT,
+    AUTOMATON_COMPILED,
     CASE_AUDITED,
     CASE_FAILED,
     ENTRY_QUARANTINED,
@@ -125,6 +128,9 @@ NULL_TELEMETRY = Telemetry(
 )
 
 __all__ = [
+    "ARTIFACT_INVALID",
+    "AUTOMATON_CHECKPOINT",
+    "AUTOMATON_COMPILED",
     "CASE_AUDITED",
     "CASE_FAILED",
     "DEFAULT_SIZE_BUCKETS",

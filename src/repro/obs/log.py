@@ -29,6 +29,15 @@ event               emitted when
 ``entry.quarantined``  a raw record failed validation at ingestion and
                     went to the dead-letter collection (fields: source,
                     position, reason)
+``automaton.compiled``  a purpose automaton was (re)compiled (fields:
+                    purpose, states, transitions, duration_s)
+``automaton.checkpoint``  newly materialized automaton states were
+                    persisted mid-audit (fields: purpose, states,
+                    transitions, path)
+``compile.artifact_invalid``  a persisted automaton artifact was
+                    rejected (version/fingerprint mismatch, truncation)
+                    and will be recompiled transparently (fields: path,
+                    reason, detail)
 ==================  =====================================================
 
 The logger is plain :mod:`logging` under the hood (logger name
@@ -59,6 +68,9 @@ WORKER_INIT = "worker.init"
 CASE_FAILED = "case.failed"
 WORKER_LOST = "worker.lost"
 ENTRY_QUARANTINED = "entry.quarantined"
+AUTOMATON_COMPILED = "automaton.compiled"
+AUTOMATON_CHECKPOINT = "automaton.checkpoint"
+ARTIFACT_INVALID = "compile.artifact_invalid"
 
 EVENT_VOCABULARY = frozenset(
     {
@@ -72,6 +84,9 @@ EVENT_VOCABULARY = frozenset(
         CASE_FAILED,
         WORKER_LOST,
         ENTRY_QUARANTINED,
+        AUTOMATON_COMPILED,
+        AUTOMATON_CHECKPOINT,
+        ARTIFACT_INVALID,
     }
 )
 

@@ -1,8 +1,12 @@
 """Deterministic fault injection for exercising the resilience layer.
 
-See :mod:`repro.testing.faults`.
+See :mod:`repro.testing.faults` and :mod:`repro.testing.differential`.
 """
 
+from repro.testing.differential import (
+    assert_equivalent_verdicts,
+    verdict_digest,
+)
 from repro.testing.faults import (
     FaultInjector,
     FaultPlan,
@@ -10,6 +14,7 @@ from repro.testing.faults import (
     FaultySession,
     InjectedFaultError,
     cases_started,
+    corrupt_artifact,
     corrupt_store_row,
     corrupt_xes_event,
     reset_fault_counters,
@@ -22,7 +27,10 @@ __all__ = [
     "FaultySession",
     "InjectedFaultError",
     "cases_started",
+    "corrupt_artifact",
     "corrupt_store_row",
     "corrupt_xes_event",
     "reset_fault_counters",
+    "assert_equivalent_verdicts",
+    "verdict_digest",
 ]

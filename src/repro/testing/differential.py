@@ -1,0 +1,72 @@
+"""Differential testing of compiled vs. interpreted replay.
+
+The purpose-automaton compiler (:mod:`repro.compile`) promises that a
+compiled replay is *observationally identical* to the interpreted
+Algorithm 1: same verdict, same failure point, same per-step outcome
+records, same resumability classification.  This module pins down what
+"identical" means — :func:`verdict_digest` projects a
+:class:`~repro.core.compliance.ComplianceResult` onto exactly the fields
+both engines must agree on, and :func:`assert_equivalent_verdicts`
+diff-reports the first divergence.
+
+Deliberately *excluded* from the digest:
+
+* ``final_configurations`` / ``configurations_created`` — the compiled
+  path does not materialize COWS terms per case (that is the point);
+  the result surface exposes the same *information* through
+  ``may_continue`` and ``active_task_sets()``, which are compared;
+* wall-clock / telemetry artifacts, which differ by construction.
+"""
+
+from __future__ import annotations
+
+from repro.core.compliance import ComplianceResult
+
+
+def verdict_digest(result: ComplianceResult) -> dict:
+    """Project *result* onto the fields compiled replay must reproduce."""
+    return {
+        "compliant": result.compliant,
+        "trail_length": result.trail_length,
+        "failed_index": result.failed_index,
+        "failed_entry": (
+            str(result.failed_entry)
+            if result.failed_entry is not None
+            else None
+        ),
+        "may_continue": result.may_continue,
+        "active_task_sets": sorted(
+            sorted(active) for active in result.active_task_sets()
+        ),
+        "steps": [
+            (
+                step.index,
+                str(step.entry),
+                step.outcome,
+                step.frontier_size,
+                step.events,
+            )
+            for step in result.steps
+        ],
+    }
+
+
+def assert_equivalent_verdicts(
+    interpreted: ComplianceResult,
+    compiled: ComplianceResult,
+    context: str = "",
+) -> None:
+    """Assert both results digest identically; report the first diff."""
+    left = verdict_digest(interpreted)
+    right = verdict_digest(compiled)
+    if left == right:
+        return
+    where = f" [{context}]" if context else ""
+    for key in left:
+        if left[key] != right[key]:
+            raise AssertionError(
+                f"compiled replay diverged{where} on {key!r}:\n"
+                f"  interpreted: {left[key]!r}\n"
+                f"  compiled:    {right[key]!r}"
+            )
+    raise AssertionError(f"compiled replay diverged{where}: {left} != {right}")

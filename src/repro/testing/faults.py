@@ -231,3 +231,43 @@ def corrupt_store_row(store, seq: int, status: str = "not-a-status") -> None:
     as a dead letter instead of failing the batch.
     """
     store.tamper(seq, status=status)
+
+
+def corrupt_artifact(path, mode: str = "truncate") -> None:
+    """Damage a saved purpose-automaton artifact in a chosen way.
+
+    The artifact loader (:func:`repro.compile.load_artifact`) must treat
+    every corruption as a cache miss — log ``compile.artifact_invalid``
+    and recompile — never as an audit failure.  Modes:
+
+    * ``truncate`` — cut the file mid-document (simulates a crash during
+      a non-atomic copy; the trailing ``"eof"`` marker is lost);
+    * ``garbage`` — overwrite with bytes that are not JSON at all;
+    * ``version`` — bump the envelope's format version past the reader's;
+    * ``fingerprint`` — rewrite the envelope fingerprint so it no longer
+      matches the process the auditor is about to replay;
+    * ``empty`` — leave a zero-byte file behind.
+    """
+    import json
+    from pathlib import Path
+
+    target = Path(path)
+    if mode == "truncate":
+        data = target.read_bytes()
+        target.write_bytes(data[: max(1, len(data) // 2)])
+    elif mode == "garbage":
+        target.write_bytes(b"\x00not json\xff")
+    elif mode == "empty":
+        target.write_bytes(b"")
+    elif mode in ("version", "fingerprint"):
+        envelope = json.loads(target.read_text(encoding="utf-8"))
+        if mode == "version":
+            envelope["version"] = envelope.get("version", 1) + 999
+        else:
+            flipped = "0" * 64
+            envelope["fingerprint"] = flipped
+            if isinstance(envelope.get("automaton"), dict):
+                envelope["automaton"]["fingerprint"] = flipped
+        target.write_text(json.dumps(envelope), encoding="utf-8")
+    else:
+        raise ValueError(f"unknown corruption mode: {mode!r}")

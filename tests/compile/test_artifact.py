@@ -1,0 +1,147 @@
+"""Tests for artifact persistence, validation, and the cache directory."""
+
+import json
+
+import pytest
+
+from repro.bpmn import encode
+from repro.compile import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    AutomatonCache,
+    artifact_path,
+    compile_automaton,
+    load_artifact,
+    save_artifact,
+)
+from repro.core import ComplianceChecker
+from repro.errors import ArtifactError
+from repro.obs import MetricsRegistry, Telemetry
+from repro.obs.log import ARTIFACT_INVALID, MemoryEventLog
+from repro.scenarios import sequential_process
+from repro.testing import corrupt_artifact
+
+
+@pytest.fixture
+def automaton():
+    checker = ComplianceChecker(encode(sequential_process(2)))
+    return compile_automaton(checker)
+
+
+@pytest.fixture
+def saved(automaton, tmp_path):
+    path = artifact_path(tmp_path, automaton.purpose, automaton.fingerprint)
+    save_artifact(automaton, path)
+    return path
+
+
+def telemetry_with_log():
+    log = MemoryEventLog()
+    registry = MetricsRegistry()
+    return Telemetry.create(registry=registry, events=log.events), log, registry
+
+
+class TestSaveLoad:
+    def test_round_trip(self, automaton, saved):
+        loaded = load_artifact(
+            saved, expected_fingerprint=automaton.fingerprint
+        )
+        assert loaded.tier == "disk"
+        assert loaded.state_count == automaton.state_count
+        assert loaded.transition_count == automaton.transition_count
+
+    def test_envelope_shape(self, saved):
+        envelope = json.loads(saved.read_text())
+        assert envelope["format"] == FORMAT_NAME
+        assert envelope["version"] == FORMAT_VERSION
+        assert list(envelope)[-1] == "eof" and envelope["eof"] is True
+
+    def test_path_is_keyed_by_purpose_and_fingerprint(
+        self, automaton, tmp_path
+    ):
+        path = artifact_path(
+            tmp_path, automaton.purpose, automaton.fingerprint
+        )
+        assert automaton.fingerprint[:16] in path.name
+        assert path.suffix == ".json"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifact(tmp_path / "nope.json")
+        assert excinfo.value.reason == "missing"
+
+
+class TestCorruptionModes:
+    """Every corruption must be detected with the right reason — the
+    cache turns each into a transparent recompile, never a crash."""
+
+    @pytest.mark.parametrize(
+        "mode,reason",
+        [
+            ("truncate", "truncated"),
+            ("garbage", "unreadable"),
+            ("empty", "truncated"),
+            ("version", "version"),
+            ("fingerprint", "fingerprint"),
+        ],
+    )
+    def test_detected_with_reason(self, automaton, saved, mode, reason):
+        corrupt_artifact(saved, mode)
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifact(saved, expected_fingerprint=automaton.fingerprint)
+        assert excinfo.value.reason == reason
+
+    def test_wrong_format_name(self, automaton, saved):
+        envelope = json.loads(saved.read_text())
+        envelope["format"] = "something-else"
+        saved.write_text(json.dumps(envelope))
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifact(saved)
+        assert excinfo.value.reason == "format"
+
+    def test_unknown_mode_rejected(self, saved):
+        with pytest.raises(ValueError):
+            corrupt_artifact(saved, "hammer")
+
+
+class TestAutomatonCache:
+    def test_miss_then_hit(self, automaton, tmp_path):
+        cache = AutomatonCache(tmp_path)
+        assert cache.load(automaton.purpose, automaton.fingerprint) is None
+        cache.save(automaton)
+        loaded = cache.load(automaton.purpose, automaton.fingerprint)
+        assert loaded is not None
+        assert loaded.state_count == automaton.state_count
+
+    def test_invalid_artifact_is_a_miss_with_event(self, automaton, tmp_path):
+        tel, log, registry = telemetry_with_log()
+        cache = AutomatonCache(tmp_path, telemetry=tel)
+        path = cache.save(automaton)
+        corrupt_artifact(path, "truncate")
+        assert cache.load(automaton.purpose, automaton.fingerprint) is None
+        events = log.named(ARTIFACT_INVALID)
+        assert len(events) == 1
+        assert events[0]["reason"] == "truncated"
+        assert (
+            registry.counter("automaton_artifacts_invalid_total").value(
+                reason="truncated"
+            )
+            == 1.0
+        )
+
+    def test_plain_miss_emits_no_event(self, automaton, tmp_path):
+        tel, log, _ = telemetry_with_log()
+        cache = AutomatonCache(tmp_path, telemetry=tel)
+        assert cache.load(automaton.purpose, automaton.fingerprint) is None
+        assert log.named(ARTIFACT_INVALID) == []
+
+    def test_stale_fingerprint_is_a_miss(self, automaton, tmp_path):
+        """A process edit changes the fingerprint; yesterday's artifact
+        must not be served for today's process."""
+        tel, log, _ = telemetry_with_log()
+        cache = AutomatonCache(tmp_path, telemetry=tel)
+        cache.save(automaton)
+        stale = cache.path_for(automaton.purpose, "f" * 64)
+        cache.path_for(automaton.purpose, automaton.fingerprint).rename(stale)
+        assert cache.load(automaton.purpose, "f" * 64) is None
+        assert log.named(ARTIFACT_INVALID)[0]["reason"] == "fingerprint"

@@ -1,0 +1,91 @@
+"""Tests for artifact fingerprinting (cache keys and invalidation)."""
+
+from repro.bpmn import encode
+from repro.compile import (
+    fingerprint_encoded,
+    fingerprint_process,
+    frontier_key,
+    term_digest,
+)
+from repro.policy.hierarchy import RoleHierarchy
+from repro.scenarios import (
+    healthcare_treatment_process,
+    role_hierarchy,
+    sequential_process,
+)
+
+
+class TestFingerprintStability:
+    def test_same_process_same_fingerprint(self):
+        a = fingerprint_process(healthcare_treatment_process())
+        b = fingerprint_process(healthcare_treatment_process())
+        assert a == b
+
+    def test_fingerprint_is_hex_sha256(self):
+        fp = fingerprint_process(sequential_process(2))
+        assert len(fp) == 64
+        assert set(fp) <= set("0123456789abcdef")
+
+    def test_encoded_matches_process(self):
+        process = sequential_process(3)
+        assert fingerprint_encoded(encode(process)) == fingerprint_process(
+            process
+        )
+
+
+class TestFingerprintSensitivity:
+    """Anything that changes replay semantics must change the key."""
+
+    def test_different_structure(self):
+        assert fingerprint_process(
+            sequential_process(2)
+        ) != fingerprint_process(sequential_process(3))
+
+    def test_role_hierarchy_is_part_of_the_key(self):
+        process = healthcare_treatment_process()
+        bare = fingerprint_process(process)
+        with_hierarchy = fingerprint_process(
+            process, hierarchy=role_hierarchy()
+        )
+        assert bare != with_hierarchy
+
+    def test_hierarchy_edges_matter(self):
+        process = sequential_process(2)
+        h1 = RoleHierarchy()
+        h1.add_role("Senior", "Staff")
+        h2 = RoleHierarchy()
+        h2.add_role("Junior", "Staff")
+        assert fingerprint_process(
+            process, hierarchy=h1
+        ) != fingerprint_process(process, hierarchy=h2)
+
+    def test_silent_tasks_are_part_of_the_key(self):
+        process = sequential_process(2)
+        assert fingerprint_process(process) != fingerprint_process(
+            process, silent_tasks=("T1",)
+        )
+
+    def test_silent_task_order_is_irrelevant(self):
+        process = sequential_process(3)
+        assert fingerprint_process(
+            process, silent_tasks=("T1", "T2")
+        ) == fingerprint_process(process, silent_tasks=("T2", "T1"))
+
+
+class TestFrontierKey:
+    def test_order_sensitive(self):
+        """Interpreted replay's step records depend on frontier order, so
+        two frontiers with the same configurations in different order are
+        *different* automaton states."""
+        a = ("d1", (("R", "T1"),))
+        b = ("d2", (("R", "T2"),))
+        assert frontier_key([a, b]) != frontier_key([b, a])
+
+    def test_active_set_sensitive(self):
+        assert frontier_key(
+            [("d1", (("R", "T1"),))]
+        ) != frontier_key([("d1", (("R", "T2"),))])
+
+    def test_term_digest_deterministic(self):
+        assert term_digest("some-term") == term_digest("some-term")
+        assert term_digest("some-term") != term_digest("other-term")

@@ -3,6 +3,9 @@
 import json
 
 from repro.obs.log import (
+    ARTIFACT_INVALID,
+    AUTOMATON_CHECKPOINT,
+    AUTOMATON_COMPILED,
     CASE_AUDITED,
     CASE_FAILED,
     ENTRY_QUARANTINED,
@@ -23,6 +26,9 @@ from repro.obs.log import (
 class TestVocabulary:
     def test_all_documented_events_present(self):
         assert EVENT_VOCABULARY == {
+            ARTIFACT_INVALID,
+            AUTOMATON_CHECKPOINT,
+            AUTOMATON_COMPILED,
             CASE_AUDITED,
             CASE_FAILED,
             ENTRY_QUARANTINED,

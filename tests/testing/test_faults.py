@@ -10,8 +10,11 @@ from repro.audit import AuditTrail, LogEntry, Status
 from repro.audit.store import AuditStore
 from repro.audit.xes import XesError, export_xes, import_xes
 from repro.bpmn import encode
-from repro.core import ComplianceChecker
+from repro.core import ComplianceChecker, PurposeControlAuditor
 from repro.core.resilience import Quarantine
+from repro.obs import MetricsRegistry, Telemetry
+from repro.obs.log import ARTIFACT_INVALID, MemoryEventLog
+from repro.policy.registry import ProcessRegistry
 from repro.scenarios import sequential_process
 from repro.testing import (
     FaultInjector,
@@ -19,6 +22,7 @@ from repro.testing import (
     FaultyChecker,
     InjectedFaultError,
     cases_started,
+    corrupt_artifact,
     corrupt_store_row,
     corrupt_xes_event,
     reset_fault_counters,
@@ -176,3 +180,73 @@ class TestEntryCorruptors:
             assert len(quarantine) == 1
             assert quarantine.entries[0].source == "store"
             assert quarantine.entries[0].position == 2
+
+
+class TestArtifactCorruptor:
+    """The compiled-replay robustness promise, exercised end to end: a
+    damaged automaton artifact is logged and recompiled — it never
+    changes a verdict and never fails the audit."""
+
+    @staticmethod
+    def _registry():
+        return ProcessRegistry().register(sequential_process(2), "C")
+
+    @staticmethod
+    def _trail():
+        return AuditTrail(
+            [
+                entry("C-1", "T1", 0),
+                entry("C-1", "T2", 1),
+                entry("C-2", "T2", 2),  # invalid: skips T1
+            ]
+        )
+
+    def _flagged(self, auditor, trail):
+        return set(auditor.audit(trail).infringing_cases)
+
+    @pytest.mark.parametrize(
+        "mode", ["truncate", "garbage", "version", "fingerprint", "empty"]
+    )
+    def test_corrupted_artifact_never_fails_the_audit(self, tmp_path, mode):
+        registry = self._registry()
+        trail = self._trail()
+        baseline = self._flagged(
+            PurposeControlAuditor(registry), trail
+        )
+
+        # first compiled run writes the artifact
+        first = PurposeControlAuditor(
+            registry, automaton_dir=str(tmp_path)
+        )
+        assert self._flagged(first, trail) == baseline
+        artifacts = sorted(tmp_path.glob("*.automaton.json"))
+        assert len(artifacts) == 1
+
+        corrupt_artifact(artifacts[0], mode)
+
+        log = MemoryEventLog()
+        tel = Telemetry.create(registry=MetricsRegistry(), events=log.events)
+        second = PurposeControlAuditor(
+            registry, automaton_dir=str(tmp_path), telemetry=tel
+        )
+        assert self._flagged(second, trail) == baseline  # verdicts intact
+        invalid = log.named(ARTIFACT_INVALID)
+        assert len(invalid) == 1
+        assert invalid[0]["reason"] in (
+            "truncated", "unreadable", "version", "fingerprint"
+        )
+
+        # the recompile healed the cache: a third run loads it cleanly
+        from repro.compile import load_artifact
+
+        third_log = MemoryEventLog()
+        third = PurposeControlAuditor(
+            registry,
+            automaton_dir=str(tmp_path),
+            telemetry=Telemetry.create(
+                registry=MetricsRegistry(), events=third_log.events
+            ),
+        )
+        assert self._flagged(third, trail) == baseline
+        assert third_log.named(ARTIFACT_INVALID) == []
+        load_artifact(sorted(tmp_path.glob("*.automaton.json"))[0])
