@@ -1,0 +1,96 @@
+"""Dump every shipped scenario process (and its policy) to JSON files.
+
+Usage::
+
+    PYTHONPATH=src python examples/dump_scenarios.py OUTDIR
+
+Writes one ``<name>.json`` process document per scenario process and one
+``<group>.policy`` file per policied scenario group, so external tooling
+— in particular the ``lint-models`` CI job — can run ``repro lint``
+against exactly what the library ships:
+
+* ``healthcare/`` — the paper's running example (treatment + clinical
+  trial) with its extended policy;
+* ``insurance/`` — the claim-handling + marketing scenarios with the
+  insurance policy;
+* ``appendix/`` — Figures 7-10 reference shapes (no policy);
+* ``workloads/`` — representative synthetic benchmark shapes (no
+  policy).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bpmn.serialize import dumps
+from repro.policy.parser import format_policy
+from repro.scenarios import appendix, healthcare, insurance, workloads
+
+
+def dump_all(outdir: Path) -> list[Path]:
+    written: list[Path] = []
+
+    def write(path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        written.append(path)
+
+    write(
+        outdir / "healthcare" / "treatment.json",
+        dumps(healthcare.healthcare_treatment_process(), indent=2),
+    )
+    write(
+        outdir / "healthcare" / "clinical_trial.json",
+        dumps(healthcare.clinical_trial_process(), indent=2),
+    )
+    write(
+        outdir / "healthcare" / "healthcare.policy",
+        format_policy(healthcare.extended_policy()),
+    )
+
+    write(
+        outdir / "insurance" / "claim_handling.json",
+        dumps(insurance.claim_handling_process(), indent=2),
+    )
+    write(
+        outdir / "insurance" / "marketing.json",
+        dumps(insurance.marketing_process(), indent=2),
+    )
+    write(
+        outdir / "insurance" / "insurance.policy",
+        format_policy(insurance.insurance_policy()),
+    )
+
+    for name, factory in (
+        ("fig7", appendix.fig7_process),
+        ("fig8", appendix.fig8_process),
+        ("fig9", appendix.fig9_process),
+        ("fig10", appendix.fig10_process),
+    ):
+        write(outdir / "appendix" / f"{name}.json", dumps(factory(), indent=2))
+
+    for name, process in (
+        ("sequential", workloads.sequential_process(8)),
+        ("xor", workloads.xor_process(4)),
+        ("loop", workloads.loop_process(3)),
+        ("parallel", workloads.parallel_process(3)),
+        ("staged_xor", workloads.staged_xor_process(3, 3)),
+    ):
+        write(outdir / "workloads" / f"{name}.json", dumps(process, indent=2))
+
+    return written
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: dump_scenarios.py OUTDIR", file=sys.stderr)
+        return 2
+    written = dump_all(Path(argv[1]))
+    for path in written:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,85 @@
+"""Static model verification — lint for purposes, before any audit trail.
+
+The paper observes (Section 5) that non-well-founded processes "can be
+detected directly on the diagram"; this package extends that static
+viewpoint to the full pre-deployment checklist of an a-posteriori
+purpose-control installation:
+
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` record,
+  the stable ``PC*`` rule registry, and :class:`LintReport`;
+* :mod:`repro.analysis.structure` — structural (PC1xx) and
+  automaton-facing (PC4xx) checks;
+* :mod:`repro.analysis.soundness` — budgeted coverability over the
+  translated Petri net: deadlock, improper completion, dead tasks,
+  unboundedness (PC2xx);
+* :mod:`repro.analysis.crosscheck` — "static purpose control": the
+  policy/process/hierarchy cross-checks (PC3xx);
+* :mod:`repro.analysis.engine` — orchestration + telemetry
+  (:func:`lint_processes`, :func:`lint_registry`);
+* :mod:`repro.analysis.render` — text, JSON, and SARIF 2.1.0 output.
+
+CLI: ``repro lint``.  Auditor integration:
+``PurposeControlAuditor(..., preflight=True)``.
+"""
+
+from repro.analysis.crosscheck import crosscheck_diagnostics
+from repro.analysis.diagnostics import (
+    RULES,
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+    diag,
+    merge_reports,
+)
+from repro.analysis.engine import (
+    LintOptions,
+    lint_process,
+    lint_processes,
+    lint_registry,
+)
+from repro.analysis.render import (
+    RENDERERS,
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.analysis.soundness import (
+    DEFAULT_STATE_BUDGET,
+    OMEGA,
+    SoundnessResult,
+    analyze_soundness,
+    soundness_diagnostics,
+)
+from repro.analysis.structure import structure_diagnostics
+
+__all__ = [
+    "DEFAULT_STATE_BUDGET",
+    "Diagnostic",
+    "LintOptions",
+    "LintReport",
+    "OMEGA",
+    "RENDERERS",
+    "RULES",
+    "Rule",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "Severity",
+    "SoundnessResult",
+    "analyze_soundness",
+    "crosscheck_diagnostics",
+    "diag",
+    "lint_process",
+    "lint_processes",
+    "lint_registry",
+    "merge_reports",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "soundness_diagnostics",
+    "structure_diagnostics",
+]

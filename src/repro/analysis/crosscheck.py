@@ -1,0 +1,165 @@
+"""Static purpose control: policy / process cross-checks (PC3xx).
+
+The replay engine decides *did this trail follow the process*; Definition
+3 decides *was this access authorized*.  Both can be doomed before any
+log entry exists, and that is what this module detects:
+
+* **PC301** — a task no statement can ever authorize.  An entry claiming
+  the task is an infringement in every execution: replay requires the
+  performer's role to specialize the task's pool role, Definition 3
+  requires it to specialize some statement's subject — if no role in the
+  organization satisfies both, every audit of this purpose is a
+  foregone conclusion and the model (or the policy) is wrong.
+* **PC302** — a registered purpose with no authorizing statements at
+  all: the process is auditable, but every access within it is denied.
+* **PC303** — a policy purpose with no registered process: accesses for
+  it can satisfy Definition 3 yet can never be purpose-audited, because
+  Algorithm 1 has no process to replay against.
+* **PC304** — a task pool role unknown to both the role hierarchy and
+  the policy: the name is probably a typo, and hierarchy matching will
+  degrade to bare string equality for it.
+
+The authorizability test is deliberately conservative about statement
+subjects that are not known roles: ``Statement.subject`` "names either a
+role or a concrete user" (Definition 1), and a concrete user may hold
+*any* role, so such statements are assumed able to authorize anything —
+PC301 only fires when it is a certainty, never a guess.
+"""
+
+from __future__ import annotations
+
+from repro.bpmn.model import Process
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import Policy
+from repro.policy.registry import ProcessRegistry
+
+from repro.analysis.diagnostics import Diagnostic, diag
+
+
+def _role_universe(
+    hierarchy: RoleHierarchy, processes: list[Process]
+) -> frozenset[str]:
+    """Every name known to be a role: the hierarchy plus all pool roles."""
+    universe = set(hierarchy.roles())
+    for process in processes:
+        universe.update(process.pools)
+    return frozenset(universe)
+
+
+def _statement_can_authorize(
+    subject: str,
+    pool_role: str,
+    universe: frozenset[str],
+    hierarchy: RoleHierarchy,
+) -> bool:
+    """Whether some organizational role could satisfy both the replay's
+    pool check and Definition 3's subject check against *subject*."""
+    if subject not in universe:
+        return True  # possibly a concrete user — could hold any role
+    return any(
+        hierarchy.is_specialization_of(role, pool_role)
+        and hierarchy.is_specialization_of(role, subject)
+        for role in universe
+    )
+
+
+def crosscheck_diagnostics(
+    policy: Policy,
+    registry: ProcessRegistry,
+    hierarchy: RoleHierarchy | None = None,
+) -> list[Diagnostic]:
+    """All PC3xx findings for *policy* against *registry*."""
+    hierarchy = hierarchy or RoleHierarchy()
+    processes = list(registry)
+    universe = _role_universe(hierarchy, processes)
+    found: list[Diagnostic] = []
+
+    registered = registry.purposes()
+    policy_purposes = {statement.purpose for statement in policy}
+
+    for purpose in sorted(registered):
+        process = registry.process_for(purpose)
+        statements = policy.for_purpose(purpose)
+        if not statements:
+            found.append(
+                diag(
+                    "PC302",
+                    f"purpose {purpose!r} is registered (process "
+                    f"{process.process_id!r}) but no policy statement "
+                    "authorizes it: every access in its cases is denied",
+                    process_id=process.process_id,
+                    purpose=purpose,
+                    hint="add statements for the purpose, or unregister "
+                    "the process",
+                )
+            )
+            continue
+        for task_id in sorted(process.task_ids):
+            pool_role = process.role_of_task(task_id)
+            if not any(
+                _statement_can_authorize(
+                    statement.subject, pool_role, universe, hierarchy
+                )
+                for statement in statements
+            ):
+                found.append(
+                    diag(
+                        "PC301",
+                        f"task {task_id!r} (pool {pool_role!r}) can never "
+                        f"be authorized: no role both specializes "
+                        f"{pool_role!r} and specializes the subject of any "
+                        f"{purpose!r} statement — every log entry claiming "
+                        "this task is a guaranteed infringement",
+                        process_id=process.process_id,
+                        purpose=purpose,
+                        elements=(task_id,),
+                        hint="grant a statement to the pool role (or an "
+                        "ancestor a pool member specializes), or fix the "
+                        "role hierarchy",
+                    )
+                )
+
+    for purpose in sorted(policy_purposes - registered):
+        count = len(policy.for_purpose(purpose))
+        found.append(
+            diag(
+                "PC303",
+                f"policy purpose {purpose!r} ({count} statement(s)) has no "
+                "registered process: its accesses can be permitted but "
+                "never purpose-audited",
+                purpose=purpose,
+                hint="register the organizational process implementing "
+                "the purpose",
+            )
+        )
+
+    for process in processes:
+        for pool_role in sorted(process.pools):
+            resolvable = pool_role in hierarchy.roles() or any(
+                statement.subject == pool_role for statement in policy
+            )
+            # A pool role nobody specializes and no statement names is
+            # suspicious only when the hierarchy is actually in use.
+            if hierarchy.roles() and not resolvable:
+                tasks = tuple(
+                    sorted(
+                        task_id
+                        for task_id in process.task_ids
+                        if process.role_of_task(task_id) == pool_role
+                    )
+                )
+                found.append(
+                    diag(
+                        "PC304",
+                        f"pool role {pool_role!r} of process "
+                        f"{process.process_id!r} is unknown to both the "
+                        "role hierarchy and the policy: hierarchy matching "
+                        "degrades to bare string equality for it",
+                        process_id=process.process_id,
+                        purpose=process.purpose,
+                        elements=tasks,
+                        hint="declare the role in the hierarchy or check "
+                        "the pool name for typos",
+                    )
+                )
+    return found

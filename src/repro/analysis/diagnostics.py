@@ -1,0 +1,319 @@
+"""The diagnostics engine of the static model verifier.
+
+Every finding of :mod:`repro.analysis` is a :class:`Diagnostic`: a stable
+code (the ``PC`` rules below), a severity, the process and elements it
+anchors to, and a fix hint.  The code space is partitioned by layer:
+
+* ``PC1xx`` — structural: the process document itself is broken;
+* ``PC2xx`` — soundness: the translated Petri net misbehaves (classical
+  workflow-net soundness: option to complete, proper completion, no dead
+  transitions, boundedness);
+* ``PC3xx`` — policy: the process and the data-protection policy can
+  never agree ("static purpose control");
+* ``PC4xx`` — performance/compilation: shapes that make the COWS
+  encoding or the purpose automaton expensive.
+
+:class:`LintReport` aggregates diagnostics across processes and decides
+the CLI exit code; rendering (text / JSON / SARIF 2.1.0) lives in
+:mod:`repro.analysis.render`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Iterable, Optional
+
+
+class Severity(Enum):
+    """How bad a diagnostic is; orders ``ERROR > WARNING > INFO``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` value (INFO maps to ``note``)."""
+        return {"error": "error", "warning": "warning", "info": "note"}[
+            self.value
+        ]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """The registry entry behind one diagnostic code."""
+
+    code: str
+    name: str  # stable kebab-case slug, e.g. "deadlock"
+    severity: Severity
+    summary: str  # one-line description for rule listings / SARIF rules
+
+
+#: The stable rule registry.  Codes are API: tests, CI gates and SARIF
+#: consumers key on them, so existing codes must never change meaning.
+RULES: dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        # -- PC1xx: structural ------------------------------------------
+        Rule(
+            "PC101",
+            "structural-problem",
+            Severity.ERROR,
+            "the process document violates a structural constraint",
+        ),
+        Rule(
+            "PC102",
+            "silent-cycle",
+            Severity.ERROR,
+            "a cycle contains no task or error edge (not well-founded, "
+            "Section 5: WeakNext would diverge)",
+        ),
+        # -- PC2xx: workflow-net soundness ------------------------------
+        Rule(
+            "PC201",
+            "deadlock",
+            Severity.ERROR,
+            "a reachable marking has tokens but no enabled transition and "
+            "no completed end event (no option to complete)",
+        ),
+        Rule(
+            "PC202",
+            "improper-completion",
+            Severity.ERROR,
+            "an end event completes while tokens remain elsewhere (or "
+            "completes more than once)",
+        ),
+        Rule(
+            "PC203",
+            "dead-task",
+            Severity.ERROR,
+            "a task can never become enabled in any execution",
+        ),
+        Rule(
+            "PC204",
+            "unbounded",
+            Severity.ERROR,
+            "a place can accumulate unboundedly many tokens "
+            "(omega-marking in the coverability analysis)",
+        ),
+        Rule(
+            "PC205",
+            "analysis-inconclusive",
+            Severity.INFO,
+            "the state budget was exhausted before the reachability "
+            "analysis completed; soundness findings may be incomplete",
+        ),
+        # -- PC3xx: static purpose control ------------------------------
+        Rule(
+            "PC301",
+            "unauthorizable-task",
+            Severity.ERROR,
+            "no policy statement can ever authorize the task's role under "
+            "the role hierarchy — every execution is a guaranteed "
+            "infringement",
+        ),
+        Rule(
+            "PC302",
+            "purpose-without-statements",
+            Severity.WARNING,
+            "a registered purpose has no authorizing policy statements",
+        ),
+        Rule(
+            "PC303",
+            "purpose-without-process",
+            Severity.WARNING,
+            "a policy purpose has no registered organizational process, "
+            "so its accesses can never be purpose-audited",
+        ),
+        Rule(
+            "PC304",
+            "unresolvable-role",
+            Severity.WARNING,
+            "a task's pool role is unknown to both the role hierarchy and "
+            "the policy",
+        ),
+        # -- PC4xx: performance / compilation ---------------------------
+        Rule(
+            "PC401",
+            "inclusive-fanout",
+            Severity.WARNING,
+            "an inclusive split fans out to many branches; its encoding "
+            "enumerates every non-empty branch subset",
+        ),
+        Rule(
+            "PC402",
+            "state-explosion",
+            Severity.WARNING,
+            "the estimated concurrency of the process risks subset-"
+            "construction blow-up when compiling the purpose automaton",
+        ),
+        Rule(
+            "PC403",
+            "fragile-well-foundedness",
+            Severity.WARNING,
+            "a cycle carries exactly one observable: removing or renaming "
+            "that single task would make the process non-well-founded",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static verifier.
+
+    ``elements`` anchors the finding to BPMN element ids (possibly
+    empty for process- or policy-level findings); ``hint`` is the fix
+    suggestion shown to humans.
+    """
+
+    code: str
+    message: str
+    process_id: str = ""
+    purpose: str = ""
+    elements: tuple[str, ...] = ()
+    hint: str = ""
+    severity: Optional[Severity] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in RULES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity is None:
+            object.__setattr__(self, "severity", RULES[self.code].severity)
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.code]
+
+    def __str__(self) -> str:
+        location = f" [{', '.join(self.elements)}]" if self.elements else ""
+        prefix = f"{self.process_id}: " if self.process_id else ""
+        return f"{prefix}{self.severity} {self.code}{location}: {self.message}"
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly representation (used by the JSON renderer)."""
+        payload: dict = {
+            "code": self.code,
+            "rule": self.rule.name,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.process_id:
+            payload["process"] = self.process_id
+        if self.purpose:
+            payload["purpose"] = self.purpose
+        if self.elements:
+            payload["elements"] = list(self.elements)
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+
+def diag(
+    code: str,
+    message: str,
+    *,
+    process_id: str = "",
+    purpose: str = "",
+    elements: Iterable[str] = (),
+    hint: str = "",
+) -> Diagnostic:
+    """Build a :class:`Diagnostic` with the rule's default severity."""
+    return Diagnostic(
+        code=code,
+        message=message,
+        process_id=process_id,
+        purpose=purpose,
+        elements=tuple(elements),
+        hint=hint,
+    )
+
+
+def _sort_key(diagnostic: Diagnostic) -> tuple:
+    return (
+        diagnostic.process_id,
+        diagnostic.severity.rank,
+        diagnostic.code,
+        diagnostic.elements,
+        diagnostic.message,
+    )
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run, plus what was analyzed."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    processes: tuple[str, ...] = ()
+
+    def add(self, *diagnostics: Diagnostic) -> "LintReport":
+        self.diagnostics.extend(diagnostics)
+        return self
+
+    def sorted(self) -> "LintReport":
+        """A copy ordered by (process, severity, code) — the render order."""
+        return replace(
+            self, diagnostics=sorted(self.diagnostics, key=_sort_key)
+        )
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def clean(self) -> bool:
+        """No errors (warnings and infos do not make a model dirty)."""
+        return not self.errors
+
+    def codes(self) -> frozenset[str]:
+        return frozenset(d.code for d in self.diagnostics)
+
+    def for_process(self, process_id: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.process_id == process_id]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The CLI contract: 0 clean, 1 errors (or warnings when strict)."""
+        if self.errors or (strict and self.warnings):
+            return 1
+        return 0
+
+    def summary(self) -> str:
+        counts = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        )
+        scope = f"{len(self.processes)} process(es)"
+        if not self.diagnostics:
+            return f"clean: no diagnostics across {scope}"
+        return f"{counts} across {scope}"
+
+
+def merge_reports(reports: Iterable[LintReport]) -> LintReport:
+    """Concatenate reports (process lists deduplicated, order kept)."""
+    merged = LintReport()
+    seen: dict[str, None] = {}
+    for report in reports:
+        merged.diagnostics.extend(report.diagnostics)
+        for process_id in report.processes:
+            seen.setdefault(process_id, None)
+    merged.processes = tuple(seen)
+    return merged

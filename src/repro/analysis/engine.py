@@ -1,0 +1,158 @@
+"""The lint engine: orchestrates the analyzers into one report.
+
+This is the programmatic face of ``repro lint`` and of the auditor's
+``preflight=True``: hand it processes (optionally a policy, a role
+hierarchy and a process registry) and get back a
+:class:`~repro.analysis.diagnostics.LintReport`.
+
+The analyzers are layered deliberately:
+
+1. structural lint (PC1xx) always runs; when the document is broken
+   everything else is skipped for that process — a malformed model
+   produces one clear class of findings, not a cascade;
+2. soundness (PC2xx) runs on structurally valid processes, within the
+   configured state budget;
+3. shape warnings (PC4xx) ride along with the structural pass;
+4. policy cross-checks (PC3xx) run once per lint, when a policy is
+   supplied.
+
+Telemetry: each engine invocation bumps ``lint_runs_total``, counts
+every diagnostic in ``lint_diagnostics_total`` (labeled by severity)
+and emits one ``lint.run`` event.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.bpmn.model import Process
+from repro.errors import ConformanceError
+from repro.obs import LINT_RUN, NULL_TELEMETRY, Telemetry
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import Policy
+from repro.policy.registry import ProcessRegistry
+
+from repro.analysis.crosscheck import crosscheck_diagnostics
+from repro.analysis.diagnostics import LintReport, diag
+from repro.analysis.soundness import (
+    DEFAULT_STATE_BUDGET,
+    soundness_diagnostics,
+)
+from repro.analysis.structure import structure_diagnostics
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Tuning knobs of one lint run."""
+
+    state_budget: int = DEFAULT_STATE_BUDGET
+    soundness: bool = True  # run the PC2xx coverability analysis
+    crosscheck: bool = True  # run PC3xx when a policy is available
+
+    def __post_init__(self) -> None:
+        if self.state_budget < 1:
+            raise ValueError("state_budget must be positive")
+
+
+def lint_process(
+    process: Process, options: Optional[LintOptions] = None
+) -> LintReport:
+    """Lint a single process (PC1xx/PC2xx/PC4xx; no policy checks)."""
+    options = options or LintOptions()
+    report = LintReport(processes=(process.process_id,))
+    structural = structure_diagnostics(process)
+    report.add(*structural)
+    if any(d.code == "PC101" for d in structural):
+        return report  # broken document: deeper analyses are meaningless
+    if options.soundness:
+        try:
+            report.add(
+                *soundness_diagnostics(
+                    process, state_budget=options.state_budget
+                )
+            )
+        except ConformanceError as error:
+            report.add(
+                diag(
+                    "PC101",
+                    f"process cannot be translated to a Petri net: {error}",
+                    process_id=process.process_id,
+                    purpose=process.purpose,
+                )
+            )
+    return report
+
+
+def lint_processes(
+    processes: Iterable[Process],
+    policy: Optional[Policy] = None,
+    hierarchy: Optional[RoleHierarchy] = None,
+    registry: Optional[ProcessRegistry] = None,
+    options: Optional[LintOptions] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> LintReport:
+    """Lint *processes*; with a *policy*, cross-check it as well.
+
+    When a policy is given but no *registry*, a synthetic registry is
+    built from the processes' own ``purpose`` attributes so PC3xx can
+    still run (processes without a purpose are skipped there).
+    """
+    options = options or LintOptions()
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    started = time.perf_counter() if tel.enabled else 0.0
+
+    process_list = list(processes)
+    report = LintReport(
+        processes=tuple(p.process_id for p in process_list)
+    )
+    for process in process_list:
+        partial = lint_process(process, options)
+        report.add(*partial.diagnostics)
+
+    if policy is not None and options.crosscheck:
+        if registry is None:
+            registry = ProcessRegistry()
+            for index, process in enumerate(process_list):
+                if process.purpose and process.purpose not in registry.purposes():
+                    registry.register(process, case_prefix=f"LINT{index}")
+        report.add(
+            *crosscheck_diagnostics(policy, registry, hierarchy)
+        )
+
+    report = report.sorted()
+    tel.registry.counter("lint_runs_total", "lint engine invocations").inc()
+    diag_counter = tel.registry.counter(
+        "lint_diagnostics_total", "diagnostics raised, by severity"
+    )
+    for diagnostic in report.diagnostics:
+        diag_counter.inc(severity=str(diagnostic.severity))
+    if tel.enabled:
+        tel.events.emit(
+            LINT_RUN,
+            processes=len(process_list),
+            errors=len(report.errors),
+            warnings=len(report.warnings),
+            infos=len(report.infos),
+            duration_s=round(time.perf_counter() - started, 6),
+        )
+    return report
+
+
+def lint_registry(
+    registry: ProcessRegistry,
+    policy: Optional[Policy] = None,
+    hierarchy: Optional[RoleHierarchy] = None,
+    options: Optional[LintOptions] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> LintReport:
+    """Lint every process registered in *registry* (the preflight entry)."""
+    return lint_processes(
+        list(registry),
+        policy=policy,
+        hierarchy=hierarchy,
+        registry=registry,
+        options=options,
+        telemetry=telemetry,
+    )

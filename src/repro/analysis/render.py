@@ -1,0 +1,167 @@
+"""Rendering lint reports: human text, machine JSON, and SARIF 2.1.0.
+
+The SARIF output follows the OASIS 2.1.0 schema closely enough for
+standard consumers (GitHub code scanning, VS Code SARIF viewers): one
+run, the rule registry as ``tool.driver.rules``, one result per
+diagnostic with the process/element anchoring expressed as
+``logicalLocations`` (BPMN elements have no file/line to point at).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import __version__
+from repro.analysis.diagnostics import RULES, Diagnostic, LintReport
+
+#: The canonical 2.1.0 schema URI (json.schemastore.org mirror).
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://example.invalid/repro"
+
+
+def render_text(report: LintReport) -> str:
+    """The human-facing rendering: grouped by process, worst first."""
+    report = report.sorted()
+    lines: list[str] = []
+    current = object()
+    for diagnostic in report.diagnostics:
+        if diagnostic.process_id != current:
+            current = diagnostic.process_id
+            header = diagnostic.process_id or "<no process>"
+            if lines:
+                lines.append("")
+            lines.append(f"{header}:")
+        location = (
+            f" [{', '.join(diagnostic.elements)}]" if diagnostic.elements else ""
+        )
+        lines.append(
+            f"  {diagnostic.severity} {diagnostic.code}"
+            f" ({diagnostic.rule.name}){location}: {diagnostic.message}"
+        )
+        if diagnostic.hint:
+            lines.append(f"    hint: {diagnostic.hint}")
+    if lines:
+        lines.append("")
+    lines.append(report.summary())
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: LintReport) -> str:
+    """A stable machine-facing JSON document."""
+    report = report.sorted()
+    payload = {
+        "tool": TOOL_NAME,
+        "version": __version__,
+        "processes": list(report.processes),
+        "summary": {
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "infos": len(report.infos),
+            "clean": report.clean,
+        },
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def _sarif_rule(code: str) -> dict:
+    rule = RULES[code]
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": rule.severity.sarif_level},
+    }
+
+
+def _sarif_result(diagnostic: Diagnostic) -> dict:
+    result: dict = {
+        "ruleId": diagnostic.code,
+        "level": diagnostic.severity.sarif_level,
+        "message": {"text": diagnostic.message},
+    }
+    logical: list[dict] = []
+    if diagnostic.process_id and not diagnostic.elements:
+        logical.append(
+            {
+                "name": diagnostic.process_id,
+                "kind": "module",
+                "fullyQualifiedName": diagnostic.process_id,
+            }
+        )
+    for element in diagnostic.elements:
+        entry = {"name": element, "kind": "member"}
+        if diagnostic.process_id:
+            entry["fullyQualifiedName"] = f"{diagnostic.process_id}::{element}"
+        logical.append(entry)
+    if logical:
+        result["locations"] = [{"logicalLocations": logical}]
+    properties: dict = {}
+    if diagnostic.purpose:
+        properties["purpose"] = diagnostic.purpose
+    if diagnostic.hint:
+        properties["hint"] = diagnostic.hint
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def render_sarif(report: LintReport) -> str:
+    """A SARIF 2.1.0 document with one run per lint invocation."""
+    report = report.sorted()
+    used = sorted(report.codes())
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": __version__,
+                        "informationUri": TOOL_URI,
+                        "rules": [_sarif_rule(code) for code in used],
+                    }
+                },
+                "results": [
+                    _sarif_result(d) for d in report.diagnostics
+                ],
+                "columnKind": "unicodeCodePoints",
+                "properties": {
+                    "processes": list(report.processes),
+                },
+            }
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"
+
+
+#: The CLI's ``--format`` vocabulary.
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
+
+
+def render(report: LintReport, fmt: str) -> str:
+    try:
+        renderer = RENDERERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown lint format {fmt!r}; choose from {sorted(RENDERERS)}"
+        ) from None
+    return renderer(report)
+
+
+__all__ = [
+    "RENDERERS",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

@@ -1,0 +1,432 @@
+"""Workflow-net soundness by budgeted coverability analysis.
+
+Classical soundness (van der Aalst; [13] in PAPERS.md) asks three
+questions of a workflow net: can every execution complete (no
+deadlocks), does completion leave no tokens behind (proper completion),
+and is every transition — here: every *task* — enabled in some execution
+(no dead tasks)?  We answer them on the Petri translation of the BPMN
+process (:func:`repro.conformance.bpmn_to_petri.bpmn_to_petri`), using
+the **counted** inclusive-join mode so the analysis sees the exact
+OR-join synchronization of the COWS semantics rather than the baseline's
+early-firing over-approximation (which would report token leaks that the
+replay engine can never produce).
+
+The state space is explored Karp–Miller style: when a marking strictly
+covers an ancestor on its path, the strictly-grown places are pumped to
+the ω token count (``float("inf")``), which both finitizes unbounded
+nets and detects them (PC204).  Exploration is budgeted: past
+``state_budget`` distinct markings the analysis stops and degrades to an
+"inconclusive" info diagnostic (PC205) instead of hanging — findings
+made *before* the budget ran out are still definite and still reported.
+
+End events are made observable by an artificial ``done`` place per end
+event (capped at two tokens — "completed more than once" is all we need
+to know). A dead marking then classifies as:
+
+* all real places empty → **proper completion**;
+* leftover real tokens, some end completed → **improper completion**
+  (PC202); a ``done`` place holding two tokens is also improper, but
+  only for processes without message events and error flows — with
+  them, pool re-instantiation (a service pool completing once per
+  request) and retry loops legitimately re-reach end events;
+* leftover real tokens, no end completed → **deadlock** (PC201).
+
+A marking with an ω place is never dead (the ω place feeds its
+consumers forever), so unboundedness is reported separately.  Livelocks
+— cycles spinning without progress — are the well-foundedness check's
+department (PC102/PC403 in :mod:`repro.analysis.structure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bpmn.model import Process
+from repro.conformance.bpmn_to_petri import (
+    TranslatedNet,
+    _flow_place,
+    _message_place,
+    bpmn_to_petri,
+)
+from repro.conformance.petri import Marking, PetriNet
+
+from repro.analysis.diagnostics import Diagnostic, diag
+
+#: The ω token count of the coverability analysis.  ``Marking`` treats it
+#: transparently: ``inf >= k``, ``inf - k == inf``, ``inf + k == inf``.
+OMEGA = float("inf")
+
+#: Default bound on distinct explored markings.
+DEFAULT_STATE_BUDGET = 20_000
+
+#: ``done`` places only ever need to distinguish 0 / 1 / "2 or more".
+_DONE_CAP = 2
+
+
+@dataclass(frozen=True)
+class DeadMarking:
+    """One reachable marking with no enabled transition."""
+
+    marking: Marking
+    leftover: tuple[str, ...]  # real (non-done) places still holding tokens
+    completed: tuple[str, ...]  # end events whose done place has a token
+    double_completed: tuple[str, ...]  # end events completed twice
+
+    @property
+    def is_deadlock(self) -> bool:
+        return bool(self.leftover) and not self.completed
+
+    def is_improper(self, strict_completion: bool) -> bool:
+        """Leftover tokens alongside a completion are always improper;
+        double completion only under *strict_completion* (see
+        :func:`_strict_completion`)."""
+        if self.leftover and self.completed:
+            return True
+        return strict_completion and bool(self.double_completed)
+
+
+@dataclass
+class SoundnessResult:
+    """What the coverability exploration established about one process."""
+
+    process_id: str
+    complete: bool  # the whole state space fit in the budget
+    states: int  # distinct markings explored
+    deadlocks: list[DeadMarking] = field(default_factory=list)
+    improper: list[DeadMarking] = field(default_factory=list)
+    unbounded_places: frozenset[str] = frozenset()
+    dead_tasks: tuple[str, ...] = ()  # only trustworthy when complete
+
+    @property
+    def sound(self) -> bool:
+        return (
+            self.complete
+            and not self.deadlocks
+            and not self.improper
+            and not self.unbounded_places
+            and not self.dead_tasks
+        )
+
+
+def _analysis_net(process: Process) -> tuple[TranslatedNet, dict[str, str]]:
+    """The counted-OR translation plus one ``done`` place per end event."""
+    translated = bpmn_to_petri(process, inclusive_join="counted")
+    net = translated.net
+    done_places: dict[str, str] = {}
+    for end in process.end_events:
+        place = net.add_place(f"done_{end.element_id}")
+        net.outputs[f"t_{end.element_id}"][place] += 1
+        done_places[place] = end.element_id
+    return translated, done_places
+
+
+def _tokens(marking: Marking) -> dict[str, float]:
+    return dict(marking)
+
+
+def _cap_done(tokens: dict[str, float], done_places: dict[str, str]) -> None:
+    for place in done_places:
+        if tokens.get(place, 0) > _DONE_CAP:
+            tokens[place] = _DONE_CAP
+
+
+def _accelerate(
+    tokens: dict[str, float],
+    parent: Marking,
+    parents: dict[Marking, "Marking | None"],
+    done_places: dict[str, str],
+) -> bool:
+    """Karp–Miller pumping: ω-out places that strictly grow over an
+    ancestor of the child's path.  Returns whether anything was pumped."""
+    pumped = False
+    ancestor: "Marking | None" = parent
+    while ancestor is not None:
+        grown: list[str] = []
+        covers = True
+        for place, count in ancestor:
+            if place in done_places:
+                continue
+            if tokens.get(place, 0) < count:
+                covers = False
+                break
+        if covers:
+            for place, count in tokens.items():
+                if place in done_places or count == OMEGA:
+                    continue
+                if count > ancestor[place]:
+                    grown.append(place)
+        if covers and grown:
+            for place in grown:
+                tokens[place] = OMEGA
+            pumped = True
+        ancestor = parents.get(ancestor)
+    return pumped
+
+
+def _classify_dead(
+    marking: Marking, done_places: dict[str, str]
+) -> DeadMarking:
+    leftover = tuple(
+        sorted(place for place, count in marking if place not in done_places)
+    )
+    completed = tuple(
+        sorted(
+            done_places[place]
+            for place, count in marking
+            if place in done_places
+        )
+    )
+    double = tuple(
+        sorted(
+            done_places[place]
+            for place, count in marking
+            if place in done_places and count >= _DONE_CAP
+        )
+    )
+    return DeadMarking(
+        marking=marking,
+        leftover=leftover,
+        completed=completed,
+        double_completed=double,
+    )
+
+
+def _strict_completion(process: Process) -> bool:
+    """Whether double completion of an end event is definitely improper.
+
+    In a process with message events, a pool can legitimately be
+    re-instantiated (a service pool completes once per request); with
+    error flows, a retry loop can legitimately re-reach an end event.
+    Only when neither exists does an end event firing twice prove two
+    tokens leaked through the same exit — the classic AND-split /
+    XOR-join defect."""
+    if process.error_flows:
+        return False
+    return all(e.message is None for e in process.elements.values())
+
+
+def analyze_soundness(
+    process: Process, state_budget: int = DEFAULT_STATE_BUDGET
+) -> SoundnessResult:
+    """Explore the translated net's coverability graph within *state_budget*."""
+    translated, done_places = _analysis_net(process)
+    net = translated.net
+    strict = _strict_completion(process)
+    result = SoundnessResult(process_id=process.process_id, complete=True, states=0)
+
+    ever_enabled: set[str] = set()
+    omega_places: set[str] = set()
+    visited: set[Marking] = {translated.initial}
+    parents: dict[Marking, "Marking | None"] = {translated.initial: None}
+    stack: list[Marking] = [translated.initial]
+    seen_deadlocks: set[tuple[str, ...]] = set()
+    seen_improper: set[tuple[str, ...]] = set()
+
+    while stack:
+        marking = stack.pop()
+        enabled = [
+            name
+            for name in net.transitions
+            if net.is_enabled(marking, name)
+        ]
+        if not enabled:
+            dead = _classify_dead(marking, done_places)
+            if dead.is_deadlock and dead.leftover not in seen_deadlocks:
+                seen_deadlocks.add(dead.leftover)
+                result.deadlocks.append(dead)
+            elif dead.is_improper(strict):
+                key = dead.leftover + dead.double_completed
+                if key not in seen_improper:
+                    seen_improper.add(key)
+                    result.improper.append(dead)
+            continue
+        ever_enabled.update(enabled)
+        for name in enabled:
+            tokens = _tokens(net.fire(marking, name))
+            _cap_done(tokens, done_places)
+            if _accelerate(tokens, marking, parents, done_places):
+                omega_places.update(
+                    place for place, count in tokens.items() if count == OMEGA
+                )
+            child = Marking(tokens)
+            if child in visited:
+                continue
+            if len(visited) >= state_budget:
+                result.complete = False
+                stack.clear()
+                break
+            visited.add(child)
+            parents[child] = marking
+            stack.append(child)
+
+    result.states = len(visited)
+    result.unbounded_places = frozenset(omega_places)
+    if result.complete:
+        dead_tasks = []
+        for task_id in sorted(process.task_ids):
+            label = translated.task_label(task_id)
+            if not any(
+                net.transitions[name].label == label for name in ever_enabled
+            ):
+                dead_tasks.append(task_id)
+        result.dead_tasks = tuple(dead_tasks)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# place -> element mapping, for diagnostics locations
+
+
+def _place_elements(process: Process, place: str) -> tuple[str, ...]:
+    """The BPMN element ids a Petri place of the translation refers to."""
+    for flow in process.flows:
+        if place == _flow_place(flow.source, flow.target):
+            return (flow.source, flow.target)
+    for error_flow in process.error_flows:
+        if place == _flow_place(error_flow.source, error_flow.target):
+            return (error_flow.source, error_flow.target)
+    for element in process.elements.values():
+        if place == f"p_{element.element_id}_running":
+            return (element.element_id,)
+        if element.message is not None and place == _message_place(
+            str(element.message)
+        ):
+            return (element.element_id,)
+        if place.startswith(f"orcnt_{element.element_id}_"):
+            return (element.element_id,)
+    return ()
+
+
+def _marking_elements(process: Process, places: tuple[str, ...]) -> tuple[str, ...]:
+    elements: dict[str, None] = {}
+    for place in places:
+        for element_id in _place_elements(process, place):
+            elements.setdefault(element_id, None)
+    return tuple(elements)
+
+
+#: How many deadlock / improper-completion findings to report per process
+#: before summarizing (distinct stuck shapes are usually one root cause).
+MAX_MARKING_FINDINGS = 3
+
+
+def soundness_diagnostics(
+    process: Process, state_budget: int = DEFAULT_STATE_BUDGET
+) -> list[Diagnostic]:
+    """Run :func:`analyze_soundness` and turn the result into diagnostics."""
+    result = analyze_soundness(process, state_budget=state_budget)
+    found: list[Diagnostic] = []
+    process_id = process.process_id
+    purpose = process.purpose
+
+    for dead in result.deadlocks[:MAX_MARKING_FINDINGS]:
+        elements = _marking_elements(process, dead.leftover)
+        found.append(
+            diag(
+                "PC201",
+                "execution can deadlock: a reachable marking holds tokens "
+                f"at {', '.join(dead.leftover)} but enables no transition "
+                "and no end event has completed",
+                process_id=process_id,
+                purpose=purpose,
+                elements=elements,
+                hint="check that every join waits for exactly the branches "
+                "its split can activate (an AND-join fed by an XOR-split "
+                "is the classic cause)",
+            )
+        )
+    if len(result.deadlocks) > MAX_MARKING_FINDINGS:
+        extra = len(result.deadlocks) - MAX_MARKING_FINDINGS
+        found.append(
+            diag(
+                "PC201",
+                f"{extra} further distinct deadlock marking(s) suppressed",
+                process_id=process_id,
+                purpose=purpose,
+            )
+        )
+
+    for dead in result.improper[:MAX_MARKING_FINDINGS]:
+        if dead.double_completed:
+            message = (
+                "end event(s) "
+                + ", ".join(dead.double_completed)
+                + " can complete more than once in a single execution"
+            )
+            elements = dead.double_completed
+        else:
+            message = (
+                "improper completion: end event(s) "
+                + ", ".join(dead.completed)
+                + " complete while tokens remain at "
+                + ", ".join(dead.leftover)
+            )
+            elements = _marking_elements(process, dead.leftover)
+        found.append(
+            diag(
+                "PC202",
+                message,
+                process_id=process_id,
+                purpose=purpose,
+                elements=elements,
+                hint="synchronize concurrent branches before the end event "
+                "(an XOR-join merging AND-split branches leaks tokens)",
+            )
+        )
+    if len(result.improper) > MAX_MARKING_FINDINGS:
+        extra = len(result.improper) - MAX_MARKING_FINDINGS
+        found.append(
+            diag(
+                "PC202",
+                f"{extra} further distinct improper-completion marking(s) "
+                "suppressed",
+                process_id=process_id,
+                purpose=purpose,
+            )
+        )
+
+    if result.unbounded_places:
+        places = tuple(sorted(result.unbounded_places))
+        found.append(
+            diag(
+                "PC204",
+                "the net is unbounded: tokens can accumulate without limit "
+                f"at {', '.join(places)}",
+                process_id=process_id,
+                purpose=purpose,
+                elements=_marking_elements(process, places),
+                hint="a loop is producing tokens (often messages) faster "
+                "than any consumer must take them; bound the loop or "
+                "consume the message on every iteration",
+            )
+        )
+
+    for task_id in result.dead_tasks:
+        found.append(
+            diag(
+                "PC203",
+                f"task {task_id!r} is dead: no execution ever enables it",
+                process_id=process_id,
+                purpose=purpose,
+                elements=(task_id,),
+                hint="the task sits behind a join or message that can "
+                "never be satisfied; audit entries claiming it will "
+                "always be infringements",
+            )
+        )
+
+    if not result.complete:
+        found.append(
+            diag(
+                "PC205",
+                "soundness analysis inconclusive: the state budget "
+                f"({state_budget} markings) was exhausted after exploring "
+                f"{result.states}; deadlock/unboundedness findings above "
+                "(if any) are definite, but completeness claims — "
+                "including dead-task detection — were skipped",
+                process_id=process_id,
+                purpose=purpose,
+                hint="re-run with a larger budget (repro lint --budget N)",
+            )
+        )
+    return found

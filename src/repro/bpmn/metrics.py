@@ -9,11 +9,16 @@ the process's control flow is visible in audit trails.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 
 import networkx as nx
 
 from repro.bpmn.model import ElementType, Process
 from repro.bpmn.validate import flow_graph
+
+#: Cycle enumeration is exponential in the worst case; past this many
+#: cycles :func:`measure` stops counting and reports ``>= MAX_CYCLES``.
+MAX_CYCLES = 1000
 
 
 @dataclass(frozen=True)
@@ -35,6 +40,7 @@ class ProcessMetrics:
     max_split_fanout: int
     observable_density: float  # tasks / elements
     depth: int  # longest acyclic path from a start event
+    cycles_capped: bool = False  # enumeration stopped at the cap
 
     def as_rows(self) -> list[tuple[str, object]]:
         """(name, value) rows for table rendering."""
@@ -49,22 +55,28 @@ class ProcessMetrics:
             ("sequence flows", self.sequence_flows),
             ("message links", self.message_links),
             ("error flows", self.error_flows),
-            ("cycles", self.cycles),
+            ("cycles", f">= {self.cycles}" if self.cycles_capped else self.cycles),
             ("max split fan-out", self.max_split_fanout),
             ("observable density", round(self.observable_density, 3)),
             ("depth", self.depth),
         ]
 
 
-def measure(process: Process) -> ProcessMetrics:
-    """Compute the structural metrics of *process*."""
+def measure(process: Process, max_cycles: int = MAX_CYCLES) -> ProcessMetrics:
+    """Compute the structural metrics of *process*.
+
+    Cycle counting stops after *max_cycles* (the count is then a lower
+    bound, flagged by ``cycles_capped``) so metrics never hang on
+    cycle-dense graphs.
+    """
     graph = flow_graph(process)
     gateways = process.elements_of_type(
         ElementType.EXCLUSIVE_GATEWAY,
         ElementType.PARALLEL_GATEWAY,
         ElementType.INCLUSIVE_GATEWAY,
     )
-    cycles = list(nx.simple_cycles(graph))
+    cycle_count = sum(1 for _ in islice(nx.simple_cycles(graph), max_cycles))
+    cycles_capped = cycle_count >= max_cycles
     fanout = max(
         (len(process.outgoing(e.element_id)) for e in process.elements.values()),
         default=0,
@@ -87,7 +99,8 @@ def measure(process: Process) -> ProcessMetrics:
         sequence_flows=len(process.flows),
         message_links=sum(1 for _ in process.message_links()),
         error_flows=len(process.error_flows),
-        cycles=len(cycles),
+        cycles=cycle_count,
+        cycles_capped=cycles_capped,
         max_split_fanout=fanout,
         observable_density=(
             len(process.task_ids) / len(process) if len(process) else 0.0

@@ -243,20 +243,36 @@ def check_well_founded(process: Process) -> None:
 
 
 def non_well_founded_cycles(process: Process) -> list[list[str]]:
-    """The elementary cycles of *process* that contain no observable activity."""
+    """The elementary cycles of *process* that contain no observable activity.
+
+    A qualifying cycle visits no task node and traverses no error edge,
+    so it lives entirely inside the *silent subgraph* — the flow graph
+    with task nodes and error edges removed.  Enumerating cycles there
+    (and only inside its non-trivial strongly connected components)
+    is behavior-identical to scanning every simple cycle of the full
+    graph, but skips the combinatorial cycle families that run through
+    tasks — the common case in loop-heavy processes, where full
+    enumeration is exponential.
+    """
     graph = flow_graph(process)
-    offending: list[list[str]] = []
-    for cycle in nx.simple_cycles(graph):
-        has_task = any(
-            process.elements[eid].element_type is ElementType.TASK for eid in cycle
-        )
-        if has_task:
+    silent = nx.DiGraph()
+    silent.add_nodes_from(
+        eid
+        for eid in graph.nodes
+        if process.elements[eid].element_type is not ElementType.TASK
+    )
+    for source, target, data in graph.edges(data=True):
+        if data.get("kind") == "error":
             continue
-        cycle_edges = list(zip(cycle, cycle[1:] + cycle[:1]))
-        has_error_edge = any(
-            graph.edges[edge].get("kind") == "error" for edge in cycle_edges
-        )
-        if not has_error_edge:
+        if silent.has_node(source) and silent.has_node(target):
+            silent.add_edge(source, target)
+    offending: list[list[str]] = []
+    for component in nx.strongly_connected_components(silent):
+        if len(component) == 1:
+            node = next(iter(component))
+            if not silent.has_edge(node, node):
+                continue
+        for cycle in nx.simple_cycles(silent.subgraph(component)):
             offending.append(list(cycle))
     return offending
 

@@ -3,6 +3,8 @@
 Installed as the ``repro`` console script::
 
     repro validate  treatment.json
+    repro lint      treatment.json trial.json --policy policy.txt \\
+                    --role Cardiologist:Physician --format sarif --out lint.sarif
     repro encode    treatment.json --format dot > treatment.dot
     repro check     --process HT:treatment.json --trail day.xes --case HT-1
     repro audit     --process HT:treatment.json --process CT:trial.json \\
@@ -36,8 +38,15 @@ purpose's automaton eagerly and persists it under ``--automaton-dir``;
 warm artifacts so later runs — and parallel workers — skip re-encoding
 and re-exploration entirely.
 
-Exit codes: 0 — success / compliant; 1 — infringements found; 2 — bad
-input.
+Static verification (``docs/analysis.md``): ``repro lint`` runs the
+diagnostics engine (structural PC1xx, soundness PC2xx, policy PC3xx,
+performance PC4xx) over one or more process documents, optionally
+cross-checked against ``--policy FILE`` under ``--role`` hierarchy
+specs, rendering ``--format text|json|sarif``; ``--strict`` makes
+warnings fail the run.
+
+Exit codes: 0 — success / compliant / lint clean; 1 — infringements or
+lint errors found; 2 — bad input.
 """
 
 from __future__ import annotations
@@ -53,7 +62,7 @@ from repro.audit.xes import export_xes, import_xes
 from repro.bpmn.dot import process_to_dot
 from repro.bpmn.encode import encode
 from repro.bpmn.serialize import loads as load_process
-from repro.bpmn.validate import structural_problems, is_well_founded
+from repro.bpmn.validate import non_well_founded_cycles, structural_problems
 from repro.core.auditor import PurposeControlAuditor
 from repro.core.compliance import ComplianceChecker
 from repro.core.resilience import Quarantine
@@ -244,12 +253,17 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     problems = structural_problems(process)
     for problem in problems:
         print(f"problem: {problem}")
-    well_founded = not problems and is_well_founded(process)
     if problems:
         print(f"{process.process_id}: INVALID ({len(problems)} problem(s))")
         return EXIT_BAD_INPUT
-    if not well_founded:
-        print(f"{process.process_id}: NOT WELL-FOUNDED (Algorithm 1 inapplicable)")
+    silent_cycles = non_well_founded_cycles(process)
+    if silent_cycles:
+        for cycle in silent_cycles:
+            print("silent cycle: " + " -> ".join(cycle))
+        print(
+            f"{process.process_id}: NOT WELL-FOUNDED "
+            f"({len(silent_cycles)} silent cycle(s); Algorithm 1 inapplicable)"
+        )
         return EXIT_BAD_INPUT
     print(
         f"{process.process_id}: valid, well-founded "
@@ -257,6 +271,35 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         f"pools: {', '.join(process.pools)})"
     )
     return EXIT_OK
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintOptions, lint_processes, render
+
+    processes = [_read_process(path) for path in args.process_files]
+    policy = None
+    if args.policy:
+        from repro.policy.parser import parse_policy
+
+        policy_path = Path(args.policy)
+        if not policy_path.exists():
+            raise ReproError(f"policy file not found: {policy_path}")
+        policy = parse_policy(policy_path.read_text())
+    if args.budget < 1:
+        raise ReproError("--budget must be a positive state count")
+    telemetry = _telemetry_from_args(args)
+    report = lint_processes(
+        processes,
+        policy=policy,
+        hierarchy=_load_hierarchy(args.role),
+        options=LintOptions(state_budget=args.budget),
+        telemetry=telemetry,
+    )
+    _write_output(args.out, render(report, args.format), sys.stdout)
+    if args.out != "-":
+        print(report.summary())
+    _emit_telemetry(args, telemetry)
+    return report.exit_code(strict=args.strict)
 
 
 def _cmd_encode(args: argparse.Namespace) -> int:
@@ -512,6 +555,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("process_file")
     validate.set_defaults(handler=_cmd_validate)
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically verify process models: soundness, policy "
+        "cross-checks, performance lint (docs/analysis.md)",
+    )
+    lint.add_argument("process_files", nargs="+", metavar="PROCESS_FILE")
+    lint.add_argument(
+        "--policy", metavar="FILE",
+        help="data-protection policy document to cross-check (PC3xx)",
+    )
+    lint.add_argument(
+        "--role", action="append", metavar="CHILD:PARENT",
+        help="role specialization, e.g. Cardiologist:Physician (repeatable)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
+    lint.add_argument(
+        "--budget", type=int, default=20_000, metavar="STATES",
+        help="soundness state budget; past it the analysis degrades to "
+        "an 'inconclusive' info diagnostic (default: 20000)",
+    )
+    lint.add_argument(
+        "--out", default="-", metavar="DEST",
+        help="write the report to DEST instead of stdout",
+    )
+    _add_telemetry_args(lint)
+    lint.set_defaults(handler=_cmd_lint)
 
     encode_cmd = commands.add_parser(
         "encode", help="encode a process into COWS (or export DOT)"

@@ -14,11 +14,17 @@ with its standard approximations, documented here:
   ``Err``-labeled transition takes the error path;
 * XOR gateways become one silent transition per routing; AND gateways a
   single silent transition consuming/producing all branch places;
-* **OR gateways are approximated**: the split offers one silent
-  transition per non-empty branch subset, the join one per non-empty
-  subset of its input places — so the join may fire "early" on a subset
-  of the activated branches (a known over-approximation of OR-join
-  semantics in free-choice translations);
+* **OR gateways are approximated** (default ``inclusive_join="subset"``):
+  the split offers one silent transition per non-empty branch subset,
+  the join one per non-empty subset of its input places — so the join
+  may fire "early" on a subset of the activated branches (a known
+  over-approximation of OR-join semantics in free-choice translations);
+* with ``inclusive_join="counted"`` a *paired* OR split additionally
+  deposits how many branches it activated into a count place, and the
+  paired join consumes a same-size input subset together with the
+  matching count token — the exact count-based OR-join of the COWS
+  encoding, used by the static soundness analyzer
+  (:mod:`repro.analysis.soundness`) to avoid spurious token leaks;
 * message flows become shared message places between the thrower's and
   catcher's transitions;
 * plain start events mark their outgoing-flow place initially.
@@ -58,8 +64,24 @@ def _message_place(message: str) -> str:
     return f"msg_{message}"
 
 
-def bpmn_to_petri(process: Process) -> TranslatedNet:
-    """Translate *process*; raises :class:`ConformanceError` on unsupported shapes."""
+def _or_count_place(split_id: str, size: int) -> str:
+    """The count place pairing an inclusive split with its join."""
+    return f"orcnt_{split_id}_{size}"
+
+
+def bpmn_to_petri(
+    process: Process, inclusive_join: str = "subset"
+) -> TranslatedNet:
+    """Translate *process*; raises :class:`ConformanceError` on unsupported shapes.
+
+    ``inclusive_join`` selects the OR-join semantics: ``"subset"`` (the
+    documented baseline over-approximation, default) or ``"counted"``
+    (exact synchronization of paired splits/joins via count places).
+    """
+    if inclusive_join not in ("subset", "counted"):
+        raise ConformanceError(
+            f"inclusive_join must be 'subset' or 'counted', got {inclusive_join!r}"
+        )
     net = PetriNet(name=process.process_id)
     initial_tokens: dict[str, int] = {}
 
@@ -76,7 +98,7 @@ def bpmn_to_petri(process: Process) -> TranslatedNet:
         net.add_place(_message_place(str(message)))
 
     for element in process.elements.values():
-        _translate_element(net, process, element, initial_tokens)
+        _translate_element(net, process, element, initial_tokens, inclusive_join)
 
     return TranslatedNet(net=net, initial=Marking(initial_tokens), process=process)
 
@@ -106,6 +128,7 @@ def _translate_element(
     process: Process,
     element: Element,
     initial_tokens: dict[str, int],
+    inclusive_join: str = "subset",
 ) -> None:
     eid = element.element_id
     etype = element.element_type
@@ -167,7 +190,7 @@ def _translate_element(
             net.add_arc(transition.name, place)
         return
     if etype is ElementType.INCLUSIVE_GATEWAY:
-        _translate_inclusive(net, element, ins, outs)
+        _translate_inclusive(net, process, element, ins, outs, inclusive_join)
         return
     raise ConformanceError(f"unsupported element type {etype!r}")
 
@@ -204,11 +227,32 @@ def _translate_task(
     net.add_arc(failure.name, _flow_place(eid, error_target))
 
 
+def _counted_pairing(process: Process, split_id: str) -> "Element | None":
+    """The join of a split (or vice versa) when the pair qualifies for the
+    counted translation: both sides exist and both genuinely branch."""
+    join = process.paired_join(split_id)
+    if join is None:
+        return None
+    if len(process.outgoing(split_id)) < 2:
+        return None
+    if len(process.incoming(join.element_id)) < 2:
+        return None
+    return join
+
+
 def _translate_inclusive(
-    net: PetriNet, element: Element, ins: list[str], outs: list[str]
+    net: PetriNet,
+    process: Process,
+    element: Element,
+    ins: list[str],
+    outs: list[str],
+    inclusive_join: str = "subset",
 ) -> None:
     eid = element.element_id
     if len(outs) > 1:  # split: any non-empty subset of branches
+        counted_join = (
+            _counted_pairing(process, eid) if inclusive_join == "counted" else None
+        )
         for subset in _subsets(outs):
             tag = "_".join(str(outs.index(p)) for p in subset)
             transition = net.add_transition(f"t_{eid}_s{tag}")
@@ -216,12 +260,28 @@ def _translate_inclusive(
                 net.add_arc(place, transition.name)
             for place in subset:
                 net.add_arc(transition.name, place)
+            if counted_join is not None:
+                count_place = _or_count_place(eid, len(subset))
+                net.add_place(count_place)
+                net.add_arc(transition.name, count_place)
     else:  # join (or pass-through): any non-empty subset of inputs
+        counted_split = (
+            element.join_of
+            if inclusive_join == "counted"
+            and element.join_of is not None
+            and element.join_of in process
+            and _counted_pairing(process, element.join_of) is element
+            else None
+        )
         for subset in _subsets(ins):
             tag = "_".join(str(ins.index(p)) for p in subset)
             transition = net.add_transition(f"t_{eid}_j{tag}")
             for place in subset:
                 net.add_arc(place, transition.name)
+            if counted_split is not None:
+                count_place = _or_count_place(counted_split, len(subset))
+                net.add_place(count_place)
+                net.add_arc(count_place, transition.name)
             for place in outs:
                 net.add_arc(transition.name, place)
 

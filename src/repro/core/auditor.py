@@ -49,6 +49,7 @@ from repro.obs import (
     CASE_FAILED,
     INFRINGEMENT_RAISED,
     NULL_TELEMETRY,
+    PREFLIGHT_UNSOUND,
     Telemetry,
 )
 from repro.policy.engine import PolicyDecisionPoint
@@ -233,6 +234,7 @@ class PurposeControlAuditor:
         compiled: "bool | None" = None,
         automaton_dir: "str | None" = None,
         automaton_max_states: int = 50_000,
+        preflight: bool = False,
     ):
         """``temporal`` maps purpose names to their temporal constraints;
         ``now`` is the audit time used to time out still-open cases
@@ -248,6 +250,15 @@ class PurposeControlAuditor:
         ``"skip"``/``"quarantine"`` contain them as ERROR outcomes.
         ``checker_wrapper`` is the ``(checker, purpose) -> checker``
         middleware seam used by :mod:`repro.testing.faults`.
+
+        Static preflight (``docs/analysis.md``): ``preflight=True`` lints
+        each purpose's process model (structural + workflow-net
+        soundness, :mod:`repro.analysis`) before its first case is
+        replayed.  Cases of a purpose with error-severity findings are
+        quarantined as UNDECIDABLE — a deadlocking or token-leaking
+        model would fail every replay spuriously, so the verdict names
+        the model, not the trail.  The lint runs once per purpose and
+        is cached for the auditor's lifetime.
 
         Compiled replay (``docs/compilation.md``): ``compiled=True``
         attaches a purpose automaton to every checker so cases replay
@@ -270,6 +281,8 @@ class PurposeControlAuditor:
         self._checker_wrapper = checker_wrapper
         self._compiled = compiled if compiled is not None else automaton_dir is not None
         self._automaton_max_states = automaton_max_states
+        self._preflight = preflight
+        self._preflight_cache: dict[str, tuple[str, ...]] = {}
         self._checkers: dict[str, ComplianceChecker] = {}
         self._checkpoints: list = []
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -290,6 +303,10 @@ class PurposeControlAuditor:
         )
         self._m_errors = tel.registry.counter(
             "audit_errors_total", "contained per-case audit failures, by kind"
+        )
+        self._m_preflight = tel.registry.counter(
+            "preflight_unsound_total",
+            "purposes whose processes failed the static preflight",
         )
 
     # -- checker cache -----------------------------------------------------
@@ -420,6 +437,27 @@ class PurposeControlAuditor:
             states_explored=states,
         )
 
+    def _preflight_codes(self, purpose: str) -> tuple[str, ...]:
+        """The error-severity lint codes of *purpose*'s process (cached)."""
+        cached = self._preflight_cache.get(purpose)
+        if cached is None:
+            from repro.analysis import lint_process
+
+            process = self._registry.process_for(purpose)
+            with self._tel.tracer.span("preflight", purpose=purpose):
+                report = lint_process(process)
+            cached = tuple(sorted({d.code for d in report.errors}))
+            self._preflight_cache[purpose] = cached
+            if cached:
+                self._m_preflight.inc()
+                self._tel.events.emit(
+                    PREFLIGHT_UNSOUND,
+                    purpose=purpose,
+                    process=process.process_id,
+                    codes=list(cached),
+                )
+        return cached
+
     def _audit_case(self, case: str, case_trail: AuditTrail) -> CaseAuditResult:
         try:
             purpose = self._registry.purpose_of_case(case)
@@ -433,6 +471,25 @@ class PurposeControlAuditor:
                 ],
                 outcome=OutcomeKind.UNKNOWN_PURPOSE,
             )
+
+        if self._preflight:
+            unsound_codes = self._preflight_codes(purpose)
+            if unsound_codes:
+                detail = (
+                    f"purpose {purpose!r} failed the static preflight "
+                    f"({', '.join(unsound_codes)}); replay verdicts for "
+                    "an unsound model would be spurious — fix the model "
+                    "and re-audit (see `repro lint`)"
+                )
+                return CaseAuditResult(
+                    case=case,
+                    purpose=purpose,
+                    replay=None,
+                    infringements=[
+                        Infringement(InfringementKind.UNDECIDABLE, case, detail)
+                    ],
+                    outcome=OutcomeKind.UNDECIDABLE,
+                )
 
         infringements: list[Infringement] = []
         if self._pdp is not None:

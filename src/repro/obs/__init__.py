@@ -54,8 +54,10 @@ from repro.obs.log import (
     EVENT_VOCABULARY,
     FRONTIER_GROWN,
     INFRINGEMENT_RAISED,
+    LINT_RUN,
     MONITOR_SWEEP,
     NULL_EVENTS,
+    PREFLIGHT_UNSOUND,
     WEAKNEXT_COMPUTED,
     WORKER_INIT,
     WORKER_LOST,
@@ -140,11 +142,13 @@ __all__ = [
     "EVENT_VOCABULARY",
     "FRONTIER_GROWN",
     "INFRINGEMENT_RAISED",
+    "LINT_RUN",
     "MONITOR_SWEEP",
     "NULL_EVENTS",
     "NULL_REGISTRY",
     "NULL_TELEMETRY",
     "NULL_TRACER",
+    "PREFLIGHT_UNSOUND",
     "WEAKNEXT_COMPUTED",
     "WORKER_INIT",
     "WORKER_LOST",

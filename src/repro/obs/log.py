@@ -38,6 +38,12 @@ event               emitted when
                     rejected (version/fingerprint mismatch, truncation)
                     and will be recompiled transparently (fields: path,
                     reason, detail)
+``lint.run``        the static verifier linted a set of processes
+                    (fields: processes, errors, warnings, infos,
+                    duration_s)
+``lint.preflight_unsound``  the auditor's preflight found a purpose
+                    statically unsound and quarantined its cases
+                    (fields: purpose, process, codes)
 ==================  =====================================================
 
 The logger is plain :mod:`logging` under the hood (logger name
@@ -71,6 +77,8 @@ ENTRY_QUARANTINED = "entry.quarantined"
 AUTOMATON_COMPILED = "automaton.compiled"
 AUTOMATON_CHECKPOINT = "automaton.checkpoint"
 ARTIFACT_INVALID = "compile.artifact_invalid"
+LINT_RUN = "lint.run"
+PREFLIGHT_UNSOUND = "lint.preflight_unsound"
 
 EVENT_VOCABULARY = frozenset(
     {
@@ -87,6 +95,8 @@ EVENT_VOCABULARY = frozenset(
         AUTOMATON_COMPILED,
         AUTOMATON_CHECKPOINT,
         ARTIFACT_INVALID,
+        LINT_RUN,
+        PREFLIGHT_UNSOUND,
     }
 )
 

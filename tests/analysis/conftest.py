@@ -1,0 +1,74 @@
+"""Shared fixtures: intentionally-defective processes for the analyzers."""
+
+import pytest
+
+from repro.bpmn.builder import ProcessBuilder
+
+
+@pytest.fixture
+def defective_review():
+    """XOR split feeding an AND join: deadlock (PC201) + dead task TZ
+    (PC203); pool 'Ghost' is statically unauthorizable (PC301) under the
+    review policy.  Mirrors ``examples/defective_review.json``."""
+    builder = ProcessBuilder("defective-review", purpose="review")
+    reviewer = builder.pool("Reviewer")
+    ghost = builder.pool("Ghost")
+    reviewer.start_event("S")
+    reviewer.task("T0", name="Open dossier")
+    reviewer.exclusive_gateway("G")
+    reviewer.task("B1", name="Desk review")
+    ghost.task("B2", name="Shadow review")
+    reviewer.parallel_gateway("J")
+    reviewer.task("TZ", name="Archive dossier")
+    reviewer.end_event("E")
+    builder.chain("S", "T0", "G")
+    builder.flow("G", "B1")
+    builder.flow("G", "B2")
+    builder.flow("B1", "J")
+    builder.flow("B2", "J")
+    builder.chain("J", "TZ", "E")
+    return builder.build(validate=False)
+
+
+@pytest.fixture
+def leaky_process():
+    """AND split merged by an XOR join: the end event fires twice
+    (improper completion, PC202)."""
+    builder = ProcessBuilder("leaky", purpose="leak")
+    staff = builder.pool("Staff")
+    staff.start_event("S")
+    staff.parallel_gateway("G")
+    staff.task("A")
+    staff.task("B")
+    staff.exclusive_gateway("J")
+    staff.end_event("E")
+    builder.flow("S", "G")
+    builder.flow("G", "A")
+    builder.flow("G", "B")
+    builder.flow("A", "J")
+    builder.flow("B", "J")
+    builder.flow("J", "E")
+    return builder.build(validate=False)
+
+
+@pytest.fixture
+def unbounded_process():
+    """A loop whose AND split spawns a fresh token every round: the
+    coverability analysis pumps omega (PC204)."""
+    builder = ProcessBuilder("unbounded", purpose="grow")
+    staff = builder.pool("Staff")
+    staff.start_event("S")
+    staff.exclusive_gateway("G")
+    staff.task("T")
+    staff.parallel_gateway("P")
+    staff.task("W")
+    staff.end_event("E1")
+    staff.end_event("E2")
+    builder.flow("S", "G")
+    builder.flow("G", "T")
+    builder.flow("T", "P")
+    builder.flow("P", "W")
+    builder.flow("P", "G")
+    builder.flow("W", "E1")
+    builder.flow("G", "E2")
+    return builder.build(validate=False)

@@ -1,0 +1,101 @@
+"""Static purpose control: the PC3xx policy/process cross-checks."""
+
+from repro.analysis import crosscheck_diagnostics
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import ObjectRef, Policy, Statement
+from repro.policy.registry import ProcessRegistry
+from repro.scenarios import healthcare, insurance
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def review_policy():
+    return Policy(
+        [Statement("Reviewer", "read", ObjectRef.parse("[.]Dossier"), "review")]
+    )
+
+
+class TestUnauthorizableTask:
+    def test_unknown_pool_is_flagged(self, defective_review):
+        registry = ProcessRegistry().register(defective_review, "RV")
+        found = crosscheck_diagnostics(
+            review_policy(), registry, RoleHierarchy()
+        )
+        unauthorized = [d for d in found if d.code == "PC301"]
+        assert [d.elements for d in unauthorized] == [("B2",)]
+
+    def test_hierarchy_can_authorize_via_ancestor(self, defective_review):
+        registry = ProcessRegistry().register(defective_review, "RV")
+        hierarchy = RoleHierarchy().add_role("Ghost", "Reviewer")
+        found = crosscheck_diagnostics(review_policy(), registry, hierarchy)
+        assert "PC301" not in codes(found)
+
+    def test_non_role_subject_is_conservatively_trusted(self, defective_review):
+        # "alice" is not a known role, so it may be a concrete user
+        # holding any role — PC301 must not fire on a guess.
+        registry = ProcessRegistry().register(defective_review, "RV")
+        policy = Policy(
+            [Statement("alice", "read", ObjectRef.parse("[.]Dossier"), "review")]
+        )
+        found = crosscheck_diagnostics(policy, registry, RoleHierarchy())
+        assert "PC301" not in codes(found)
+
+
+class TestPurposeCoverage:
+    def test_purpose_without_statements(self, defective_review):
+        registry = ProcessRegistry().register(defective_review, "RV")
+        policy = Policy(
+            [Statement("Reviewer", "read", ObjectRef.parse("[.]X"), "other")]
+        )
+        found = crosscheck_diagnostics(policy, registry, RoleHierarchy())
+        assert "PC302" in codes(found)
+        orphan = next(d for d in found if d.code == "PC303")
+        assert orphan.purpose == "other"
+
+    def test_policy_purpose_without_process(self):
+        policy = Policy(
+            [Statement("Clerk", "read", ObjectRef.parse("[.]X"), "ghostpurpose")]
+        )
+        found = crosscheck_diagnostics(
+            policy, ProcessRegistry(), RoleHierarchy()
+        )
+        assert codes(found) == {"PC303"}
+
+
+class TestUnresolvableRole:
+    def test_unknown_pool_role_warns_when_hierarchy_in_use(self, defective_review):
+        registry = ProcessRegistry().register(defective_review, "RV")
+        hierarchy = RoleHierarchy().add_role("Reviewer", "Staff")
+        found = crosscheck_diagnostics(review_policy(), registry, hierarchy)
+        unresolved = [d for d in found if d.code == "PC304"]
+        assert len(unresolved) == 1
+        assert unresolved[0].elements == ("B2",)
+
+    def test_flat_organizations_do_not_warn(self, defective_review):
+        # With no hierarchy at all, bare string matching is the intended
+        # semantics, not an accident worth warning about.
+        registry = ProcessRegistry().register(defective_review, "RV")
+        found = crosscheck_diagnostics(
+            review_policy(), registry, RoleHierarchy()
+        )
+        assert "PC304" not in codes(found)
+
+
+class TestShippedPoliciesAreClean:
+    def test_healthcare(self):
+        found = crosscheck_diagnostics(
+            healthcare.extended_policy(),
+            healthcare.process_registry(),
+            healthcare.role_hierarchy(),
+        )
+        assert codes(found) == set()
+
+    def test_insurance(self):
+        found = crosscheck_diagnostics(
+            insurance.insurance_policy(),
+            insurance.insurance_registry(),
+            insurance.insurance_role_hierarchy(),
+        )
+        assert codes(found) == set()

@@ -1,0 +1,116 @@
+"""The diagnostics engine: rules, records, reports."""
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Diagnostic,
+    LintReport,
+    Severity,
+    diag,
+    merge_reports,
+)
+
+
+class TestRuleRegistry:
+    def test_all_documented_codes_exist(self):
+        expected = {
+            "PC101", "PC102",
+            "PC201", "PC202", "PC203", "PC204", "PC205",
+            "PC301", "PC302", "PC303", "PC304",
+            "PC401", "PC402", "PC403",
+        }
+        assert set(RULES) == expected
+
+    def test_codes_match_their_rule(self):
+        for code, rule in RULES.items():
+            assert rule.code == code
+            assert rule.name
+            assert rule.summary
+
+    def test_severity_partition(self):
+        errors = {c for c, r in RULES.items() if r.severity is Severity.ERROR}
+        assert errors == {
+            "PC101", "PC102", "PC201", "PC202", "PC203", "PC204", "PC301"
+        }
+        assert RULES["PC205"].severity is Severity.INFO
+
+    def test_sarif_levels(self):
+        assert Severity.ERROR.sarif_level == "error"
+        assert Severity.WARNING.sarif_level == "warning"
+        assert Severity.INFO.sarif_level == "note"
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            diag("PC999", "nope")
+
+    def test_severity_defaults_from_rule(self):
+        assert diag("PC201", "x").severity is Severity.ERROR
+        assert diag("PC302", "x").severity is Severity.WARNING
+        assert diag("PC205", "x").severity is Severity.INFO
+
+    def test_str_includes_code_and_location(self):
+        text = str(
+            diag("PC203", "dead", process_id="p", elements=("T1", "T2"))
+        )
+        assert "PC203" in text
+        assert "[T1, T2]" in text
+        assert text.startswith("p: ")
+
+    def test_to_dict_omits_empty_fields(self):
+        payload = diag("PC201", "boom").to_dict()
+        assert payload == {
+            "code": "PC201",
+            "rule": "deadlock",
+            "severity": "error",
+            "message": "boom",
+        }
+
+    def test_frozen(self):
+        diagnostic = diag("PC201", "boom")
+        with pytest.raises(AttributeError):
+            diagnostic.message = "changed"
+
+
+class TestLintReport:
+    def _report(self):
+        return LintReport(processes=("p",)).add(
+            diag("PC302", "w", process_id="p"),
+            diag("PC201", "e", process_id="p"),
+            diag("PC205", "i", process_id="p"),
+        )
+
+    def test_severity_buckets(self):
+        report = self._report()
+        assert [d.code for d in report.errors] == ["PC201"]
+        assert [d.code for d in report.warnings] == ["PC302"]
+        assert [d.code for d in report.infos] == ["PC205"]
+        assert not report.clean
+
+    def test_sorted_orders_by_severity_then_code(self):
+        codes = [d.code for d in self._report().sorted().diagnostics]
+        assert codes == ["PC201", "PC302", "PC205"]
+
+    def test_exit_codes(self):
+        report = self._report()
+        assert report.exit_code() == 1
+        warnings_only = LintReport().add(diag("PC302", "w"))
+        assert warnings_only.exit_code() == 0
+        assert warnings_only.exit_code(strict=True) == 1
+        assert LintReport().exit_code(strict=True) == 0
+
+    def test_summary_counts(self):
+        assert "1 error(s), 1 warning(s), 1 info(s)" in self._report().summary()
+        assert "clean" in LintReport(processes=("p",)).summary()
+
+    def test_merge_deduplicates_processes(self):
+        merged = merge_reports(
+            [
+                LintReport([diag("PC201", "a")], processes=("p", "q")),
+                LintReport([diag("PC302", "b")], processes=("q", "r")),
+            ]
+        )
+        assert merged.processes == ("p", "q", "r")
+        assert merged.codes() == {"PC201", "PC302"}

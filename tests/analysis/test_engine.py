@@ -1,0 +1,92 @@
+"""The lint engine: orchestration, options, and telemetry."""
+
+import pytest
+
+from repro.analysis import LintOptions, lint_process, lint_processes, lint_registry
+from repro.bpmn.builder import ProcessBuilder
+from repro.obs import LINT_RUN, MemoryEventLog, Telemetry, Tracer
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import ObjectRef, Policy, Statement
+from repro.policy.registry import ProcessRegistry
+from repro.scenarios import healthcare, insurance, workloads
+
+
+def review_policy():
+    return Policy(
+        [Statement("Reviewer", "read", ObjectRef.parse("[.]Dossier"), "review")]
+    )
+
+
+class TestLintProcess:
+    def test_broken_document_skips_soundness(self):
+        process = ProcessBuilder("empty", purpose="x").build(validate=False)
+        report = lint_process(process)
+        assert report.codes() == {"PC101"}
+
+    def test_soundness_can_be_disabled(self, defective_review):
+        report = lint_process(
+            defective_review, LintOptions(soundness=False)
+        )
+        assert not report.codes() & {"PC201", "PC202", "PC203", "PC204", "PC205"}
+
+    def test_options_reject_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="state_budget"):
+            LintOptions(state_budget=0)
+
+
+class TestLintProcesses:
+    def test_synthetic_registry_enables_crosschecks(self, defective_review):
+        # No registry passed: the engine builds one from the processes'
+        # own purposes so PC3xx still runs.
+        report = lint_processes(
+            [defective_review],
+            policy=review_policy(),
+            hierarchy=RoleHierarchy(),
+        )
+        assert "PC301" in report.codes()
+
+    def test_no_policy_no_crosschecks(self, defective_review):
+        report = lint_processes([defective_review])
+        assert not report.codes() & {"PC301", "PC302", "PC303", "PC304"}
+
+    def test_report_is_sorted_across_processes(self, defective_review):
+        report = lint_processes(
+            [workloads.sequential_process(2), defective_review]
+        )
+        ranks = [d.severity.rank for d in report.diagnostics]
+        assert ranks == sorted(ranks)
+
+    def test_telemetry_counters_and_event(self, defective_review):
+        sink = MemoryEventLog()
+        telemetry = Telemetry.create(events=sink.events, tracer=Tracer())
+        report = lint_processes([defective_review], telemetry=telemetry)
+
+        assert telemetry.registry.counter("lint_runs_total").total == 1
+        diagnostics = telemetry.registry.counter("lint_diagnostics_total")
+        assert diagnostics.value(severity="error") == len(report.errors)
+
+        (event,) = sink.named(LINT_RUN)
+        assert event["processes"] == 1
+        assert event["errors"] == len(report.errors)
+        assert "duration_s" in event
+
+
+class TestLintRegistry:
+    def test_lints_every_registered_process(self):
+        report = lint_registry(
+            healthcare.process_registry(),
+            policy=healthcare.extended_policy(),
+            hierarchy=healthcare.role_hierarchy(),
+        )
+        assert set(report.processes) == {
+            p.process_id for p in healthcare.process_registry()
+        }
+        assert report.clean  # shipped scenarios lint without errors
+
+    def test_insurance_registry_is_clean(self):
+        report = lint_registry(
+            insurance.insurance_registry(),
+            policy=insurance.insurance_policy(),
+            hierarchy=insurance.insurance_role_hierarchy(),
+        )
+        assert report.clean

@@ -1,0 +1,105 @@
+"""The auditor's opt-in static preflight and its telemetry."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.audit.model import AuditTrail, LogEntry, Status
+from repro.core import PurposeControlAuditor
+from repro.core.resilience import OutcomeKind
+from repro.obs import PREFLIGHT_UNSOUND, MemoryEventLog, Telemetry, Tracer
+from repro.policy.registry import ProcessRegistry
+from repro.scenarios import workloads
+
+
+def entry(case, task, minute, role="Reviewer"):
+    return LogEntry(
+        user="ann",
+        role=role,
+        action="work",
+        obj=None,
+        task=task,
+        case=case,
+        timestamp=datetime(2010, 1, 1, 9, 0) + timedelta(minutes=minute),
+        status=Status.SUCCESS,
+    )
+
+
+@pytest.fixture
+def review_registry(defective_review):
+    return ProcessRegistry().register(defective_review, "RV")
+
+
+@pytest.fixture
+def review_trail():
+    return AuditTrail(
+        [
+            entry("RV-1", "T0", 0),
+            entry("RV-1", "B1", 1),
+            entry("RV-2", "T0", 5),
+        ]
+    )
+
+
+class TestQuarantine:
+    def test_unsound_purpose_is_undecidable(self, review_registry, review_trail):
+        auditor = PurposeControlAuditor(review_registry, preflight=True)
+        report = auditor.audit(review_trail)
+        for result in report.cases.values():
+            assert result.outcome is OutcomeKind.UNDECIDABLE
+            (finding,) = result.infringements
+            assert finding.kind.value == "undecidable"
+            assert "PC201" in finding.detail
+            assert "PC203" in finding.detail
+            assert "repro lint" in finding.detail
+
+    def test_preflight_is_opt_in(self, review_registry, review_trail):
+        # Without preflight the open prefix replays fine: nothing in the
+        # trail itself is wrong — the *model* is.
+        report = PurposeControlAuditor(review_registry).audit(review_trail)
+        assert report.compliant
+
+    def test_sound_purposes_are_untouched(self):
+        registry = ProcessRegistry().register(
+            workloads.sequential_process(3), "SQ"
+        )
+        trail = AuditTrail(
+            [entry(f"SQ-1", f"T{i}", i, role="Staff") for i in range(1, 4)]
+        )
+        auditor = PurposeControlAuditor(registry, preflight=True)
+        report = auditor.audit(trail)
+        assert report.compliant
+        assert report.cases["SQ-1"].outcome is OutcomeKind.COMPLIANT
+
+
+class TestPreflightTelemetry:
+    def test_counter_and_event_fire_once_per_purpose(
+        self, review_registry, review_trail
+    ):
+        sink = MemoryEventLog()
+        telemetry = Telemetry.create(events=sink.events, tracer=Tracer())
+        auditor = PurposeControlAuditor(
+            review_registry, preflight=True, telemetry=telemetry
+        )
+        auditor.audit(review_trail)  # two cases of the same purpose
+
+        counter = telemetry.registry.counter("preflight_unsound_total")
+        assert counter.total == 1  # cached after the first case
+
+        events = sink.named(PREFLIGHT_UNSOUND)
+        assert len(events) == 1
+        assert events[0]["purpose"] == "review"
+        assert "PC201" in events[0]["codes"]
+
+    def test_sound_purpose_emits_nothing(self):
+        registry = ProcessRegistry().register(
+            workloads.sequential_process(3), "SQ"
+        )
+        sink = MemoryEventLog()
+        telemetry = Telemetry.create(events=sink.events, tracer=Tracer())
+        auditor = PurposeControlAuditor(
+            registry, preflight=True, telemetry=telemetry
+        )
+        auditor.audit(AuditTrail([entry("SQ-1", "T1", 0, role="Staff")]))
+        assert telemetry.registry.counter("preflight_unsound_total").total == 0
+        assert sink.named(PREFLIGHT_UNSOUND) == []

@@ -1,0 +1,150 @@
+"""Rendering: golden files for text/JSON/SARIF plus SARIF schema checks.
+
+The golden files under ``tests/analysis/golden/`` pin the exact output
+of each renderer for the seeded defective process; the tool version is
+normalized to ``X.Y.Z`` so releases do not churn the goldens.  The SARIF
+document is additionally validated against a condensed subset of the
+OASIS 2.1.0 schema (``sarif_subset_schema.json``) with jsonschema.
+"""
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro import __version__
+from repro.analysis import (
+    LintReport,
+    SARIF_SCHEMA_URI,
+    diag,
+    lint_processes,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.model import ObjectRef, Policy, Statement
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def defective_report(defective_review):
+    policy = Policy(
+        [
+            Statement("Reviewer", "read", ObjectRef.parse("[.]Dossier"), "review"),
+            Statement(
+                "Reviewer", "write", ObjectRef.parse("[.]Dossier/Notes"), "review"
+            ),
+        ]
+    )
+    return lint_processes(
+        [defective_review], policy=policy, hierarchy=RoleHierarchy()
+    )
+
+
+def normalize(text):
+    return text.replace(__version__, "X.Y.Z")
+
+
+class TestGoldenFiles:
+    @pytest.mark.parametrize("fmt,suffix", [
+        ("text", "txt"),
+        ("json", "json"),
+        ("sarif", "sarif"),
+    ])
+    def test_matches_golden(self, defective_review, fmt, suffix):
+        report = defective_report(defective_review)
+        rendered = normalize(render(report, fmt))
+        golden = (GOLDEN_DIR / f"defective_review.{suffix}").read_text()
+        assert rendered == golden
+
+    def test_goldens_agree_on_the_findings(self):
+        golden = json.loads(
+            (GOLDEN_DIR / "defective_review.json").read_text()
+        )
+        assert {d["code"] for d in golden["diagnostics"]} == {
+            "PC201",
+            "PC203",
+            "PC301",
+        }
+        # two deadlocked markings (one per XOR branch) + dead task + policy
+        assert golden["summary"]["errors"] == 4
+        assert not golden["summary"]["clean"]
+
+
+class TestTextRendering:
+    def test_groups_by_process_and_shows_hints(self):
+        report = LintReport(processes=("p", "q")).add(
+            diag("PC201", "stuck", process_id="p", elements=("J",),
+                 hint="fix the join"),
+            diag("PC302", "no statements", process_id="q"),
+        )
+        text = render_text(report)
+        assert "p:" in text and "q:" in text
+        assert "hint: fix the join" in text
+        assert "1 error(s), 1 warning(s)" in text
+
+    def test_clean_report_renders_summary_only(self):
+        text = render_text(LintReport(processes=("p",)))
+        assert "clean" in text
+
+
+class TestJsonRendering:
+    def test_payload_shape(self):
+        payload = json.loads(
+            render_json(LintReport(processes=("p",)).add(diag("PC204", "omega")))
+        )
+        assert payload["tool"] == "repro-lint"
+        assert payload["version"] == __version__
+        assert payload["summary"] == {
+            "errors": 1,
+            "warnings": 0,
+            "infos": 0,
+            "clean": False,
+        }
+        assert payload["diagnostics"][0]["rule"] == "unbounded"
+
+
+class TestSarifRendering:
+    def _sarif(self, report):
+        return json.loads(render_sarif(report))
+
+    def test_document_validates_against_subset_schema(self, defective_review):
+        schema = json.loads(
+            (Path(__file__).parent / "sarif_subset_schema.json").read_text()
+        )
+        document = self._sarif(defective_report(defective_review))
+        jsonschema.validate(document, schema)
+
+    def test_schema_uri_and_version(self):
+        document = self._sarif(LintReport())
+        assert document["$schema"] == SARIF_SCHEMA_URI
+        assert document["version"] == "2.1.0"
+
+    def test_only_used_rules_are_declared(self):
+        document = self._sarif(LintReport().add(diag("PC201", "x")))
+        driver = document["runs"][0]["tool"]["driver"]
+        assert [r["id"] for r in driver["rules"]] == ["PC201"]
+
+    def test_logical_locations(self):
+        document = self._sarif(
+            LintReport().add(
+                diag("PC203", "dead", process_id="p", elements=("T1",))
+            )
+        )
+        locations = document["runs"][0]["results"][0]["locations"]
+        assert locations[0]["logicalLocations"] == [
+            {"name": "T1", "kind": "member", "fullyQualifiedName": "p::T1"}
+        ]
+
+    def test_info_maps_to_note_level(self):
+        document = self._sarif(LintReport().add(diag("PC205", "meh")))
+        assert document["runs"][0]["results"][0]["level"] == "note"
+
+
+class TestRenderDispatch:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint format"):
+            render(LintReport(), "yaml")

@@ -1,0 +1,149 @@
+"""The coverability-based soundness analyzer (PC2xx)."""
+
+from repro.analysis import analyze_soundness, soundness_diagnostics
+from repro.analysis.soundness import OMEGA
+from repro.bpmn.builder import ProcessBuilder
+from repro.conformance.bpmn_to_petri import bpmn_to_petri
+from repro.scenarios import appendix, healthcare, insurance, workloads
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class TestDeadlockDetection:
+    def test_xor_split_into_and_join_deadlocks(self, defective_review):
+        result = analyze_soundness(defective_review)
+        assert result.complete
+        assert result.deadlocks
+        assert not result.sound
+
+    def test_diagnostics_carry_codes_and_elements(self, defective_review):
+        found = soundness_diagnostics(defective_review)
+        assert {"PC201", "PC203"} <= codes(found)
+        dead_task = next(d for d in found if d.code == "PC203")
+        assert dead_task.elements == ("TZ",)
+        deadlock = next(d for d in found if d.code == "PC201")
+        assert "J" in deadlock.elements
+
+    def test_sound_process_is_sound(self):
+        result = analyze_soundness(workloads.sequential_process(4))
+        assert result.sound
+        assert soundness_diagnostics(workloads.sequential_process(4)) == []
+
+
+class TestImproperCompletion:
+    def test_and_split_xor_join_leaks(self, leaky_process):
+        found = soundness_diagnostics(leaky_process)
+        assert "PC202" in codes(found)
+        improper = next(d for d in found if d.code == "PC202")
+        assert "E" in improper.elements
+
+    def test_message_reinstantiation_is_not_improper(self):
+        # The healthcare service pools (Lab, Radiology) complete once per
+        # request; the error loop can legitimately re-throw the referral.
+        found = soundness_diagnostics(
+            healthcare.healthcare_treatment_process()
+        )
+        assert codes(found) == set()
+
+
+class TestUnboundedness:
+    def test_token_generating_loop_pumps_omega(self, unbounded_process):
+        result = analyze_soundness(unbounded_process)
+        assert result.unbounded_places
+        found = soundness_diagnostics(unbounded_process)
+        assert "PC204" in codes(found)
+
+    def test_omega_is_infinity(self):
+        assert OMEGA == float("inf")
+        assert OMEGA - 1 == OMEGA  # Marking arithmetic stays at omega
+
+    def test_fig10_message_pingpong_is_bounded(self):
+        # fig10's message loop circulates a single token forever; the
+        # done-place cap keeps the state space finite and omega silent.
+        result = analyze_soundness(appendix.fig10_process())
+        assert result.complete
+        assert not result.unbounded_places
+
+
+class TestBudget:
+    def test_exhausted_budget_degrades_to_inconclusive(self):
+        process = workloads.parallel_process(4)
+        found = soundness_diagnostics(process, state_budget=5)
+        assert "PC205" in codes(found)
+        inconclusive = next(d for d in found if d.code == "PC205")
+        assert inconclusive.severity.value == "info"
+        # Dead-task claims require a complete exploration.
+        assert "PC203" not in codes(found)
+
+    def test_budget_does_not_fabricate_findings(self):
+        process = workloads.sequential_process(3)
+        found = soundness_diagnostics(process, state_budget=2)
+        assert codes(found) == {"PC205"}
+
+
+class TestCountedOrJoin:
+    def test_counted_mode_adds_count_places(self):
+        process = healthcare.healthcare_treatment_process()
+        subset = bpmn_to_petri(process)
+        counted = bpmn_to_petri(process, inclusive_join="counted")
+        count_places = {
+            p for p in counted.net.places if p.startswith("orcnt_")
+        }
+        assert count_places  # the paired G3/J3 gateways use them
+        assert not {p for p in subset.net.places if p.startswith("orcnt_")}
+
+    def test_subset_mode_unchanged_is_default(self):
+        process = healthcare.healthcare_treatment_process()
+        default = bpmn_to_petri(process)
+        explicit = bpmn_to_petri(process, inclusive_join="subset")
+        assert default.net.places == explicit.net.places
+        assert set(default.net.transitions) == set(explicit.net.transitions)
+
+    def test_counted_join_prevents_early_firing_false_positives(self):
+        # Under the subset ("early firing") join the OR-join could fire
+        # on one branch while the other still runs, stranding a token;
+        # the counted analysis net must not report that phantom.
+        found = soundness_diagnostics(
+            healthcare.healthcare_treatment_process()
+        )
+        assert "PC202" not in codes(found)
+
+
+class TestShippedScenariosAreSound:
+    def test_all_scenarios(self):
+        processes = [
+            healthcare.healthcare_treatment_process(),
+            healthcare.clinical_trial_process(),
+            insurance.claim_handling_process(),
+            insurance.marketing_process(),
+            appendix.fig7_process(),
+            appendix.fig8_process(),
+            appendix.fig9_process(),
+            appendix.fig10_process(),
+            workloads.sequential_process(6),
+            workloads.xor_process(4),
+            workloads.loop_process(2),
+            workloads.parallel_process(3),
+            workloads.staged_xor_process(2, 3),
+        ]
+        for process in processes:
+            found = soundness_diagnostics(process)
+            assert found == [], (
+                f"{process.process_id} unexpectedly unsound: "
+                + "; ".join(str(d) for d in found)
+            )
+
+
+class TestErrorFlowSoundness:
+    def test_error_retry_loop_is_sound(self):
+        builder = ProcessBuilder("retry", purpose="retry")
+        staff = builder.pool("Staff")
+        staff.start_event("S")
+        staff.task("T")
+        staff.end_event("E")
+        builder.chain("S", "T", "E")
+        builder.error_flow("T", "T")
+        process = builder.build()
+        assert analyze_soundness(process).sound

@@ -1,0 +1,116 @@
+"""Structural and automaton-facing lint (PC1xx / PC4xx)."""
+
+from repro.analysis import structure_diagnostics
+from repro.bpmn.builder import ProcessBuilder
+from repro.scenarios import healthcare, workloads
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class TestStructuralProblems:
+    def test_broken_document_yields_pc101_only(self):
+        process = ProcessBuilder("empty", purpose="none").build(validate=False)
+        found = structure_diagnostics(process)
+        assert codes(found) == {"PC101"}
+
+    def test_pc101_short_circuits_deeper_checks(self):
+        # A dangling flow AND a silent cycle: only PC101 is reported,
+        # because graph analyses on a broken document are meaningless.
+        builder = ProcessBuilder("broken", purpose="none")
+        staff = builder.pool("Staff")
+        staff.start_event("S")
+        staff.exclusive_gateway("G1")
+        staff.exclusive_gateway("G2")
+        staff.task("T")
+        staff.end_event("E")
+        builder.chain("S", "G1", "G2", "G1")
+        builder.chain("G2", "T", "E")
+        builder.flow("T", "MISSING")
+        found = structure_diagnostics(builder.build(validate=False))
+        assert codes(found) == {"PC101"}
+
+
+class TestSilentCycles:
+    def test_gateway_only_cycle_is_pc102(self):
+        builder = ProcessBuilder("silent", purpose="spin")
+        staff = builder.pool("Staff")
+        staff.start_event("S")
+        staff.exclusive_gateway("G1")
+        staff.exclusive_gateway("G2")
+        staff.task("T")
+        staff.end_event("E")
+        builder.chain("S", "G1", "G2", "G1")
+        builder.chain("G2", "T", "E")
+        found = structure_diagnostics(builder.build(validate=False))
+        silent = [d for d in found if d.code == "PC102"]
+        assert len(silent) == 1
+        assert set(silent[0].elements) == {"G1", "G2"}
+        assert silent[0].hint
+
+    def test_task_on_cycle_silences_pc102(self):
+        found = structure_diagnostics(workloads.loop_process(2))
+        assert "PC102" not in codes(found)
+
+
+class TestInclusiveFanout:
+    def _or_split(self, fanout):
+        builder = ProcessBuilder("orsplit", purpose="fan")
+        staff = builder.pool("Staff")
+        staff.start_event("S")
+        staff.inclusive_gateway("G")
+        staff.inclusive_gateway("J", join_of="G")
+        staff.end_event("E")
+        builder.flow("S", "G")
+        for index in range(fanout):
+            staff.task(f"T{index}")
+            builder.flow("G", f"T{index}")
+            builder.flow(f"T{index}", "J")
+        builder.flow("J", "E")
+        return builder.build(validate=False)
+
+    def test_wide_split_warns_with_subset_count(self):
+        found = structure_diagnostics(self._or_split(4))
+        fanout = next(d for d in found if d.code == "PC401")
+        assert fanout.elements == ("G",)
+        assert "15" in fanout.message  # 2^4 - 1 enumerated subsets
+
+    def test_narrow_split_is_quiet(self):
+        found = structure_diagnostics(self._or_split(3))
+        assert "PC401" not in codes(found)
+
+
+class TestStateExplosion:
+    def test_high_concurrency_estimate_warns(self):
+        found = structure_diagnostics(workloads.parallel_process(8))
+        explosion = [d for d in found if d.code == "PC402"]
+        assert len(explosion) == 1
+        assert explosion[0].elements  # names the offending splits
+
+    def test_modest_concurrency_is_quiet(self):
+        found = structure_diagnostics(workloads.parallel_process(3))
+        assert "PC402" not in codes(found)
+
+
+class TestFragileWellFoundedness:
+    def test_single_task_loop_warns(self):
+        # clinical-trial's consent loop is kept well-founded by exactly
+        # one task; deleting it would break the Section 5 precondition.
+        found = structure_diagnostics(healthcare.clinical_trial_process())
+        fragile = [d for d in found if d.code == "PC403"]
+        assert fragile
+        assert all(d.severity.value == "warning" for d in fragile)
+
+    def test_two_observables_on_cycle_are_sturdy(self):
+        builder = ProcessBuilder("sturdy", purpose="loop")
+        staff = builder.pool("Staff")
+        staff.start_event("S")
+        staff.exclusive_gateway("G")
+        staff.task("T1")
+        staff.task("T2")
+        staff.end_event("E")
+        builder.chain("S", "G", "T1", "T2", "G")
+        builder.flow("G", "E")
+        found = structure_diagnostics(builder.build(validate=False))
+        assert "PC403" not in codes(found)

@@ -76,3 +76,35 @@ class TestFamilies:
         # make it diverge.
         metrics = measure(loop_process(3))
         assert metrics.depth >= 4
+
+
+class TestCycleCap:
+    def _many_cycles(self, n):
+        from repro.bpmn import ProcessBuilder
+
+        builder = ProcessBuilder("loops")
+        pool = builder.pool("P")
+        pool.start_event("S").exclusive_gateway("G").end_event("E")
+        builder.flow("S", "G")
+        for index in range(n):
+            task = f"T{index}"
+            pool.task(task)
+            builder.flow("G", task).flow(task, "G")
+        builder.flow("G", "E")
+        return builder.build(validate=False)
+
+    def test_uncapped_counts_exactly(self):
+        metrics = measure(self._many_cycles(4))
+        assert metrics.cycles == 4
+        assert not metrics.cycles_capped
+
+    def test_cap_stops_enumeration(self):
+        metrics = measure(self._many_cycles(4), max_cycles=2)
+        assert metrics.cycles == 2
+        assert metrics.cycles_capped
+
+    def test_capped_count_renders_as_lower_bound(self):
+        rows = dict(measure(self._many_cycles(4), max_cycles=2).as_rows())
+        assert rows["cycles"] == ">= 2"
+        uncapped = dict(measure(self._many_cycles(4)).as_rows())
+        assert uncapped["cycles"] == 4

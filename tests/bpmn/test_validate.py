@@ -201,3 +201,47 @@ class TestBuilderBasics:
         builder.pool("P").task("T")
         with pytest.raises(ValueError):
             builder.flow("T", "T")
+
+
+class TestSilentCycleEnumeration:
+    """The SCC-condensed enumeration must match the old whole-graph one."""
+
+    def test_disjoint_silent_cycles_all_reported(self):
+        builder = ProcessBuilder("p")
+        pool = builder.pool("P")
+        pool.start_event("S").task("T1").task("T2").end_event("E")
+        pool.exclusive_gateway("G1").exclusive_gateway("G2")
+        pool.exclusive_gateway("H1").exclusive_gateway("H2")
+        builder.chain("S", "G1", "G2", "G1")  # first silent SCC
+        builder.chain("G2", "T1", "H1", "H2", "H1")  # second silent SCC
+        builder.chain("H2", "T2", "E")
+        cycles = non_well_founded_cycles(builder.build(validate=False))
+        assert len(cycles) == 2
+        assert {frozenset(c) for c in cycles} == {
+            frozenset({"G1", "G2"}),
+            frozenset({"H1", "H2"}),
+        }
+
+    def test_cycle_through_task_is_not_silent(self):
+        builder = ProcessBuilder("p")
+        pool = builder.pool("P")
+        pool.start_event("S").task("T").exclusive_gateway("G").end_event("E")
+        builder.chain("S", "T", "G")
+        builder.flow("G", "T")
+        builder.flow("G", "E")
+        assert non_well_founded_cycles(builder.build(validate=False)) == []
+
+    def test_overlapping_cycles_in_one_scc(self):
+        builder = ProcessBuilder("p")
+        pool = builder.pool("P")
+        pool.start_event("S").task("T").end_event("E")
+        pool.exclusive_gateway("G1").exclusive_gateway("G2")
+        pool.exclusive_gateway("G3")
+        builder.chain("S", "G1", "G2", "G1")
+        builder.flow("G2", "G3").flow("G3", "G1")
+        builder.chain("G3", "T", "E")
+        cycles = non_well_founded_cycles(builder.build(validate=False))
+        assert {frozenset(c) for c in cycles} == {
+            frozenset({"G1", "G2"}),
+            frozenset({"G1", "G2", "G3"}),
+        }

@@ -13,8 +13,10 @@ from repro.obs.log import (
     EVENT_VOCABULARY,
     FRONTIER_GROWN,
     INFRINGEMENT_RAISED,
+    LINT_RUN,
     MONITOR_SWEEP,
     NULL_EVENTS,
+    PREFLIGHT_UNSOUND,
     WEAKNEXT_COMPUTED,
     WORKER_INIT,
     WORKER_LOST,
@@ -36,7 +38,9 @@ class TestVocabulary:
             WEAKNEXT_COMPUTED,
             FRONTIER_GROWN,
             INFRINGEMENT_RAISED,
+            LINT_RUN,
             MONITOR_SWEEP,
+            PREFLIGHT_UNSOUND,
             WORKER_INIT,
             WORKER_LOST,
         }

@@ -1,0 +1,116 @@
+"""Agreement between the static lint and the replay semantics.
+
+A task the soundness analyzer flags as dead (PC203) is a *claim about
+the process's trace language*: no execution ever enables it.  The
+NaiveChecker enumerates that trace language directly from the COWS
+encoding, so the two must agree on randomly generated processes:
+
+* a PC203-flagged task never occurs in any enumerated trace;
+* on processes whose analysis completed, the flagged set is *exactly*
+  the set of never-occurring tasks — the lint is neither unsound nor
+  needlessly conservative.
+
+Processes are random loop-free chains (the same generator as the
+Algorithm 1 correctness suite), optionally ending in a grafted trap: an
+XOR split feeding an AND join, which starves the join and kills every
+task behind it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_soundness, soundness_diagnostics
+from repro.bpmn import ProcessBuilder, encode
+from repro.core import NaiveChecker
+
+
+def build_chain(specs, trapped):
+    """A random chain of single-task or XOR blocks; with ``trapped`` the
+    chain ends in an XOR-split-into-AND-join trap followed by a task
+    ``TRAPPED`` that can never run."""
+    builder = ProcessBuilder("random", purpose="random")
+    pool = builder.pool("Staff")
+    pool.start_event("S")
+    previous = "S"
+    for index, spec in enumerate(specs):
+        if spec == 1:
+            task = f"T{index}"
+            pool.task(task)
+            builder.flow(previous, task)
+            previous = task
+        else:
+            split, join = f"G{index}", f"J{index}"
+            pool.exclusive_gateway(split)
+            pool.exclusive_gateway(join)
+            builder.flow(previous, split)
+            for branch in range(spec):
+                task = f"T{index}_{branch}"
+                pool.task(task)
+                builder.flow(split, task).flow(task, join)
+            previous = join
+    if trapped:
+        pool.exclusive_gateway("GX")
+        pool.task("TA")
+        pool.task("TB")
+        pool.parallel_gateway("JX")
+        pool.task("TRAPPED")
+        builder.flow(previous, "GX")
+        builder.flow("GX", "TA").flow("GX", "TB")
+        builder.flow("TA", "JX").flow("TB", "JX")
+        builder.flow("JX", "TRAPPED")
+        previous = "TRAPPED"
+    pool.end_event("E")
+    builder.flow(previous, "E")
+    return builder.build()
+
+
+def executed_tasks(process, max_depth):
+    """Every task occurring in some enumerated observable trace."""
+    naive = NaiveChecker(encode(process))
+    seen = set()
+    for trace in naive.enumerate_traces(max_depth=max_depth):
+        for event, _ in trace:
+            task = getattr(event, "task", "")
+            if task:
+                seen.add(task)
+    return seen
+
+
+block_spec_lists = st.lists(
+    st.integers(min_value=1, max_value=3), min_size=1, max_size=3
+)
+
+
+class TestDeadTasksNeverReplay:
+    @given(block_spec_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_flagged_tasks_are_outside_the_trace_language(self, specs):
+        process = build_chain(specs, trapped=True)
+        dead = {
+            element
+            for diagnostic in soundness_diagnostics(process)
+            if diagnostic.code == "PC203"
+            for element in diagnostic.elements
+        }
+        assert "TRAPPED" in dead
+        seen = executed_tasks(process, max_depth=len(specs) + 8)
+        assert not dead & seen
+
+    @given(block_spec_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_flagged_set_is_exact_on_complete_analyses(self, specs):
+        process = build_chain(specs, trapped=True)
+        result = analyze_soundness(process)
+        assert result.complete
+        all_tasks = encode(process).tasks
+        seen = executed_tasks(process, max_depth=len(specs) + 8)
+        assert set(result.dead_tasks) == all_tasks - seen
+
+
+class TestSoundChainsStayClean:
+    @given(block_spec_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_no_findings_and_every_task_executes(self, specs):
+        process = build_chain(specs, trapped=False)
+        assert soundness_diagnostics(process) == []
+        seen = executed_tasks(process, max_depth=len(specs) + 8)
+        assert encode(process).tasks == seen

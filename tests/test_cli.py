@@ -481,3 +481,122 @@ class TestAuditResilienceFlags:
         ])
         assert code == EXIT_BAD_INPUT
         assert "error" in capsys.readouterr().err
+
+
+@pytest.fixture
+def defective_json(tmp_path):
+    from repro.bpmn import ProcessBuilder
+
+    builder = ProcessBuilder("defective-review", purpose="review")
+    reviewer = builder.pool("Reviewer")
+    ghost = builder.pool("Ghost")
+    reviewer.start_event("S")
+    reviewer.task("T0")
+    reviewer.exclusive_gateway("G")
+    reviewer.task("B1")
+    ghost.task("B2")
+    reviewer.parallel_gateway("J")
+    reviewer.task("TZ")
+    reviewer.end_event("E")
+    builder.chain("S", "T0", "G")
+    builder.flow("G", "B1").flow("G", "B2")
+    builder.flow("B1", "J").flow("B2", "J")
+    builder.chain("J", "TZ", "E")
+    path = tmp_path / "defective.json"
+    path.write_text(dumps(builder.build(validate=False)))
+    return str(path)
+
+
+class TestLint:
+    def test_clean_process_exits_ok(self, ht_json, capsys):
+        assert main(["lint", ht_json]) == EXIT_OK
+        assert "clean" in capsys.readouterr().out
+
+    def test_defective_process_exits_one(self, defective_json, capsys):
+        assert main(["lint", defective_json]) == EXIT_INFRINGEMENT
+        out = capsys.readouterr().out
+        assert "PC201" in out
+        assert "PC203" in out
+
+    def test_json_format(self, defective_json, capsys):
+        import json
+
+        assert main(["lint", defective_json, "--format", "json"]) == EXIT_INFRINGEMENT
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] > 0
+        assert {d["code"] for d in payload["diagnostics"]} >= {"PC201", "PC203"}
+
+    def test_sarif_format(self, defective_json, capsys):
+        import json
+
+        assert main(["lint", defective_json, "--format", "sarif"]) == EXIT_INFRINGEMENT
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        rule_ids = {
+            r["id"] for r in document["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert {"PC201", "PC203"} <= rule_ids
+
+    def test_policy_crosschecks(self, defective_json, tmp_path, capsys):
+        policy = tmp_path / "review.policy"
+        policy.write_text(
+            "(Reviewer, read, [.]Dossier, review)\n"
+            "(Reviewer, write, [.]Dossier/Notes, review)\n"
+        )
+        code = main(["lint", defective_json, "--policy", str(policy)])
+        assert code == EXIT_INFRINGEMENT
+        assert "PC301" in capsys.readouterr().out
+
+    def test_strict_promotes_warnings(self, ct_json, capsys):
+        # clinical-trial carries a PC403 fragility warning but no errors
+        assert main(["lint", ct_json]) == EXIT_OK
+        assert main(["lint", ct_json, "--strict"]) == EXIT_INFRINGEMENT
+        assert "PC403" in capsys.readouterr().out
+
+    def test_multiple_processes_one_report(self, ht_json, defective_json, capsys):
+        assert main(["lint", ht_json, defective_json]) == EXIT_INFRINGEMENT
+        out = capsys.readouterr().out
+        assert "defective-review" in out
+        assert "2 process(es)" in out
+
+    def test_out_file_written_with_summary(self, defective_json, tmp_path, capsys):
+        out_path = tmp_path / "report.sarif"
+        code = main([
+            "lint", defective_json, "--format", "sarif", "--out", str(out_path),
+        ])
+        assert code == EXIT_INFRINGEMENT
+        assert out_path.exists()
+        assert "error(s)" in capsys.readouterr().out
+
+    def test_bad_budget_rejected(self, ht_json, capsys):
+        assert main(["lint", ht_json, "--budget", "0"]) == EXIT_BAD_INPUT
+        assert "positive" in capsys.readouterr().err
+
+    def test_missing_policy_file(self, ht_json, capsys):
+        assert main(["lint", ht_json, "--policy", "/no/such.policy"]) == EXIT_BAD_INPUT
+
+    def test_exhausted_budget_is_inconclusive_not_failing(self, ht_json, capsys):
+        assert main(["lint", ht_json, "--budget", "3"]) == EXIT_OK
+        assert "PC205" in capsys.readouterr().out
+
+
+class TestValidateSilentCycles:
+    def test_each_cycle_is_printed(self, tmp_path, capsys):
+        from repro.bpmn import ProcessBuilder
+
+        builder = ProcessBuilder("spin")
+        pool = builder.pool("P")
+        pool.start_event("S").task("T")
+        pool.exclusive_gateway("G1").exclusive_gateway("G2")
+        pool.end_event("E")
+        builder.chain("S", "T", "G1", "G2")
+        builder.flow("G2", "G1")
+        builder.flow("G2", "E")
+        path = tmp_path / "spin.json"
+        path.write_text(dumps(builder.build(validate=False)))
+
+        assert main(["validate", str(path)]) == EXIT_BAD_INPUT
+        out = capsys.readouterr().out
+        assert "silent cycle: " in out
+        assert "NOT WELL-FOUNDED" in out
+        assert "Algorithm 1 inapplicable" in out
