@@ -21,11 +21,12 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
+from contextlib import contextmanager
 from datetime import datetime, timezone
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.audit.model import AuditTrail, LogEntry, Status
-from repro.errors import IntegrityError, MalformedEntryError
+from repro.errors import AuditError, IntegrityError, MalformedEntryError
 from repro.policy.model import ObjectRef
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,6 +68,34 @@ class AuditStore:
         self._connection = sqlite3.connect(path)
         self._connection.executescript(_SCHEMA)
         self._connection.commit()
+        self._writing = False
+
+    @contextmanager
+    def _write_transaction(self):
+        """One write transaction; **rejects reentrant writes**.
+
+        ``sqlite3`` connection context managers do not nest: an inner
+        ``with connection:`` block *commits* the outer transaction on
+        exit.  A batch iterable with a side effect that writes to the
+        same store mid-``append_many`` would therefore (a) commit a
+        partial prefix of the batch behind the caller's back and (b)
+        fork the hash chain — the precomputed ``prev_hash`` sequence no
+        longer matches the rows actually on disk, so two rows end up
+        chaining off the same predecessor.  Refusing the inner write
+        keeps the outer batch atomic and the chain linear.
+        """
+        if self._writing:
+            raise AuditError(
+                "reentrant write: the store is already inside a write "
+                "transaction (did a batch iterable append to the same "
+                "store?)"
+            )
+        self._writing = True
+        try:
+            with self._connection:
+                yield
+        finally:
+            self._writing = False
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
@@ -81,7 +110,7 @@ class AuditStore:
     # -- writing ---------------------------------------------------------
     def append(self, entry: LogEntry) -> int:
         """Append one entry; returns its sequence number."""
-        with self._connection:  # one transaction per append
+        with self._write_transaction():  # one transaction per append
             prev_hash = self._last_hash()
             cursor, _ = self._insert_entry(entry, prev_hash, position=0)
         return int(cursor.lastrowid or 0)
@@ -95,7 +124,7 @@ class AuditStore:
         is left behind to anchor a hash chain against garbage.
         """
         count = 0
-        with self._connection:  # one transaction for the whole batch
+        with self._write_transaction():  # one transaction for the whole batch
             prev_hash = self._last_hash()
             for position, entry in enumerate(entries):
                 _, prev_hash = self._insert_entry(entry, prev_hash, position)
@@ -309,7 +338,7 @@ class AuditStore:
             return 0
         _, purged_upto, purged_so_far = self._anchor()
         del purged_upto
-        with self._connection:
+        with self._write_transaction():
             self._connection.execute(
                 "DELETE FROM audit_log WHERE seq <= ?", (boundary[0],)
             )
@@ -342,7 +371,7 @@ class AuditStore:
         if unknown:
             raise ValueError(f"cannot tamper with columns {sorted(unknown)}")
         assignments = ", ".join(f"{column} = ?" for column in fields)
-        with self._connection:
+        with self._write_transaction():
             self._connection.execute(
                 f"UPDATE audit_log SET {assignments} WHERE seq = ?",
                 [*fields.values(), seq],

@@ -11,6 +11,8 @@ Installed as the ``repro`` console script::
                     --trail day.xes --metrics metrics.json
     repro generate  --process HT:treatment.json --cases 50 --out day.xes
     repro stats     --process HT:treatment.json --trail day.xes
+    repro serve     --process HT:treatment.json --port 7687 \\
+                    --shards 4 --store audit.db
     repro demo
 
 Process arguments use ``PREFIX:file.json``: the case prefix (the ``HT``
@@ -37,6 +39,13 @@ purpose's automaton eagerly and persists it under ``--automaton-dir``;
 ``repro audit --automaton-dir DIR`` additionally loads/persists the
 warm artifacts so later runs — and parallel workers — skip re-encoding
 and re-exploration entirely.
+
+Streaming (``docs/serving.md``): ``repro serve`` runs the audit daemon —
+a JSON-lines TCP endpoint fanning entries out over ``--shards`` online
+monitors, persisting the stream to ``--store`` in batched transactions,
+with ``/healthz`` and ``/metrics`` on ``--http-port``.  SIGTERM (or
+SIGINT) drains gracefully: intake stops, shards finish, the store is
+flushed and integrity-checked, automata are checkpointed.
 
 Static verification (``docs/analysis.md``): ``repro lint`` runs the
 diagnostics engine (structural PC1xx, soundness PC2xx, policy PC3xx,
@@ -522,6 +531,93 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the streaming audit daemon until SIGTERM/SIGINT, then drain."""
+    import asyncio
+    import json as _json
+    import signal
+
+    from repro.serve import AuditService, ServeConfig, ShardRouter
+
+    if args.scenario:
+        import repro.scenarios as scenarios
+
+        if args.scenario == "paper":
+            registry = scenarios.process_registry()
+            hierarchy = scenarios.role_hierarchy()
+        else:
+            registry = scenarios.insurance_registry()
+            hierarchy = scenarios.insurance_role_hierarchy()
+    elif args.process:
+        registry = _load_registry(args.process)
+        hierarchy = _load_hierarchy(args.role)
+    else:
+        raise ReproError("serve needs --process PREFIX:FILE or --scenario")
+    # A live /metrics endpoint needs a live registry, flags or not.
+    telemetry = _telemetry_from_args(args, force=args.http_port >= 0)
+    config = ServeConfig(
+        shards=args.shards,
+        store_path=args.store,
+        flush_interval_s=args.flush_interval,
+        flush_max_batch=args.flush_batch,
+        case_timeout_s=args.case_timeout,
+        compiled=True if args.compiled else None,
+        automaton_dir=args.automaton_dir,
+    )
+    router = ShardRouter(
+        registry, hierarchy=hierarchy, config=config, telemetry=telemetry
+    )
+    service = AuditService(
+        router,
+        host=args.host,
+        port=args.port,
+        http_port=None if args.http_port < 0 else args.http_port,
+    )
+
+    async def _run():
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await service.start()
+        # One parseable line so wrappers (and the drain test) can find
+        # the ephemeral ports.
+        print(
+            _json.dumps(
+                {
+                    "listening": {
+                        "host": args.host,
+                        "port": service.port,
+                        "http_port": service.http_port,
+                    }
+                }
+            ),
+            flush=True,
+        )
+        await stop.wait()
+        return await service.drain()
+
+    report = asyncio.run(_run())
+    print(
+        _json.dumps(
+            {
+                "drained": {
+                    "entries_received": report.entries_received,
+                    "entries_written": report.entries_written,
+                    "cases": report.cases,
+                    "quarantined_cases": report.quarantined_cases,
+                    "store_intact": report.store_intact,
+                }
+            }
+        ),
+        flush=True,
+    )
+    _emit_telemetry(args, telemetry)
+    if report.store_intact is False:
+        return EXIT_BAD_INPUT
+    return EXIT_OK
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.scenarios import (
         paper_audit_trail,
@@ -709,6 +805,67 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", default="-")
     _add_telemetry_args(generate)
     generate.set_defaults(handler=_cmd_generate)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the streaming audit daemon (docs/serving.md)",
+    )
+    serve.add_argument(
+        "--process", action="append", metavar="PREFIX:FILE",
+        help="case-prefix:process-document pair (repeatable)",
+    )
+    serve.add_argument(
+        "--scenario", choices=("paper", "insurance"), default=None,
+        help="serve a built-in scenario's registry instead of --process",
+    )
+    serve.add_argument(
+        "--role", action="append", metavar="CHILD:PARENT",
+        help="role specialization, e.g. Cardiologist:Physician (repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port for the JSON-lines stream (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=0,
+        help="port for /healthz and /metrics (0 = ephemeral; "
+        "-1 disables HTTP)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4,
+        help="online-monitor shards; cases are consistent-hashed "
+        "across them (default: 4)",
+    )
+    serve.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="persist the stream to this SQLite audit store",
+    )
+    serve.add_argument(
+        "--flush-interval", type=float, default=0.5, metavar="SECONDS",
+        help="store flush cadence (default: 0.5)",
+    )
+    serve.add_argument(
+        "--flush-batch", type=int, default=256, metavar="N",
+        help="flush early once N entries are buffered (default: 256)",
+    )
+    serve.add_argument(
+        "--case-timeout", type=float, default=None, metavar="SECONDS",
+        help="cumulative per-case processing budget; cases over it are "
+        "quarantined (TIMEOUT) without stalling the stream",
+    )
+    serve_compilation = serve.add_argument_group("compiled replay")
+    serve_compilation.add_argument(
+        "--compiled", action="store_true",
+        help="replay through purpose automata (docs/compilation.md)",
+    )
+    serve_compilation.add_argument(
+        "--automaton-dir", metavar="DIR", default=None,
+        help="load/persist compiled automata in DIR (implies --compiled); "
+        "drain checkpoints them",
+    )
+    _add_telemetry_args(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     demo = commands.add_parser("demo", help="run the paper's scenario")
     demo.set_defaults(handler=_cmd_demo)

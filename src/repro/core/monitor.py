@@ -27,7 +27,11 @@ from typing import Optional
 
 from repro.audit.model import LogEntry
 from repro.core.auditor import Infringement, InfringementKind
-from repro.core.compliance import ComplianceChecker, ComplianceSession
+from repro.core.compliance import (
+    ComplianceChecker,
+    ComplianceResult,
+    ComplianceSession,
+)
 from repro.core.resilience import OutcomeKind, classify_failure
 from repro.core.temporal import TemporalConstraints, TemporalViolation
 from repro.errors import UnknownPurposeError
@@ -78,6 +82,7 @@ class MonitoredCase:
     entries: list[LogEntry] = field(default_factory=list)
     first_seen: Optional[datetime] = None
     last_seen: Optional[datetime] = None
+    failure_kind: Optional[OutcomeKind] = None
 
     @property
     def entry_count(self) -> int:
@@ -96,6 +101,7 @@ class OnlineMonitor:
         compiled: "bool | None" = None,
         automaton_dir: "str | None" = None,
         automaton_max_states: int = 50_000,
+        checker_wrapper=None,
     ):
         """``temporal`` maps purpose names to their temporal constraints;
         ``telemetry`` (default: disabled) instruments the monitor and its
@@ -105,12 +111,17 @@ class OnlineMonitor:
         (``docs/compilation.md``), making the per-event cost of a warm
         monitor an O(1) dict lookup; ``automaton_dir`` persists the
         automata (implies ``compiled``) and :meth:`sweep` doubles as the
-        checkpoint tick."""
+        checkpoint tick.
+
+        ``checker_wrapper`` is the ``(checker, purpose) -> checker``
+        middleware seam shared with the batch auditor — the hook
+        :mod:`repro.testing.faults` plugs into."""
         self._registry = registry
         self._hierarchy = hierarchy
         self._temporal = dict(temporal or {})
         self._compiled = compiled if compiled is not None else automaton_dir is not None
         self._automaton_max_states = automaton_max_states
+        self._checker_wrapper = checker_wrapper
         self._checkpoints: list = []
         self._checkers: dict[str, ComplianceChecker] = {}
         self._cases: dict[str, MonitoredCase] = {}
@@ -163,6 +174,8 @@ class OnlineMonitor:
                             telemetry=self._tel,
                         )
                     )
+            if self._checker_wrapper is not None:
+                checker = self._checker_wrapper(checker, purpose)
             self._checkers[purpose] = checker
         return checker
 
@@ -183,11 +196,10 @@ class OnlineMonitor:
             if kind is OutcomeKind.UNDECIDABLE
             else CaseState.FAILED
         )
-        finding_kind = (
-            InfringementKind.UNDECIDABLE
-            if kind is OutcomeKind.UNDECIDABLE
-            else InfringementKind.AUDIT_ERROR
-        )
+        finding_kind = {
+            OutcomeKind.UNDECIDABLE: InfringementKind.UNDECIDABLE,
+            OutcomeKind.TIMEOUT: InfringementKind.TIMEOUT,
+        }.get(kind, InfringementKind.AUDIT_ERROR)
         monitored = self._cases.get(case)
         if monitored is None:
             monitored = MonitoredCase(case, purpose, None, state)
@@ -195,6 +207,7 @@ class OnlineMonitor:
             self._m_cases.inc(state=state.value)
         else:
             self._transition(monitored, state)
+        monitored.failure_kind = kind
         detail = f"monitoring did not complete: {error}"
         states = getattr(error, "states_explored", None)
         if states is not None:
@@ -259,7 +272,19 @@ class OnlineMonitor:
         monitored.last_seen = entry.timestamp
 
         if monitored.state in _TERMINAL_STATES:
-            return []  # already reported; don't spam per entry
+            # Already reported; don't spam per entry.  INFRINGING and
+            # TIMED_OUT sessions still absorb the entry as a rejected
+            # step so the replay accounting (and :meth:`case_result`)
+            # stays byte-identical to a batch replay of the full trail.
+            if monitored.session is not None and monitored.state in (
+                CaseState.INFRINGING,
+                CaseState.TIMED_OUT,
+            ):
+                try:
+                    monitored.session.feed(entry)
+                except Exception:  # pragma: no cover - belt and braces
+                    pass
+            return []
         assert monitored.session is not None
         try:
             still_ok = monitored.session.feed(entry)
@@ -319,8 +344,7 @@ class OnlineMonitor:
             if violations:
                 self._transition(monitored, CaseState.TIMED_OUT)
                 raised.extend(violations)
-        for writer in self._checkpoints:
-            writer.maybe_save()
+        self.checkpoint()
         if self._tel.enabled:
             duration = time.perf_counter() - started
             self._m_sweep_seconds.observe(duration)
@@ -333,10 +357,58 @@ class OnlineMonitor:
             )
         return raised
 
+    def contain(self, case: str, error: BaseException) -> Infringement:
+        """Publicly contain *error* to *case* (quarantine the case).
+
+        The streaming audit service uses this to take a stuck or
+        misbehaving case out of rotation — e.g. one that blew its
+        per-entry wall-clock budget — without touching the rest of the
+        stream.  The case transitions to a terminal state, the failure
+        is classified exactly like an in-replay exception
+        (:func:`~repro.core.resilience.classify_failure`), and the
+        returned infringement is the finding that was filed.
+        """
+        _, infringement = self._contain_failure(
+            case, self.case_purpose(case), error
+        )
+        return infringement
+
+    def checkpoint(self, force: bool = False) -> None:
+        """Persist newly materialized automaton states (no-op without an
+        ``automaton_dir``).  :meth:`sweep` calls this on every tick; a
+        draining service calls it once more with ``force=True``."""
+        for writer in self._checkpoints:
+            writer.maybe_save(force=force)
+
     # -- inspection ---------------------------------------------------------
     def case_state(self, case: str) -> Optional[CaseState]:
         monitored = self._cases.get(case)
         return monitored.state if monitored else None
+
+    def case_purpose(self, case: str) -> Optional[str]:
+        monitored = self._cases.get(case)
+        return monitored.purpose if monitored else None
+
+    def case_failure_kind(self, case: str) -> Optional[OutcomeKind]:
+        """How a contained case failed (None for healthy cases)."""
+        monitored = self._cases.get(case)
+        return monitored.failure_kind if monitored else None
+
+    def case_result(self, case: str) -> Optional[ComplianceResult]:
+        """The case's incremental replay result so far.
+
+        Byte-identical (:func:`repro.testing.differential.verdict_digest`)
+        to a batch replay of the same entries; ``None`` for cases with no
+        live session (unknown purpose, contained failures).
+        """
+        monitored = self._cases.get(case)
+        if monitored is None or monitored.session is None:
+            return None
+        return monitored.session.result()
+
+    def cases(self) -> list[str]:
+        """Every case under observation, in first-seen order."""
+        return list(self._cases)
 
     def open_cases(self) -> list[str]:
         return [

@@ -49,6 +49,7 @@ from repro.obs.log import (
     AUTOMATON_COMPILED,
     CASE_AUDITED,
     CASE_FAILED,
+    CASE_QUARANTINED,
     ENTRY_QUARANTINED,
     ENTRY_REPLAYED,
     EVENT_VOCABULARY,
@@ -58,6 +59,10 @@ from repro.obs.log import (
     MONITOR_SWEEP,
     NULL_EVENTS,
     PREFLIGHT_UNSOUND,
+    SERVE_CLIENT,
+    SERVE_DRAINED,
+    SERVE_FLUSH,
+    SERVE_STARTED,
     WEAKNEXT_COMPUTED,
     WORKER_INIT,
     WORKER_LOST,
@@ -135,6 +140,7 @@ __all__ = [
     "AUTOMATON_COMPILED",
     "CASE_AUDITED",
     "CASE_FAILED",
+    "CASE_QUARANTINED",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
     "ENTRY_QUARANTINED",
@@ -149,6 +155,10 @@ __all__ = [
     "NULL_TELEMETRY",
     "NULL_TRACER",
     "PREFLIGHT_UNSOUND",
+    "SERVE_CLIENT",
+    "SERVE_DRAINED",
+    "SERVE_FLUSH",
+    "SERVE_STARTED",
     "WEAKNEXT_COMPUTED",
     "WORKER_INIT",
     "WORKER_LOST",

@@ -44,6 +44,16 @@ event               emitted when
 ``lint.preflight_unsound``  the auditor's preflight found a purpose
                     statically unsound and quarantined its cases
                     (fields: purpose, process, codes)
+``serve.started``   the streaming audit service began accepting entry
+                    streams (fields: host, port, http_port, shards)
+``serve.client``    a client connected to or disconnected from the
+                    streaming service (fields: peer, phase, entries)
+``serve.flush``     buffered entries were flushed to the audit store in
+                    one batch (fields: entries, duration_s)
+``serve.drained``   the service drained: shards idle, store flushed,
+                    automata checkpointed (fields: entries, cases)
+``case.quarantined``  the streaming service took one case out of
+                    rotation (fields: case, kind, detail)
 ==================  =====================================================
 
 The logger is plain :mod:`logging` under the hood (logger name
@@ -79,6 +89,11 @@ AUTOMATON_CHECKPOINT = "automaton.checkpoint"
 ARTIFACT_INVALID = "compile.artifact_invalid"
 LINT_RUN = "lint.run"
 PREFLIGHT_UNSOUND = "lint.preflight_unsound"
+SERVE_STARTED = "serve.started"
+SERVE_DRAINED = "serve.drained"
+SERVE_FLUSH = "serve.flush"
+SERVE_CLIENT = "serve.client"
+CASE_QUARANTINED = "case.quarantined"
 
 EVENT_VOCABULARY = frozenset(
     {
@@ -97,6 +112,11 @@ EVENT_VOCABULARY = frozenset(
         ARTIFACT_INVALID,
         LINT_RUN,
         PREFLIGHT_UNSOUND,
+        SERVE_STARTED,
+        SERVE_DRAINED,
+        SERVE_FLUSH,
+        SERVE_CLIENT,
+        CASE_QUARANTINED,
     }
 )
 

@@ -1,0 +1,51 @@
+"""The streaming audit daemon (``repro serve``).
+
+Turns the library's online monitoring layer into a long-running
+service: log shippers stream Definition-4 entries (or XES fragments)
+over a JSON-lines TCP protocol, the service routes each entry to one
+of N :class:`~repro.core.monitor.OnlineMonitor` shards by
+consistent-hashing its case id, persists the raw stream to the
+tamper-evident :class:`~repro.audit.store.AuditStore` in batched
+transactions, and streams per-case verdict transitions back as they
+happen.  See ``docs/serving.md`` for the wire protocol, sharding and
+drain semantics, and the backpressure model.
+
+Layers (bottom up):
+
+* :mod:`repro.serve.sharding` — the consistent-hash ring;
+* :mod:`repro.serve.protocol` — the JSON-lines wire vocabulary;
+* :mod:`repro.serve.core` — :class:`ShardRouter`, the socket-free
+  engine (shard threads, store writer, quarantine, drain);
+* :mod:`repro.serve.service` — :class:`AuditService`, the asyncio TCP
+  + HTTP front end;
+* :mod:`repro.serve.client` — :class:`AuditStreamClient`, a blocking
+  reference client.
+"""
+
+from repro.serve.client import AuditStreamClient
+from repro.serve.core import DrainReport, ServeConfig, ShardRouter
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    entry_from_message,
+    entry_to_message,
+)
+from repro.serve.service import AuditService
+from repro.serve.sharding import ConsistentHashRing
+
+__all__ = [
+    "AuditService",
+    "AuditStreamClient",
+    "ConsistentHashRing",
+    "DrainReport",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeConfig",
+    "ShardRouter",
+    "decode_message",
+    "encode_message",
+    "entry_from_message",
+    "entry_to_message",
+]

@@ -1,0 +1,149 @@
+"""A small blocking client for the streaming audit service.
+
+:class:`AuditStreamClient` speaks :mod:`repro.serve.protocol` over a
+plain TCP socket.  It is what the differential and fault suites drive
+the daemon with, what the CI load driver uses, and a reasonable
+starting point for real log shippers (the protocol is plain JSON
+lines — any language can speak it).
+
+The client separates *sending* from *reading*: operations write
+immediately, and :meth:`events` / :meth:`recv_until` pull server
+events off the socket.  Verdicts stream asynchronously, so after a
+burst of entries call :meth:`sync` (a server-side barrier) before
+asserting on state.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Iterable, Optional
+
+from repro.audit.model import LogEntry
+from repro.serve.protocol import (
+    EV_BYE,
+    EV_RESULTS,
+    EV_STATUS,
+    EV_SYNCED,
+    OP_BYE,
+    OP_RESULTS,
+    OP_STATUS,
+    OP_SYNC,
+    OP_XES,
+    entry_to_message,
+)
+
+
+class AuditStreamClient:
+    """Blocking JSON-lines client; context manager closes the socket."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._sync_id = 0
+        self.events_seen: list[dict] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "AuditStreamClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def abort(self) -> None:
+        """Tear the connection down hard (simulates a crashed client)."""
+        self._sock.setsockopt(
+            socket.SOL_SOCKET,
+            socket.SO_LINGER,
+            # linger on, timeout 0 => RST on close
+            b"\x01\x00\x00\x00\x00\x00\x00\x00",
+        )
+        self._sock.close()
+
+    # -- sending -----------------------------------------------------------
+    def send_raw(self, line: "str | bytes") -> None:
+        if isinstance(line, str):
+            line = line.encode("utf-8")
+        if not line.endswith(b"\n"):
+            line += b"\n"
+        self._file.write(line)
+        self._file.flush()
+
+    def send(self, message: dict) -> None:
+        self.send_raw(json.dumps(message, separators=(",", ":")))
+
+    def send_entry(self, entry: LogEntry) -> None:
+        self.send(entry_to_message(entry))
+
+    def send_trail(self, entries: Iterable[LogEntry]) -> int:
+        count = 0
+        for entry in entries:
+            self.send_entry(entry)
+            count += 1
+        return count
+
+    def send_xes(self, document: str) -> None:
+        self.send({"op": OP_XES, "document": document})
+
+    # -- receiving ---------------------------------------------------------
+    def recv_event(self) -> Optional[dict]:
+        """The next server event (None on EOF)."""
+        line = self._file.readline()
+        if not line:
+            return None
+        event = json.loads(line)
+        self.events_seen.append(event)
+        return event
+
+    def recv_until(self, event_name: str, **match: object) -> dict:
+        """Read events until one named *event_name* (and matching any
+        extra key/value filters) arrives; raises on EOF."""
+        while True:
+            event = self.recv_event()
+            if event is None:
+                raise ConnectionError(
+                    f"server closed before a {event_name!r} event"
+                )
+            if event.get("event") == event_name and all(
+                event.get(key) == value for key, value in match.items()
+            ):
+                return event
+
+    # -- composite operations ----------------------------------------------
+    def sync(self) -> dict:
+        """Barrier: returns once everything sent so far is processed."""
+        self._sync_id += 1
+        self.send({"op": OP_SYNC, "id": self._sync_id})
+        return self.recv_until(EV_SYNCED, id=self._sync_id)
+
+    def status(self) -> dict:
+        self.send({"op": OP_STATUS})
+        return self.recv_until(EV_STATUS)
+
+    def results(self, cases: Optional[list[str]] = None) -> dict:
+        """Per-case final states + canonical digests (implies a barrier)."""
+        message: dict = {"op": OP_RESULTS}
+        if cases is not None:
+            message["cases"] = cases
+        self.send(message)
+        return self.recv_until(EV_RESULTS)["cases"]
+
+    def bye(self) -> None:
+        self.send({"op": OP_BYE})
+        self.recv_until(EV_BYE)
+        self.close()
+
+    # -- bookkeeping -------------------------------------------------------
+    def verdicts(self) -> list[dict]:
+        """Every ``verdict`` event observed so far."""
+        return [e for e in self.events_seen if e.get("event") == "verdict"]

@@ -1,0 +1,612 @@
+"""The sharded streaming-audit engine behind ``repro serve``.
+
+The :class:`ShardRouter` is the socket-free core of the audit daemon:
+it owns N worker threads, each running its own
+:class:`~repro.core.monitor.OnlineMonitor`, and routes every incoming
+log entry to exactly one shard by consistent-hashing its case id
+(:mod:`repro.serve.sharding`).  Algorithm 1 is stateful *per case* and
+cases are independent (Section 7's scalability argument), so sharding
+by case id parallelizes the stream without any cross-shard
+coordination — each case's entries are processed in arrival order by
+the one thread that owns its frontier.
+
+Everything the asyncio service (:mod:`repro.serve.service`) does goes
+through this class, and the test suites drive it directly where a
+socket would only add noise (the hypothesis stream-equivalence
+property runs thousands of examples against it).
+
+Responsibilities:
+
+* **encode-once warm-up** — all shards share one
+  :class:`~repro.policy.registry.ProcessRegistry`, whose
+  ``encoded_for`` memoizes the BPMN→COWS encoding, and (when an
+  ``automaton_dir`` is configured) one on-disk
+  :class:`~repro.compile.AutomatonCache`; :meth:`start` pre-encodes
+  every registered purpose so N shards never encode the same process
+  twice;
+* **durable ingest** — every accepted entry is buffered and flushed to
+  an :class:`~repro.audit.store.AuditStore` in batched
+  ``append_many`` transactions by a dedicated writer thread (SQLite
+  connections are single-threaded);
+* **per-case backpressure** — each shard tracks cumulative processing
+  time per case; a case that exceeds ``case_timeout_s`` is contained
+  via :meth:`OnlineMonitor.contain` with a
+  :class:`~repro.errors.CaseTimeoutError` (→ ``OutcomeKind.TIMEOUT``)
+  and quarantined, so a stuck case never stalls its shard's queue for
+  long — the stream stays live;
+* **drain** — stop intake, let every shard finish its queue, flush the
+  store, checkpoint automata, and report final per-case verdicts.
+"""
+
+from __future__ import annotations
+
+import queue
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Callable, Optional
+
+from repro.audit.model import LogEntry
+from repro.audit.store import AuditStore
+from repro.core.monitor import CaseState, OnlineMonitor
+from repro.core.resilience import OutcomeKind, Quarantine
+from repro.core.temporal import TemporalConstraints
+from repro.errors import CaseTimeoutError, MalformedEntryError, ReproError
+from repro.obs import (
+    CASE_QUARANTINED,
+    NULL_TELEMETRY,
+    SERVE_DRAINED,
+    SERVE_FLUSH,
+    Telemetry,
+)
+from repro.policy.hierarchy import RoleHierarchy
+from repro.policy.registry import ProcessRegistry
+from repro.serve.protocol import EV_VERDICT
+from repro.serve.sharding import ConsistentHashRing
+from repro.testing.differential import canonical_digest
+
+#: A callback receiving protocol-shaped server events for one client.
+#: Called from shard threads — implementations must be thread-safe
+#: (the asyncio service marshals onto the loop; tests append to lists
+#: under the GIL).
+Subscriber = Callable[[dict], None]
+
+_TERMINAL = frozenset(
+    {
+        CaseState.COMPLETED,
+        CaseState.INFRINGING,
+        CaseState.TIMED_OUT,
+        CaseState.UNDECIDABLE,
+        CaseState.FAILED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for the audit daemon (see ``docs/serving.md``).
+
+    ``flush_interval_s`` is enforced by the service's timer task; the
+    router itself flushes whenever the buffer reaches
+    ``flush_max_batch`` and once on drain, so a router used without the
+    asyncio wrapper still persists everything.
+    """
+
+    shards: int = 4
+    replicas: int = 64  # virtual nodes per shard on the hash ring
+    store_path: Optional[str] = None
+    flush_interval_s: float = 0.5
+    flush_max_batch: int = 256
+    case_timeout_s: Optional[float] = None  # cumulative per-case budget
+    queue_capacity: int = 10_000  # per-shard; submit blocks when full
+    compiled: Optional[bool] = None
+    automaton_dir: Optional[str] = None
+    automaton_max_states: int = 50_000
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """What :meth:`ShardRouter.drain` accomplished."""
+
+    entries_received: int
+    entries_written: int
+    cases: int
+    quarantined_cases: int
+    store_intact: Optional[bool]  # None when no store is configured
+    final_states: dict[str, str] = field(default_factory=dict)
+
+
+class _Barrier:
+    """A countdown latch posted to every shard queue.
+
+    Fires *callback* (from the last shard's worker thread) once every
+    shard has drained all work enqueued before it — the ``sync`` op.
+    """
+
+    def __init__(self, parties: int, callback: Callable[[], None]):
+        self._remaining = parties
+        self._lock = threading.Lock()
+        self._callback = callback
+
+    def arrive(self) -> None:
+        with self._lock:
+            self._remaining -= 1
+            fire = self._remaining == 0
+        if fire:
+            self._callback()
+
+
+class _Shard(threading.Thread):
+    """One worker thread owning one :class:`OnlineMonitor`."""
+
+    def __init__(self, name: str, monitor: OnlineMonitor, router: "ShardRouter"):
+        super().__init__(name=f"repro-serve-{name}", daemon=True)
+        self.shard_name = name
+        self.monitor = monitor
+        self.queue: "queue.Queue[tuple]" = queue.Queue(
+            maxsize=router.config.queue_capacity
+        )
+        self._router = router
+        self._spent: dict[str, float] = {}  # case -> processing seconds
+
+    def run(self) -> None:
+        while True:
+            item = self.queue.get()
+            try:
+                kind = item[0]
+                if kind == "stop":
+                    return
+                if kind == "entry":
+                    self._observe(item[1], item[2])
+                elif kind == "barrier":
+                    item[1].arrive()
+                elif kind == "sweep":
+                    self.monitor.sweep(item[1])
+            except Exception as error:  # pragma: no cover - last resort
+                # A shard thread must never die: anything the monitor's
+                # own containment missed is charged to the entry's case.
+                if kind == "entry":
+                    self._router._note_quarantined(
+                        item[1].case,
+                        self.monitor.case_failure_kind(item[1].case)
+                        or OutcomeKind.ERROR,
+                        str(error),
+                    )
+            finally:
+                self.queue.task_done()
+
+    def _observe(self, entry: LogEntry, subscriber: Optional[Subscriber]) -> None:
+        monitor = self.monitor
+        case = entry.case
+        before = monitor.case_state(case)
+        started = time.perf_counter()
+        raised = monitor.observe(entry)
+        elapsed = time.perf_counter() - started
+        self._router._m_ingest.observe(elapsed)
+
+        budget = self._router.config.case_timeout_s
+        after = monitor.case_state(case)
+        if (
+            budget is not None
+            and before is not None  # opening an unseen case pays one-off
+            # warm-up (encoding, closure priming) that is not the case's
+            # fault — the budget meters steady-state replay time.
+            and after not in (CaseState.UNDECIDABLE, CaseState.FAILED)
+        ):
+            spent = self._spent.get(case, 0.0) + elapsed
+            self._spent[case] = spent
+            if spent > budget:
+                # The case blew its cumulative processing budget: take
+                # it out of rotation so it cannot slow this shard again.
+                error = CaseTimeoutError(
+                    f"case {case!r} exceeded its processing budget",
+                    budget_s=budget,
+                    elapsed_s=spent,
+                )
+                raised = list(raised) + [monitor.contain(case, error)]
+                after = monitor.case_state(case)
+
+        kind = monitor.case_failure_kind(case)
+        if kind is not None:
+            self._router._note_quarantined(
+                case, kind, raised[-1].detail if raised else ""
+            )
+        if subscriber is not None and (before is not after or raised):
+            subscriber(
+                {
+                    "event": EV_VERDICT,
+                    "case": case,
+                    "state": str(after) if after is not None else None,
+                    "previous": str(before) if before is not None else None,
+                    "purpose": monitor.case_purpose(case),
+                    "shard": self.shard_name,
+                    "infringements": [
+                        {"kind": i.kind.value, "detail": i.detail}
+                        for i in raised
+                    ],
+                }
+            )
+
+
+class _StoreWriter(threading.Thread):
+    """The one thread that owns the SQLite connection.
+
+    Batches arrive on an unbounded queue; each is committed in a single
+    ``append_many`` transaction.  If a batch turns out malformed the
+    writer retries entry-by-entry so one bad record costs one record,
+    not the flush (the rejects land in the router's dead-letter
+    quarantine).
+    """
+
+    def __init__(self, path: str, router: "ShardRouter"):
+        super().__init__(name="repro-serve-store", daemon=True)
+        self._path = path
+        self._router = router
+        self.queue: "queue.Queue[Optional[list[LogEntry]]]" = queue.Queue()
+        self.written = 0
+        self.intact: Optional[bool] = None
+
+    def run(self) -> None:
+        store = AuditStore(self._path)
+        try:
+            while True:
+                batch = self.queue.get()
+                if batch is None:
+                    self.intact = store.is_intact()
+                    return
+                started = time.perf_counter()
+                try:
+                    self.written += store.append_many(batch)
+                except MalformedEntryError:
+                    for offset, entry in enumerate(batch):
+                        try:
+                            store.append(entry)
+                            self.written += 1
+                        except MalformedEntryError as error:
+                            self._router.dead_letters.add(
+                                source="serve",
+                                reason=str(error),
+                                position=offset,
+                                raw=str(entry),
+                            )
+                duration = time.perf_counter() - started
+                self._router._m_flushes.inc()
+                self._router._m_flush_seconds.observe(duration)
+                self._router._tel.events.emit(
+                    SERVE_FLUSH,
+                    entries=len(batch),
+                    written_total=self.written,
+                    duration_s=round(duration, 6),
+                )
+        finally:
+            store.close()
+
+
+class ShardRouter:
+    """Consistent-hash fan-out of an entry stream over monitor shards."""
+
+    def __init__(
+        self,
+        registry: ProcessRegistry,
+        hierarchy: Optional[RoleHierarchy] = None,
+        config: Optional[ServeConfig] = None,
+        temporal: Optional[dict[str, TemporalConstraints]] = None,
+        telemetry: Optional[Telemetry] = None,
+        checker_wrapper=None,
+    ):
+        self.config = config or ServeConfig()
+        if self.config.shards < 1:
+            raise ValueError("need at least one shard")
+        self._registry = registry
+        self._hierarchy = hierarchy
+        self._temporal = temporal
+        self._checker_wrapper = checker_wrapper
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = tel
+        self.dead_letters = Quarantine(telemetry=tel)
+
+        names = [f"shard-{i}" for i in range(self.config.shards)]
+        self._ring = ConsistentHashRing(names, replicas=self.config.replicas)
+        self._shards: dict[str, _Shard] = {}
+        self._writer: Optional[_StoreWriter] = None
+        self._pending: list[LogEntry] = []
+        self._pending_lock = threading.Lock()
+        self._quarantined: dict[str, OutcomeKind] = {}
+        self._quarantined_lock = threading.Lock()
+        self._accepting = False
+        self._drained = False
+        self._received = 0
+        self._tmp_automata: Optional[tempfile.TemporaryDirectory] = None
+
+        self._m_entries = tel.registry.counter(
+            "serve_entries_total", "log entries accepted by the service"
+        )
+        self._m_ingest = tel.registry.histogram(
+            "serve_ingest_seconds", "shard processing time per entry"
+        )
+        self._m_flushes = tel.registry.counter(
+            "serve_flushes_total", "store flush transactions committed"
+        )
+        self._m_flush_seconds = tel.registry.histogram(
+            "serve_flush_seconds", "wall time per store flush"
+        )
+        self._m_quarantined = tel.registry.counter(
+            "serve_quarantined_cases_total",
+            "cases taken out of rotation by the service, by kind",
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Warm shared state and start the shard + writer threads."""
+        if self._shards:
+            raise ReproError("the router is already started")
+        # Encode every registered purpose once, up front, on the shared
+        # registry — the N monitors then hit the memoized encoding (and,
+        # compiled, the shared on-disk automaton cache) instead of each
+        # re-encoding the BPMN.
+        for purpose in self._registry.purposes():
+            self._registry.encoded_for(purpose)
+        automaton_dir = self.config.automaton_dir
+        if self.config.compiled or automaton_dir is not None:
+            if automaton_dir is None:
+                # Compiled serving always warms shards through an
+                # AutomatonCache; without a configured directory the
+                # artifacts live (and die) with the router.
+                self._tmp_automata = tempfile.TemporaryDirectory(
+                    prefix="repro-serve-automata-"
+                )
+                automaton_dir = self._tmp_automata.name
+            self._precompile_automata(automaton_dir)
+        for name in self._ring.shards:
+            monitor = OnlineMonitor(
+                self._registry,
+                hierarchy=self._hierarchy,
+                temporal=self._temporal,
+                telemetry=self._tel,
+                compiled=self.config.compiled,
+                automaton_dir=automaton_dir,
+                automaton_max_states=self.config.automaton_max_states,
+                checker_wrapper=self._checker_wrapper,
+            )
+            shard = _Shard(name, monitor, self)
+            self._shards[name] = shard
+            shard.start()
+        if self.config.store_path is not None:
+            self._writer = _StoreWriter(self.config.store_path, self)
+            self._writer.start()
+        self._accepting = True
+
+    def _precompile_automata(self, automaton_dir: str) -> None:
+        """Eagerly compile every purpose's automaton into the cache.
+
+        A daemon serves its stream from warm state: the BFS over the
+        canonical alphabet happens once here, at startup, so N shards
+        all load the same fully-materialized artifact and per-entry
+        replay is a transition-table lookup — not a lazy WeakNext
+        exploration racing the live stream.
+        """
+        from repro.compile import AutomatonCache, compile_automaton
+        from repro.core.compliance import ComplianceChecker
+
+        cache = AutomatonCache(automaton_dir, telemetry=self._tel)
+        for purpose in sorted(self._registry.purposes()):
+            try:
+                checker = ComplianceChecker(
+                    self._registry.encoded_for(purpose),
+                    hierarchy=self._hierarchy,
+                    telemetry=self._tel,
+                )
+                automaton = compile_automaton(
+                    checker,
+                    max_states=self.config.automaton_max_states,
+                    telemetry=self._tel,
+                )
+                cache.save(automaton)
+            except Exception:
+                # A purpose that defeats compilation (or Algorithm 1
+                # itself) is contained per case at observe time, exactly
+                # like in batch audits — it must not keep the service
+                # from starting for every other purpose.
+                continue
+
+    # -- ingest ------------------------------------------------------------
+    def submit(
+        self, entry: LogEntry, subscriber: Optional[Subscriber] = None
+    ) -> str:
+        """Route one entry to its shard; returns the shard name.
+
+        Blocks when the target shard's queue is full — the service's
+        last-resort backpressure, surfaced to clients as TCP push-back.
+        (The first line of defense is the per-case budget: stuck cases
+        are quarantined long before a queue fills.)
+        """
+        if not self._accepting:
+            raise ReproError("the service is draining; entry rejected")
+        self._received += 1
+        self._m_entries.inc()
+        if self._writer is not None:
+            with self._pending_lock:
+                self._pending.append(entry)
+                full = len(self._pending) >= self.config.flush_max_batch
+            if full:
+                self.flush()
+        name = self._ring.shard_for(entry.case)
+        self._shards[name].queue.put(("entry", entry, subscriber))
+        return name
+
+    def barrier(self, callback: Callable[[], None]) -> None:
+        """Invoke *callback* once all work submitted so far is processed."""
+        latch = _Barrier(len(self._shards), callback)
+        for shard in self._shards.values():
+            shard.queue.put(("barrier", latch))
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every shard has drained its queue (test helper)."""
+        done = threading.Event()
+        self.barrier(done.set)
+        return done.wait(timeout)
+
+    def sweep(self, now: datetime) -> None:
+        """Post a temporal sweep (and checkpoint tick) to every shard."""
+        for shard in self._shards.values():
+            shard.queue.put(("sweep", now))
+
+    def flush(self) -> None:
+        """Hand the buffered entries to the store writer (async commit)."""
+        if self._writer is None:
+            return
+        with self._pending_lock:
+            batch, self._pending = self._pending, []
+        if batch:
+            self._writer.queue.put(batch)
+
+    # -- drain -------------------------------------------------------------
+    def drain(self) -> DrainReport:
+        """Stop intake, finish all queued work, flush, checkpoint.
+
+        Idempotent; after it returns the shard threads have exited and
+        monitor state may be read from any thread.
+        """
+        if self._drained:
+            return self._drain_report
+        self._accepting = False
+        for shard in self._shards.values():
+            shard.queue.put(("stop",))
+        for shard in self._shards.values():
+            shard.join()
+        self.flush()
+        intact: Optional[bool] = None
+        if self._writer is not None:
+            self._writer.queue.put(None)
+            self._writer.join()
+            intact = self._writer.intact
+        for shard in self._shards.values():
+            shard.monitor.checkpoint(force=True)
+        if self._tmp_automata is not None:
+            self._tmp_automata.cleanup()
+            self._tmp_automata = None
+        final = {
+            case: str(state) for case, state in self.case_states().items()
+        }
+        self._drain_report = DrainReport(
+            entries_received=self._received,
+            entries_written=self.entries_written,
+            cases=len(final),
+            quarantined_cases=len(self._quarantined),
+            store_intact=intact,
+            final_states=final,
+        )
+        self._drained = True
+        self._tel.events.emit(
+            SERVE_DRAINED,
+            entries=self._received,
+            written=self._drain_report.entries_written,
+            cases=self._drain_report.cases,
+            quarantined=self._drain_report.quarantined_cases,
+        )
+        return self._drain_report
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def entries_received(self) -> int:
+        return self._received
+
+    @property
+    def entries_written(self) -> int:
+        return self._writer.written if self._writer is not None else 0
+
+    @property
+    def draining(self) -> bool:
+        return not self._accepting
+
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        return tuple(self._shards)
+
+    def shard_of(self, case: str) -> str:
+        return self._ring.shard_for(case)
+
+    def quarantined_cases(self) -> dict[str, OutcomeKind]:
+        """Cases the service took out of rotation, with their failure kind."""
+        with self._quarantined_lock:
+            return dict(self._quarantined)
+
+    def case_states(self) -> dict[str, CaseState]:
+        """Every observed case's current state (all shards merged).
+
+        Only quiescent-safe: call after a barrier (or drain) if other
+        threads may still be feeding the shards.
+        """
+        states: dict[str, CaseState] = {}
+        for shard in self._shards.values():
+            monitor = shard.monitor
+            for case in monitor.cases():
+                state = monitor.case_state(case)
+                if state is not None:
+                    states[case] = state
+        return states
+
+    def case_digest(self, case: str) -> Optional[str]:
+        """The case's canonical verdict digest (None without a session)."""
+        monitor = self._shards[self._ring.shard_for(case)].monitor
+        result = monitor.case_result(case)
+        return canonical_digest(result) if result is not None else None
+
+    def results(self) -> dict[str, dict]:
+        """Per-case final word: state, purpose, digest, failure kind."""
+        out: dict[str, dict] = {}
+        for shard in self._shards.values():
+            monitor = shard.monitor
+            for case in monitor.cases():
+                state = monitor.case_state(case)
+                kind = monitor.case_failure_kind(case)
+                result = monitor.case_result(case)
+                out[case] = {
+                    "case": case,
+                    "state": str(state) if state is not None else None,
+                    "purpose": monitor.case_purpose(case),
+                    "digest": (
+                        canonical_digest(result)
+                        if result is not None
+                        else None
+                    ),
+                    "failure_kind": kind.value if kind is not None else None,
+                    "shard": shard.shard_name,
+                }
+        return out
+
+    def statistics(self) -> dict[str, object]:
+        """A live snapshot for the ``status`` op and ``/healthz``."""
+        per_state: dict[str, int] = {state.value: 0 for state in CaseState}
+        entries = 0
+        for shard in self._shards.values():
+            stats = shard.monitor.statistics()
+            entries += stats.pop("entries", 0)
+            for state, count in stats.items():
+                per_state[state] = per_state.get(state, 0) + count
+        return {
+            "shards": len(self._shards),
+            "entries_received": self._received,
+            "entries_observed": entries,
+            "entries_written": self.entries_written,
+            "cases": per_state,
+            "quarantined_cases": len(self._quarantined),
+            "dead_letters": len(self.dead_letters),
+            "draining": self.draining,
+        }
+
+    # -- internals ---------------------------------------------------------
+    def _note_quarantined(
+        self, case: str, kind: OutcomeKind, detail: str
+    ) -> None:
+        """Record (once) that *case* was taken out of rotation."""
+        with self._quarantined_lock:
+            if case in self._quarantined:
+                return
+            self._quarantined[case] = kind
+        self._m_quarantined.inc(kind=kind.value)
+        self._tel.events.emit(
+            CASE_QUARANTINED, case=case, kind=kind.value, detail=detail
+        )

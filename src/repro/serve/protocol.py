@@ -1,0 +1,161 @@
+"""The streaming audit service's wire protocol (JSON lines).
+
+One JSON object per ``\\n``-terminated line, both directions.  Client
+operations carry an ``"op"`` key; server messages carry an ``"event"``
+key.  The full vocabulary, field tables, and examples are documented in
+``docs/serving.md``; this module is the single place both the server and
+the test clients encode/decode it, so the two cannot drift.
+
+Client → server operations:
+
+* ``{"op": "entry", ...}`` — one Definition-4 log entry (fields below);
+* ``{"op": "xes", "document": "<log .../>"}`` — an XES fragment whose
+  events are ingested as if sent individually;
+* ``{"op": "sync", "id": ...}`` — barrier: answered with ``synced``
+  once every entry sent before it has been processed by its shard;
+* ``{"op": "status"}`` — a service statistics snapshot;
+* ``{"op": "results"}`` — per-case final states and canonical verdict
+  digests (implies a barrier);
+* ``{"op": "bye"}`` — polite close.
+
+Entry fields mirror :class:`repro.audit.model.LogEntry`: ``user``,
+``role``, ``action``, ``obj`` (string or null), ``task``, ``case``,
+``ts`` (the paper's ``YYYYMMDDHHMM`` or ISO-8601), ``status``
+(``success``/``failure``, default success).
+
+Server → client events: ``hello``, ``verdict`` (a per-case state
+transition, streamed as it happens), ``error`` (a rejected input line —
+the stream stays live), ``synced``, ``status``, ``results``, ``final``
+(drain-time last word on a case), ``bye``.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+from typing import Optional
+
+from repro.audit.model import LogEntry, Status, parse_timestamp
+from repro.errors import ReproError
+from repro.policy.model import ObjectRef
+
+# -- operations (client -> server) ------------------------------------------
+OP_ENTRY = "entry"
+OP_XES = "xes"
+OP_SYNC = "sync"
+OP_STATUS = "status"
+OP_RESULTS = "results"
+OP_BYE = "bye"
+
+OPERATIONS = frozenset(
+    {OP_ENTRY, OP_XES, OP_SYNC, OP_STATUS, OP_RESULTS, OP_BYE}
+)
+
+# -- events (server -> client) ----------------------------------------------
+EV_HELLO = "hello"
+EV_VERDICT = "verdict"
+EV_ERROR = "error"
+EV_SYNCED = "synced"
+EV_STATUS = "status"
+EV_RESULTS = "results"
+EV_FINAL = "final"
+EV_BYE = "bye"
+
+#: Protocol revision, announced in ``hello`` for client compatibility.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ReproError):
+    """A request line the service could not decode or dispatch."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol message as a ``\\n``-terminated JSON-line."""
+    return (
+        json.dumps(message, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
+
+def decode_message(line: "bytes | str") -> dict:
+    """Decode one line into a message dict (:class:`ProtocolError` on junk)."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"request is not UTF-8: {error}") from error
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"request is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _parse_ts(text: str) -> datetime:
+    """Accept the paper's ``YYYYMMDDHHMM`` or any ISO-8601 timestamp."""
+    if len(text) == 12 and text.isdigit():
+        return parse_timestamp(text)
+    try:
+        return datetime.fromisoformat(text)
+    except ValueError as error:
+        raise ProtocolError(
+            f"timestamp {text!r} is neither YYYYMMDDHHMM nor ISO-8601"
+        ) from error
+
+
+def entry_from_message(message: dict) -> LogEntry:
+    """Decode an ``entry`` operation into a validated :class:`LogEntry`."""
+    missing = [
+        key
+        for key in ("user", "role", "action", "task", "case", "ts")
+        if not message.get(key)
+    ]
+    if missing:
+        raise ProtocolError(
+            f"entry is missing required field(s): {', '.join(missing)}"
+        )
+    obj_text = message.get("obj")
+    try:
+        obj: Optional[ObjectRef] = (
+            ObjectRef.parse(obj_text) if obj_text else None
+        )
+    except Exception as error:
+        raise ProtocolError(f"bad object reference {obj_text!r}: {error}") from error
+    status_text = message.get("status", Status.SUCCESS.value)
+    try:
+        status = Status(status_text)
+    except ValueError:
+        raise ProtocolError(
+            f"status must be success or failure, got {status_text!r}"
+        ) from None
+    ts = message["ts"]
+    if not isinstance(ts, str):
+        raise ProtocolError(f"ts must be a string timestamp, got {ts!r}")
+    return LogEntry(
+        user=str(message["user"]),
+        role=str(message["role"]),
+        action=str(message["action"]),
+        obj=obj,
+        task=str(message["task"]),
+        case=str(message["case"]),
+        timestamp=_parse_ts(ts),
+        status=status,
+    )
+
+
+def entry_to_message(entry: LogEntry) -> dict:
+    """Encode a :class:`LogEntry` as an ``entry`` operation (round-trips)."""
+    return {
+        "op": OP_ENTRY,
+        "user": entry.user,
+        "role": entry.role,
+        "action": entry.action,
+        "obj": str(entry.obj) if entry.obj is not None else None,
+        "task": entry.task,
+        "case": entry.case,
+        "ts": entry.timestamp.isoformat(),
+        "status": entry.status.value,
+    }

@@ -1,0 +1,369 @@
+"""The asyncio audit daemon (``repro serve``).
+
+:class:`AuditService` wraps a :class:`~repro.serve.core.ShardRouter`
+with the network surface:
+
+* a **TCP JSON-lines endpoint** speaking :mod:`repro.serve.protocol` —
+  clients stream ``entry``/``xes`` operations and receive per-case
+  ``verdict`` events as transitions happen;
+* a minimal **HTTP endpoint** with ``/healthz`` (liveness + a
+  statistics snapshot) and ``/metrics`` (Prometheus text format from
+  the telemetry registry);
+* a **flush timer** committing buffered entries to the audit store
+  every ``flush_interval_s``, plus optional temporal sweeps;
+* **graceful drain**: on SIGTERM (wired by the CLI) the service stops
+  accepting input, lets every shard finish, flushes and
+  integrity-checks the store, checkpoints automata, then sends each
+  connected client the ``final`` verdict of every case it touched and
+  a ``bye``.
+
+Thread/loop topology: the event loop owns all sockets; shard threads
+call back via ``loop.call_soon_threadsafe`` into per-connection outbox
+queues, so writers are only ever touched from the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from datetime import datetime
+from typing import Optional
+
+from repro.audit.xes import XesError, import_xes
+from repro.errors import ReproError
+from repro.obs import (
+    SERVE_CLIENT,
+    SERVE_STARTED,
+    to_prometheus,
+)
+from repro.serve.core import DrainReport, ShardRouter
+from repro.serve.protocol import (
+    EV_BYE,
+    EV_ERROR,
+    EV_FINAL,
+    EV_HELLO,
+    EV_RESULTS,
+    EV_STATUS,
+    EV_SYNCED,
+    OP_BYE,
+    OP_ENTRY,
+    OP_RESULTS,
+    OP_STATUS,
+    OP_SYNC,
+    OP_XES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    entry_from_message,
+)
+
+
+class _Connection:
+    """One client: an outbox queue pumped to the writer by a loop task.
+
+    ``post`` is the thread-safe face shard threads see; ``send`` is the
+    loop-side fast path.  After ``close`` both become no-ops — verdicts
+    for a disconnected client are simply dropped (the store and the
+    ``results`` op are the durable record).
+    """
+
+    def __init__(
+        self, loop: asyncio.AbstractEventLoop, writer: asyncio.StreamWriter
+    ):
+        self._loop = loop
+        self._writer = writer
+        self._outbox: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+        self._closed = False
+        self.entries_sent = 0
+        self.cases: set[str] = set()
+        self.pump_task: Optional[asyncio.Task] = None
+
+    def send(self, message: dict) -> None:
+        if not self._closed:
+            self._outbox.put_nowait(message)
+
+    def post(self, message: dict) -> None:
+        """Thread-safe send (used as the router's subscriber)."""
+        if self._closed:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self.send, message)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    async def pump(self) -> None:
+        while True:
+            message = await self._outbox.get()
+            if message is None or self._closed:
+                return
+            self._writer.write(encode_message(message))
+            try:
+                await self._writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                self._closed = True
+                return
+
+    def close(self) -> None:
+        self._closed = True
+        self._outbox.put_nowait(None)
+
+
+class AuditService:
+    """The audit daemon: TCP + HTTP front end over a shard router."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http_port: Optional[int] = 0,
+    ):
+        """``port``/``http_port`` of 0 bind an ephemeral port (read the
+        chosen one back from :attr:`port`/:attr:`http_port` after
+        :meth:`start`); ``http_port=None`` disables the HTTP endpoint."""
+        self.router = router
+        self._host = host
+        self._port_requested = port
+        self._http_port_requested = http_port
+        self.port: Optional[int] = None
+        self.http_port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ticker: Optional[asyncio.Task] = None
+        self._connections: set[_Connection] = set()
+        self._drained: Optional[DrainReport] = None
+        self._drain_lock = asyncio.Lock()
+        tel = router._tel
+        self._tel = tel
+        self._m_connections = tel.registry.counter(
+            "serve_connections_total", "client connections accepted"
+        )
+        self._m_protocol_errors = tel.registry.counter(
+            "serve_protocol_errors_total", "request lines rejected"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.router.start()
+        self._server = await asyncio.start_server(
+            self._on_client, self._host, self._port_requested
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self._http_port_requested is not None:
+            self._http_server = await asyncio.start_server(
+                self._on_http, self._host, self._http_port_requested
+            )
+            self.http_port = self._http_server.sockets[0].getsockname()[1]
+        self._ticker = asyncio.create_task(self._tick())
+        self._tel.events.emit(
+            SERVE_STARTED,
+            host=self._host,
+            port=self.port,
+            http_port=self.http_port,
+            shards=len(self.router.shard_names),
+        )
+
+    async def _tick(self) -> None:
+        interval = self.router.config.flush_interval_s
+        sweep_due = self.router._temporal is not None
+        while True:
+            await asyncio.sleep(interval)
+            self.router.flush()
+            if sweep_due:
+                self.router.sweep(datetime.now())
+
+    async def drain(self) -> DrainReport:
+        """Graceful shutdown; safe to call more than once."""
+        async with self._drain_lock:
+            if self._drained is not None:
+                return self._drained
+            if self._ticker is not None:
+                self._ticker.cancel()
+            for server in (self._server, self._http_server):
+                if server is not None:
+                    server.close()
+                    await server.wait_closed()
+            # The router joins threads — keep the loop responsive.
+            report = await asyncio.get_running_loop().run_in_executor(
+                None, self.router.drain
+            )
+            results = self.router.results()
+            for conn in list(self._connections):
+                for case in sorted(conn.cases):
+                    final = results.get(case)
+                    if final is not None:
+                        conn.send({"event": EV_FINAL, **final})
+                conn.send({"event": EV_BYE, "reason": "drained"})
+                conn.close()
+            self._drained = report
+            return report
+
+    # -- the JSON-lines endpoint -------------------------------------------
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        assert self._loop is not None
+        conn = _Connection(self._loop, writer)
+        self._connections.add(conn)
+        self._m_connections.inc()
+        self._tel.events.emit(SERVE_CLIENT, phase="connect")
+        conn.send(
+            {
+                "event": EV_HELLO,
+                "version": PROTOCOL_VERSION,
+                "shards": len(self.router.shard_names),
+            }
+        )
+        conn.pump_task = asyncio.create_task(conn.pump())
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                if not await self._dispatch(line, conn):
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass  # mid-stream disconnect: the stream state survives
+        finally:
+            self._connections.discard(conn)
+            self._tel.events.emit(
+                SERVE_CLIENT, phase="disconnect", entries=conn.entries_sent
+            )
+            conn.close()
+            if conn.pump_task is not None:
+                try:
+                    await asyncio.wait_for(conn.pump_task, timeout=1.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    conn.pump_task.cancel()
+            writer.close()
+            try:
+                # wait_closed can hang on abruptly-reset peers (fixed in
+                # 3.12); bound it, and absorb the cancellation a shutting
+                # down loop delivers here — this is already cleanup.
+                await asyncio.wait_for(writer.wait_closed(), timeout=1.0)
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.TimeoutError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    async def _dispatch(self, line: bytes, conn: _Connection) -> bool:
+        """Handle one request line; False ends the connection politely."""
+        try:
+            message = decode_message(line)
+            op = message.get("op")
+            if op == OP_ENTRY:
+                entry = entry_from_message(message)
+                conn.cases.add(entry.case)
+                self.router.submit(entry, conn.post)
+                conn.entries_sent += 1
+            elif op == OP_XES:
+                document = message.get("document")
+                if not isinstance(document, str):
+                    raise ProtocolError("xes op needs a 'document' string")
+                try:
+                    trail = import_xes(document, self.router.dead_letters)
+                except XesError as error:
+                    raise ProtocolError(f"bad XES document: {error}") from error
+                for entry in trail:
+                    conn.cases.add(entry.case)
+                    self.router.submit(entry, conn.post)
+                    conn.entries_sent += 1
+            elif op == OP_SYNC:
+                token = message.get("id")
+                received = conn.entries_sent
+                conn_post = conn.post
+                self.router.barrier(
+                    lambda: conn_post(
+                        {"event": EV_SYNCED, "id": token, "received": received}
+                    )
+                )
+            elif op == OP_STATUS:
+                conn.send(
+                    {"event": EV_STATUS, **self.router.statistics()}
+                )
+            elif op == OP_RESULTS:
+                await self._send_results(conn, message)
+            elif op == OP_BYE:
+                conn.send({"event": EV_BYE, "reason": "requested"})
+                return False
+            else:
+                raise ProtocolError(f"unknown op {op!r}")
+        except (ProtocolError, ReproError) as error:
+            # One bad line costs one line: report it, dead-letter it,
+            # keep the stream live.
+            self._m_protocol_errors.inc()
+            self.router.dead_letters.add(
+                source="serve",
+                reason=str(error),
+                raw=line.decode("utf-8", "replace").strip(),
+            )
+            conn.send({"event": EV_ERROR, "detail": str(error)})
+        return True
+
+    async def _send_results(self, conn: _Connection, message: dict) -> None:
+        """The ``results`` op: barrier, then the per-case final word."""
+        assert self._loop is not None
+        settled: asyncio.Future = self._loop.create_future()
+        self.router.barrier(
+            lambda: self._loop.call_soon_threadsafe(
+                lambda: settled.done() or settled.set_result(None)
+            )
+        )
+        await settled
+        results = self.router.results()
+        wanted = message.get("cases")
+        if isinstance(wanted, list):
+            results = {
+                case: results[case] for case in wanted if case in results
+            }
+        conn.send({"event": EV_RESULTS, "cases": results})
+
+    # -- the HTTP endpoint ---------------------------------------------------
+    async def _on_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await reader.readline()
+            while True:  # drain headers; we never need them
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request.decode("latin-1").split()
+            path = parts[1] if len(parts) > 1 else "/"
+            if path == "/healthz":
+                status, ctype = "200 OK", "application/json"
+                body = json.dumps(
+                    {"status": "ok", **self.router.statistics()}
+                ).encode()
+            elif path == "/metrics":
+                status, ctype = "200 OK", "text/plain; version=0.0.4"
+                body = to_prometheus(self._tel.registry).encode()
+            else:
+                status, ctype = "404 Not Found", "text/plain"
+                body = b"not found\n"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass

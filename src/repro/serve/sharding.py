@@ -1,0 +1,80 @@
+"""Consistent case-to-shard routing for the streaming audit service.
+
+Every case must be observed by exactly one :class:`~repro.core.monitor.
+OnlineMonitor` shard — Algorithm 1 is stateful per case, so splitting a
+case across shards would split its configuration frontier.  A plain
+``hash(case) % n`` satisfies that, but reshuffles *every* case when the
+shard count changes; the :class:`ConsistentHashRing` used here moves
+only ``~1/n`` of the key space when a shard is added or removed, which
+is what lets a future resize (or a drained shard's replacement) re-home
+the minimum number of in-flight cases.
+
+The ring is deterministic (SHA-256 over ``shard-name:replica`` and over
+the case id), so the same case id maps to the same shard in every
+process and every run — a property the differential test suite leans on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+
+def _ring_hash(key: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """A hash ring with virtual nodes mapping string keys to shard names."""
+
+    def __init__(self, shards: Iterable[str], replicas: int = 64):
+        """``replicas`` is the number of virtual nodes per shard — more
+        replicas, smoother balance (64 keeps the worst shard within a
+        few percent of fair for realistic case populations)."""
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self._replicas = replicas
+        self._points: list[tuple[int, str]] = []
+        self._hashes: list[int] = []
+        self._shards: list[str] = []
+        for shard in shards:
+            self.add_shard(shard)
+        if not self._shards:
+            raise ValueError("the ring needs at least one shard")
+
+    @property
+    def shards(self) -> Sequence[str]:
+        return tuple(self._shards)
+
+    @property
+    def replicas(self) -> int:
+        return self._replicas
+
+    def add_shard(self, shard: str) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} is already on the ring")
+        self._shards.append(shard)
+        for replica in range(self._replicas):
+            self._points.append((_ring_hash(f"{shard}:{replica}"), shard))
+        self._points.sort()
+        self._hashes = [point for point, _ in self._points]
+
+    def remove_shard(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} is not on the ring")
+        self._shards.remove(shard)
+        self._points = [(h, s) for h, s in self._points if s != shard]
+        self._hashes = [point for point, _ in self._points]
+
+    def shard_for(self, key: str) -> str:
+        """The shard owning *key*: first ring point at or after its hash."""
+        index = bisect.bisect_right(self._hashes, _ring_hash(key))
+        if index == len(self._points):
+            index = 0  # wrap around the ring
+        return self._points[index][1]
+
+    def __len__(self) -> int:
+        return len(self._shards)

@@ -5,6 +5,7 @@ See :mod:`repro.testing.faults` and :mod:`repro.testing.differential`.
 
 from repro.testing.differential import (
     assert_equivalent_verdicts,
+    canonical_digest,
     verdict_digest,
 )
 from repro.testing.faults import (
@@ -32,5 +33,6 @@ __all__ = [
     "corrupt_xes_event",
     "reset_fault_counters",
     "assert_equivalent_verdicts",
+    "canonical_digest",
     "verdict_digest",
 ]

@@ -20,6 +20,8 @@ Deliberately *excluded* from the digest:
 
 from __future__ import annotations
 
+import json
+
 from repro.core.compliance import ComplianceResult
 
 
@@ -49,6 +51,19 @@ def verdict_digest(result: ComplianceResult) -> dict:
             for step in result.steps
         ],
     }
+
+
+def canonical_digest(result: ComplianceResult) -> str:
+    """The digest as one canonical JSON line (sorted keys, no spaces).
+
+    Two replays are *byte-identical* in the sense the streaming audit
+    service promises (``docs/serving.md``) exactly when their canonical
+    digests are equal strings — this is what the service returns over
+    the wire and what the differential suites compare.
+    """
+    return json.dumps(
+        verdict_digest(result), sort_keys=True, separators=(",", ":")
+    )
 
 
 def assert_equivalent_verdicts(

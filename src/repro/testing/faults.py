@@ -129,6 +129,10 @@ class FaultySession:
         return self._session.compliant
 
     @property
+    def may_continue(self) -> bool:
+        return self._session.may_continue
+
+    @property
     def frontier(self):
         return self._session.frontier
 

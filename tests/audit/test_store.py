@@ -114,6 +114,59 @@ class TestAtomicBatchAppend:
         written = store.append_many(paper_audit_trail())
         assert written == len(paper_audit_trail()) == len(store)
 
+    def test_duplicate_entry_in_one_batch_is_chained_not_merged(self, store):
+        """The same entry twice is two rows, each with its own link."""
+        trail = paper_audit_trail()
+        store.append_many([trail[0], trail[0], trail[1]])
+        assert len(store) == 3
+        store.verify_integrity()
+
+    def test_reentrant_write_during_batch_is_rejected_atomically(self, store):
+        """A batch iterable that writes to the same store mid-iteration
+        would commit a partial prefix (sqlite3 connection context
+        managers do not nest — the inner commit ends the outer
+        transaction) and fork the hash chain: two rows chaining off the
+        same predecessor, i.e. a duplicate-seq link.  The store must
+        refuse the reentrant write and roll the whole batch back."""
+        trail = paper_audit_trail()
+
+        def evil_batch():
+            yield trail[0]
+            yield trail[1]
+            # side effect: the iterable appends to the store it is
+            # being consumed into
+            store.append(trail[2])
+            yield trail[3]
+
+        from repro.errors import AuditError
+
+        with pytest.raises(AuditError, match="reentrant"):
+            store.append_many(evil_batch())
+        # nothing from the batch NOR the sneaky inner append survived
+        assert len(store) == 0
+        store.verify_integrity()
+        # the guard resets: the store remains writable afterwards
+        store.append(trail[0])
+        store.append_many(trail[1:3])
+        assert len(store) == 3
+        store.verify_integrity()
+
+    def test_iterable_raising_mid_batch_rolls_back(self, store):
+        trail = paper_audit_trail()
+
+        def exploding_batch():
+            yield trail[0]
+            yield trail[1]
+            raise RuntimeError("source hiccup")
+
+        with pytest.raises(RuntimeError, match="source hiccup"):
+            store.append_many(exploding_batch())
+        assert len(store) == 0
+        store.verify_integrity()
+        store.append_many(trail[:2])
+        assert len(store) == 2
+        store.verify_integrity()
+
 
 class TestTimestampNormalization:
     """Aware and naive timestamps must compare meaningfully in queries."""

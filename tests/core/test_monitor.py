@@ -205,3 +205,91 @@ class TestFailureContainment:
         monitor.observe(self.entry("NW-1", "T"))
         assert monitor.infringing_cases() == []
         assert monitor.statistics()["undecidable"] == 1
+
+
+class TestServeFacingSurface:
+    """The methods the streaming audit service builds on."""
+
+    def test_case_result_digests_match_batch_replay(self, monitor):
+        """The incremental session result is byte-identical to a batch
+        replay of the same trail — including infringing cases, whose
+        sessions keep absorbing entries as REJECTED steps."""
+        from repro.core.auditor import PurposeControlAuditor
+        from repro.testing import canonical_digest
+
+        trail = paper_audit_trail()
+        for entry in trail:
+            monitor.observe(entry)
+        report = PurposeControlAuditor(
+            process_registry(), hierarchy=role_hierarchy()
+        ).audit(trail)
+        for case, result in report.cases.items():
+            if result.replay is None:
+                continue
+            streamed = monitor.case_result(case)
+            assert streamed is not None, case
+            assert canonical_digest(streamed) == canonical_digest(
+                result.replay
+            ), case
+
+    def test_terminal_cases_still_account_entries(self, monitor):
+        trail = paper_audit_trail()
+        for entry in trail:
+            monitor.observe(entry)
+        # HT-10 infringes on its first entry; later entries return no
+        # new findings but the replay accounting keeps growing.
+        result = monitor.case_result("HT-10")
+        assert result is not None
+        assert result.trail_length == len(trail.for_case("HT-10"))
+        assert not result.compliant
+
+    def test_contain_classifies_timeouts(self, monitor):
+        from repro.core.resilience import OutcomeKind
+        from repro.errors import CaseTimeoutError
+
+        for entry in paper_audit_trail():
+            monitor.observe(entry)
+        assert monitor.case_state("HT-2") is CaseState.OPEN
+        finding = monitor.contain(
+            "HT-2", CaseTimeoutError("budget blown", budget_s=1.0)
+        )
+        assert monitor.case_state("HT-2") is CaseState.FAILED
+        assert monitor.case_failure_kind("HT-2") is OutcomeKind.TIMEOUT
+        assert "budget blown" in finding.detail
+
+    def test_contain_classifies_generic_errors(self, monitor):
+        from repro.core.resilience import OutcomeKind
+
+        monitor.observe(paper_audit_trail()[0])
+        monitor.contain("HT-1", RuntimeError("shard hiccup"))
+        assert monitor.case_failure_kind("HT-1") is OutcomeKind.ERROR
+        assert monitor.case_state("HT-1") is CaseState.FAILED
+
+    def test_checker_wrapper_seam_is_applied(self):
+        wrapped_purposes = []
+
+        def wrapper(checker, purpose):
+            wrapped_purposes.append(purpose)
+            return checker
+
+        monitor = OnlineMonitor(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            checker_wrapper=wrapper,
+        )
+        for entry in paper_audit_trail():
+            monitor.observe(entry)
+        assert sorted(set(wrapped_purposes)) == ["clinicaltrial", "treatment"]
+        # wrapping must not perturb verdicts
+        assert set(monitor.infringing_cases()) == {
+            "HT-10", "HT-11", "HT-20", "HT-21", "HT-30",
+        }
+
+    def test_cases_and_purpose_inspection(self, monitor):
+        for entry in paper_audit_trail():
+            monitor.observe(entry)
+        assert monitor.cases()[0] == "HT-1"
+        assert monitor.case_purpose("HT-1") == "treatment"
+        assert monitor.case_purpose("CT-1") == "clinicaltrial"
+        assert monitor.case_purpose("nope") is None
+        assert monitor.case_result("nope") is None

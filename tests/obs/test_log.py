@@ -8,6 +8,7 @@ from repro.obs.log import (
     AUTOMATON_COMPILED,
     CASE_AUDITED,
     CASE_FAILED,
+    CASE_QUARANTINED,
     ENTRY_QUARANTINED,
     ENTRY_REPLAYED,
     EVENT_VOCABULARY,
@@ -17,6 +18,10 @@ from repro.obs.log import (
     MONITOR_SWEEP,
     NULL_EVENTS,
     PREFLIGHT_UNSOUND,
+    SERVE_CLIENT,
+    SERVE_DRAINED,
+    SERVE_FLUSH,
+    SERVE_STARTED,
     WEAKNEXT_COMPUTED,
     WORKER_INIT,
     WORKER_LOST,
@@ -33,6 +38,7 @@ class TestVocabulary:
             AUTOMATON_COMPILED,
             CASE_AUDITED,
             CASE_FAILED,
+            CASE_QUARANTINED,
             ENTRY_QUARANTINED,
             ENTRY_REPLAYED,
             WEAKNEXT_COMPUTED,
@@ -41,6 +47,10 @@ class TestVocabulary:
             LINT_RUN,
             MONITOR_SWEEP,
             PREFLIGHT_UNSOUND,
+            SERVE_CLIENT,
+            SERVE_DRAINED,
+            SERVE_FLUSH,
+            SERVE_STARTED,
             WORKER_INIT,
             WORKER_LOST,
         }

@@ -1,0 +1,244 @@
+"""Fault harness for the streaming audit service.
+
+The trio the service must survive without losing unrelated cases:
+
+* a client that disconnects mid-stream (the TCP session dies, the
+  per-case monitor state must not);
+* a checker crash inside a shard (:class:`FaultPlan.raise_on_case` —
+  contained to the case, classified ``error``, counted under
+  ``audit_errors_total``);
+* a slow/stuck case (``FaultPlan.slow_s`` + the service's per-case
+  processing budget — quarantined as ``timeout``, the rest of the
+  stream keeps its exact batch-replay verdicts).
+"""
+
+import time
+
+import pytest
+
+from repro.core.auditor import PurposeControlAuditor
+from repro.core.resilience import OutcomeKind
+from repro.obs import MemoryEventLog, MetricsRegistry, Telemetry
+from repro.scenarios import (
+    paper_audit_trail,
+    process_registry,
+    role_hierarchy,
+)
+from repro.serve import AuditStreamClient, ServeConfig
+from repro.testing import (
+    FaultInjector,
+    FaultPlan,
+    canonical_digest,
+    reset_fault_counters,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_counters():
+    reset_fault_counters()
+    yield
+    reset_fault_counters()
+
+
+def _telemetry() -> "tuple[Telemetry, MemoryEventLog]":
+    log = MemoryEventLog()
+    telemetry = Telemetry.create(
+        registry=MetricsRegistry(), events=log.events
+    )
+    return telemetry, log
+
+
+def _batch_digests(exclude=()):
+    registry, hierarchy = process_registry(), role_hierarchy()
+    report = PurposeControlAuditor(registry, hierarchy=hierarchy).audit(
+        paper_audit_trail()
+    )
+    return {
+        case: canonical_digest(result.replay)
+        for case, result in report.cases.items()
+        if result.replay is not None and case not in exclude
+    }
+
+
+class TestClientDisconnect:
+    def test_case_state_survives_an_aborted_connection(self, serve_factory):
+        trail = list(paper_audit_trail())
+        half = len(trail) // 2
+        handle = serve_factory(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            config=ServeConfig(shards=3),
+        )
+
+        first = AuditStreamClient(handle.host, handle.port)
+        first.recv_until("hello")
+        first.send_trail(trail[:half])
+        first.sync()
+        first.abort()  # RST, no goodbye — a crashed log shipper
+
+        # The service must still be accepting; a second shipper resumes
+        # the same stream and every case converges on the batch verdict.
+        with AuditStreamClient(handle.host, handle.port) as second:
+            second.recv_until("hello")
+            second.send_trail(trail[half:])
+            second.sync()
+            served = second.results()
+
+        for case, digest in _batch_digests().items():
+            assert served[case]["digest"] == digest, (
+                f"case {case} lost state across the disconnect"
+            )
+
+    def test_junk_line_costs_one_line_not_the_stream(self, serve_factory):
+        telemetry, log = _telemetry()
+        handle = serve_factory(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            config=ServeConfig(shards=2),
+            telemetry=telemetry,
+        )
+        trail = list(paper_audit_trail())
+        with AuditStreamClient(handle.host, handle.port) as client:
+            client.recv_until("hello")
+            client.send_trail(trail[:3])
+            client.send_raw(b"this is not json")
+            error = client.recv_until("error")
+            assert "JSON" in error["detail"]
+            client.send_trail(trail[3:])
+            client.sync()
+            served = client.results()
+        assert set(_batch_digests()) <= set(served)
+        assert len(handle.router.dead_letters) == 1
+        assert (
+            telemetry.registry.counter("serve_protocol_errors_total").total
+            == 1
+        )
+
+
+class TestCheckerCrashInShard:
+    def test_injected_crash_quarantines_only_its_case(self, serve_factory):
+        telemetry, log = _telemetry()
+        # The first treatment case to start a session anywhere raises;
+        # streaming HT-1's opening entry first (then syncing) makes that
+        # deterministically HT-1.
+        injector = FaultInjector(
+            FaultPlan(raise_on_case=1, only_in_workers=False),
+            purposes=("treatment",),
+        )
+        handle = serve_factory(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            config=ServeConfig(shards=3),
+            telemetry=telemetry,
+            checker_wrapper=injector,
+        )
+        trail = list(paper_audit_trail())
+        victim = trail[0].case
+
+        with AuditStreamClient(handle.host, handle.port) as client:
+            client.recv_until("hello")
+            client.send_entry(trail[0])
+            client.sync()
+            client.send_trail(trail[1:])
+            client.sync()
+            served = client.results()
+
+        assert served[victim]["state"] == "failed"
+        assert served[victim]["failure_kind"] == "error"
+        quarantined = handle.router.quarantined_cases()
+        assert quarantined.get(victim) is OutcomeKind.ERROR
+        assert (
+            telemetry.registry.counter("audit_errors_total").value(
+                kind="error"
+            )
+            >= 1
+        )
+        # Every *other* case still matches batch replay byte for byte.
+        for case, digest in _batch_digests(exclude={victim}).items():
+            assert served[case]["digest"] == digest, (
+                f"case {case} was disturbed by {victim}'s crash"
+            )
+        # And the stream is still live for new work.
+        status = handle.router.statistics()
+        assert status["draining"] is False
+
+
+class TestSlowStuckCase:
+    def test_slow_case_is_quarantined_not_the_stream(self, serve_factory):
+        telemetry, log = _telemetry()
+        # Every clinical-trial entry sleeps; the per-case budget trips
+        # after the first one.  Treatment cases share shards with the
+        # stuck case and must be untouched.
+        # One injected sleep dwarfs the budget, while the budget stays
+        # an order of magnitude above what an honest case costs even on
+        # a cold engine (the first case pays the closure warm-up).
+        injector = FaultInjector(
+            FaultPlan(slow_s=0.75, only_in_workers=False),
+            purposes=("clinicaltrial",),
+        )
+        handle = serve_factory(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            config=ServeConfig(shards=2, case_timeout_s=0.5),
+            telemetry=telemetry,
+            checker_wrapper=injector,
+        )
+        trail = list(paper_audit_trail())
+        started = time.perf_counter()
+        with AuditStreamClient(handle.host, handle.port) as client:
+            client.recv_until("hello")
+            client.send_trail(trail)
+            client.sync()
+            served = client.results()
+        elapsed = time.perf_counter() - started
+
+        assert served["CT-1"]["state"] == "failed"
+        assert served["CT-1"]["failure_kind"] == "timeout"
+        assert (
+            handle.router.quarantined_cases().get("CT-1")
+            is OutcomeKind.TIMEOUT
+        )
+        assert (
+            telemetry.registry.counter("audit_errors_total").value(
+                kind="timeout"
+            )
+            >= 1
+        )
+        # Quarantine means the sleeps stop: a couple of naps at most,
+        # not one per CT entry.
+        assert elapsed < 8.0
+        for case, digest in _batch_digests(exclude={"CT-1"}).items():
+            assert served[case]["digest"] == digest, (
+                f"case {case} was disturbed by the stuck case"
+            )
+
+    def test_quarantine_event_is_emitted(self, serve_factory):
+        telemetry, log = _telemetry()
+        injector = FaultInjector(
+            FaultPlan(slow_s=0.75, only_in_workers=False),
+            purposes=("clinicaltrial",),
+        )
+        handle = serve_factory(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            config=ServeConfig(shards=1, case_timeout_s=0.5),
+            telemetry=telemetry,
+            checker_wrapper=injector,
+        )
+        with AuditStreamClient(handle.host, handle.port) as client:
+            client.recv_until("hello")
+            client.send_trail(paper_audit_trail())
+            client.sync()
+        events = [
+            event
+            for event in log.records()
+            if event["event"] == "case.quarantined"
+        ]
+        assert events and events[0]["case"] == "CT-1"
+        assert events[0]["kind"] == "timeout"
+        assert (
+            telemetry.registry.counter(
+                "serve_quarantined_cases_total"
+            ).value(kind="timeout")
+            == 1
+        )
