@@ -11,13 +11,17 @@ benchmark documents the measurement backing that claim:
 * ``test_disabled_overhead_is_bounded`` — a min-of-repeats comparison
   asserting the disabled path is not measurably slower than the enabled
   path (it should be strictly faster; the generous bound only absorbs
-  scheduler noise).
+  scheduler noise);
+* ``TestDisabledTracePaths`` — the structural half of the guarantee for
+  the distributed-tracing additions: with telemetry disabled, the trace
+  context, span, and OTLP-export code paths never read a clock and
+  never mint ids.
 """
 
 import time
 
 from repro.core import PurposeControlAuditor
-from repro.obs import Telemetry
+from repro.obs import NULL_REGISTRY, NULL_TRACER, OtlpExporter, Telemetry
 from repro.scenarios import paper_audit_trail, process_registry, role_hierarchy
 
 
@@ -62,3 +66,43 @@ class TestReplayOverhead:
         # The disabled path binds no-op instruments and reads no clocks;
         # it must not be measurably slower than the instrumented path.
         assert disabled <= enabled * 1.25
+
+
+class TestDisabledTracePaths:
+    """The NULL tracer must stay free of clock reads and id minting
+    through every code path the distributed-tracing layer added."""
+
+    def _arm(self, monkeypatch):
+        import repro.obs.trace as trace_module
+
+        def boom(*args):  # pragma: no cover - must never run
+            raise AssertionError("clock/entropy read on the disabled path")
+
+        monkeypatch.setattr(trace_module.time, "perf_counter", boom)
+        monkeypatch.setattr(trace_module.time, "time", boom)
+        monkeypatch.setattr(trace_module.os, "urandom", boom)
+
+    def test_null_tracer_span_paths_read_nothing(self, monkeypatch):
+        from repro.obs import TraceContext
+
+        self._arm(monkeypatch)
+        parent = TraceContext("ab" * 16, "cd" * 8)
+        with NULL_TRACER.span("serve.ingest", parent=parent, case="HT-1"):
+            with NULL_TRACER.span("serve.replay", links=(parent,)):
+                pass
+        assert NULL_TRACER.current_context() is None
+        assert (
+            NULL_TRACER.record_span("audit.case", 0.0, 0.0, parent=parent)
+            is None
+        )
+        assert NULL_TRACER.epoch_unix_s == 0.0
+
+    def test_otlp_export_of_disabled_bundle_is_inert(
+        self, monkeypatch, tmp_path
+    ):
+        self._arm(monkeypatch)
+        destination = tmp_path / "otlp.jsonl"
+        exporter = OtlpExporter(str(destination))
+        written = exporter.export(tracer=NULL_TRACER, registry=NULL_REGISTRY)
+        assert written == 0
+        assert not destination.exists()

@@ -27,7 +27,11 @@ stdout) with ``--metrics-format json|prometheus``, ``--events DEST``
 (JSON-lines event log; ``-`` = stderr), and ``--trace DEST`` (span
 trace; ``-`` = stderr) with ``--trace-format json|chrome``.  ``repro
 stats`` runs a full audit and prints a human-readable telemetry summary
-after the report.
+after the report.  ``--otlp DEST`` (also on ``serve``) exports spans
+and metrics as OTLP/JSON — to a JSON-lines file or an ``http(s)://``
+collector; ``repro trace CASE --from FILE`` renders a case's span tree
+from such a file, and ``repro top URL`` live-samples a running
+service's per-shard throughput, queue depth, and ingest latency.
 
 Resilience (``docs/robustness.md``): ``repro audit`` accepts
 ``--workers N`` (parallel, crash-isolated case auditing), ``--on-error
@@ -200,15 +204,21 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--trace-format", choices=("json", "chrome"), default="json",
     )
+    group.add_argument(
+        "--otlp", metavar="DEST",
+        help="export spans + metrics as OTLP/JSON to DEST — a JSON-lines "
+        "file, or an http(s):// collector base URL (implies tracing)",
+    )
 
 
 def _telemetry_from_args(
     args: argparse.Namespace, force: bool = False
 ) -> Telemetry:
     """Build the Telemetry bundle the flags ask for (disabled when none)."""
-    wants_metrics = bool(getattr(args, "metrics", None)) or force
+    wants_otlp = bool(getattr(args, "otlp", None))
+    wants_metrics = bool(getattr(args, "metrics", None)) or force or wants_otlp
     wants_events = bool(getattr(args, "events", None))
-    wants_trace = bool(getattr(args, "trace", None))
+    wants_trace = bool(getattr(args, "trace", None)) or wants_otlp
     if not (wants_metrics or wants_events or wants_trace):
         return Telemetry.disabled()
     events = NULL_EVENTS
@@ -244,6 +254,12 @@ def _emit_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
     if getattr(args, "trace", None):
         _write_output(
             args.trace, telemetry.tracer.dumps(args.trace_format), sys.stderr
+        )
+    if getattr(args, "otlp", None):
+        from repro.obs import OtlpExporter
+
+        OtlpExporter(args.otlp).export(
+            tracer=telemetry.tracer, registry=telemetry.registry
         )
 
 
@@ -618,6 +634,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render a case's span tree from an OTLP/JSON export file."""
+    from repro.obs.console import load_otlp_spans, render_case
+
+    path = Path(args.otlp_file)
+    if not path.exists():
+        raise ReproError(f"OTLP export file not found: {path}")
+    spans = load_otlp_spans(str(path))
+    text = render_case(spans, args.case)
+    print(text)
+    return EXIT_OK if "no trace found" not in text else EXIT_INFRINGEMENT
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live per-shard view of a running service (Ctrl-C exits)."""
+    import json as _json
+    import time as _time
+    import urllib.request
+
+    from repro.obs.console import TopSampler
+
+    base = args.url.rstrip("/")
+    if not base.startswith(("http://", "https://")):
+        base = "http://" + base
+
+    def fetch(path: str) -> dict:
+        with urllib.request.urlopen(base + path, timeout=10) as response:
+            return _json.loads(response.read().decode("utf-8"))
+
+    sampler = TopSampler(fetch)
+    remaining = args.count
+    try:
+        while True:
+            print(sampler.render(), flush=True)
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    break
+            _time.sleep(args.interval)
+            print()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return EXIT_OK
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.scenarios import (
         paper_audit_trail,
@@ -866,6 +927,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_args(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="render a case's span tree from an OTLP/JSON export",
+    )
+    trace_cmd.add_argument("case", help="case id, e.g. HT-1")
+    trace_cmd.add_argument(
+        "--from", dest="otlp_file", required=True, metavar="FILE",
+        help="the JSON-lines file a --otlp run wrote",
+    )
+    trace_cmd.set_defaults(handler=_cmd_trace)
+
+    top = commands.add_parser(
+        "top",
+        help="live per-shard throughput/latency view of a running service",
+    )
+    top.add_argument(
+        "url", help="the service's HTTP endpoint, e.g. 127.0.0.1:8080"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh cadence (default: 2.0)",
+    )
+    top.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="exit after N samples (default: run until Ctrl-C)",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     demo = commands.add_parser("demo", help="run the paper's scenario")
     demo.set_defaults(handler=_cmd_demo)

@@ -55,7 +55,13 @@ from repro.core.resilience import (
     replay_with_deadline,
 )
 from repro.errors import UnknownPurposeError, WorkerLostError
-from repro.obs import NULL_TELEMETRY, Telemetry, WORKER_INIT, WORKER_LOST
+from repro.obs import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TraceContext,
+    WORKER_INIT,
+    WORKER_LOST,
+)
 from repro.policy.hierarchy import RoleHierarchy
 from repro.policy.registry import ProcessRegistry
 
@@ -181,6 +187,7 @@ def _audit_case_guarded(
     outcome counts when telemetry was requested.
     """
     started = time.perf_counter()
+    started_unix = time.time()
     purpose: Optional[str] = None
     try:
         prefix = case.partition("-")[0]
@@ -205,6 +212,7 @@ def _audit_case_guarded(
             "states_explored": None,
             "pid": os.getpid(),
             "duration_s": time.perf_counter() - started,
+            "started_unix_s": started_unix,
             "outcomes": _step_outcomes(result) if state.collect else None,
         }
     except Exception as error:
@@ -220,6 +228,7 @@ def _audit_case_guarded(
             "states_explored": getattr(error, "states_explored", None),
             "pid": os.getpid(),
             "duration_s": time.perf_counter() - started,
+            "started_unix_s": started_unix,
             "outcomes": {} if state.collect else None,
         }
 
@@ -255,6 +264,7 @@ def _lost_result(case: str, attempts: int) -> dict:
         "states_explored": None,
         "pid": None,
         "duration_s": 0.0,
+        "started_unix_s": 0.0,
         "outcomes": None,
     }
 
@@ -497,6 +507,13 @@ def audit_cases_parallel(
     """
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     policy = retry_policy if retry_policy is not None else RetryPolicy()
+    tracer = tel.tracer
+    # One trace per batch audit: the root context is pinned up front so
+    # per-case spans (synthesized below from the plain wall-clock
+    # timings workers hand back) can parent to it — the cross-process
+    # half of the distributed tracing story.
+    root_ctx = TraceContext.new() if tracer.enabled else None
+    audit_started_unix = time.time() if tracer.enabled else 0.0
     jobs = {case: trail.for_case(case).entries for case in trail.cases()}
     documents = {
         purpose: process_to_dict(registry.process_for(purpose))
@@ -558,6 +575,26 @@ def audit_cases_parallel(
     }
     # deterministic ordering: first appearance in the trail
     outcomes = {case: outcomes[case] for case in jobs if case in outcomes}
+    if root_ctx is not None:
+        for case in outcomes:
+            result = raw[case]
+            tracer.record_span(
+                "audit.case",
+                result.get("started_unix_s") or audit_started_unix,
+                result["duration_s"],
+                parent=root_ctx,
+                case=case,
+                kind=result["kind"],
+                pid=result["pid"],
+            )
+        tracer.record_span(
+            "audit.parallel",
+            audit_started_unix,
+            time.time() - audit_started_unix,
+            context=root_ctx,
+            cases=len(outcomes),
+            workers=workers,
+        )
     if tel.enabled:
         _merge_stats(tel, raw, outcomes, sorted(registry.purposes()))
     return outcomes

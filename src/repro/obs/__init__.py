@@ -10,10 +10,13 @@ watching:
   in a mergeable registry (no third-party dependencies);
 * :mod:`repro.obs.log` — structured JSON-lines events with a stable
   vocabulary (``case.audited``, ``entry.replayed``, ...);
-* :mod:`repro.obs.trace` — nested span timing trees, exportable as JSON
-  or Chrome-trace;
-* :mod:`repro.obs.export` — Prometheus text format, JSON snapshots, and
-  the human-readable ``repro stats`` summary.
+* :mod:`repro.obs.trace` — nested span timing trees with W3C-style
+  distributed trace context, exportable as JSON or Chrome-trace;
+* :mod:`repro.obs.export` — Prometheus text format, JSON snapshots,
+  OTLP/JSON (spans + metrics, file or HTTP collector), and the
+  human-readable ``repro stats`` summary;
+* :mod:`repro.obs.console` — operator rendering: ``repro trace``'s span
+  trees and ``repro top``'s live per-shard service sampler.
 
 The handle instrumented classes accept is a :class:`Telemetry` bundle.
 The library default is :meth:`Telemetry.disabled` — a shared bundle of
@@ -38,8 +41,11 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.obs.export import (
+    OtlpExporter,
     dumps_json,
     format_summary,
+    metrics_to_otlp,
+    spans_to_otlp,
     to_json,
     to_prometheus,
 )
@@ -85,7 +91,16 @@ from repro.obs.metrics import (
     set_default_registry,
     timed,
 )
-from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
 
 
 @dataclass(frozen=True)
@@ -172,14 +187,21 @@ __all__ = [
     "NullEventLogger",
     "NullRegistry",
     "NullTracer",
+    "OtlpExporter",
     "Span",
     "Telemetry",
+    "TraceContext",
     "Tracer",
     "default_registry",
     "dumps_json",
     "format_summary",
     "json_lines_logger",
+    "metrics_to_otlp",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "set_default_registry",
+    "spans_to_otlp",
     "timed",
     "to_json",
     "to_prometheus",

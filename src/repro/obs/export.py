@@ -1,4 +1,4 @@
-"""Exporters for the metrics registry.
+"""Exporters for the metrics registry and span tracer.
 
 * :func:`to_prometheus` — the Prometheus text exposition format
   (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket`` series with
@@ -6,18 +6,26 @@
 * :func:`to_json` — a snapshot dictionary (stable shape, documented in
   ``docs/observability.md``) for ``repro ... --metrics``;
 * :func:`format_summary` — the human-readable table behind
-  ``repro stats``.
+  ``repro stats``;
+* :func:`spans_to_otlp` / :func:`metrics_to_otlp` — OTLP/JSON
+  (``resourceSpans`` / ``resourceMetrics``, the OpenTelemetry protocol's
+  JSON encoding: hex trace/span ids, stringified uint64 nanos), built
+  with the standard library only;
+* :class:`OtlpExporter` — the ``--otlp DEST`` sink: JSON-lines file, or
+  HTTP POST to a collector's ``/v1/traces`` + ``/v1/metrics``.
 """
 
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING
+import time
+from typing import TYPE_CHECKING, Optional
 
 from repro.obs.metrics import Counter, Gauge, Histogram, LabelKey
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
 
 
 def _prom_labels(key: LabelKey, extra: str = "") -> str:
@@ -111,6 +119,7 @@ def to_json(registry: "MetricsRegistry") -> dict:
                         "sum": round(data["sum"], 9),
                         "p50": round(summary["p50"], 9),
                         "p95": round(summary["p95"], 9),
+                        "p99": round(summary["p99"], 9),
                         "max": round(data["max"], 9),
                         "buckets": buckets,
                     }
@@ -156,3 +165,223 @@ def format_summary(registry: "MetricsRegistry") -> str:
                     f"p50={s['p50']:.4f} p95={s['p95']:.4f} max={s['max']:.4f}"
                 )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# OTLP/JSON (OpenTelemetry protocol, JSON encoding) — stdlib only.
+#
+# The shapes follow opentelemetry-proto's JSON mapping: trace/span ids
+# are lowercase hex strings, uint64 nanosecond timestamps are encoded as
+# strings, attributes are ``{"key": ..., "value": {"stringValue": ...}}``
+# lists.  ``aggregationTemporality: 2`` is CUMULATIVE — what a scraped
+# registry holds.
+
+_OTLP_SCOPE = {"name": "repro.obs", "version": "1"}
+
+
+def _otlp_value(value: object) -> dict:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attributes(attrs: dict) -> list[dict]:
+    return [
+        {"key": str(key), "value": _otlp_value(value)}
+        for key, value in attrs.items()
+    ]
+
+
+def _otlp_resource(service_name: str) -> dict:
+    return {
+        "attributes": [
+            {"key": "service.name", "value": {"stringValue": service_name}}
+        ]
+    }
+
+
+def _nanos(seconds: float) -> str:
+    return str(max(0, int(seconds * 1e9)))
+
+
+def spans_to_otlp(tracer: "Tracer", service_name: str = "repro") -> dict:
+    """The tracer's finished spans as an OTLP/JSON ``resourceSpans`` doc.
+
+    Span times are absolute (wall clock), anchored on the tracer's
+    :attr:`~repro.obs.trace.Tracer.epoch_unix_s` — which is what lets a
+    collector line up spans from the service loop, shard threads, and
+    worker processes on one timeline.
+    """
+    epoch = getattr(tracer, "epoch_unix_s", 0.0)
+    spans: list[dict] = []
+    for root in tracer.roots:
+        for span in root.walk():
+            start_s = epoch + span.start
+            record: dict = {
+                "traceId": span.trace_id,
+                "spanId": span.span_id,
+                "name": span.name,
+                "kind": 1,  # SPAN_KIND_INTERNAL
+                "startTimeUnixNano": _nanos(start_s),
+                "endTimeUnixNano": _nanos(start_s + span.duration),
+            }
+            if span.parent_id:
+                record["parentSpanId"] = span.parent_id
+            if span.attrs:
+                record["attributes"] = _otlp_attributes(span.attrs)
+            if span.links:
+                record["links"] = [
+                    {"traceId": link.trace_id, "spanId": link.span_id}
+                    for link in span.links
+                ]
+            spans.append(record)
+    return {
+        "resourceSpans": [
+            {
+                "resource": _otlp_resource(service_name),
+                "scopeSpans": [{"scope": _OTLP_SCOPE, "spans": spans}],
+            }
+        ]
+    }
+
+
+def _otlp_exemplars(data: dict, buckets: tuple) -> list[dict]:
+    exemplars = []
+    for index, exemplar in sorted((data.get("exemplars") or {}).items()):
+        record = {
+            "timeUnixNano": _nanos(exemplar.get("ts", 0.0)),
+            "asDouble": exemplar["value"],
+        }
+        if exemplar.get("trace_id"):
+            record["traceId"] = exemplar["trace_id"]
+        if exemplar.get("span_id"):
+            record["spanId"] = exemplar["span_id"]
+        exemplars.append(record)
+    return exemplars
+
+
+def metrics_to_otlp(
+    registry: "MetricsRegistry",
+    service_name: str = "repro",
+    now_unix_s: Optional[float] = None,
+) -> dict:
+    """The registry as an OTLP/JSON ``resourceMetrics`` document.
+
+    Counters become monotonic cumulative sums, gauges become gauges,
+    histograms become cumulative histogram data points — with any
+    trace-id **exemplars** recorded on their buckets attached, so a
+    latency bucket points at the concrete trace that landed in it.
+    """
+    now = time.time() if now_unix_s is None else now_unix_s
+    stamp = _nanos(now)
+    metrics: list[dict] = []
+    for instrument in registry.collect():
+        entry: dict = {
+            "name": instrument.name,
+            "description": instrument.help,
+        }
+        if isinstance(instrument, (Counter, Gauge)):
+            points = [
+                {
+                    "attributes": _otlp_attributes(dict(key)),
+                    "timeUnixNano": stamp,
+                    "asDouble": value,
+                }
+                for key, value in sorted(instrument.samples().items())
+            ]
+            if isinstance(instrument, Counter):
+                entry["sum"] = {
+                    "dataPoints": points,
+                    "aggregationTemporality": 2,
+                    "isMonotonic": True,
+                }
+            else:
+                entry["gauge"] = {"dataPoints": points}
+        elif isinstance(instrument, Histogram):
+            points = []
+            for key, data in sorted(instrument.samples().items()):
+                point = {
+                    "attributes": _otlp_attributes(dict(key)),
+                    "timeUnixNano": stamp,
+                    "count": str(data["count"]),
+                    "sum": data["sum"],
+                    "bucketCounts": [str(n) for n in data["buckets"]],
+                    "explicitBounds": list(instrument.buckets),
+                    "max": data["max"],
+                }
+                exemplars = _otlp_exemplars(data, instrument.buckets)
+                if exemplars:
+                    point["exemplars"] = exemplars
+                points.append(point)
+            entry["histogram"] = {
+                "dataPoints": points,
+                "aggregationTemporality": 2,
+            }
+        metrics.append(entry)
+    return {
+        "resourceMetrics": [
+            {
+                "resource": _otlp_resource(service_name),
+                "scopeMetrics": [{"scope": _OTLP_SCOPE, "metrics": metrics}],
+            }
+        ]
+    }
+
+
+class OtlpExporter:
+    """The ``--otlp DEST`` sink for spans and metrics.
+
+    ``DEST`` is either a file path — each export appends one OTLP/JSON
+    document per line (``resourceSpans`` and ``resourceMetrics`` lines
+    interleave; :func:`repro.obs.console.load_otlp_spans` reads them
+    back) — or an ``http(s)://`` collector base URL, POSTed to the
+    standard ``/v1/traces`` and ``/v1/metrics`` endpoints.
+    """
+
+    def __init__(self, destination: str, service_name: str = "repro"):
+        self.destination = destination
+        self.service_name = service_name
+        self._is_http = destination.startswith(("http://", "https://"))
+
+    def export(
+        self,
+        tracer: "Tracer | None" = None,
+        registry: "MetricsRegistry | None" = None,
+    ) -> int:
+        """Export whatever was handed in; returns documents written."""
+        written = 0
+        if tracer is not None and getattr(tracer, "enabled", False):
+            document = spans_to_otlp(tracer, self.service_name)
+            if document["resourceSpans"][0]["scopeSpans"][0]["spans"]:
+                self._emit(document, "/v1/traces")
+                written += 1
+        if registry is not None and getattr(registry, "enabled", False):
+            document = metrics_to_otlp(registry, self.service_name)
+            if document["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]:
+                self._emit(document, "/v1/metrics")
+                written += 1
+        return written
+
+    def _emit(self, document: dict, endpoint: str) -> None:
+        body = json.dumps(document, separators=(",", ":"), default=str)
+        if self._is_http:
+            self._post(endpoint, body)
+        else:
+            with open(self.destination, "a", encoding="utf-8") as sink:
+                sink.write(body + "\n")
+
+    def _post(self, endpoint: str, body: str) -> None:
+        import urllib.request
+
+        request = urllib.request.Request(
+            self.destination.rstrip("/") + endpoint,
+            data=body.encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            response.read()

@@ -125,13 +125,18 @@ class Gauge:
 class _HistogramSeries:
     """The accumulators of one label set of a histogram."""
 
-    __slots__ = ("bucket_counts", "count", "sum", "max")
+    __slots__ = ("bucket_counts", "count", "sum", "max", "exemplars")
 
     def __init__(self, n_buckets: int):
         self.bucket_counts = [0] * n_buckets  # non-cumulative, +Inf last
         self.count = 0
         self.sum = 0.0
         self.max = 0.0
+        # bucket index -> the latest exemplar that landed there:
+        # {"value", "trace_id", "span_id", "ts"} (OTel-style exemplars;
+        # only populated via observe_with_exemplar, i.e. when tracing
+        # is on — the plain observe() path never pays for them).
+        self.exemplars: dict[int, dict] = {}
 
 
 class Histogram:
@@ -182,6 +187,41 @@ class Histogram:
             if value > series.max:
                 series.max = value
 
+    def observe_with_exemplar(
+        self,
+        value: float,
+        trace_id: str,
+        span_id: str = "",
+        **labels: str,
+    ) -> None:
+        """Observe *value* and attach a trace-id exemplar to its bucket.
+
+        The exemplar (latest per bucket) ties a latency bucket back to a
+        concrete trace — "p99 got slower, *this* case is why".  Callers
+        use it only when tracing is enabled, so the plain hot path never
+        reads the wall clock for exemplar timestamps.
+        """
+        key = _label_key(labels)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        now = time.time()
+        with self._lock:
+            series = self._series_for(key)
+            series.bucket_counts[index] += 1
+            series.count += 1
+            series.sum += value
+            if value > series.max:
+                series.max = value
+            series.exemplars[index] = {
+                "value": value,
+                "trace_id": trace_id,
+                "span_id": span_id,
+                "ts": now,
+            }
+
     @contextmanager
     def time(self, **labels: str) -> Iterator[None]:
         """Observe the wall-clock duration of the ``with`` body (seconds)."""
@@ -222,12 +262,16 @@ class Histogram:
     def summary(self, **labels: str) -> dict[str, float]:
         series = self._series.get(_label_key(labels))
         if series is None:
-            return {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+            return {
+                "count": 0, "sum": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+            }
         return {
             "count": series.count,
             "sum": series.sum,
             "p50": self.quantile(0.50, **labels),
             "p95": self.quantile(0.95, **labels),
+            "p99": self.quantile(0.99, **labels),
             "max": series.max,
         }
 
@@ -239,6 +283,10 @@ class Histogram:
                     "count": series.count,
                     "sum": series.sum,
                     "max": series.max,
+                    "exemplars": {
+                        index: dict(exemplar)
+                        for index, exemplar in series.exemplars.items()
+                    },
                 }
                 for key, series in self._series.items()
             }
@@ -258,6 +306,11 @@ class Histogram:
                 series.sum += data["sum"]
                 if data["max"] > series.max:
                     series.max = data["max"]
+                for index, exemplar in (data.get("exemplars") or {}).items():
+                    index = int(index)
+                    held = series.exemplars.get(index)
+                    if held is None or exemplar.get("ts", 0) >= held.get("ts", 0):
+                        series.exemplars[index] = dict(exemplar)
 
 
 @contextmanager
@@ -436,6 +489,11 @@ class NullHistogram:
     def observe(self, value: float, **labels: str) -> None:
         pass
 
+    def observe_with_exemplar(
+        self, value: float, trace_id: str, span_id: str = "", **labels: str
+    ) -> None:
+        pass
+
     def time(self, **labels: str) -> _NullTimer:
         return _NULL_TIMER
 
@@ -449,7 +507,10 @@ class NullHistogram:
         return 0.0
 
     def summary(self, **labels: str) -> dict[str, float]:
-        return {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        return {
+            "count": 0, "sum": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+        }
 
     def samples(self) -> dict:
         return {}

@@ -82,13 +82,19 @@ class AuditStreamClient:
     def send(self, message: dict) -> None:
         self.send_raw(json.dumps(message, separators=(",", ":")))
 
-    def send_entry(self, entry: LogEntry) -> None:
-        self.send(entry_to_message(entry))
+    def send_entry(
+        self, entry: LogEntry, traceparent: Optional[str] = None
+    ) -> None:
+        """Send one entry; ``traceparent`` (a W3C header value) makes
+        the caller's span the remote parent of the case's trace."""
+        self.send(entry_to_message(entry, traceparent=traceparent))
 
-    def send_trail(self, entries: Iterable[LogEntry]) -> int:
+    def send_trail(
+        self, entries: Iterable[LogEntry], traceparent: Optional[str] = None
+    ) -> int:
         count = 0
         for entry in entries:
-            self.send_entry(entry)
+            self.send_entry(entry, traceparent=traceparent)
             count += 1
         return count
 

@@ -60,6 +60,8 @@ from repro.obs import (
     SERVE_DRAINED,
     SERVE_FLUSH,
     Telemetry,
+    TraceContext,
+    parse_traceparent,
 )
 from repro.policy.hierarchy import RoleHierarchy
 from repro.policy.registry import ProcessRegistry
@@ -150,6 +152,11 @@ class _Shard(threading.Thread):
         )
         self._router = router
         self._spent: dict[str, float] = {}  # case -> processing seconds
+        self.entries_observed = 0
+        # Cases this shard has opened and not yet settled.  Mutated only
+        # by this thread; other threads read len() (GIL-atomic) for the
+        # in-flight gauge.
+        self._open_cases: set[str] = set()
 
     def run(self) -> None:
         while True:
@@ -159,7 +166,7 @@ class _Shard(threading.Thread):
                 if kind == "stop":
                     return
                 if kind == "entry":
-                    self._observe(item[1], item[2])
+                    self._observe(item[1], item[2], item[3])
                 elif kind == "barrier":
                     item[1].arrive()
                 elif kind == "sweep":
@@ -177,14 +184,42 @@ class _Shard(threading.Thread):
             finally:
                 self.queue.task_done()
 
-    def _observe(self, entry: LogEntry, subscriber: Optional[Subscriber]) -> None:
+    @property
+    def inflight_cases(self) -> int:
+        """Open (non-terminal) cases currently owned by this shard."""
+        return len(self._open_cases)
+
+    def _observe(
+        self,
+        entry: LogEntry,
+        subscriber: Optional[Subscriber],
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         monitor = self.monitor
         case = entry.case
+        tracer = self._router._tel.tracer
         before = monitor.case_state(case)
+        replay_span_id = ""
         started = time.perf_counter()
-        raised = monitor.observe(entry)
+        if ctx is not None and tracer.enabled:
+            # The shard-side half of the case's trace: monitor-internal
+            # "replay"/"weaknext" spans nest under this via the thread's
+            # span stack.
+            with tracer.span(
+                "serve.replay", parent=ctx, case=case, shard=self.shard_name
+            ) as span:
+                raised = monitor.observe(entry)
+                replay_span_id = span.span_id
+        else:
+            raised = monitor.observe(entry)
         elapsed = time.perf_counter() - started
-        self._router._m_ingest.observe(elapsed)
+        self.entries_observed += 1
+        if ctx is not None:
+            self._router._m_ingest.observe_with_exemplar(
+                elapsed, ctx.trace_id, replay_span_id
+            )
+        else:
+            self._router._m_ingest.observe(elapsed)
 
         budget = self._router.config.case_timeout_s
         after = monitor.case_state(case)
@@ -208,26 +243,43 @@ class _Shard(threading.Thread):
                 raised = list(raised) + [monitor.contain(case, error)]
                 after = monitor.case_state(case)
 
+        if after in _TERMINAL:
+            self._open_cases.discard(case)
+        elif after is not None:
+            self._open_cases.add(case)
+
         kind = monitor.case_failure_kind(case)
         if kind is not None:
             self._router._note_quarantined(
                 case, kind, raised[-1].detail if raised else ""
             )
-        if subscriber is not None and (before is not after or raised):
-            subscriber(
-                {
-                    "event": EV_VERDICT,
-                    "case": case,
-                    "state": str(after) if after is not None else None,
-                    "previous": str(before) if before is not None else None,
-                    "purpose": monitor.case_purpose(case),
-                    "shard": self.shard_name,
-                    "infringements": [
-                        {"kind": i.kind.value, "detail": i.detail}
-                        for i in raised
-                    ],
-                }
+        if ctx is not None and after in _TERMINAL and before not in _TERMINAL:
+            # The case settled: close its trace with an instant span.
+            tracer.record_span(
+                "serve.verdict",
+                time.time(),
+                0.0,
+                parent=ctx,
+                case=case,
+                state=str(after),
+                shard=self.shard_name,
             )
+        if subscriber is not None and (before is not after or raised):
+            event = {
+                "event": EV_VERDICT,
+                "case": case,
+                "state": str(after) if after is not None else None,
+                "previous": str(before) if before is not None else None,
+                "purpose": monitor.case_purpose(case),
+                "shard": self.shard_name,
+                "infringements": [
+                    {"kind": i.kind.value, "detail": i.detail}
+                    for i in raised
+                ],
+            }
+            if ctx is not None:
+                event["trace"] = ctx.trace_id
+            subscriber(event)
 
 
 class _StoreWriter(threading.Thread):
@@ -244,33 +296,37 @@ class _StoreWriter(threading.Thread):
         super().__init__(name="repro-serve-store", daemon=True)
         self._path = path
         self._router = router
-        self.queue: "queue.Queue[Optional[list[LogEntry]]]" = queue.Queue()
+        #: ``(batch, case trace contexts)`` tuples; ``None`` stops.
+        self.queue: "queue.Queue[Optional[tuple]]" = queue.Queue()
         self.written = 0
         self.intact: Optional[bool] = None
 
     def run(self) -> None:
         store = AuditStore(self._path)
+        tracer = self._router._tel.tracer
         try:
             while True:
-                batch = self.queue.get()
-                if batch is None:
+                item = self.queue.get()
+                if item is None:
                     self.intact = store.is_intact()
                     return
+                batch, contexts = item
                 started = time.perf_counter()
-                try:
-                    self.written += store.append_many(batch)
-                except MalformedEntryError:
-                    for offset, entry in enumerate(batch):
-                        try:
-                            store.append(entry)
-                            self.written += 1
-                        except MalformedEntryError as error:
-                            self._router.dead_letters.add(
-                                source="serve",
-                                reason=str(error),
-                                position=offset,
-                                raw=str(entry),
-                            )
+                if tracer.enabled and contexts:
+                    # A single-case batch joins that case's trace; a
+                    # mixed batch is its own trace *linking* every case
+                    # it persisted (one flush serves many traces).
+                    parent = contexts[0] if len(contexts) == 1 else None
+                    links = contexts if len(contexts) > 1 else ()
+                    with tracer.span(
+                        "store.flush",
+                        parent=parent,
+                        links=links,
+                        entries=len(batch),
+                    ):
+                        self._commit(store, batch)
+                else:
+                    self._commit(store, batch)
                 duration = time.perf_counter() - started
                 self._router._m_flushes.inc()
                 self._router._m_flush_seconds.observe(duration)
@@ -282,6 +338,22 @@ class _StoreWriter(threading.Thread):
                 )
         finally:
             store.close()
+
+    def _commit(self, store: AuditStore, batch: list[LogEntry]) -> None:
+        try:
+            self.written += store.append_many(batch)
+        except MalformedEntryError:
+            for offset, entry in enumerate(batch):
+                try:
+                    store.append(entry)
+                    self.written += 1
+                except MalformedEntryError as error:
+                    self._router.dead_letters.add(
+                        source="serve",
+                        reason=str(error),
+                        position=offset,
+                        raw=str(entry),
+                    )
 
 
 class ShardRouter:
@@ -319,6 +391,11 @@ class ShardRouter:
         self._drained = False
         self._received = 0
         self._tmp_automata: Optional[tempfile.TemporaryDirectory] = None
+        # case id -> the root TraceContext of its (one) trace.  The
+        # first traced ingest of a case mints it; every later span of
+        # the case — ingest, replay, verdict, store flush — joins it.
+        self._case_traces: dict[str, TraceContext] = {}
+        self._trace_lock = threading.Lock()
 
         self._m_entries = tel.registry.counter(
             "serve_entries_total", "log entries accepted by the service"
@@ -335,6 +412,13 @@ class ShardRouter:
         self._m_quarantined = tel.registry.counter(
             "serve_quarantined_cases_total",
             "cases taken out of rotation by the service, by kind",
+        )
+        self._m_queue_depth = tel.registry.gauge(
+            "serve_shard_queue_depth", "items waiting in each shard's queue"
+        )
+        self._m_inflight = tel.registry.gauge(
+            "serve_shard_inflight_cases",
+            "open (non-terminal) cases owned by each shard",
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -413,7 +497,10 @@ class ShardRouter:
 
     # -- ingest ------------------------------------------------------------
     def submit(
-        self, entry: LogEntry, subscriber: Optional[Subscriber] = None
+        self,
+        entry: LogEntry,
+        subscriber: Optional[Subscriber] = None,
+        traceparent: Optional[str] = None,
     ) -> str:
         """Route one entry to its shard; returns the shard name.
 
@@ -421,9 +508,16 @@ class ShardRouter:
         last-resort backpressure, surfaced to clients as TCP push-back.
         (The first line of defense is the per-case budget: stuck cases
         are quarantined long before a queue fills.)
+
+        With tracing enabled, ``traceparent`` (a W3C header value, e.g.
+        from the wire protocol's optional field) becomes the remote
+        parent of the case's trace; the first ingest span of a case is
+        its local root.  Disabled, the extra cost is one attribute read.
         """
         if not self._accepting:
             raise ReproError("the service is draining; entry rejected")
+        if self._tel.tracer.enabled:
+            return self._submit_traced(entry, subscriber, traceparent)
         self._received += 1
         self._m_entries.inc()
         if self._writer is not None:
@@ -433,8 +527,47 @@ class ShardRouter:
             if full:
                 self.flush()
         name = self._ring.shard_for(entry.case)
-        self._shards[name].queue.put(("entry", entry, subscriber))
+        self._shards[name].queue.put(("entry", entry, subscriber, None))
         return name
+
+    def _submit_traced(
+        self,
+        entry: LogEntry,
+        subscriber: Optional[Subscriber],
+        traceparent: Optional[str],
+    ) -> str:
+        """The traced ingest path: same routing, wrapped in a span."""
+        tracer = self._tel.tracer
+        case = entry.case
+        with self._trace_lock:
+            root = self._case_traces.get(case)
+        if root is None:
+            parent = parse_traceparent(traceparent) if traceparent else None
+        else:
+            parent = root
+        with tracer.span(
+            "serve.ingest", parent=parent, case=case, task=entry.task
+        ) as span:
+            if root is None:
+                with self._trace_lock:
+                    root = self._case_traces.setdefault(case, span.context)
+            self._received += 1
+            self._m_entries.inc()
+            if self._writer is not None:
+                with self._pending_lock:
+                    self._pending.append(entry)
+                    full = len(self._pending) >= self.config.flush_max_batch
+                if full:
+                    self.flush()
+            name = self._ring.shard_for(case)
+            span.attrs["shard"] = name
+            self._shards[name].queue.put(("entry", entry, subscriber, root))
+        return name
+
+    def case_trace(self, case: str) -> Optional[TraceContext]:
+        """The case's root trace context (None untraced/unseen)."""
+        with self._trace_lock:
+            return self._case_traces.get(case)
 
     def barrier(self, callback: Callable[[], None]) -> None:
         """Invoke *callback* once all work submitted so far is processed."""
@@ -459,8 +592,20 @@ class ShardRouter:
             return
         with self._pending_lock:
             batch, self._pending = self._pending, []
-        if batch:
-            self._writer.queue.put(batch)
+        if not batch:
+            return
+        contexts: tuple[TraceContext, ...] = ()
+        if self._tel.tracer.enabled:
+            # The distinct case traces this flush persists entries of —
+            # the writer parents (one) or links (many) its flush span.
+            seen: dict[str, TraceContext] = {}
+            with self._trace_lock:
+                for entry in batch:
+                    ctx = self._case_traces.get(entry.case)
+                    if ctx is not None:
+                        seen.setdefault(ctx.trace_id, ctx)
+            contexts = tuple(seen.values())
+        self._writer.queue.put((batch, contexts))
 
     # -- drain -------------------------------------------------------------
     def drain(self) -> DrainReport:
@@ -577,6 +722,27 @@ class ShardRouter:
                 }
         return out
 
+    def refresh_shard_gauges(self) -> dict[str, dict]:
+        """Per-shard load detail; also updates the shard gauges.
+
+        Called at scrape time (``/healthz``, ``/metrics``, the ``status``
+        op) so the ``serve_shard_queue_depth`` /
+        ``serve_shard_inflight_cases`` gauges are current whenever
+        anybody looks.
+        """
+        detail: dict[str, dict] = {}
+        for name, shard in self._shards.items():
+            depth = shard.queue.qsize()
+            inflight = shard.inflight_cases
+            self._m_queue_depth.set(depth, shard=name)
+            self._m_inflight.set(inflight, shard=name)
+            detail[name] = {
+                "queue_depth": depth,
+                "inflight_cases": inflight,
+                "entries_observed": shard.entries_observed,
+            }
+        return detail
+
     def statistics(self) -> dict[str, object]:
         """A live snapshot for the ``status`` op and ``/healthz``."""
         per_state: dict[str, int] = {state.value: 0 for state in CaseState}
@@ -595,6 +761,7 @@ class ShardRouter:
             "quarantined_cases": len(self._quarantined),
             "dead_letters": len(self.dead_letters),
             "draining": self.draining,
+            "shard_detail": self.refresh_shard_gauges(),
         }
 
     # -- internals ---------------------------------------------------------

@@ -23,6 +23,14 @@ Entry fields mirror :class:`repro.audit.model.LogEntry`: ``user``,
 ``ts`` (the paper's ``YYYYMMDDHHMM`` or ISO-8601), ``status``
 (``success``/``failure``, default success).
 
+``entry`` and ``xes`` operations may additionally carry a
+``"traceparent"`` field — a W3C Trace Context header value
+(``00-<32 hex>-<16 hex>-01``).  When the service runs with tracing
+enabled, the sender's context becomes the remote parent of the case's
+trace (see ``docs/observability.md``); malformed values are ignored,
+never rejected — trace propagation is best-effort and must not cost an
+entry.
+
 Server → client events: ``hello``, ``verdict`` (a per-case state
 transition, streamed as it happens), ``error`` (a rejected input line —
 the stream stays live), ``synced``, ``status``, ``results``, ``final``
@@ -146,9 +154,15 @@ def entry_from_message(message: dict) -> LogEntry:
     )
 
 
-def entry_to_message(entry: LogEntry) -> dict:
-    """Encode a :class:`LogEntry` as an ``entry`` operation (round-trips)."""
-    return {
+def entry_to_message(
+    entry: LogEntry, traceparent: Optional[str] = None
+) -> dict:
+    """Encode a :class:`LogEntry` as an ``entry`` operation (round-trips).
+
+    ``traceparent`` attaches the sender's W3C trace context, making the
+    client span the remote parent of the case's service-side trace.
+    """
+    message = {
         "op": OP_ENTRY,
         "user": entry.user,
         "role": entry.role,
@@ -159,3 +173,6 @@ def entry_to_message(entry: LogEntry) -> dict:
         "ts": entry.timestamp.isoformat(),
         "status": entry.status.value,
     }
+    if traceparent is not None:
+        message["traceparent"] = traceparent
+    return message

@@ -6,9 +6,11 @@ with the network surface:
 * a **TCP JSON-lines endpoint** speaking :mod:`repro.serve.protocol` —
   clients stream ``entry``/``xes`` operations and receive per-case
   ``verdict`` events as transitions happen;
-* a minimal **HTTP endpoint** with ``/healthz`` (liveness + a
-  statistics snapshot) and ``/metrics`` (Prometheus text format from
-  the telemetry registry);
+* a minimal **HTTP endpoint** (GET/HEAD; anything else is a clean 405)
+  with ``/healthz`` (liveness + a statistics snapshot including
+  per-shard queue depth and in-flight cases), ``/metrics`` (Prometheus
+  text format from the telemetry registry), and ``/metrics.json`` (the
+  JSON snapshot ``repro top`` samples);
 * a **flush timer** committing buffered entries to the audit store
   every ``flush_interval_s``, plus optional temporal sweeps;
 * **graceful drain**: on SIGTERM (wired by the CLI) the service stops
@@ -34,6 +36,7 @@ from repro.errors import ReproError
 from repro.obs import (
     SERVE_CLIENT,
     SERVE_STARTED,
+    to_json,
     to_prometheus,
 )
 from repro.serve.core import DrainReport, ShardRouter
@@ -262,7 +265,9 @@ class AuditService:
             if op == OP_ENTRY:
                 entry = entry_from_message(message)
                 conn.cases.add(entry.case)
-                self.router.submit(entry, conn.post)
+                self.router.submit(
+                    entry, conn.post, traceparent=message.get("traceparent")
+                )
                 conn.entries_sent += 1
             elif op == OP_XES:
                 document = message.get("document")
@@ -272,9 +277,12 @@ class AuditService:
                     trail = import_xes(document, self.router.dead_letters)
                 except XesError as error:
                     raise ProtocolError(f"bad XES document: {error}") from error
+                traceparent = message.get("traceparent")
                 for entry in trail:
                     conn.cases.add(entry.case)
-                    self.router.submit(entry, conn.post)
+                    self.router.submit(
+                        entry, conn.post, traceparent=traceparent
+                    )
                     conn.entries_sent += 1
             elif op == OP_SYNC:
                 token = message.get("id")
@@ -327,6 +335,34 @@ class AuditService:
         conn.send({"event": EV_RESULTS, "cases": results})
 
     # -- the HTTP endpoint ---------------------------------------------------
+    def _http_body(self, path: str) -> tuple[str, str, bytes]:
+        """``(status line, content type, body)`` for one GET/HEAD path."""
+        if path == "/healthz":
+            return (
+                "200 OK",
+                "application/json",
+                json.dumps(
+                    {"status": "ok", **self.router.statistics()}
+                ).encode(),
+            )
+        if path == "/metrics":
+            self.router.refresh_shard_gauges()
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                to_prometheus(self._tel.registry).encode(),
+            )
+        if path == "/metrics.json":
+            # The machine-readable snapshot `repro top` samples: same
+            # shape as `--metrics` (documented in docs/observability.md).
+            self.router.refresh_shard_gauges()
+            return (
+                "200 OK",
+                "application/json",
+                json.dumps(to_json(self._tel.registry)).encode(),
+            )
+        return "404 Not Found", "text/plain", b"not found\n"
+
     async def _on_http(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -337,26 +373,29 @@ class AuditService:
                 if header in (b"\r\n", b"\n", b""):
                     break
             parts = request.decode("latin-1").split()
-            path = parts[1] if len(parts) > 1 else "/"
-            if path == "/healthz":
-                status, ctype = "200 OK", "application/json"
-                body = json.dumps(
-                    {"status": "ok", **self.router.statistics()}
-                ).encode()
-            elif path == "/metrics":
-                status, ctype = "200 OK", "text/plain; version=0.0.4"
-                body = to_prometheus(self._tel.registry).encode()
+            extra = ""
+            if len(parts) < 2:
+                status, ctype = "400 Bad Request", "text/plain"
+                body = b"malformed request line\n"
+                method = "GET"
             else:
-                status, ctype = "404 Not Found", "text/plain"
-                body = b"not found\n"
+                method, path = parts[0].upper(), parts[1]
+                if method in ("GET", "HEAD"):
+                    status, ctype, body = self._http_body(path)
+                else:
+                    status, ctype = "405 Method Not Allowed", "text/plain"
+                    body = b"method not allowed\n"
+                    extra = "Allow: GET, HEAD\r\n"
             writer.write(
                 (
                     f"HTTP/1.1 {status}\r\n"
                     f"Content-Type: {ctype}\r\n"
                     f"Content-Length: {len(body)}\r\n"
+                    f"{extra}"
                     "Connection: close\r\n\r\n"
                 ).encode()
-                + body
+                # HEAD answers with the same headers and no body.
+                + (b"" if method == "HEAD" else body)
             )
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover

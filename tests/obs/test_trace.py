@@ -1,8 +1,18 @@
 """Tests for span tracing."""
 
 import json
+import re
+import time
 
-from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceContext,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
 
 
 class TestTracer:
@@ -62,6 +72,89 @@ class TestTracer:
         assert [r.name for r in tracer.roots] == ["one", "two"]
 
 
+class TestTraceContext:
+    def test_minted_ids_are_hex_of_the_right_width(self):
+        assert re.fullmatch(r"[0-9a-f]{32}", new_trace_id())
+        assert re.fullmatch(r"[0-9a-f]{16}", new_span_id())
+        assert new_trace_id() != new_trace_id()
+
+    def test_traceparent_round_trip(self):
+        context = TraceContext.new()
+        header = context.to_traceparent()
+        assert re.fullmatch(
+            r"00-[0-9a-f]{32}-[0-9a-f]{16}-01", header
+        )
+        assert parse_traceparent(header) == context
+
+    def test_malformed_traceparents_are_none(self):
+        good = TraceContext.new().to_traceparent()
+        assert parse_traceparent(good.upper()) is not None  # tolerant case
+        for bad in (
+            None,
+            123,
+            "",
+            "not-a-header",
+            "00-xyz-abc-01",
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+            good + "-extra",
+        ):
+            assert parse_traceparent(bad) is None
+
+    def test_spans_carry_ids_and_inherit_the_trace(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert re.fullmatch(r"[0-9a-f]{32}", outer.trace_id)
+            assert tracer.current_context() == outer.context
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert tracer.current_context() is None
+
+    def test_remote_parent_is_adopted(self):
+        tracer = Tracer()
+        remote = TraceContext.new()
+        with tracer.span("serve.ingest", parent=remote) as span:
+            assert span.trace_id == remote.trace_id
+            assert span.parent_id == remote.span_id
+        payload = tracer.roots[0].to_dict()
+        assert payload["trace_id"] == remote.trace_id
+        assert payload["parent_span_id"] == remote.span_id
+
+    def test_links_survive_to_dict(self):
+        tracer = Tracer()
+        other = TraceContext.new()
+        with tracer.span("store.flush", links=(other,)):
+            pass
+        payload = tracer.roots[0].to_dict()
+        assert payload["links"] == [
+            {"trace_id": other.trace_id, "span_id": other.span_id}
+        ]
+
+    def test_record_span_adopts_external_timing(self):
+        tracer = Tracer()
+        root = TraceContext.new()
+        start = tracer.epoch_unix_s + 1.5
+        span = tracer.record_span(
+            "audit.case", start, 0.25, parent=root, case="HT-1"
+        )
+        assert span.trace_id == root.trace_id
+        assert span.parent_id == root.span_id
+        assert span.start == 1.5
+        assert span.duration == 0.25
+        assert span in tracer.roots
+
+    def test_record_span_can_pin_its_own_context(self):
+        tracer = Tracer()
+        pinned = TraceContext.new()
+        span = tracer.record_span("audit.parallel", 0.0, 1.0, context=pinned)
+        assert span.context == pinned
+
+    def test_wall_clock_anchor_tracks_time_time(self):
+        tracer = Tracer()
+        assert abs(tracer.epoch_unix_s - time.time()) < 60.0
+
+
 class TestNullTracer:
     def test_noop_span_and_exports(self):
         tracer = NullTracer()
@@ -78,3 +171,21 @@ class TestNullTracer:
         first = NULL_TRACER.span("a")
         second = NULL_TRACER.span("b")
         assert first is second
+
+    def test_trace_context_paths_never_read_clock_or_entropy(
+        self, monkeypatch
+    ):
+        import repro.obs.trace as trace_module
+
+        def boom(*args):  # pragma: no cover - should never run
+            raise AssertionError("clock/entropy read on the disabled path")
+
+        monkeypatch.setattr(trace_module.time, "perf_counter", boom)
+        monkeypatch.setattr(trace_module.time, "time", boom)
+        monkeypatch.setattr(trace_module.os, "urandom", boom)
+        parent = TraceContext("ab" * 16, "cd" * 8)
+        with NULL_TRACER.span("x", parent=parent, links=(parent,)):
+            pass
+        assert NULL_TRACER.current_context() is None
+        assert NULL_TRACER.record_span("y", 0.0, 0.0, parent=parent) is None
+        assert NULL_TRACER.epoch_unix_s == 0.0

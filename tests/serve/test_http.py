@@ -1,0 +1,118 @@
+"""The daemon's HTTP surface: health, metrics, and method hygiene.
+
+Operators point probes, scrapers, and the ``repro top`` console at this
+endpoint, so it must answer HEAD without a body, reject unknown methods
+with a clean 405 + ``Allow``, survive a malformed request line, and
+publish per-shard detail (queue depth, in-flight cases) in ``/healthz``
+plus machine-readable quantiles in ``/metrics.json``.
+"""
+
+import json
+import socket
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, Telemetry
+from repro.scenarios import paper_audit_trail, process_registry, role_hierarchy
+from repro.serve import AuditStreamClient, ServeConfig
+
+
+@pytest.fixture
+def http_service(serve_factory):
+    handle = serve_factory(
+        process_registry(),
+        hierarchy=role_hierarchy(),
+        config=ServeConfig(shards=2),
+        telemetry=Telemetry.create(registry=MetricsRegistry()),
+        http=True,
+    )
+    with AuditStreamClient(handle.host, handle.port) as client:
+        client.send_trail(paper_audit_trail())
+        client.sync()
+    return handle
+
+
+def _raw_request(handle, payload: bytes) -> bytes:
+    with socket.create_connection(
+        (handle.host, handle.http_port), timeout=10
+    ) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+class TestHealthz:
+    def test_reports_per_shard_detail(self, http_service):
+        url = f"http://{http_service.host}:{http_service.http_port}/healthz"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            payload = json.loads(response.read())
+        detail = payload["shard_detail"]
+        assert set(detail) == {"shard-0", "shard-1"}
+        for stats in detail.values():
+            assert set(stats) >= {
+                "queue_depth",
+                "inflight_cases",
+                "entries_observed",
+            }
+            assert stats["queue_depth"] >= 0
+            assert stats["inflight_cases"] >= 0
+        observed = sum(s["entries_observed"] for s in detail.values())
+        assert observed == len(paper_audit_trail())
+
+
+class TestMetricsJson:
+    def test_serves_quantiles_for_the_console(self, http_service):
+        base = f"http://{http_service.host}:{http_service.http_port}"
+        with urllib.request.urlopen(f"{base}/metrics.json", timeout=10) as r:
+            assert r.headers["Content-Type"].startswith("application/json")
+            payload = json.loads(r.read())
+        ingest = payload["serve_ingest_seconds"]
+        assert ingest["type"] == "histogram"
+        series = ingest["series"][0]
+        assert series["p50"] >= 0.0
+        assert series["p99"] >= series["p50"]
+        # the gauges registered for shard detail are exported too
+        assert "serve_shard_queue_depth" in payload
+        assert "serve_shard_inflight_cases" in payload
+
+
+class TestMethodHygiene:
+    def test_head_answers_headers_without_a_body(self, http_service):
+        base = f"http://{http_service.host}:{http_service.http_port}"
+        request = urllib.request.Request(f"{base}/healthz", method="HEAD")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+            length = int(response.headers["Content-Length"])
+            assert length > 2  # the GET body's length, advertised
+            assert response.read() == b""
+        # and the advertised length matches an actual GET
+        with urllib.request.urlopen(f"{base}/healthz", timeout=10) as r:
+            assert len(r.read()) == length
+
+    def test_unknown_method_is_405_with_allow(self, http_service):
+        response = _raw_request(
+            http_service,
+            b"POST /healthz HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        head = response.split(b"\r\n\r\n", 1)[0]
+        assert b"405 Method Not Allowed" in head
+        assert b"Allow: GET, HEAD" in head
+
+    def test_malformed_request_line_is_400(self, http_service):
+        response = _raw_request(http_service, b"garbage\r\n\r\n")
+        assert b"400 Bad Request" in response.split(b"\r\n", 1)[0]
+
+    def test_unknown_path_is_404_for_get_and_head(self, http_service):
+        base = f"http://{http_service.host}:{http_service.http_port}"
+        for method in ("GET", "HEAD"):
+            request = urllib.request.Request(f"{base}/nope", method=method)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 404
