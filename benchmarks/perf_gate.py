@@ -71,6 +71,30 @@ def evaluate(
             f"p99 latency: {now['p99']:.6f} vs baseline {then['p99']:.6f} "
             f"cal-ops (ceiling {ceiling:.6f}) — {verdict}"
         )
+
+    # The crash-safety tax is gated self-relative (measured in the same
+    # run on the same host), so it needs no baseline entry and no
+    # calibration: the per-entry WAL append cost must keep implied
+    # WAL-enabled throughput within the same regression threshold of
+    # the plain path (see ``bench_serve.measure`` for why this is a
+    # microbench-derived ratio rather than a wall-clock A/B).
+    wal = current.get("wal")
+    if wal is not None:
+        relative = float(wal["relative_to_plain"])
+        floor = 1.0 - threshold
+        verdict = "ok" if relative >= floor else "REGRESSION"
+        if relative < floor:
+            ok = False
+        detail = ""
+        if "append_us" in wal:
+            detail = (
+                f" (append {float(wal['append_us']):.2f}us on a "
+                f"{float(wal['plain_us_per_entry']):.2f}us/entry budget)"
+            )
+        messages.append(
+            f"wal throughput: {relative:.4f}x of plain "
+            f"(floor {floor:.4f}x){detail} — {verdict}"
+        )
     return ok, messages
 
 

@@ -571,14 +571,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError("serve needs --process PREFIX:FILE or --scenario")
     # A live /metrics endpoint needs a live registry, flags or not.
     telemetry = _telemetry_from_args(args, force=args.http_port >= 0)
+    if args.recover and args.wal_dir is None:
+        raise ReproError("--recover needs --wal-dir (the log to replay)")
+    if args.supervise and args.wal_dir is None:
+        raise ReproError(
+            "--supervise needs --wal-dir (restarts replay from the WAL)"
+        )
     config = ServeConfig(
         shards=args.shards,
         store_path=args.store,
         flush_interval_s=args.flush_interval,
         flush_max_batch=args.flush_batch,
         case_timeout_s=args.case_timeout,
+        queue_capacity=args.queue_capacity,
         compiled=True if args.compiled else None,
         automaton_dir=args.automaton_dir,
+        wal_dir=args.wal_dir,
+        supervise=args.supervise,
+        hang_timeout_s=args.hang_timeout,
+        max_shard_restarts=args.max_shard_restarts,
     )
     router = ShardRouter(
         registry, hierarchy=hierarchy, config=config, telemetry=telemetry
@@ -595,7 +606,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stop = asyncio.Event()
         for signum in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(signum, stop.set)
-        await service.start()
+        await service.start(recover=args.recover)
+        if args.recover and router.recovery_report is not None:
+            # The recovery outcome, parseable, before "listening" — a
+            # wrapper that waits for the port only proceeds once the
+            # rebuilt state is known good.
+            print(
+                _json.dumps(
+                    {"recovered": router.recovery_report.to_dict()}
+                ),
+                flush=True,
+            )
         # One parseable line so wrappers (and the drain test) can find
         # the ephemeral ports.
         print(
@@ -914,6 +935,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--case-timeout", type=float, default=None, metavar="SECONDS",
         help="cumulative per-case processing budget; cases over it are "
         "quarantined (TIMEOUT) without stalling the stream",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=10_000, metavar="N",
+        help="bounded per-shard queue depth; busy/shed watermarks "
+        "derive from it (default: 10000)",
+    )
+    serve_robustness = serve.add_argument_group(
+        "crash safety (docs/robustness.md)"
+    )
+    serve_robustness.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help="per-shard write-ahead ingest log: every accepted entry "
+        "is CRC-framed here before it is acknowledged",
+    )
+    serve_robustness.add_argument(
+        "--recover", action="store_true",
+        help="rebuild in-flight state from the store + WAL delta "
+        "before listening (after a crash; needs --wal-dir)",
+    )
+    serve_robustness.add_argument(
+        "--supervise", action="store_true",
+        help="watch shard heartbeats; restart crashed/hung shards "
+        "from durable history (needs --wal-dir)",
+    )
+    serve_robustness.add_argument(
+        "--hang-timeout", type=float, default=None, metavar="SECONDS",
+        help="a supervised shard silent this long mid-case is treated "
+        "as hung and replaced (default: hangs are not policed)",
+    )
+    serve_robustness.add_argument(
+        "--max-shard-restarts", type=int, default=2, metavar="N",
+        help="restarts per shard before its cases are re-homed to the "
+        "surviving shards (default: 2)",
     )
     serve_compilation = serve.add_argument_group("compiled replay")
     serve_compilation.add_argument(

@@ -68,7 +68,13 @@ from repro.obs.log import (
     SERVE_CLIENT,
     SERVE_DRAINED,
     SERVE_FLUSH,
+    SERVE_OVERLOAD,
+    SERVE_RECOVERED,
+    SERVE_SHARD_REASSIGNED,
+    SERVE_SHARD_RESTARTED,
     SERVE_STARTED,
+    SERVE_WAL_COMMIT,
+    SERVE_WAL_RETIRED,
     WEAKNEXT_COMPUTED,
     WORKER_INIT,
     WORKER_LOST,
@@ -173,7 +179,13 @@ __all__ = [
     "SERVE_CLIENT",
     "SERVE_DRAINED",
     "SERVE_FLUSH",
+    "SERVE_OVERLOAD",
+    "SERVE_RECOVERED",
+    "SERVE_SHARD_REASSIGNED",
+    "SERVE_SHARD_RESTARTED",
     "SERVE_STARTED",
+    "SERVE_WAL_COMMIT",
+    "SERVE_WAL_RETIRED",
     "WEAKNEXT_COMPUTED",
     "WORKER_INIT",
     "WORKER_LOST",

@@ -54,6 +54,24 @@ event               emitted when
                     automata checkpointed (fields: entries, cases)
 ``case.quarantined``  the streaming service took one case out of
                     rotation (fields: case, kind, detail)
+``serve.wal_commit``  buffered write-ahead-log records were fsynced — the
+                    durability barrier behind the ``sync`` op (fields:
+                    records)
+``serve.wal_retired``  WAL segments wholly covered by a committed store
+                    flush were deleted (fields: shard, upto, segments)
+``serve.recovered``  a restarted service rebuilt in-flight state from the
+                    store + WAL delta (fields: store_entries, wal_records,
+                    replayed, duplicates, cases, torn_segments,
+                    duration_s)
+``serve.shard_restarted``  the supervisor replaced a crashed or hung
+                    shard, replaying its cases from durable history
+                    (fields: shard, reason, victim, cases, entries)
+``serve.shard_reassigned``  a shard exhausted its restart budget and its
+                    cases were re-homed through the consistent-hash ring
+                    (fields: shard, reason, cases)
+``serve.overload``  a shard's admission level changed (ok/busy/shed);
+                    emitted on transitions only (fields: shard, level,
+                    previous, queue_depth)
 ==================  =====================================================
 
 The logger is plain :mod:`logging` under the hood (logger name
@@ -94,6 +112,12 @@ SERVE_DRAINED = "serve.drained"
 SERVE_FLUSH = "serve.flush"
 SERVE_CLIENT = "serve.client"
 CASE_QUARANTINED = "case.quarantined"
+SERVE_WAL_COMMIT = "serve.wal_commit"
+SERVE_WAL_RETIRED = "serve.wal_retired"
+SERVE_RECOVERED = "serve.recovered"
+SERVE_SHARD_RESTARTED = "serve.shard_restarted"
+SERVE_SHARD_REASSIGNED = "serve.shard_reassigned"
+SERVE_OVERLOAD = "serve.overload"
 
 EVENT_VOCABULARY = frozenset(
     {
@@ -117,6 +141,12 @@ EVENT_VOCABULARY = frozenset(
         SERVE_FLUSH,
         SERVE_CLIENT,
         CASE_QUARANTINED,
+        SERVE_WAL_COMMIT,
+        SERVE_WAL_RETIRED,
+        SERVE_RECOVERED,
+        SERVE_SHARD_RESTARTED,
+        SERVE_SHARD_REASSIGNED,
+        SERVE_OVERLOAD,
     }
 )
 

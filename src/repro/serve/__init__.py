@@ -8,44 +8,76 @@ consistent-hashing its case id, persists the raw stream to the
 tamper-evident :class:`~repro.audit.store.AuditStore` in batched
 transactions, and streams per-case verdict transitions back as they
 happen.  See ``docs/serving.md`` for the wire protocol, sharding and
-drain semantics, and the backpressure model.
+drain semantics, and the backpressure model; ``docs/robustness.md``
+covers the crash-safety layer (WAL, recovery, supervision).
 
 Layers (bottom up):
 
 * :mod:`repro.serve.sharding` — the consistent-hash ring;
 * :mod:`repro.serve.protocol` — the JSON-lines wire vocabulary;
+* :mod:`repro.serve.wal` — the per-shard write-ahead ingest log;
 * :mod:`repro.serve.core` — :class:`ShardRouter`, the socket-free
-  engine (shard threads, store writer, quarantine, drain);
+  engine (shard threads, store writer, WAL, admission control,
+  quarantine, drain);
+* :mod:`repro.serve.recovery` — crash recovery: store + WAL delta →
+  byte-identical in-flight state;
+* :mod:`repro.serve.supervisor` — heartbeat-based shard crash/hang
+  detection and bounded restart;
 * :mod:`repro.serve.service` — :class:`AuditService`, the asyncio TCP
   + HTTP front end;
 * :mod:`repro.serve.client` — :class:`AuditStreamClient`, a blocking
-  reference client.
+  reference client, and :class:`ResilientAuditClient`, the
+  reconnecting/idempotent shipper.
 """
 
-from repro.serve.client import AuditStreamClient
-from repro.serve.core import DrainReport, ServeConfig, ShardRouter
+from repro.serve.client import AuditStreamClient, ResilientAuditClient
+from repro.serve.core import Admission, DrainReport, ServeConfig, ShardRouter
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    decode_jsonl,
     decode_message,
     encode_message,
     entry_from_message,
     entry_to_message,
 )
+from repro.serve.recovery import RecoveryReport, collect_case_histories, recover
 from repro.serve.service import AuditService
 from repro.serve.sharding import ConsistentHashRing
+from repro.serve.supervisor import ShardSupervisor
+from repro.serve.wal import (
+    WalCorruptionError,
+    WalError,
+    WalRecord,
+    WalWriter,
+    read_wal,
+    segment_paths,
+)
 
 __all__ = [
+    "Admission",
     "AuditService",
     "AuditStreamClient",
     "ConsistentHashRing",
     "DrainReport",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RecoveryReport",
+    "ResilientAuditClient",
     "ServeConfig",
     "ShardRouter",
+    "ShardSupervisor",
+    "WalCorruptionError",
+    "WalError",
+    "WalRecord",
+    "WalWriter",
+    "collect_case_histories",
+    "decode_jsonl",
     "decode_message",
     "encode_message",
     "entry_from_message",
     "entry_to_message",
+    "read_wal",
+    "recover",
+    "segment_paths",
 ]

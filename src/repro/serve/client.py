@@ -11,17 +11,30 @@ immediately, and :meth:`events` / :meth:`recv_until` pull server
 events off the socket.  Verdicts stream asynchronously, so after a
 burst of entries call :meth:`sync` (a server-side barrier) before
 asserting on state.
+
+:class:`ResilientAuditClient` layers delivery guarantees on top: it
+numbers each case's entries (the protocol's ``seq`` field), reconnects
+with exponential backoff + jitter when the connection drops, honors the
+server's ``busy``/``retry_after`` backpressure responses, and re-sends
+its unacknowledged tail after a reconnect — the server deduplicates by
+per-case sequence, so the resume is idempotent (at-least-once sends,
+exactly-once processing; see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Iterable, Optional
 
 from repro.audit.model import LogEntry
+from repro.errors import ReproError
 from repro.serve.protocol import (
+    EV_BUSY,
     EV_BYE,
+    EV_HELLO,
     EV_RESULTS,
     EV_STATUS,
     EV_SYNCED,
@@ -153,3 +166,200 @@ class AuditStreamClient:
     def verdicts(self) -> list[dict]:
         """Every ``verdict`` event observed so far."""
         return [e for e in self.events_seen if e.get("event") == "verdict"]
+
+
+class ResilientAuditClient:
+    """At-least-once delivery with exactly-once server-side processing.
+
+    Wraps :class:`AuditStreamClient` with the three behaviors a real log
+    shipper needs against a crash-safe daemon:
+
+    * **reconnect** — a dropped connection is retried with exponential
+      backoff and full jitter (``delay * uniform(0.5, 1.5)``), up to
+      ``max_attempts`` consecutive failures without progress;
+    * **backpressure** — ``busy`` responses are collected per batch and
+      the refused entries re-sent after the server's ``retry_after_s``
+      hint (or the backoff schedule, whichever is longer);
+    * **idempotent resume** — every entry carries its case's next
+      sequence number, assigned once at :meth:`ship` time.  After a
+      reconnect the whole unacknowledged tail is re-sent; the server
+      acks already-accepted entries as duplicates instead of
+      double-counting them.
+
+    ``rng`` is injectable so tests can pin the jitter.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        max_attempts: int = 8,
+        backoff_s: float = 0.05,
+        backoff_multiplier: float = 2.0,
+        max_backoff_s: float = 2.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._max_attempts = max_attempts
+        self._backoff_s = backoff_s
+        self._multiplier = backoff_multiplier
+        self._max_backoff_s = max_backoff_s
+        self._rng = rng if rng is not None else random.Random()
+        self._client: Optional[AuditStreamClient] = None
+        self._case_seq: dict[str, int] = {}
+        self.connects = 0
+        self.reconnects = 0
+        self.busy_retries = 0
+        self.duplicates_acked = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "ResilientAuditClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def _delay(self, attempt: int) -> float:
+        """The jittered backoff before the *attempt*-th retry (1-based)."""
+        base = min(
+            self._backoff_s * self._multiplier ** (attempt - 1),
+            self._max_backoff_s,
+        )
+        return base * (0.5 + self._rng.random())
+
+    def _drop(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except OSError:
+                pass
+            self._client = None
+
+    def _connected(self) -> AuditStreamClient:
+        """The live connection, dialing (with backoff) if needed."""
+        if self._client is not None:
+            return self._client
+        failures = 0
+        while True:
+            try:
+                client = AuditStreamClient(
+                    self._host, self._port, timeout=self._timeout
+                )
+                client.recv_until(EV_HELLO)
+            except (OSError, ConnectionError, ValueError):
+                failures += 1
+                if failures >= self._max_attempts:
+                    raise
+                time.sleep(self._delay(failures))
+                continue
+            self._client = client
+            self.connects += 1
+            if self.connects > 1:
+                self.reconnects += 1
+            return client
+
+    # -- delivery ----------------------------------------------------------
+    def ship(self, entries: Iterable[LogEntry]) -> dict:
+        """Deliver *entries*, surviving disconnects and backpressure.
+
+        Sequence numbers are assigned here, once, in iteration order per
+        case; every retry re-sends the same numbers, which is what makes
+        the whole operation idempotent.  Returns delivery statistics
+        (``accepted`` counts entries the server now owns, whether this
+        call's send or an earlier one's landed them).  Raises once
+        ``max_attempts`` consecutive rounds make no progress.
+        """
+        pending: list[tuple[LogEntry, int]] = []
+        for entry in entries:
+            seq = self._case_seq.get(entry.case, 0) + 1
+            self._case_seq[entry.case] = seq
+            pending.append((entry, seq))
+        accepted = 0
+        stalled = 0
+        while pending:
+            try:
+                client = self._connected()
+                marker = len(client.events_seen)
+                for entry, seq in pending:
+                    client.send(entry_to_message(entry, seq=seq))
+                client.sync()
+            except (OSError, ConnectionError, ValueError):
+                # Mid-batch disconnect: nothing past the last sync is
+                # acknowledged — reconnect and re-send the whole tail
+                # (the server dedupes what did land).
+                self._drop()
+                stalled += 1
+                if stalled >= self._max_attempts:
+                    raise
+                time.sleep(self._delay(stalled))
+                continue
+            refused: set[tuple[Optional[str], Optional[int]]] = set()
+            retry_after = 0.0
+            for event in client.events_seen[marker:]:
+                if event.get("event") != EV_BUSY:
+                    continue
+                if event.get("duplicate"):
+                    self.duplicates_acked += 1
+                    continue
+                refused.add((event.get("case"), event.get("seq")))
+                retry_after = max(
+                    retry_after, float(event.get("retry_after_s") or 0.0)
+                )
+            retry = [
+                (entry, seq)
+                for entry, seq in pending
+                if (entry.case, seq) in refused
+            ]
+            accepted += len(pending) - len(retry)
+            if not retry:
+                pending = []
+                break
+            if len(retry) < len(pending):
+                stalled = 0  # progress: the backoff clock resets
+            else:
+                stalled += 1
+                if stalled >= self._max_attempts:
+                    raise ReproError(
+                        f"server still refusing {len(retry)} entr"
+                        f"{'y' if len(retry) == 1 else 'ies'} after "
+                        f"{stalled} backpressure rounds"
+                    )
+            self.busy_retries += len(retry)
+            # Honor the server's hint, floored by our own schedule, so a
+            # thundering herd of shippers decorrelates.
+            time.sleep(max(retry_after, self._delay(max(stalled, 1))))
+            pending = retry
+        return {
+            "accepted": accepted,
+            "reconnects": self.reconnects,
+            "busy_retries": self.busy_retries,
+            "duplicates": self.duplicates_acked,
+        }
+
+    # -- pass-throughs (reconnecting) --------------------------------------
+    def sync(self) -> dict:
+        return self._connected().sync()
+
+    def status(self) -> dict:
+        return self._connected().status()
+
+    def results(self, cases: Optional[list[str]] = None) -> dict:
+        return self._connected().results(cases)
+
+    def verdicts(self) -> list[dict]:
+        return self._client.verdicts() if self._client is not None else []
+
+    def bye(self) -> None:
+        if self._client is not None:
+            self._client.bye()
+            self._client = None

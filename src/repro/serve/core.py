@@ -24,16 +24,40 @@ Responsibilities:
   :class:`~repro.compile.AutomatonCache`; :meth:`start` pre-encodes
   every registered purpose so N shards never encode the same process
   twice;
+* **crash-safe ingest** — with a ``wal_dir`` configured, every entry is
+  appended to its shard's write-ahead log (:mod:`repro.serve.wal`)
+  *before* :meth:`submit` accepts it; WAL segments are retired only
+  once the batched store flush covering them commits, so after a
+  ``kill -9`` the store + WAL delta is exactly the set of accepted
+  entries and :func:`repro.serve.recovery.recover` rebuilds in-flight
+  state byte-identically;
 * **durable ingest** — every accepted entry is buffered and flushed to
   an :class:`~repro.audit.store.AuditStore` in batched
   ``append_many`` transactions by a dedicated writer thread (SQLite
   connections are single-threaded);
+* **bounded backpressure** — per-shard queues are bounded
+  (``queue_capacity``); library callers block (TCP push-back once the
+  service's socket buffers fill behind them), while the service
+  submits with ``block=False`` and turns the busy/shed watermarks into
+  explicit ``busy``/``retry_after`` wire responses and admission-
+  controlled shedding.  Rejected entries are *not* WAL-appended and
+  *not* acked — overload never silently drops an accepted entry;
+* **idempotent resume** — clients may number each case's entries
+  (``seq``); :meth:`submit` dedupes re-sent entries by per-case
+  high-water mark, so a client that reconnects and replays its
+  unacknowledged tail never double-counts an entry;
 * **per-case backpressure** — each shard tracks cumulative processing
   time per case; a case that exceeds ``case_timeout_s`` is contained
   via :meth:`OnlineMonitor.contain` with a
   :class:`~repro.errors.CaseTimeoutError` (→ ``OutcomeKind.TIMEOUT``)
   and quarantined, so a stuck case never stalls its shard's queue for
   long — the stream stays live;
+* **supervision** — with ``supervise=True`` (requires the WAL) a
+  :class:`~repro.serve.supervisor.ShardSupervisor` watches heartbeats:
+  a dead or hung shard is replaced and its cases replayed from the
+  store + WAL; the entry being processed at crash time is quarantined
+  as the poison suspect; past ``max_shard_restarts`` the shard is
+  removed from the ring and its cases re-homed to the survivors;
 * **drain** — stop intake, let every shard finish its queue, flush the
   store, checkpoint automata, and report final per-case verdicts.
 """
@@ -51,7 +75,7 @@ from typing import Callable, Optional
 from repro.audit.model import LogEntry
 from repro.audit.store import AuditStore
 from repro.core.monitor import CaseState, OnlineMonitor
-from repro.core.resilience import OutcomeKind, Quarantine
+from repro.core.resilience import OutcomeKind, Quarantine, RestartBudget
 from repro.core.temporal import TemporalConstraints
 from repro.errors import CaseTimeoutError, MalformedEntryError, ReproError
 from repro.obs import (
@@ -59,6 +83,11 @@ from repro.obs import (
     NULL_TELEMETRY,
     SERVE_DRAINED,
     SERVE_FLUSH,
+    SERVE_OVERLOAD,
+    SERVE_SHARD_REASSIGNED,
+    SERVE_SHARD_RESTARTED,
+    SERVE_WAL_COMMIT,
+    SERVE_WAL_RETIRED,
     Telemetry,
     TraceContext,
     parse_traceparent,
@@ -67,6 +96,7 @@ from repro.policy.hierarchy import RoleHierarchy
 from repro.policy.registry import ProcessRegistry
 from repro.serve.protocol import EV_VERDICT
 from repro.serve.sharding import ConsistentHashRing
+from repro.serve.wal import WalError, WalWriter
 from repro.testing.differential import canonical_digest
 
 #: A callback receiving protocol-shaped server events for one client.
@@ -94,6 +124,13 @@ class ServeConfig:
     router itself flushes whenever the buffer reaches
     ``flush_max_batch`` and once on drain, so a router used without the
     asyncio wrapper still persists everything.
+
+    ``busy_watermark``/``shed_watermark`` are absolute queue depths;
+    ``None`` derives them as 75% / 95% of ``queue_capacity``.  They only
+    gate non-blocking submissions (the service's path) — library callers
+    block instead.  ``supervise=True`` requires ``wal_dir``: a restarted
+    shard replays its cases from the store + WAL, which only covers
+    every accepted entry when the WAL is on.
     """
 
     shards: int = 4
@@ -106,6 +143,41 @@ class ServeConfig:
     compiled: Optional[bool] = None
     automaton_dir: Optional[str] = None
     automaton_max_states: int = 50_000
+    # -- crash safety (docs/robustness.md) --
+    wal_dir: Optional[str] = None  # per-shard write-ahead ingest logs
+    wal_segment_max_bytes: int = 4 << 20
+    wal_fsync_batch: int = 256
+    # -- backpressure --
+    busy_watermark: Optional[int] = None  # depth triggering `busy`
+    shed_watermark: Optional[int] = None  # depth triggering shedding
+    retry_after_s: float = 0.05  # hint sent with busy/shed responses
+    # -- supervision --
+    supervise: bool = False
+    heartbeat_interval_s: float = 0.25
+    hang_timeout_s: Optional[float] = None  # None: hangs are not policed
+    max_shard_restarts: int = 2
+
+
+@dataclass(frozen=True)
+class Admission:
+    """What :meth:`ShardRouter.submit` decided about one entry.
+
+    Exactly one of these holds per call: ``accepted`` (the entry is in
+    the WAL — if configured — and routed), ``duplicate`` (an idempotent
+    re-send, already accepted earlier), or ``busy``/``shed`` (the entry
+    was refused under overload and must be re-sent; ``retry_after_s`` is
+    the server's back-off hint).  ``shed`` implies ``busy``.
+    """
+
+    accepted: bool
+    shard: str
+    case_seq: int = 0  # 1-based position of the entry within its case
+    wal_seq: int = 0  # 0 when the WAL is disabled
+    duplicate: bool = False
+    busy: bool = False
+    shed: bool = False
+    retry_after_s: float = 0.0
+    reason: str = ""
 
 
 @dataclass(frozen=True)
@@ -141,9 +213,21 @@ class _Barrier:
 
 
 class _Shard(threading.Thread):
-    """One worker thread owning one :class:`OnlineMonitor`."""
+    """One worker thread owning one :class:`OnlineMonitor`.
 
-    def __init__(self, name: str, monitor: OnlineMonitor, router: "ShardRouter"):
+    ``rebuild`` is the supervised-restart path: a replacement shard
+    processes those items (replayed history from the store + WAL)
+    before touching its queue, so a barrier posted after the restart
+    only fires once the rebuilt state is current.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        monitor: OnlineMonitor,
+        router: "ShardRouter",
+        rebuild: Optional[list[tuple]] = None,
+    ):
         super().__init__(name=f"repro-serve-{name}", daemon=True)
         self.shard_name = name
         self.monitor = monitor
@@ -151,38 +235,77 @@ class _Shard(threading.Thread):
             maxsize=router.config.queue_capacity
         )
         self._router = router
+        self._rebuild = rebuild or []
         self._spent: dict[str, float] = {}  # case -> processing seconds
         self.entries_observed = 0
         # Cases this shard has opened and not yet settled.  Mutated only
         # by this thread; other threads read len() (GIL-atomic) for the
         # in-flight gauge.
         self._open_cases: set[str] = set()
+        # -- supervision surface (read cross-thread; GIL-atomic) --
+        self.last_beat = time.monotonic()  # refreshed each item / idle tick
+        self.current_case: Optional[str] = None  # set while processing
+        self.stopped = False  # exited via an intentional ("stop",)
+        self.abandoned = False  # replaced by the supervisor; go inert
+        self.crash_error: Optional[BaseException] = None
 
     def run(self) -> None:
-        while True:
-            item = self.queue.get()
-            try:
-                kind = item[0]
-                if kind == "stop":
-                    return
-                if kind == "entry":
-                    self._observe(item[1], item[2], item[3])
-                elif kind == "barrier":
-                    item[1].arrive()
-                elif kind == "sweep":
-                    self.monitor.sweep(item[1])
-            except Exception as error:  # pragma: no cover - last resort
-                # A shard thread must never die: anything the monitor's
-                # own containment missed is charged to the entry's case.
-                if kind == "entry":
-                    self._router._note_quarantined(
-                        item[1].case,
-                        self.monitor.case_failure_kind(item[1].case)
-                        or OutcomeKind.ERROR,
-                        str(error),
-                    )
-            finally:
-                self.queue.task_done()
+        interval = self._router.config.heartbeat_interval_s
+        try:
+            for item in self._rebuild:
+                self._handle(item)
+            self._rebuild = []
+            while True:
+                try:
+                    item = self.queue.get(timeout=interval)
+                except queue.Empty:
+                    self.last_beat = time.monotonic()
+                    continue
+                try:
+                    if not self._handle(item):
+                        return
+                finally:
+                    self.queue.task_done()
+        except BaseException as error:  # noqa: BLE001 - the crash path
+            # A BaseException escaping the monitor (an injected
+            # ShardKill, a real interpreter-level failure) kills this
+            # shard.  Record it and die quietly: ``current_case`` stays
+            # set, so the supervisor can quarantine the poison suspect
+            # and rebuild everything else from the store + WAL.
+            self.crash_error = error
+
+    def _handle(self, item: tuple) -> bool:
+        """Process one work item; False stops the thread."""
+        kind = item[0]
+        self.last_beat = time.monotonic()
+        try:
+            if kind == "stop":
+                self.stopped = True
+                return False
+            if kind == "entry":
+                self._observe(item[1], item[2], item[3])
+            elif kind == "barrier":
+                item[1].arrive()
+            elif kind == "sweep":
+                self.monitor.sweep(item[1])
+            elif kind == "contain":
+                # The supervisor's poison-case verdict: the entry in
+                # flight when a shard died is charged to its case.
+                if not self.abandoned:
+                    self.monitor.contain(item[1], item[2])
+        except Exception as error:  # pragma: no cover - last resort
+            # A shard thread must never die to an ordinary exception:
+            # anything the monitor's own containment missed is charged
+            # to the entry's case.
+            self.current_case = None
+            if kind == "entry" and not self.abandoned:
+                self._router._note_quarantined(
+                    item[1].case,
+                    self.monitor.case_failure_kind(item[1].case)
+                    or OutcomeKind.ERROR,
+                    str(error),
+                )
+        return True
 
     @property
     def inflight_cases(self) -> int:
@@ -195,8 +318,13 @@ class _Shard(threading.Thread):
         subscriber: Optional[Subscriber],
         ctx: Optional[TraceContext] = None,
     ) -> None:
+        if self.abandoned:
+            # Replaced mid-flight: the rebuilt shard owns this case's
+            # truth (the entry is in the WAL it replayed from).
+            return
         monitor = self.monitor
         case = entry.case
+        self.current_case = case
         tracer = self._router._tel.tracer
         before = monitor.case_state(case)
         replay_span_id = ""
@@ -213,6 +341,11 @@ class _Shard(threading.Thread):
         else:
             raised = monitor.observe(entry)
         elapsed = time.perf_counter() - started
+        if self.abandoned:
+            # Replaced while observing (a hang verdict): drop every
+            # side effect — metrics, verdict events, quarantine notes —
+            # the replacement shard has already re-derived this case.
+            return
         self.entries_observed += 1
         if ctx is not None:
             self._router._m_ingest.observe_with_exemplar(
@@ -280,6 +413,7 @@ class _Shard(threading.Thread):
             if ctx is not None:
                 event["trace"] = ctx.trace_id
             subscriber(event)
+        self.current_case = None
 
 
 class _StoreWriter(threading.Thread):
@@ -289,14 +423,18 @@ class _StoreWriter(threading.Thread):
     ``append_many`` transaction.  If a batch turns out malformed the
     writer retries entry-by-entry so one bad record costs one record,
     not the flush (the rejects land in the router's dead-letter
-    quarantine).
+    quarantine).  Once a batch commits, the WAL segments it covers are
+    retired (``_on_batch_durable``) — the long-term record owns those
+    entries now.  A ``("sync", event)`` item is a durability barrier:
+    the event fires only after every batch queued before it committed.
     """
 
     def __init__(self, path: str, router: "ShardRouter"):
         super().__init__(name="repro-serve-store", daemon=True)
         self._path = path
         self._router = router
-        #: ``(batch, case trace contexts)`` tuples; ``None`` stops.
+        #: ``("batch", entries, contexts, wal floors)`` /
+        #: ``("sync", threading.Event)`` items; ``None`` stops.
         self.queue: "queue.Queue[Optional[tuple]]" = queue.Queue()
         self.written = 0
         self.intact: Optional[bool] = None
@@ -310,7 +448,10 @@ class _StoreWriter(threading.Thread):
                 if item is None:
                     self.intact = store.is_intact()
                     return
-                batch, contexts = item
+                if item[0] == "sync":
+                    item[1].set()
+                    continue
+                _, batch, contexts, floors = item
                 started = time.perf_counter()
                 if tracer.enabled and contexts:
                     # A single-case batch joins that case's trace; a
@@ -327,6 +468,7 @@ class _StoreWriter(threading.Thread):
                         self._commit(store, batch)
                 else:
                     self._commit(store, batch)
+                self._router._on_batch_durable(floors)
                 duration = time.perf_counter() - started
                 self._router._m_flushes.inc()
                 self._router._m_flush_seconds.observe(duration)
@@ -367,14 +509,35 @@ class ShardRouter:
         temporal: Optional[dict[str, TemporalConstraints]] = None,
         telemetry: Optional[Telemetry] = None,
         checker_wrapper=None,
+        wal_fault_hook: Optional[Callable[[str], None]] = None,
     ):
         self.config = config or ServeConfig()
         if self.config.shards < 1:
             raise ValueError("need at least one shard")
+        if self.config.supervise and self.config.wal_dir is None:
+            raise ValueError(
+                "supervise=True requires wal_dir: a restarted shard "
+                "replays its cases from the store + write-ahead log"
+            )
+        capacity = self.config.queue_capacity
+        busy_wm = self.config.busy_watermark
+        shed_wm = self.config.shed_watermark
+        self._busy_wm = (
+            busy_wm if busy_wm is not None else max(1, (capacity * 3) // 4)
+        )
+        self._shed_wm = min(
+            shed_wm if shed_wm is not None else max(2, (capacity * 19) // 20),
+            capacity,
+        )
+        if not 0 < self._busy_wm <= self._shed_wm:
+            raise ValueError(
+                "busy_watermark must be positive and <= shed_watermark"
+            )
         self._registry = registry
         self._hierarchy = hierarchy
         self._temporal = temporal
         self._checker_wrapper = checker_wrapper
+        self._wal_fault_hook = wal_fault_hook
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tel = tel
         self.dead_letters = Quarantine(telemetry=tel)
@@ -383,14 +546,31 @@ class ShardRouter:
         self._ring = ConsistentHashRing(names, replicas=self.config.replicas)
         self._shards: dict[str, _Shard] = {}
         self._writer: Optional[_StoreWriter] = None
-        self._pending: list[LogEntry] = []
+        self._wals: dict[str, WalWriter] = {}
+        #: ``(entry, shard name, wal seq)`` awaiting the next store flush.
+        self._pending: list[tuple[LogEntry, str, int]] = []
         self._pending_lock = threading.Lock()
+        # The admission lock: per-case sequence bookkeeping, watermark
+        # checks, WAL appends, and shard handoff happen as one atomic
+        # step, and supervised restarts exclude admissions entirely.
+        self._ingest_lock = threading.Lock()
+        self._case_seq: dict[str, int] = {}  # case -> accepted entries
         self._quarantined: dict[str, OutcomeKind] = {}
         self._quarantined_lock = threading.Lock()
         self._accepting = False
         self._drained = False
         self._received = 0
+        self._busy_total = 0
+        self._shed_total = 0
+        self._duplicate_total = 0
+        self._overload: dict[str, str] = {}  # shard -> ok | busy | shed
+        self._restart_budget = RestartBudget(self.config.max_shard_restarts)
+        self._reassigned: list[str] = []  # shards removed from the ring
+        self._supervisor = None  # set by start() when supervising
+        #: Set by :func:`repro.serve.recovery.recover`.
+        self.recovery_report = None
         self._tmp_automata: Optional[tempfile.TemporaryDirectory] = None
+        self._automaton_dir_resolved: Optional[str] = None
         # case id -> the root TraceContext of its (one) trace.  The
         # first traced ingest of a case mints it; every later span of
         # the case — ingest, replay, verdict, store flush — joins it.
@@ -420,6 +600,41 @@ class ShardRouter:
             "serve_shard_inflight_cases",
             "open (non-terminal) cases owned by each shard",
         )
+        self._m_busy = tel.registry.counter(
+            "serve_busy_total",
+            "entries refused with a busy/retry_after response",
+        )
+        self._m_shed = tel.registry.counter(
+            "serve_shed_total",
+            "entries shed by admission control under overload",
+        )
+        self._m_duplicates = tel.registry.counter(
+            "serve_duplicate_entries_total",
+            "idempotent re-sends deduplicated by per-case sequence",
+        )
+        self._m_wal_records = tel.registry.counter(
+            "serve_wal_records_total",
+            "entries appended to the write-ahead ingest log",
+        )
+        self._m_wal_unflushed_records = tel.registry.gauge(
+            "serve_wal_unflushed_records",
+            "WAL records buffered but not yet fsynced, per shard",
+        )
+        self._m_wal_unflushed_bytes = tel.registry.gauge(
+            "serve_wal_unflushed_bytes",
+            "WAL bytes buffered but not yet fsynced, per shard",
+        )
+        self._m_wal_segments = tel.registry.gauge(
+            "serve_wal_segments", "live WAL segment files per shard"
+        )
+        self._m_restarts = tel.registry.counter(
+            "serve_shard_restarts_total",
+            "supervised shard replacements, by shard and reason",
+        )
+        self._m_recovered = tel.registry.counter(
+            "serve_recovered_entries_total",
+            "entries replayed into monitors during recovery, by source",
+        )
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -443,24 +658,42 @@ class ShardRouter:
                 )
                 automaton_dir = self._tmp_automata.name
             self._precompile_automata(automaton_dir)
+        self._automaton_dir_resolved = automaton_dir
+        if self.config.wal_dir is not None:
+            for name in self._ring.shards:
+                self._wals[name] = WalWriter(
+                    self.config.wal_dir,
+                    name,
+                    segment_max_bytes=self.config.wal_segment_max_bytes,
+                    fsync_batch=self.config.wal_fsync_batch,
+                    fault_hook=self._wal_fault_hook,
+                )
         for name in self._ring.shards:
-            monitor = OnlineMonitor(
-                self._registry,
-                hierarchy=self._hierarchy,
-                temporal=self._temporal,
-                telemetry=self._tel,
-                compiled=self.config.compiled,
-                automaton_dir=automaton_dir,
-                automaton_max_states=self.config.automaton_max_states,
-                checker_wrapper=self._checker_wrapper,
-            )
-            shard = _Shard(name, monitor, self)
+            shard = _Shard(name, self._new_monitor(), self)
             self._shards[name] = shard
+            self._overload[name] = "ok"
             shard.start()
         if self.config.store_path is not None:
             self._writer = _StoreWriter(self.config.store_path, self)
             self._writer.start()
+        if self.config.supervise:
+            from repro.serve.supervisor import ShardSupervisor
+
+            self._supervisor = ShardSupervisor(self)
+            self._supervisor.start()
         self._accepting = True
+
+    def _new_monitor(self) -> OnlineMonitor:
+        return OnlineMonitor(
+            self._registry,
+            hierarchy=self._hierarchy,
+            temporal=self._temporal,
+            telemetry=self._tel,
+            compiled=self.config.compiled,
+            automaton_dir=self._automaton_dir_resolved,
+            automaton_max_states=self.config.automaton_max_states,
+            checker_wrapper=self._checker_wrapper,
+        )
 
     def _precompile_automata(self, automaton_dir: str) -> None:
         """Eagerly compile every purpose's automaton into the cache.
@@ -501,13 +734,27 @@ class ShardRouter:
         entry: LogEntry,
         subscriber: Optional[Subscriber] = None,
         traceparent: Optional[str] = None,
-    ) -> str:
-        """Route one entry to its shard; returns the shard name.
+        seq: Optional[int] = None,
+        block: bool = True,
+    ) -> Admission:
+        """Admit one entry and route it to its shard.
 
-        Blocks when the target shard's queue is full — the service's
-        last-resort backpressure, surfaced to clients as TCP push-back.
-        (The first line of defense is the per-case budget: stuck cases
-        are quarantined long before a queue fills.)
+        With a WAL configured, the entry is framed into its shard's log
+        *before* this method reports it accepted — an entry that cannot
+        be logged is rejected (:class:`~repro.serve.wal.WalError`), not
+        half-accepted.  ``seq`` (1-based per case) makes re-sends
+        idempotent: an entry at or below the case's high-water mark is
+        acknowledged as a ``duplicate`` without being re-processed; one
+        *beyond* the next expected number is refused ``busy`` (the
+        sender must deliver the gap first — it happens naturally when
+        some of a burst's entries were shed).
+
+        ``block=True`` (the library default) blocks when the target
+        shard's queue is full — TCP push-back once the service's socket
+        buffers fill behind it.  ``block=False`` (the service's path)
+        instead refuses with ``busy`` at the busy watermark and ``shed``
+        at the shed watermark, so overload degrades into explicit
+        retry-later responses instead of unbounded queueing.
 
         With tracing enabled, ``traceparent`` (a W3C header value, e.g.
         from the wire protocol's optional field) becomes the remote
@@ -517,26 +764,18 @@ class ShardRouter:
         if not self._accepting:
             raise ReproError("the service is draining; entry rejected")
         if self._tel.tracer.enabled:
-            return self._submit_traced(entry, subscriber, traceparent)
-        self._received += 1
-        self._m_entries.inc()
-        if self._writer is not None:
-            with self._pending_lock:
-                self._pending.append(entry)
-                full = len(self._pending) >= self.config.flush_max_batch
-            if full:
-                self.flush()
-        name = self._ring.shard_for(entry.case)
-        self._shards[name].queue.put(("entry", entry, subscriber, None))
-        return name
+            return self._submit_traced(entry, subscriber, traceparent, seq, block)
+        return self._admit(entry, subscriber, None, seq, block)
 
     def _submit_traced(
         self,
         entry: LogEntry,
         subscriber: Optional[Subscriber],
         traceparent: Optional[str],
-    ) -> str:
-        """The traced ingest path: same routing, wrapped in a span."""
+        seq: Optional[int],
+        block: bool,
+    ) -> Admission:
+        """The traced ingest path: same admission, wrapped in a span."""
         tracer = self._tel.tracer
         case = entry.case
         with self._trace_lock:
@@ -551,18 +790,158 @@ class ShardRouter:
             if root is None:
                 with self._trace_lock:
                     root = self._case_traces.setdefault(case, span.context)
+            admission = self._admit(entry, subscriber, root, seq, block)
+            span.attrs["shard"] = admission.shard
+            if not admission.accepted:
+                span.attrs["admitted"] = False
+                span.attrs["reason"] = admission.reason or (
+                    "duplicate" if admission.duplicate else "busy"
+                )
+        return admission
+
+    def _admit(
+        self,
+        entry: LogEntry,
+        subscriber: Optional[Subscriber],
+        ctx: Optional[TraceContext],
+        seq: Optional[int],
+        block: bool,
+    ) -> Admission:
+        case = entry.case
+        item = ("entry", entry, subscriber, ctx)
+        with self._ingest_lock:
+            count = self._case_seq.get(case, 0)
+            name = self._ring.shard_for(case)
+            if seq is not None:
+                if seq <= count:
+                    # An idempotent re-send (client resumed after a
+                    # reconnect): already accepted, ack without replay.
+                    self._duplicate_total += 1
+                    self._m_duplicates.inc()
+                    return Admission(
+                        accepted=False,
+                        shard=name,
+                        case_seq=seq,
+                        duplicate=True,
+                        reason="already accepted",
+                    )
+                if seq != count + 1:
+                    # A gap: earlier entries of the case were refused
+                    # (shed) or lost.  Refuse this one too — the sender
+                    # must redeliver in order.
+                    self._busy_total += 1
+                    self._m_busy.inc()
+                    return Admission(
+                        accepted=False,
+                        shard=name,
+                        case_seq=seq,
+                        busy=True,
+                        retry_after_s=self.config.retry_after_s,
+                        reason=(
+                            f"sequence gap for case {case!r}: expected "
+                            f"{count + 1}, got {seq}"
+                        ),
+                    )
+            shard = self._shards[name]
+            depth = shard.queue.qsize()
+            if not block:
+                # Admission control: only submitters enqueue, and they
+                # all hold this lock, so the depth can only shrink
+                # between this check and the put below.
+                if depth >= self._shed_wm:
+                    self._shed_total += 1
+                    self._m_shed.inc()
+                    self._set_overload(name, "shed", depth)
+                    return Admission(
+                        accepted=False,
+                        shard=name,
+                        busy=True,
+                        shed=True,
+                        retry_after_s=self.config.retry_after_s,
+                        reason=f"shard {name} over its shed watermark",
+                    )
+                if depth >= self._busy_wm:
+                    self._busy_total += 1
+                    self._m_busy.inc()
+                    self._set_overload(name, "busy", depth)
+                    return Admission(
+                        accepted=False,
+                        shard=name,
+                        busy=True,
+                        retry_after_s=self.config.retry_after_s,
+                        reason=f"shard {name} over its busy watermark",
+                    )
+                self._set_overload(name, "ok", depth)
+            case_seq = count + 1
+            wal_seq = 0
+            wal = self._wals.get(name)
+            if wal is not None:
+                # The acceptance point: not in the WAL => never acked.
+                try:
+                    wal_seq = wal.append(entry, case_seq)
+                except WalError:
+                    raise
+                except Exception as error:
+                    raise WalError(
+                        f"write-ahead append failed; entry not accepted: "
+                        f"{error}"
+                    ) from error
+                self._m_wal_records.inc()
+            self._case_seq[case] = case_seq
             self._received += 1
             self._m_entries.inc()
+            full = False
             if self._writer is not None:
                 with self._pending_lock:
-                    self._pending.append(entry)
+                    self._pending.append((entry, name, wal_seq))
                     full = len(self._pending) >= self.config.flush_max_batch
-                if full:
-                    self.flush()
-            name = self._ring.shard_for(case)
-            span.attrs["shard"] = name
-            self._shards[name].queue.put(("entry", entry, subscriber, root))
-        return name
+            delivered = True
+            try:
+                shard.queue.put_nowait(item)
+            except queue.Full:
+                delivered = False
+        if full:
+            self.flush()
+        if not delivered:
+            self._deliver_blocking(case, shard, item)
+        return Admission(
+            accepted=True, shard=name, case_seq=case_seq, wal_seq=wal_seq
+        )
+
+    def _deliver_blocking(
+        self, case: str, target: _Shard, item: tuple
+    ) -> None:
+        """Deliver an already-accepted entry to a full shard queue.
+
+        Runs outside the admission lock so intake of other shards (and
+        supervised restarts) proceed.  If the target shard is replaced
+        or the case re-homed while we wait, delivery is dropped: the
+        entry is in the WAL the replacement replayed from, and a second
+        delivery would double-count it.
+        """
+        while True:
+            current = self._shards.get(self._ring.shard_for(case))
+            if current is not target:
+                return
+            try:
+                target.queue.put(item, timeout=0.05)
+                return
+            except queue.Full:
+                continue
+
+    def _set_overload(self, shard: str, level: str, depth: int) -> None:
+        """Track a shard's admission level; emit transitions only."""
+        previous = self._overload.get(shard, "ok")
+        if previous == level:
+            return
+        self._overload[shard] = level
+        self._tel.events.emit(
+            SERVE_OVERLOAD,
+            shard=shard,
+            level=level,
+            previous=previous,
+            queue_depth=depth,
+        )
 
     def case_trace(self, case: str) -> Optional[TraceContext]:
         """The case's root trace context (None untraced/unseen)."""
@@ -570,10 +949,17 @@ class ShardRouter:
             return self._case_traces.get(case)
 
     def barrier(self, callback: Callable[[], None]) -> None:
-        """Invoke *callback* once all work submitted so far is processed."""
-        latch = _Barrier(len(self._shards), callback)
-        for shard in self._shards.values():
-            shard.queue.put(("barrier", latch))
+        """Invoke *callback* once all work submitted so far is processed.
+
+        Serialized against supervised restarts: a barrier lands either
+        before a restart (its latch is honored while draining the old
+        shard's queue) or after (posted to the replacement, firing only
+        once the rebuilt state is current) — never astride one.
+        """
+        with self._ingest_lock:
+            latch = _Barrier(len(self._shards), callback)
+            for shard in self._shards.values():
+                shard.queue.put(("barrier", latch))
 
     def wait_idle(self, timeout: Optional[float] = None) -> bool:
         """Block until every shard has drained its queue (test helper)."""
@@ -583,17 +969,25 @@ class ShardRouter:
 
     def sweep(self, now: datetime) -> None:
         """Post a temporal sweep (and checkpoint tick) to every shard."""
-        for shard in self._shards.values():
-            shard.queue.put(("sweep", now))
+        with self._ingest_lock:
+            for shard in self._shards.values():
+                shard.queue.put(("sweep", now))
 
     def flush(self) -> None:
         """Hand the buffered entries to the store writer (async commit)."""
         if self._writer is None:
             return
         with self._pending_lock:
-            batch, self._pending = self._pending, []
-        if not batch:
+            pending, self._pending = self._pending, []
+        if not pending:
             return
+        batch = [entry for entry, _, _ in pending]
+        # Per-shard WAL retirement floors: once this batch commits, every
+        # WAL record at or below its shard's floor is in the store.
+        floors: dict[str, int] = {}
+        for _, name, wal_seq in pending:
+            if wal_seq:
+                floors[name] = max(floors.get(name, 0), wal_seq)
         contexts: tuple[TraceContext, ...] = ()
         if self._tel.tracer.enabled:
             # The distinct case traces this flush persists entries of —
@@ -605,7 +999,193 @@ class ShardRouter:
                     if ctx is not None:
                         seen.setdefault(ctx.trace_id, ctx)
             contexts = tuple(seen.values())
-        self._writer.queue.put((batch, contexts))
+        self._writer.queue.put(("batch", batch, contexts, floors))
+
+    def wal_commit(self) -> int:
+        """Fsync every shard's WAL buffer (the ``sync`` durability ack).
+
+        Returns the number of records made durable.  Safe (a no-op)
+        without a WAL.
+        """
+        flushed = 0
+        for wal in self._wals.values():
+            flushed += wal.commit()
+        if flushed:
+            self._tel.events.emit(SERVE_WAL_COMMIT, records=flushed)
+        return flushed
+
+    @property
+    def wal_enabled(self) -> bool:
+        return bool(self._wals)
+
+    def _durable_store_path(self) -> Optional[str]:
+        """The store path when it survives this process (None otherwise)."""
+        path = self.config.store_path
+        if path is None or path == ":memory:":
+            return None
+        return path
+
+    def _on_batch_durable(self, floors: dict[str, int]) -> None:
+        """Store-writer callback: a batch committed; retire covered WAL.
+
+        Only a *durable* store commit justifies deleting WAL segments —
+        an in-memory store dies with the process, so its WAL is kept
+        whole for recovery.
+        """
+        if self._durable_store_path() is None:
+            return
+        for name, seq in floors.items():
+            wal = self._wals.get(name)
+            if wal is None:
+                continue
+            removed = wal.retire(seq)
+            if removed:
+                self._tel.events.emit(
+                    SERVE_WAL_RETIRED, shard=name, upto=seq, segments=removed
+                )
+
+    def _writer_sync(self, timeout: Optional[float] = None) -> bool:
+        """Block until every store batch queued so far has committed."""
+        if self._writer is None or not self._writer.is_alive():
+            return True
+        event = threading.Event()
+        self._writer.queue.put(("sync", event))
+        return event.wait(timeout)
+
+    # -- recovery (driven by repro.serve.recovery) --------------------------
+    def _ingest_recovered_case(
+        self,
+        case: str,
+        store_entries: list[LogEntry],
+        wal_entries: list[LogEntry],
+    ) -> str:
+        """Replay one case's durable history into its owning shard.
+
+        Store entries are already persisted; WAL-delta entries are
+        re-buffered for the store (their old segments are only dropped
+        once the post-recovery flush commits).  The per-case sequence
+        high-water mark is restored so client re-sends keep deduping
+        across the restart.  Returns the owning shard's name.
+        """
+        with self._ingest_lock:
+            name = self._ring.shard_for(case)
+            shard = self._shards[name]
+            self._case_seq[case] = len(store_entries) + len(wal_entries)
+            self._received += len(wal_entries)
+            for entry in store_entries:
+                shard.queue.put(("entry", entry, None, None))
+                self._m_recovered.inc(source="store")
+            for entry in wal_entries:
+                shard.queue.put(("entry", entry, None, None))
+                self._m_recovered.inc(source="wal")
+                if self._writer is not None:
+                    with self._pending_lock:
+                        self._pending.append((entry, name, 0))
+        return name
+
+    # -- supervision --------------------------------------------------------
+    def _restart_shard(self, name: str, reason: str) -> None:
+        """Replace a crashed or hung shard (the supervisor's repair verb).
+
+        Within the restart budget the shard is rebuilt in place: a new
+        monitor replays every entry of every case the shard owns from
+        the store + WAL (the WAL is a start() precondition for
+        supervision, so that union covers all accepted entries).  The
+        case in flight when the shard died is the poison suspect — it is
+        contained as FAILED/quarantined instead of replayed, so a
+        deterministic killer cannot crash-loop the replacement.  Past
+        the budget the shard is removed from the consistent-hash ring
+        and its cases re-homed to the surviving shards the same way.
+        """
+        from repro.serve.recovery import collect_case_histories
+
+        with self._ingest_lock:
+            old = self._shards.get(name)
+            if old is None or old.stopped or not self._accepting:
+                return
+            old.abandoned = True
+            victim = old.current_case
+            # Make every accepted entry readable before computing the
+            # rebuild history: pending batches into the store (durability
+            # barrier), WAL buffers onto disk.
+            self.flush()
+            self._writer_sync()
+            for wal in self._wals.values():
+                wal.commit()
+            exclude = frozenset() if victim is None else frozenset({victim})
+            histories, _ = collect_case_histories(
+                self._durable_store_path(),
+                self.config.wal_dir,
+                include=lambda case: self._ring.shard_for(case) == name,
+                exclude=exclude,
+            )
+            rebuild: list[tuple] = []
+            if victim is not None:
+                error = ReproError(
+                    f"shard {name} {reason} while processing case "
+                    f"{victim!r}; the case is quarantined as the poison "
+                    f"suspect"
+                )
+                rebuild.append(("contain", victim, error))
+                self._note_quarantined(victim, OutcomeKind.ERROR, str(error))
+            entry_count = 0
+            for history in histories.values():
+                for entry in history.entries:
+                    rebuild.append(("entry", entry, None, None))
+                    entry_count += 1
+            within_budget = self._restart_budget.record(name)
+            if within_budget:
+                replacement = _Shard(
+                    name, self._new_monitor(), self, rebuild=rebuild
+                )
+                self._shards[name] = replacement
+                replacement.start()
+                self._m_restarts.inc(shard=name, reason=reason)
+                self._tel.events.emit(
+                    SERVE_SHARD_RESTARTED,
+                    shard=name,
+                    reason=reason,
+                    victim=victim,
+                    cases=len(histories),
+                    entries=entry_count,
+                )
+            else:
+                # Beyond repair: hand the shard's cases to the survivors
+                # through the ring.  Its WAL stays on disk (recovery may
+                # still need those records) but is closed cleanly.
+                self._ring.remove_shard(name)
+                del self._shards[name]
+                self._overload.pop(name, None)
+                wal = self._wals.pop(name, None)
+                if wal is not None:
+                    wal.close()
+                for item in rebuild:
+                    case = item[1] if item[0] == "contain" else item[1].case
+                    owner = self._shards[self._ring.shard_for(case)]
+                    owner.queue.put(item)
+                self._reassigned.append(name)
+                self._m_restarts.inc(shard=name, reason="reassign")
+                self._tel.events.emit(
+                    SERVE_SHARD_REASSIGNED,
+                    shard=name,
+                    reason=reason,
+                    cases=len(histories),
+                )
+            # Honor barriers stranded in the abandoned queue and drop its
+            # entries — the rebuild history covers them.
+            while True:
+                try:
+                    stranded = old.queue.get_nowait()
+                except queue.Empty:
+                    break
+                if stranded[0] == "barrier":
+                    stranded[1].arrive()
+            try:
+                # If the old thread was merely hung it will eventually
+                # wake, notice it is abandoned, and exit on this.
+                old.queue.put_nowait(("stop",))
+            except queue.Full:  # pragma: no cover - queue was just drained
+                pass
 
     # -- drain -------------------------------------------------------------
     def drain(self) -> DrainReport:
@@ -616,6 +1196,8 @@ class ShardRouter:
         """
         if self._drained:
             return self._drain_report
+        if self._supervisor is not None:
+            self._supervisor.stop()
         self._accepting = False
         for shard in self._shards.values():
             shard.queue.put(("stop",))
@@ -627,6 +1209,12 @@ class ShardRouter:
             self._writer.queue.put(None)
             self._writer.join()
             intact = self._writer.intact
+        for wal in self._wals.values():
+            if intact:
+                # A clean drain with an intact store owns every record;
+                # the WAL has nothing left to recover.
+                wal.reset()
+            wal.close()
         for shard in self._shards.values():
             shard.monitor.checkpoint(force=True)
         if self._tmp_automata is not None:
@@ -672,6 +1260,11 @@ class ShardRouter:
 
     def shard_of(self, case: str) -> str:
         return self._ring.shard_for(case)
+
+    def case_sequence(self, case: str) -> int:
+        """Accepted entries of *case* so far (the dedup high-water mark)."""
+        with self._ingest_lock:
+            return self._case_seq.get(case, 0)
 
     def quarantined_cases(self) -> dict[str, OutcomeKind]:
         """Cases the service took out of rotation, with their failure kind."""
@@ -727,8 +1320,8 @@ class ShardRouter:
 
         Called at scrape time (``/healthz``, ``/metrics``, the ``status``
         op) so the ``serve_shard_queue_depth`` /
-        ``serve_shard_inflight_cases`` gauges are current whenever
-        anybody looks.
+        ``serve_shard_inflight_cases`` (and WAL lag) gauges are current
+        whenever anybody looks.
         """
         detail: dict[str, dict] = {}
         for name, shard in self._shards.items():
@@ -741,6 +1334,16 @@ class ShardRouter:
                 "inflight_cases": inflight,
                 "entries_observed": shard.entries_observed,
             }
+            wal = self._wals.get(name)
+            if wal is not None:
+                stats = wal.stats()
+                self._m_wal_unflushed_records.set(
+                    stats["unflushed_records"], shard=name
+                )
+                self._m_wal_unflushed_bytes.set(
+                    stats["unflushed_bytes"], shard=name
+                )
+                self._m_wal_segments.set(stats["segments"], shard=name)
         return detail
 
     def statistics(self) -> dict[str, object]:
@@ -752,6 +1355,10 @@ class ShardRouter:
             entries += stats.pop("entries", 0)
             for state, count in stats.items():
                 per_state[state] = per_state.get(state, 0) + count
+        wal_stats = {name: wal.stats() for name, wal in self._wals.items()}
+        recovery: dict[str, object] = {"recovered": False}
+        if self.recovery_report is not None:
+            recovery = {"recovered": True, **self.recovery_report.to_dict()}
         return {
             "shards": len(self._shards),
             "entries_received": self._received,
@@ -762,6 +1369,32 @@ class ShardRouter:
             "dead_letters": len(self.dead_letters),
             "draining": self.draining,
             "shard_detail": self.refresh_shard_gauges(),
+            "backpressure": {
+                "busy": self._busy_total,
+                "shed": self._shed_total,
+                "duplicates": self._duplicate_total,
+                "busy_watermark": self._busy_wm,
+                "shed_watermark": self._shed_wm,
+                "levels": dict(self._overload),
+            },
+            "wal": {
+                "enabled": bool(self._wals),
+                "records": sum(s["records"] for s in wal_stats.values()),
+                "unflushed_records": sum(
+                    s["unflushed_records"] for s in wal_stats.values()
+                ),
+                "unflushed_bytes": sum(
+                    s["unflushed_bytes"] for s in wal_stats.values()
+                ),
+                "segments": sum(s["segments"] for s in wal_stats.values()),
+                "shards": wal_stats,
+            },
+            "supervisor": {
+                "enabled": self._supervisor is not None,
+                "restarts": dict(self._restart_budget.counts),
+                "reassigned_shards": list(self._reassigned),
+            },
+            "recovery": recovery,
         }
 
     # -- internals ---------------------------------------------------------

@@ -21,7 +21,10 @@ Client → server operations:
 Entry fields mirror :class:`repro.audit.model.LogEntry`: ``user``,
 ``role``, ``action``, ``obj`` (string or null), ``task``, ``case``,
 ``ts`` (the paper's ``YYYYMMDDHHMM`` or ISO-8601), ``status``
-(``success``/``failure``, default success).
+(``success``/``failure``, default success).  An optional ``"seq"``
+(1-based per case) numbers the entry within its case: a numbered
+re-send is deduplicated server-side, which is what makes a client's
+resume after a reconnect idempotent (``docs/robustness.md``).
 
 ``entry`` and ``xes`` operations may additionally carry a
 ``"traceparent"`` field — a W3C Trace Context header value
@@ -33,8 +36,12 @@ entry.
 
 Server → client events: ``hello``, ``verdict`` (a per-case state
 transition, streamed as it happens), ``error`` (a rejected input line —
-the stream stays live), ``synced``, ``status``, ``results``, ``final``
-(drain-time last word on a case), ``bye``.
+the stream stays live), ``busy`` (the entry was *refused under
+backpressure* — unlike ``error`` it is retryable and carries
+``retry_after_s``, plus ``shed: true`` when admission control dropped
+it outright and ``duplicate: true`` when the refusal is really an ack
+of an already-accepted re-send), ``synced``, ``status``, ``results``,
+``final`` (drain-time last word on a case), ``bye``.
 """
 
 from __future__ import annotations
@@ -63,6 +70,7 @@ OPERATIONS = frozenset(
 EV_HELLO = "hello"
 EV_VERDICT = "verdict"
 EV_ERROR = "error"
+EV_BUSY = "busy"
 EV_SYNCED = "synced"
 EV_STATUS = "status"
 EV_RESULTS = "results"
@@ -100,6 +108,54 @@ def decode_message(line: "bytes | str") -> dict:
             f"request must be a JSON object, got {type(message).__name__}"
         )
     return message
+
+
+def decode_jsonl(
+    data: "bytes | str", tolerant: bool = True
+) -> tuple[list[dict], bool]:
+    """Decode a JSON-lines buffer, tolerating a torn trailing line.
+
+    A crash (the sender's or ours) mid-write leaves the final line
+    truncated; a reader that raises on it loses every *complete* line
+    before it.  This decoder returns ``(messages, torn)``: all lines
+    that decode to JSON objects, and whether the buffer ended in an
+    undecodable partial line.  ``tolerant=False`` restores strictness —
+    the torn tail raises :class:`ProtocolError`.  Only the *final*
+    non-empty line may be torn: junk in the middle of the buffer is
+    corruption, not truncation, and always raises.
+    """
+    if isinstance(data, bytes):
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError:
+            # The torn byte sequence may split a UTF-8 code point; keep
+            # everything decodable and treat the remainder as the tail.
+            text = data.decode("utf-8", errors="replace")
+    else:
+        text = data
+    lines = [line for line in text.split("\n") if line.strip()]
+    ends_clean = text.endswith("\n")
+    messages: list[dict] = []
+    torn = False
+    for index, line in enumerate(lines):
+        last = index == len(lines) - 1
+        try:
+            message = json.loads(line)
+            if not isinstance(message, dict):
+                raise ValueError("not a JSON object")
+        except ValueError as error:
+            if last and not ends_clean:
+                torn = True
+                break
+            raise ProtocolError(
+                f"line {index + 1} is not a JSON object: {error}"
+            ) from None
+        messages.append(message)
+    if torn and not tolerant:
+        raise ProtocolError(
+            f"buffer ends in a torn line ({lines[-1][:40]!r}...)"
+        )
+    return messages, torn
 
 
 def _parse_ts(text: str) -> datetime:
@@ -154,13 +210,32 @@ def entry_from_message(message: dict) -> LogEntry:
     )
 
 
+def entry_seq(message: dict) -> Optional[int]:
+    """The optional per-case sequence number of an ``entry`` operation.
+
+    ``None`` when absent (an unnumbered entry — no dedup); a positive
+    int otherwise; :class:`ProtocolError` on anything else.
+    """
+    seq = message.get("seq")
+    if seq is None:
+        return None
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 1:
+        raise ProtocolError(
+            f"seq must be a positive integer, got {seq!r}"
+        )
+    return seq
+
+
 def entry_to_message(
-    entry: LogEntry, traceparent: Optional[str] = None
+    entry: LogEntry,
+    traceparent: Optional[str] = None,
+    seq: Optional[int] = None,
 ) -> dict:
     """Encode a :class:`LogEntry` as an ``entry`` operation (round-trips).
 
     ``traceparent`` attaches the sender's W3C trace context, making the
     client span the remote parent of the case's service-side trace.
+    ``seq`` numbers the entry within its case for idempotent re-sends.
     """
     message = {
         "op": OP_ENTRY,
@@ -175,4 +250,6 @@ def entry_to_message(
     }
     if traceparent is not None:
         message["traceparent"] = traceparent
+    if seq is not None:
+        message["seq"] = seq
     return message

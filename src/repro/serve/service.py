@@ -41,6 +41,7 @@ from repro.obs import (
 )
 from repro.serve.core import DrainReport, ShardRouter
 from repro.serve.protocol import (
+    EV_BUSY,
     EV_BYE,
     EV_ERROR,
     EV_FINAL,
@@ -59,6 +60,7 @@ from repro.serve.protocol import (
     decode_message,
     encode_message,
     entry_from_message,
+    entry_seq,
 )
 
 
@@ -98,7 +100,10 @@ class _Connection:
     async def pump(self) -> None:
         while True:
             message = await self._outbox.get()
-            if message is None or self._closed:
+            if message is None:
+                # The close sentinel — everything queued before it has
+                # been written, so a `bye` response is never dropped by
+                # the close racing the pump.
                 return
             self._writer.write(encode_message(message))
             try:
@@ -136,6 +141,10 @@ class AuditService:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ticker: Optional[asyncio.Task] = None
         self._connections: set[_Connection] = set()
+        #: live ``_on_client`` tasks — drain reaps them so none outlive
+        #: the loop (a destroyed-pending handler corrupts interpreter
+        #: state for whatever runs next in this process)
+        self._client_tasks: set[asyncio.Task] = set()
         self._drained: Optional[DrainReport] = None
         self._drain_lock = asyncio.Lock()
         tel = router._tel
@@ -148,9 +157,22 @@ class AuditService:
         )
 
     # -- lifecycle ---------------------------------------------------------
-    async def start(self) -> None:
+    async def start(self, recover: bool = False) -> None:
+        """Start the router and listeners.
+
+        ``recover=True`` first rebuilds in-flight monitor state from the
+        audit store + write-ahead log (``repro serve --recover``) —
+        the listeners only open once recovery has replayed everything,
+        so clients never race a half-rebuilt monitor.
+        """
         self._loop = asyncio.get_running_loop()
         self.router.start()
+        if recover:
+            from repro.serve.recovery import recover as run_recovery
+
+            await self._loop.run_in_executor(
+                None, run_recovery, self.router
+            )
         self._server = await asyncio.start_server(
             self._on_client, self._host, self._port_requested
         )
@@ -175,6 +197,12 @@ class AuditService:
         while True:
             await asyncio.sleep(interval)
             self.router.flush()
+            if self.router.wal_enabled:
+                # Bound WAL lag: records buffered since the last batch
+                # fsync become durable at least once per tick.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.router.wal_commit
+                )
             if sweep_due:
                 self.router.sweep(datetime.now())
 
@@ -201,6 +229,15 @@ class AuditService:
                         conn.send({"event": EV_FINAL, **final})
                 conn.send({"event": EV_BYE, "reason": "drained"})
                 conn.close()
+            # Reap every client handler before the loop can go away: a
+            # pending task destroyed with its loop raises into whatever
+            # the interpreter is doing next (ast.parse has been seen to
+            # fail with SystemError mid-import).
+            tasks = [t for t in self._client_tasks if not t.done()]
+            for t in tasks:
+                t.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
             self._drained = report
             return report
 
@@ -209,6 +246,10 @@ class AuditService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         assert self._loop is not None
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+            task.add_done_callback(self._client_tasks.discard)
         conn = _Connection(self._loop, writer)
         self._connections.add(conn)
         self._m_connections.inc()
@@ -225,6 +266,13 @@ class AuditService:
             while True:
                 line = await reader.readline()
                 if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    # readline only returns an unterminated line at EOF:
+                    # the peer died (or was killed) mid-write.  A torn
+                    # trailing line is truncation, not a protocol error —
+                    # drop it silently; the sender never saw an ack for
+                    # it and will re-send after reconnecting.
                     break
                 if not line.strip():
                     continue
@@ -243,6 +291,14 @@ class AuditService:
                     await asyncio.wait_for(conn.pump_task, timeout=1.0)
                 except (asyncio.TimeoutError, asyncio.CancelledError):
                     conn.pump_task.cancel()
+                except RuntimeError:
+                    # This coroutine is being closed (GeneratorExit) or
+                    # the loop is already gone — awaiting is impossible;
+                    # cancel and let the loop's own teardown reap it.
+                    try:
+                        conn.pump_task.cancel()
+                    except RuntimeError:
+                        pass  # loop closed: nothing left to schedule on
             writer.close()
             try:
                 # wait_closed can hang on abruptly-reset peers (fixed in
@@ -254,6 +310,7 @@ class AuditService:
                 BrokenPipeError,
                 asyncio.TimeoutError,
                 asyncio.CancelledError,
+                RuntimeError,
             ):
                 pass
 
@@ -264,11 +321,38 @@ class AuditService:
             op = message.get("op")
             if op == OP_ENTRY:
                 entry = entry_from_message(message)
-                conn.cases.add(entry.case)
-                self.router.submit(
-                    entry, conn.post, traceparent=message.get("traceparent")
+                seq = entry_seq(message)
+                admission = self.router.submit(
+                    entry,
+                    conn.post,
+                    traceparent=message.get("traceparent"),
+                    seq=seq,
+                    # Never block the event loop: overload becomes an
+                    # explicit busy/shed wire response, not a stalled
+                    # reader starving every other connection.
+                    block=False,
                 )
-                conn.entries_sent += 1
+                if admission.accepted:
+                    conn.cases.add(entry.case)
+                    conn.entries_sent += 1
+                else:
+                    response = {
+                        "event": EV_BUSY,
+                        "case": entry.case,
+                        "reason": admission.reason,
+                    }
+                    if seq is not None:
+                        response["seq"] = seq
+                    if admission.duplicate:
+                        # An idempotent re-send: acknowledged, already
+                        # accepted — nothing to retry.
+                        response["duplicate"] = True
+                        conn.cases.add(entry.case)
+                    else:
+                        response["retry_after_s"] = admission.retry_after_s
+                        if admission.shed:
+                            response["shed"] = True
+                    conn.send(response)
             elif op == OP_XES:
                 document = message.get("document")
                 if not isinstance(document, str):
@@ -288,11 +372,18 @@ class AuditService:
                 token = message.get("id")
                 received = conn.entries_sent
                 conn_post = conn.post
-                self.router.barrier(
-                    lambda: conn_post(
+                router = self.router
+
+                def synced() -> None:
+                    # The durability half of the barrier: entries are
+                    # only *durably* acknowledged once their WAL records
+                    # are fsynced (runs on a shard thread, off the loop).
+                    router.wal_commit()
+                    conn_post(
                         {"event": EV_SYNCED, "id": token, "received": received}
                     )
-                )
+
+                self.router.barrier(synced)
             elif op == OP_STATUS:
                 conn.send(
                     {"event": EV_STATUS, **self.router.statistics()}

@@ -1,0 +1,63 @@
+"""The shard supervisor: heartbeat-based crash and hang detection.
+
+A :class:`~repro.serve.core._Shard` thread can die (an injected
+``ShardKill``, an interpreter-level failure escaping the monitor's
+per-case containment) or wedge (a pathological case whose replay never
+returns).  Either way its queue stops draining and every case it owns
+stalls.  The :class:`ShardSupervisor` polls each shard's heartbeat —
+refreshed on every processed item and on every idle queue timeout — and
+repairs through :meth:`ShardRouter._restart_shard`:
+
+* **crash** — the thread is no longer alive but never processed an
+  intentional stop: replace it, replay its cases from the store + WAL,
+  quarantine the entry in flight at death as the poison suspect;
+* **hang** — the thread is alive, mid-case, and its heartbeat is older
+  than ``hang_timeout_s``: abandon it in place (it is marked so every
+  late side effect is dropped), and bring up a replacement the same
+  way.  The abandoned thread exits on its own the moment it wakes.
+
+Restarts are bounded by :class:`~repro.core.resilience.RestartBudget`;
+a shard that keeps dying is removed from the consistent-hash ring and
+its cases re-homed to the survivors — a deterministic poison input
+degrades capacity, never availability.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class ShardSupervisor(threading.Thread):
+    """Watches shard heartbeats; delegates repair to the router."""
+
+    def __init__(self, router):
+        super().__init__(name="repro-serve-supervisor", daemon=True)
+        self._router = router
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        interval = self._router.config.heartbeat_interval_s
+        hang_timeout = self._router.config.hang_timeout_s
+        while not self._halt.wait(interval):
+            if self._router.draining:
+                continue
+            # Snapshot: _restart_shard mutates the dict under its lock.
+            for name, shard in list(self._router._shards.items()):
+                if shard.abandoned or shard.stopped:
+                    continue
+                if not shard.is_alive():
+                    self._router._restart_shard(name, "crashed")
+                    continue
+                if (
+                    hang_timeout is not None
+                    and shard.current_case is not None
+                    and time.monotonic() - shard.last_beat > hang_timeout
+                ):
+                    self._router._restart_shard(name, "hung")
+
+    def stop(self) -> None:
+        """Stop watching and wait for any in-progress repair to finish."""
+        self._halt.set()
+        if self.is_alive():
+            self.join()

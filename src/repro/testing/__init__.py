@@ -14,10 +14,14 @@ from repro.testing.faults import (
     FaultyChecker,
     FaultySession,
     InjectedFaultError,
+    ShardKill,
+    ShardKillInjector,
     cases_started,
     corrupt_artifact,
     corrupt_store_row,
+    corrupt_wal_tail,
     corrupt_xes_event,
+    disk_full_hook,
     reset_fault_counters,
 )
 
@@ -27,10 +31,14 @@ __all__ = [
     "FaultyChecker",
     "FaultySession",
     "InjectedFaultError",
+    "ShardKill",
+    "ShardKillInjector",
     "cases_started",
     "corrupt_artifact",
     "corrupt_store_row",
+    "corrupt_wal_tail",
     "corrupt_xes_event",
+    "disk_full_hook",
     "reset_fault_counters",
     "assert_equivalent_verdicts",
     "canonical_digest",

@@ -209,6 +209,139 @@ class FaultInjector:
 
 
 # ---------------------------------------------------------------------------
+# serving-side chaos (for the crash-safe-serve suite)
+
+
+class ShardKill(BaseException):
+    """An injected shard death.
+
+    Deliberately **not** an :class:`Exception`: the online monitor's
+    per-case containment (and the shard's own last-resort handler) catch
+    ``Exception``, so raising this from inside a replay kills the shard
+    thread outright — the same observable failure as a segfaulting
+    extension or an OOM kill, but deterministic and in-process.  The
+    shard supervisor must detect the dead thread and repair.
+    """
+
+
+class _KillingSession:
+    """Feeds normally until the fatal entry, then kills the thread."""
+
+    def __init__(self, session: ComplianceSession, case: str, after: int):
+        self._session = session
+        self._case = case
+        self._after = after
+        self._fed = 0
+
+    def feed(self, entry: LogEntry) -> bool:
+        if entry.case == self._case:
+            self._fed += 1
+            if self._fed > self._after:
+                raise ShardKill(
+                    f"injected shard kill on case {entry.case!r} "
+                    f"(entry #{self._fed})"
+                )
+        return self._session.feed(entry)
+
+    def __getattr__(self, name: str):
+        return getattr(self._session, name)
+
+    def result(self) -> ComplianceResult:
+        return self._session.result()
+
+
+class _KillingChecker:
+    """Checker wrapper arming :class:`_KillingSession` on one case."""
+
+    def __init__(self, checker: ComplianceChecker, case: str, after: int):
+        self._checker = checker
+        self._case = case
+        self._after = after
+
+    def __getattr__(self, name: str):
+        return getattr(self._checker, name)
+
+    def session(self) -> _KillingSession:
+        return _KillingSession(self._checker.session(), self._case, self._after)
+
+    def check(self, trail: AuditTrail | Iterable[LogEntry]) -> ComplianceResult:
+        return self._checker.check(trail)
+
+
+@dataclass(frozen=True)
+class ShardKillInjector:
+    """A ``checker_wrapper`` that kills whichever shard replays *case*.
+
+    ``after_entries`` entries of the case feed normally first, so the
+    shard dies with real in-flight state — the interesting recovery
+    scenario.  Pass as ``checker_wrapper=`` to the
+    :class:`~repro.serve.core.ShardRouter` (interpreted replay; the
+    compiled path does not route through checker sessions).
+    """
+
+    case: str
+    after_entries: int = 0
+
+    def __call__(self, checker: ComplianceChecker, purpose: str):
+        return _KillingChecker(checker, self.case, self.after_entries)
+
+
+def disk_full_hook(after_ops: int = 0, phases: tuple[str, ...] = ("append",)):
+    """A :class:`~repro.serve.wal.WalWriter` ``fault_hook`` simulating ENOSPC.
+
+    The hook counts the WAL operations in *phases* (``"append"`` and/or
+    ``"fsync"``) and raises :class:`OSError` (errno ENOSPC) on every one
+    past *after_ops* — so the first ``after_ops`` writes succeed and the
+    disk is then "full" forever.  The router must reject (never ack) the
+    affected entries.
+    """
+    import errno
+
+    state = {"ops": 0}
+
+    def hook(phase: str) -> None:
+        if phase not in phases:
+            return
+        state["ops"] += 1
+        if state["ops"] > after_ops:
+            raise OSError(errno.ENOSPC, "injected disk full (WAL)")
+
+    return hook
+
+
+def corrupt_wal_tail(path, mode: str = "truncate", drop_bytes: int = 7) -> None:
+    """Tear the tail of a WAL segment the way a crash would.
+
+    * ``truncate`` — drop the final *drop_bytes* bytes (a record cut
+      mid-write); readers must salvage every complete record before it;
+    * ``garbage`` — append a partial frame of junk (a write that never
+      got its payload out);
+    * ``flip`` — flip one bit in the final record's payload so its CRC
+      check fails (a torn sector).
+
+    All three must read back as a *torn tail* in the final segment —
+    tolerated, never raised — and as :class:`~repro.serve.wal.
+    WalCorruptionError` if the same segment is later read strictly.
+    """
+    from pathlib import Path
+
+    target = Path(path)
+    data = target.read_bytes()
+    if mode == "truncate":
+        target.write_bytes(data[: max(8, len(data) - drop_bytes)])
+    elif mode == "garbage":
+        target.write_bytes(data + b"\xde\xad\xbe")
+    elif mode == "flip":
+        if len(data) <= 8:
+            raise ValueError("segment has no record bytes to flip")
+        flipped = bytearray(data)
+        flipped[-1] ^= 0x01
+        target.write_bytes(bytes(flipped))
+    else:
+        raise ValueError(f"unknown corruption mode: {mode!r}")
+
+
+# ---------------------------------------------------------------------------
 # entry corruptors (for quarantine tests)
 
 

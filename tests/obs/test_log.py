@@ -21,7 +21,13 @@ from repro.obs.log import (
     SERVE_CLIENT,
     SERVE_DRAINED,
     SERVE_FLUSH,
+    SERVE_OVERLOAD,
+    SERVE_RECOVERED,
+    SERVE_SHARD_REASSIGNED,
+    SERVE_SHARD_RESTARTED,
     SERVE_STARTED,
+    SERVE_WAL_COMMIT,
+    SERVE_WAL_RETIRED,
     WEAKNEXT_COMPUTED,
     WORKER_INIT,
     WORKER_LOST,
@@ -50,7 +56,13 @@ class TestVocabulary:
             SERVE_CLIENT,
             SERVE_DRAINED,
             SERVE_FLUSH,
+            SERVE_OVERLOAD,
+            SERVE_RECOVERED,
+            SERVE_SHARD_REASSIGNED,
+            SERVE_SHARD_RESTARTED,
             SERVE_STARTED,
+            SERVE_WAL_COMMIT,
+            SERVE_WAL_RETIRED,
             WORKER_INIT,
             WORKER_LOST,
         }

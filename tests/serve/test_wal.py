@@ -1,0 +1,278 @@
+"""Unit tests for the per-shard write-ahead ingest log.
+
+The WAL's contract (docs/robustness.md): every accepted entry is
+CRC-framed before it is acknowledged, segments rotate and retire whole,
+and after any crash the readable prefix is exactly the accepted stream
+minus (at most) an un-fsynced suffix — never a hole, never a phantom.
+"""
+
+import pytest
+
+from repro.audit.model import LogEntry, Status
+from repro.scenarios import paper_audit_trail
+from repro.scenarios.workloads import hospital_day
+from repro.serve.protocol import entry_to_message
+from repro.serve.wal import (
+    WalCorruptionError,
+    WalWriter,
+    _ENCODE,
+    _entry_json,
+    read_segment,
+    read_wal,
+    segment_paths,
+    shard_names_on_disk,
+    wal_records_by_case,
+)
+from repro.testing import corrupt_wal_tail, disk_full_hook
+
+
+@pytest.fixture
+def entries():
+    return list(paper_audit_trail())
+
+
+def _fill(writer: WalWriter, entries, start_case_seq: int = 1) -> list[int]:
+    seqs = []
+    counts: dict[str, int] = {}
+    for entry in entries:
+        counts[entry.case] = counts.get(entry.case, 0) + 1
+        seqs.append(writer.append(entry, counts[entry.case]))
+    return seqs
+
+
+class TestRoundTrip:
+    def test_append_commit_read_roundtrip(self, tmp_path, entries):
+        writer = WalWriter(tmp_path, "shard-0")
+        seqs = _fill(writer, entries)
+        assert seqs == list(range(1, len(entries) + 1))
+        writer.commit()
+        writer.close()
+
+        result = read_wal(tmp_path, "shard-0")
+        assert not result.torn_tail
+        assert len(result.records) == len(entries)
+        for record, entry, seq in zip(result.records, entries, seqs):
+            assert record.wal_seq == seq
+            assert record.entry == entry
+            assert record.case == entry.case
+            assert record.shard == "shard-0"
+
+    def test_per_case_grouping_preserves_order(self, tmp_path, entries):
+        writer = WalWriter(tmp_path, "shard-0")
+        _fill(writer, entries)
+        writer.close()
+        grouped = wal_records_by_case(read_wal(tmp_path).records)
+        for case, records in grouped.items():
+            assert [r.case_seq for r in records] == list(
+                range(1, len(records) + 1)
+            )
+
+    def test_stats_track_unflushed_lag(self, tmp_path, entries):
+        writer = WalWriter(tmp_path, "shard-0", fsync_batch=10_000)
+        _fill(writer, entries[:5])
+        stats = writer.stats()
+        assert stats["unflushed_records"] == 5
+        assert stats["unflushed_bytes"] > 0
+        assert stats["fsyncs"] == 0
+        writer.commit()
+        stats = writer.stats()
+        assert stats["unflushed_records"] == 0
+        assert stats["unflushed_bytes"] == 0
+        assert stats["fsyncs"] == 1
+        writer.close()
+
+    def test_fsync_batch_flushes_to_os_without_fsync(self, tmp_path, entries):
+        writer = WalWriter(tmp_path, "shard-0", fsync_batch=3)
+        _fill(writer, entries[:7])
+        # The batch threshold pushes to the OS (process-crash bound) but
+        # never fsyncs in the append path — durability is the sync
+        # barrier's job.
+        assert writer.flushes == 2  # at records 3 and 6
+        assert writer.fsyncs == 0
+        assert writer.unflushed_records == 7
+        # The flushed records are readable even though never fsynced:
+        # they sit in the OS page cache, which survives a process crash.
+        assert len(read_wal(tmp_path, "shard-0").records) == 6
+        writer.close()
+
+
+class TestRotationAndRetirement:
+    def test_segments_rotate_at_size_cap(self, tmp_path, entries):
+        writer = WalWriter(tmp_path, "shard-0", segment_max_bytes=512)
+        _fill(writer, entries)
+        assert writer.segment_count > 1
+        assert len(segment_paths(tmp_path, "shard-0")) == writer.segment_count
+        # Rotation must not lose or reorder anything (commit first: the
+        # open segment's tail is buffered until an fsync).
+        writer.commit()
+        result = read_wal(tmp_path, "shard-0")
+        assert [r.wal_seq for r in result.records] == list(
+            range(1, len(entries) + 1)
+        )
+        writer.close()
+
+    def test_retire_removes_only_wholly_covered_sealed_segments(
+        self, tmp_path, entries
+    ):
+        writer = WalWriter(tmp_path, "shard-0", segment_max_bytes=512)
+        _fill(writer, entries)
+        before = writer.segment_count
+        assert writer.retire(0) == 0  # nothing covered
+        # Retiring up to the last seq removes every *sealed* segment but
+        # never the open one.
+        removed = writer.retire(writer.last_seq)
+        assert removed == before - 1
+        assert writer.segment_count == 1
+        survivors = read_wal(tmp_path, "shard-0")
+        # Whole-file deletion only: records in the open segment survive.
+        assert all(r.wal_seq > 0 for r in survivors.records)
+        writer.close()
+
+    def test_reset_drops_everything(self, tmp_path, entries):
+        writer = WalWriter(tmp_path, "shard-0", segment_max_bytes=512)
+        _fill(writer, entries)
+        writer.reset()
+        assert read_wal(tmp_path, "shard-0").records == ()
+        assert writer.segment_count == 1
+        writer.close()
+
+
+class TestTornTails:
+    @pytest.mark.parametrize("mode", ["truncate", "garbage", "flip"])
+    def test_torn_final_segment_is_tolerated(self, tmp_path, entries, mode):
+        writer = WalWriter(tmp_path, "shard-0")
+        _fill(writer, entries)
+        writer.close()
+        path = segment_paths(tmp_path, "shard-0")[-1]
+        corrupt_wal_tail(path, mode=mode)
+
+        result = read_wal(tmp_path, "shard-0")
+        assert result.torn_tail
+        # Everything before the tear is salvaged, in order, no gaps.
+        assert [r.wal_seq for r in result.records] == list(
+            range(1, len(result.records) + 1)
+        )
+        assert len(result.records) >= len(entries) - 1
+
+    def test_torn_tail_raises_when_read_strictly(self, tmp_path, entries):
+        writer = WalWriter(tmp_path, "shard-0")
+        _fill(writer, entries)
+        writer.close()
+        path = segment_paths(tmp_path, "shard-0")[-1]
+        corrupt_wal_tail(path, mode="truncate")
+        with pytest.raises(WalCorruptionError):
+            read_segment(path, "shard-0", tolerant=False)
+
+    def test_corruption_in_a_sealed_segment_raises(self, tmp_path, entries):
+        writer = WalWriter(tmp_path, "shard-0", segment_max_bytes=512)
+        _fill(writer, entries)
+        writer.close()
+        paths = segment_paths(tmp_path, "shard-0")
+        assert len(paths) > 2
+        corrupt_wal_tail(paths[0], mode="flip")  # sealed, fsynced region
+        with pytest.raises(WalCorruptionError):
+            read_wal(tmp_path, "shard-0")
+
+    def test_non_segment_file_raises_on_bad_magic(self, tmp_path):
+        bogus = tmp_path / "shard-0-00000001.wal"
+        bogus.write_bytes(b"not a wal segment at all")
+        with pytest.raises(WalCorruptionError):
+            read_segment(bogus, "shard-0")
+
+
+class TestRestartAdoption:
+    def test_new_writer_continues_sequence_past_old_segments(
+        self, tmp_path, entries
+    ):
+        first = WalWriter(tmp_path, "shard-0")
+        _fill(first, entries[:10])
+        first.close()
+
+        second = WalWriter(tmp_path, "shard-0")
+        assert second.last_seq == 10
+        seq = second.append(entries[10], 1)
+        assert seq == 11
+        second.close()
+        result = read_wal(tmp_path, "shard-0")
+        assert [r.wal_seq for r in result.records] == list(range(1, 12))
+
+    def test_adopted_segments_are_sealed_and_retirable(
+        self, tmp_path, entries
+    ):
+        first = WalWriter(tmp_path, "shard-0")
+        _fill(first, entries[:10])
+        first.close()
+        second = WalWriter(tmp_path, "shard-0")
+        # The adopted file is sealed history: retiring past its last seq
+        # deletes it even though this writer never wrote to it.
+        assert second.retire(10) == 1
+        second.close()
+
+    def test_shards_are_isolated_per_directory(self, tmp_path, entries):
+        a = WalWriter(tmp_path, "shard-0")
+        b = WalWriter(tmp_path, "shard-1")
+        _fill(a, entries[:4])
+        _fill(b, entries[4:7])
+        a.close()
+        b.close()
+        assert shard_names_on_disk(tmp_path) == ["shard-0", "shard-1"]
+        assert len(read_wal(tmp_path, "shard-0").records) == 4
+        assert len(read_wal(tmp_path, "shard-1").records) == 3
+
+
+class TestEntryEncoder:
+    """``_entry_json`` must stay byte-identical to the generic encoder.
+
+    The hand-composed fast path exists only for append-latency reasons;
+    this is the lock-step promised in its docstring.  Any drift — a new
+    ``LogEntry`` field, a reordered key in ``entry_to_message``, an
+    escaping case the ASCII fast path mishandles — must fail here, not
+    in a recovery.
+    """
+
+    @staticmethod
+    def _reference(entry: LogEntry) -> bytes:
+        return _ENCODE(entry_to_message(entry)).encode("utf-8")
+
+    def test_lockstep_on_paper_trail(self, entries):
+        for entry in entries:
+            assert _entry_json(entry) == self._reference(entry)
+
+    def test_lockstep_on_hospital_day(self):
+        workload = hospital_day(20, violation_rate=0.3, seed=7)
+        assert len(list(workload.trail)) > 0
+        for entry in workload.trail:
+            assert _entry_json(entry) == self._reference(entry)
+
+    @pytest.mark.parametrize(
+        "user, obj",
+        [
+            ('quote"quote', "MR(x)"),               # escaped quote
+            ("back\\slash", None),                  # escaped backslash, null obj
+            ("tab\there", "MR(é)"),            # control char + non-ASCII
+            ("émile", None),                        # non-ASCII falls to _ENCODE
+            ("line\nbreak\x1f", "MR(y)"),           # control chars
+            ("", "MR(z)"),                          # empty string
+        ],
+    )
+    def test_lockstep_on_escaping_edge_cases(self, user, obj):
+        entry = LogEntry.at(
+            user, "GP", "read", obj, "T01", "HT-1",
+            "201103010900", Status.FAILURE,
+        )
+        assert _entry_json(entry) == self._reference(entry)
+
+
+class TestFaultHook:
+    def test_disk_full_rejects_the_append(self, tmp_path, entries):
+        writer = WalWriter(
+            tmp_path, "shard-0", fault_hook=disk_full_hook(after_ops=2)
+        )
+        _fill(writer, entries[:2])
+        with pytest.raises(OSError):
+            writer.append(entries[2], 1)
+        # The failed append must leave no trace: nothing was framed.
+        assert writer.last_seq == 2
+        writer.commit()
+        writer.close()
+        assert len(read_wal(tmp_path, "shard-0").records) == 2
