@@ -55,6 +55,16 @@ CREATE TABLE IF NOT EXISTS audit_anchor (
     purged_upto TEXT,
     purge_count INTEGER NOT NULL DEFAULT 0
 );
+CREATE TABLE IF NOT EXISTS control_log (
+    seq       INTEGER PRIMARY KEY AUTOINCREMENT,
+    action    TEXT NOT NULL,
+    case_id   TEXT,
+    actor     TEXT NOT NULL,
+    reason    TEXT NOT NULL DEFAULT '',
+    ts        TEXT NOT NULL,
+    prev_hash TEXT NOT NULL,
+    hash      TEXT NOT NULL
+);
 """
 
 #: The chain anchor for the first entry.
@@ -190,28 +200,16 @@ class AuditStore:
         return self._anchor()[0]
 
     # -- reading ---------------------------------------------------------
-    def query(
+    def _select_rows(
         self,
         case: Optional[str] = None,
         user: Optional[str] = None,
-        obj: Optional[ObjectRef] = None,
         since: Optional[datetime] = None,
         until: Optional[datetime] = None,
-        quarantine: "Quarantine | None" = None,
-    ) -> AuditTrail:
-        """Entries matching every given filter, as an ordered trail.
-
-        The object filter matches the *subtree* of ``obj`` — querying for
-        ``[Jane]EPR`` returns accesses to any of its sections.
-        Timezone-aware ``since``/``until`` bounds are normalized to naive
-        UTC, the representation entries are stored in.
-
-        Rows that no longer decode into a valid
-        :class:`~repro.audit.model.LogEntry` (e.g. after tampering)
-        raise :class:`repro.errors.MalformedEntryError` — unless a
-        *quarantine* is given, in which case they are diverted to the
-        dead-letter collection and the healthy rows are returned.
-        """
+        after_seq: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> list[tuple]:
+        """The shared filtered SELECT behind every trail reader."""
         clauses: list[str] = []
         params: list[object] = []
         if case is not None:
@@ -226,6 +224,9 @@ class AuditStore:
         if until is not None:
             clauses.append("ts <= ?")
             params.append(_normalize_ts(until).isoformat())
+        if after_seq is not None:
+            clauses.append("seq > ?")
+            params.append(int(after_seq))
         sql = (
             "SELECT seq, user, role, action, obj, task, case_id, ts, status "
             "FROM audit_log"
@@ -233,7 +234,52 @@ class AuditStore:
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
         sql += " ORDER BY seq"
-        rows = self._connection.execute(sql, params).fetchall()
+        if limit is not None:
+            if limit < 0:
+                raise AuditError("limit must be non-negative")
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        return self._connection.execute(sql, params).fetchall()
+
+    def query(
+        self,
+        case: Optional[str] = None,
+        user: Optional[str] = None,
+        obj: Optional[ObjectRef] = None,
+        since: Optional[datetime] = None,
+        until: Optional[datetime] = None,
+        quarantine: "Quarantine | None" = None,
+        after_seq: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> AuditTrail:
+        """Entries matching every given filter, as an ordered trail.
+
+        The object filter matches the *subtree* of ``obj`` — querying for
+        ``[Jane]EPR`` returns accesses to any of its sections.
+        Timezone-aware ``since``/``until`` bounds are normalized to naive
+        UTC, the representation entries are stored in.
+
+        ``after_seq``/``limit`` give keyset pagination over the log's
+        sequence numbers: only rows with ``seq > after_seq`` are read,
+        at most ``limit`` of them.  A million-entry trail is then walked
+        page by page instead of materialized at once (the control-plane
+        drill-down endpoints rely on this); note the ``limit`` is applied
+        *before* the Python-side object-subtree filter.
+
+        Rows that no longer decode into a valid
+        :class:`~repro.audit.model.LogEntry` (e.g. after tampering)
+        raise :class:`repro.errors.MalformedEntryError` — unless a
+        *quarantine* is given, in which case they are diverted to the
+        dead-letter collection and the healthy rows are returned.
+        """
+        rows = self._select_rows(
+            case=case,
+            user=user,
+            since=since,
+            until=until,
+            after_seq=after_seq,
+            limit=limit,
+        )
         entries = []
         for row in rows:
             try:
@@ -253,15 +299,117 @@ class AuditStore:
             ]
         return AuditTrail(entries)
 
-    def cases(self) -> list[str]:
-        rows = self._connection.execute(
-            "SELECT case_id FROM audit_log GROUP BY case_id ORDER BY MIN(seq)"
-        ).fetchall()
+    def entries_with_seq(
+        self,
+        case: Optional[str] = None,
+        after_seq: int = 0,
+        limit: Optional[int] = None,
+    ) -> list[tuple[int, LogEntry]]:
+        """A page of ``(seq, entry)`` pairs for cursor-driven readers.
+
+        The returned sequence numbers are the keyset cursor: pass the
+        last one back as ``after_seq`` to fetch the next page.  Used by
+        the control-plane trail endpoints and the incremental re-audit
+        replay loop, which must never hold a full store in memory.
+        """
+        rows = self._select_rows(case=case, after_seq=after_seq, limit=limit)
+        return [
+            (int(row[0]), _entry_from_row(row[1:], position=int(row[0])))
+            for row in rows
+        ]
+
+    def cases(self, prefix: Optional[str] = None) -> list[str]:
+        """Distinct case ids in first-seen order.
+
+        ``prefix`` filters to one purpose's cases by their case-id prefix
+        (the ``HT`` of ``HT-1``); the match is exact on the segment
+        before the ``-`` separator, not a pattern, so a prefix that is
+        itself a prefix of another (``HT`` vs ``HTX``) never
+        over-matches.
+        """
+        if prefix is None:
+            rows = self._connection.execute(
+                "SELECT case_id FROM audit_log "
+                "GROUP BY case_id ORDER BY MIN(seq)"
+            ).fetchall()
+        else:
+            marker = prefix + "-"
+            rows = self._connection.execute(
+                "SELECT case_id FROM audit_log "
+                "WHERE substr(case_id, 1, ?) = ? "
+                "GROUP BY case_id ORDER BY MIN(seq)",
+                (len(marker), marker),
+            ).fetchall()
         return [row[0] for row in rows]
 
     def cases_touching(self, obj: ObjectRef) -> list[str]:
         """The cases in which *obj* or a descendant was accessed."""
         return self.query(obj=obj).cases()
+
+    # -- control log -----------------------------------------------------
+    def record_control(
+        self,
+        action: str,
+        case: Optional[str] = None,
+        actor: str = "operator",
+        reason: str = "",
+        timestamp: Optional[datetime] = None,
+    ) -> int:
+        """Append an operator action (requeue/dismiss/re-audit) for posterity.
+
+        Control records live in their **own** hash chain, separate from
+        ``audit_log``: interleaving them into the case trail would fork
+        the trail chain every time an operator acted, and the trail chain
+        is what anchors the paper's Definition-4 entries.  Returns the
+        record's sequence number.
+        """
+        if not action:
+            raise AuditError("control action must be non-empty")
+        when = _normalize_ts(timestamp or datetime.now(timezone.utc))
+        with self._write_transaction():
+            prev_hash = self._last_control_hash()
+            payload = {
+                "action": action,
+                "case": case,
+                "actor": actor,
+                "reason": reason,
+                "ts": when.isoformat(),
+            }
+            digest = _control_hash(prev_hash, payload)
+            cursor = self._connection.execute(
+                "INSERT INTO control_log "
+                "(action, case_id, actor, reason, ts, prev_hash, hash) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (action, case, actor, reason, when.isoformat(), prev_hash, digest),
+            )
+        return int(cursor.lastrowid or 0)
+
+    def control_records(self, case: Optional[str] = None) -> list[dict[str, object]]:
+        """Operator actions, oldest first, optionally for one case."""
+        sql = "SELECT seq, action, case_id, actor, reason, ts FROM control_log"
+        params: list[object] = []
+        if case is not None:
+            sql += " WHERE case_id = ?"
+            params.append(case)
+        sql += " ORDER BY seq"
+        rows = self._connection.execute(sql, params).fetchall()
+        return [
+            {
+                "seq": int(row[0]),
+                "action": row[1],
+                "case": row[2],
+                "actor": row[3],
+                "reason": row[4],
+                "ts": row[5],
+            }
+            for row in rows
+        ]
+
+    def _last_control_hash(self) -> str:
+        row = self._connection.execute(
+            "SELECT hash FROM control_log ORDER BY seq DESC LIMIT 1"
+        ).fetchone()
+        return row[0] if row else GENESIS
 
     def __len__(self) -> int:
         row = self._connection.execute("SELECT COUNT(*) FROM audit_log").fetchone()
@@ -298,6 +446,37 @@ class AuditStore:
             if recomputed != stored_hash:
                 raise IntegrityError(
                     f"entry {seq} was modified after being logged",
+                    first_bad_seq=seq,
+                )
+            expected_prev = stored_hash
+        self._verify_control_chain()
+
+    def _verify_control_chain(self) -> None:
+        """Walk the operator-action chain (a no-op when no one has acted)."""
+        rows = self._connection.execute(
+            "SELECT seq, action, case_id, actor, reason, ts, prev_hash, hash "
+            "FROM control_log ORDER BY seq"
+        ).fetchall()
+        expected_prev = GENESIS
+        for row in rows:
+            seq = int(row[0])
+            payload = {
+                "action": row[1],
+                "case": row[2],
+                "actor": row[3],
+                "reason": row[4],
+                "ts": row[5],
+            }
+            stored_prev, stored_hash = row[6], row[7]
+            if stored_prev != expected_prev:
+                raise IntegrityError(
+                    f"control chain broken before record {seq} "
+                    "(a record was removed or reordered)",
+                    first_bad_seq=seq,
+                )
+            if _control_hash(stored_prev, payload) != stored_hash:
+                raise IntegrityError(
+                    f"control record {seq} was modified after being logged",
                     first_bad_seq=seq,
                 )
             expected_prev = stored_hash
@@ -398,6 +577,11 @@ def _normalize_entry(entry: LogEntry) -> LogEntry:
     from dataclasses import replace
 
     return replace(entry, timestamp=_normalize_ts(entry.timestamp))
+
+
+def _control_hash(prev_hash: str, payload: dict[str, object]) -> str:
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256((prev_hash + canonical).encode("utf-8")).hexdigest()
 
 
 def _entry_hash(prev_hash: str, entry: LogEntry) -> str:

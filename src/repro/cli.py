@@ -555,7 +555,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import AuditService, ServeConfig, ShardRouter
 
-    if args.scenario:
+    audit_config = None
+    if args.config:
+        from repro.control import load_config
+        from repro.obs.log import CONTROL_CONFIG_LOADED
+
+        audit_config = load_config(args.config)
+        registry = audit_config.registry()
+        hierarchy = audit_config.hierarchy
+    elif args.scenario:
         import repro.scenarios as scenarios
 
         if args.scenario == "paper":
@@ -568,16 +576,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry = _load_registry(args.process)
         hierarchy = _load_hierarchy(args.role)
     else:
-        raise ReproError("serve needs --process PREFIX:FILE or --scenario")
+        raise ReproError(
+            "serve needs --config FILE, --process PREFIX:FILE or --scenario"
+        )
     # A live /metrics endpoint needs a live registry, flags or not.
     telemetry = _telemetry_from_args(args, force=args.http_port >= 0)
+    if audit_config is not None:
+        if not args.no_preflight:
+            report = audit_config.preflight(telemetry=telemetry)
+            if not report.clean:
+                lines = "; ".join(
+                    f"{d.code} {d.process_id}: {d.message}"
+                    for d in report.errors
+                )
+                raise ReproError(
+                    f"config preflight failed ({len(report.errors)} lint "
+                    f"error(s); --no-preflight overrides): {lines}"
+                )
+        telemetry.events.emit(
+            CONTROL_CONFIG_LOADED,
+            source=audit_config.source,
+            version=audit_config.version,
+            fingerprint=audit_config.fingerprint(),
+            tenants=sorted(t.purpose for t in audit_config.tenants),
+            preflight=not args.no_preflight,
+        )
     if args.recover and args.wal_dir is None:
         raise ReproError("--recover needs --wal-dir (the log to replay)")
     if args.supervise and args.wal_dir is None:
         raise ReproError(
             "--supervise needs --wal-dir (restarts replay from the WAL)"
         )
-    config = ServeConfig(
+    flags = dict(
         shards=args.shards,
         store_path=args.store,
         flush_interval_s=args.flush_interval,
@@ -591,14 +621,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hang_timeout_s=args.hang_timeout,
         max_shard_restarts=args.max_shard_restarts,
     )
+    if audit_config is not None:
+        # Config budgets win over flag defaults; explicit flags the
+        # config does not set still apply.
+        config = audit_config.serve_config(**flags)
+    else:
+        config = ServeConfig(**flags)
     router = ShardRouter(
         registry, hierarchy=hierarchy, config=config, telemetry=telemetry
     )
+    control = None
+    if args.http_port >= 0:
+        from repro.control import ControlPlane
+
+        control = ControlPlane(
+            router=router, config=audit_config, telemetry=telemetry
+        )
     service = AuditService(
         router,
         host=args.host,
         port=args.port,
         http_port=None if args.http_port < 0 else args.http_port,
+        control=control,
     )
 
     async def _run():
@@ -698,6 +742,81 @@ def _cmd_top(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     return EXIT_OK
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    """Operator console: query/triage a service or a store file.
+
+    ``--url`` talks HTTP to a running daemon; ``--store`` (optionally
+    with ``--config``) runs the same API in-process over a store file.
+    Every action prints the JSON payload; API errors (status >= 400)
+    exit 2, like any other bad input.
+    """
+    import json as _json
+
+    from repro.control import (
+        ControlPlane,
+        HttpControlClient,
+        LocalControlClient,
+        load_config,
+    )
+
+    if args.url:
+        base = args.url.rstrip("/")
+        if not base.startswith(("http://", "https://")):
+            base = "http://" + base
+        client = HttpControlClient(base)
+    elif args.store:
+        config = load_config(args.config) if args.config else None
+        plane = ControlPlane(store_path=args.store, config=config)
+        client = LocalControlClient(plane)
+    else:
+        raise ReproError(
+            "control needs --url (a running daemon) or --store (a file)"
+        )
+
+    action = args.action
+    if action == "tenants":
+        status, payload = client.tenants()
+    elif action == "verdicts":
+        status, payload = client.verdicts(
+            purpose=args.purpose,
+            outcome=args.outcome,
+            since=args.since,
+            until=args.until,
+            after_case=args.after_case,
+            limit=args.limit,
+        )
+    elif action == "case":
+        status, payload = client.case(args.case)
+    elif action == "trail":
+        status, payload = client.trail(
+            args.case, after_seq=args.after_seq, limit=args.limit
+        )
+    elif action == "quarantine":
+        status, payload = client.quarantine()
+    elif action == "requeue":
+        status, payload = client.requeue(args.case, wait_s=args.wait)
+    elif action == "dismiss":
+        status, payload = client.dismiss(
+            args.case, actor=args.actor, reason=args.reason
+        )
+    elif action == "reaudit":
+        status, payload = client.reaudit(
+            config=args.reaudit_config,
+            ledger=args.ledger,
+            ledger_out=args.ledger_out,
+            fingerprint_log=args.fingerprint_log,
+            full=True if args.full else None,
+            include_records=True if args.include_records else None,
+        )
+    elif action == "config":
+        status, payload = client.config_info()
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown control action: {action}")
+
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    return EXIT_OK if status < 400 else EXIT_BAD_INPUT
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -893,6 +1012,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the streaming audit daemon (docs/serving.md)",
     )
     serve.add_argument(
+        "--config", metavar="FILE", default=None,
+        help="declarative audit config (JSON/TOML): tenants, hierarchy "
+        "and budgets in one versioned document (docs/control-plane.md); "
+        "replaces --process/--scenario/--role",
+    )
+    serve.add_argument(
+        "--no-preflight", action="store_true",
+        help="skip the repro-lint preflight over --config tenants "
+        "(lint errors normally refuse startup)",
+    )
+    serve.add_argument(
         "--process", action="append", metavar="PREFIX:FILE",
         help="case-prefix:process-document pair (repeatable)",
     )
@@ -1009,6 +1139,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after N samples (default: run until Ctrl-C)",
     )
     top.set_defaults(handler=_cmd_top)
+
+    control = commands.add_parser(
+        "control",
+        help="operator console: query verdicts, triage quarantine, "
+        "re-audit (docs/control-plane.md)",
+    )
+    control.add_argument(
+        "--url", default=None, metavar="URL",
+        help="HTTP endpoint of a running daemon, e.g. 127.0.0.1:8080",
+    )
+    control.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="run the API in-process over this audit store (no daemon)",
+    )
+    control.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="audit config to mount alongside --store (enables verdict "
+        "queries and re-audit over the store)",
+    )
+    control_actions = control.add_subparsers(
+        dest="action", required=True, metavar="ACTION"
+    )
+    control_actions.add_parser(
+        "tenants", help="list tenants (purpose, prefix, fingerprint)"
+    )
+    verdicts = control_actions.add_parser(
+        "verdicts", help="query per-case verdicts with filters"
+    )
+    verdicts.add_argument("--purpose", default=None)
+    verdicts.add_argument(
+        "--outcome", default=None,
+        help="completed | infringing | open | quarantined",
+    )
+    verdicts.add_argument(
+        "--since", default=None, metavar="ISO-8601",
+        help="only cases with trail activity at/after this instant",
+    )
+    verdicts.add_argument(
+        "--until", default=None, metavar="ISO-8601",
+        help="only cases with trail activity at/before this instant",
+    )
+    verdicts.add_argument(
+        "--after-case", default=None, metavar="CASE",
+        help="keyset cursor: resume after this case id",
+    )
+    verdicts.add_argument("--limit", type=int, default=None, metavar="N")
+    case_cmd = control_actions.add_parser(
+        "case", help="one case's verdict, findings, trace and trail refs"
+    )
+    case_cmd.add_argument("case")
+    trail_cmd = control_actions.add_parser(
+        "trail", help="a case's audit-trail entries (paginated)"
+    )
+    trail_cmd.add_argument("case")
+    trail_cmd.add_argument(
+        "--after-seq", type=int, default=0, metavar="SEQ",
+        help="keyset cursor: entries with store seq > SEQ",
+    )
+    trail_cmd.add_argument("--limit", type=int, default=None, metavar="N")
+    control_actions.add_parser(
+        "quarantine", help="list quarantined cases and their failure kinds"
+    )
+    requeue = control_actions.add_parser(
+        "requeue", help="replay a quarantined case through its shard"
+    )
+    requeue.add_argument("case")
+    requeue.add_argument(
+        "--wait", type=float, default=None, metavar="SECONDS",
+        help="how long to wait for the replay verdict (default: 5.0)",
+    )
+    dismiss = control_actions.add_parser(
+        "dismiss",
+        help="drop a case from quarantine, recording who and why",
+    )
+    dismiss.add_argument("case")
+    dismiss.add_argument("--actor", default="operator")
+    dismiss.add_argument("--reason", default="")
+    reaudit = control_actions.add_parser(
+        "reaudit",
+        help="re-audit the store against a (new) config; incremental "
+        "when a baseline ledger exists",
+    )
+    reaudit.add_argument(
+        "--config", dest="reaudit_config", default=None, metavar="FILE",
+        help="the (possibly edited) config to audit under "
+        "(default: the mounted one)",
+    )
+    reaudit.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="baseline ledger from a previous run (enables incremental)",
+    )
+    reaudit.add_argument(
+        "--ledger-out", default=None, metavar="FILE",
+        help="write the resulting ledger here (the next run's baseline)",
+    )
+    reaudit.add_argument(
+        "--fingerprint-log", default=None, metavar="FILE",
+        help="append one forensics JSON line per run (CI artifact)",
+    )
+    reaudit.add_argument(
+        "--full", action="store_true",
+        help="force a cold full re-audit (ignore any baseline)",
+    )
+    reaudit.add_argument(
+        "--include-records", action="store_true",
+        help="include per-case records in the printed payload",
+    )
+    control_actions.add_parser(
+        "config", help="the mounted config's version and fingerprints"
+    )
+    control.set_defaults(handler=_cmd_control)
 
     demo = commands.add_parser("demo", help="run the paper's scenario")
     demo.set_defaults(handler=_cmd_demo)

@@ -1,0 +1,50 @@
+"""The operator control plane (ROADMAP item 5).
+
+``repro serve`` is socket-in/verdicts-out; this package turns it into a
+continuously *operated* audit service:
+
+* :mod:`repro.control.config` — one versioned, fingerprinted JSON/TOML
+  document bundling processes, policies, registry prefixes, the role
+  hierarchy, and serve budgets for any number of tenants (purposes),
+  validated by a ``repro lint`` preflight at load time;
+* :mod:`repro.control.api` — the HTTP/JSON control API mounted under
+  ``/api/`` on the serve front end (and usable standalone over a store
+  file): verdict queries, per-case drill-down, quarantine triage;
+* :mod:`repro.control.reaudit` — incremental re-audit: on a config
+  change, diff per-tenant fingerprints and replay only affected cases
+  from the store, provably byte-identical to a cold full re-audit;
+* :mod:`repro.control.client` — the thin client behind ``repro
+  control``.
+
+See ``docs/control-plane.md`` for the API reference and config schema.
+"""
+
+from repro.control.api import API_VERSION, ControlPlane
+from repro.control.client import HttpControlClient, LocalControlClient
+from repro.control.config import (
+    AuditConfig,
+    TenantSpec,
+    load_config,
+    parse_config,
+)
+from repro.control.reaudit import (
+    ReauditLedger,
+    ReauditReport,
+    full_reaudit,
+    incremental_reaudit,
+)
+
+__all__ = [
+    "API_VERSION",
+    "AuditConfig",
+    "ControlPlane",
+    "HttpControlClient",
+    "LocalControlClient",
+    "ReauditLedger",
+    "ReauditReport",
+    "TenantSpec",
+    "full_reaudit",
+    "incremental_reaudit",
+    "load_config",
+    "parse_config",
+]

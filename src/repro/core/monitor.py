@@ -373,6 +373,22 @@ class OnlineMonitor:
         )
         return infringement
 
+    def reset_case(self, case: str) -> list[LogEntry]:
+        """Forget a case entirely, returning its observed entry history.
+
+        The control plane's quarantine *requeue* is built on this: pop
+        the case's state (keeping the per-state gauge honest), then
+        re-:meth:`observe` the returned entries through a fresh session —
+        a from-scratch replay of exactly what was seen, so a transient
+        failure (a crashed checker, a blown budget) gets a second,
+        deterministic chance.  Unknown cases return an empty history.
+        """
+        monitored = self._cases.pop(case, None)
+        if monitored is None:
+            return []
+        self._m_cases.dec(state=monitored.state.value)
+        return list(monitored.entries)
+
     def checkpoint(self, force: bool = False) -> None:
         """Persist newly materialized automaton states (no-op without an
         ``automaton_dir``).  :meth:`sweep` calls this on every tick; a

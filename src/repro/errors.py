@@ -191,3 +191,13 @@ class ConformanceError(ReproError):
 
 class PetriNetError(ConformanceError):
     """A Petri net was structurally invalid or an illegal firing was requested."""
+
+
+class ConfigError(ReproError):
+    """A declarative audit-config document could not be loaded.
+
+    Raised by :mod:`repro.control.config` for unparseable documents,
+    unknown keys, missing tenant fields, duplicate purposes/prefixes,
+    unreadable referenced files, and TOML configs on interpreters
+    without :mod:`tomllib`.
+    """

@@ -56,6 +56,10 @@ from repro.obs.log import (
     CASE_AUDITED,
     CASE_FAILED,
     CASE_QUARANTINED,
+    CONTROL_CONFIG_LOADED,
+    CONTROL_DISMISS,
+    CONTROL_REAUDIT,
+    CONTROL_REQUEUE,
     ENTRY_QUARANTINED,
     ENTRY_REPLAYED,
     EVENT_VOCABULARY,
@@ -162,6 +166,10 @@ __all__ = [
     "CASE_AUDITED",
     "CASE_FAILED",
     "CASE_QUARANTINED",
+    "CONTROL_CONFIG_LOADED",
+    "CONTROL_DISMISS",
+    "CONTROL_REAUDIT",
+    "CONTROL_REQUEUE",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
     "ENTRY_QUARANTINED",

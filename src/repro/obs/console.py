@@ -201,12 +201,19 @@ class TopSampler:
         metrics = self._fetch("/metrics.json")
         ingest = metrics.get("serve_ingest_seconds", {}).get("series") or []
         latency = ingest[0] if ingest else {}
+        # Daemons predating the control plane have no /api/ mount; the
+        # per-tenant section simply disappears rather than erroring.
+        try:
+            tenants = self._fetch("/api/v1/tenants").get("tenants")
+        except Exception:
+            tenants = None
         return {
             "t": time.monotonic() if now is None else now,
             "entries_received": health.get("entries_received", 0),
             "quarantined": health.get("quarantined_cases", 0),
             "draining": health.get("draining", False),
             "shards": health.get("shard_detail", {}),
+            "tenants": tenants,
             "p50_s": latency.get("p50", 0.0),
             "p99_s": latency.get("p99", 0.0),
         }
@@ -252,4 +259,18 @@ class TopSampler:
                 f"{shard['inflight_cases']:>10}"
                 f"{shard['entries_observed']:>10}{rate:>10}"
             )
+        if current.get("tenants"):
+            lines.append(
+                f"{'tenant':<16}{'prefix':>7}{'cases':>7}"
+                f"{'infringing':>12}{'quarantined':>13}"
+            )
+            for tenant in current["tenants"]:
+                states = tenant.get("states", {})
+                lines.append(
+                    f"{tenant.get('purpose', '?'):<16}"
+                    f"{tenant.get('prefix', '-'):>7}"
+                    f"{tenant.get('cases', 0):>7}"
+                    f"{states.get('infringing', 0):>12}"
+                    f"{tenant.get('quarantined', 0):>13}"
+                )
         return "\n".join(lines)

@@ -118,6 +118,10 @@ SERVE_RECOVERED = "serve.recovered"
 SERVE_SHARD_RESTARTED = "serve.shard_restarted"
 SERVE_SHARD_REASSIGNED = "serve.shard_reassigned"
 SERVE_OVERLOAD = "serve.overload"
+CONTROL_CONFIG_LOADED = "control.config_loaded"
+CONTROL_REQUEUE = "control.requeue"
+CONTROL_DISMISS = "control.dismiss"
+CONTROL_REAUDIT = "control.reaudit"
 
 EVENT_VOCABULARY = frozenset(
     {
@@ -147,6 +151,10 @@ EVENT_VOCABULARY = frozenset(
         SERVE_SHARD_RESTARTED,
         SERVE_SHARD_REASSIGNED,
         SERVE_OVERLOAD,
+        CONTROL_CONFIG_LOADED,
+        CONTROL_REQUEUE,
+        CONTROL_DISMISS,
+        CONTROL_REAUDIT,
     }
 )
 

@@ -181,6 +181,28 @@ class Admission:
 
 
 @dataclass(frozen=True)
+class RequeueResult:
+    """What :meth:`ShardRouter.requeue_case` decided about one case.
+
+    ``accepted`` means the owning shard replayed the case's full entry
+    history through a fresh session; ``state`` and ``replayed_entries``
+    describe where the replay landed.  ``busy`` mirrors entry admission:
+    the shard's queue was over its busy watermark, retry after
+    ``retry_after_s``.  A refusal (unknown / not-quarantined case, or a
+    draining router) sets ``reason``.
+    """
+
+    case: str
+    accepted: bool
+    busy: bool = False
+    retry_after_s: float = 0.0
+    reason: str = ""
+    shard: str = ""
+    state: Optional[str] = None
+    replayed_entries: int = 0
+
+
+@dataclass(frozen=True)
 class DrainReport:
     """What :meth:`ShardRouter.drain` accomplished."""
 
@@ -293,6 +315,8 @@ class _Shard(threading.Thread):
                 # flight when a shard died is charged to its case.
                 if not self.abandoned:
                     self.monitor.contain(item[1], item[2])
+            elif kind == "requeue":
+                self._requeue(item[1], item[2], item[3])
         except Exception as error:  # pragma: no cover - last resort
             # A shard thread must never die to an ordinary exception:
             # anything the monitor's own containment missed is charged
@@ -311,6 +335,44 @@ class _Shard(threading.Thread):
     def inflight_cases(self) -> int:
         """Open (non-terminal) cases currently owned by this shard."""
         return len(self._open_cases)
+
+    def _requeue(
+        self, case: str, done: threading.Event, holder: dict
+    ) -> None:
+        """Replay a quarantined case from scratch (the triage verb).
+
+        Runs on this shard's thread, so it is serialized with the case's
+        live entries exactly like any other item: the history replayed
+        is everything observed up to this point in the queue, and any
+        entry admitted later lands after the fresh session exists.  The
+        cumulative-budget meter is reset — the requeue *is* the second
+        chance.  ``holder`` carries the outcome back to the waiting
+        control plane; ``done`` always fires (``finally``), so an API
+        call never hangs on a replay that blows up.
+        """
+        try:
+            monitor = self.monitor
+            self._spent.pop(case, None)
+            entries = monitor.reset_case(case)
+            for entry in entries:
+                monitor.observe(entry)
+            state = monitor.case_state(case)
+            if state in _TERMINAL:
+                self._open_cases.discard(case)
+            elif state is not None:
+                self._open_cases.add(case)
+            kind = monitor.case_failure_kind(case)
+            if kind is not None:
+                # The failure reproduced deterministically: back into
+                # quarantine it goes (the requeue popped it out).
+                self._router._note_quarantined(
+                    case, kind, "failure reproduced on requeue"
+                )
+            holder["state"] = str(state) if state is not None else None
+            holder["replayed"] = len(entries)
+            holder["requarantined"] = kind is not None
+        finally:
+            done.set()
 
     def _observe(
         self,
@@ -634,6 +696,14 @@ class ShardRouter:
         self._m_recovered = tel.registry.counter(
             "serve_recovered_entries_total",
             "entries replayed into monitors during recovery, by source",
+        )
+        self._m_requeues = tel.registry.counter(
+            "serve_requeues_total",
+            "quarantined-case requeue attempts, by outcome",
+        )
+        self._m_dismissals = tel.registry.counter(
+            "serve_dismissals_total",
+            "quarantined cases dismissed by an operator",
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -1270,6 +1340,85 @@ class ShardRouter:
         """Cases the service took out of rotation, with their failure kind."""
         with self._quarantined_lock:
             return dict(self._quarantined)
+
+    @property
+    def registry(self) -> ProcessRegistry:
+        """The shared registry (the control plane maps tenants over it)."""
+        return self._registry
+
+    # -- quarantine triage (the control plane's verbs) -----------------------
+    def requeue_case(self, case: str, wait_s: float = 5.0) -> RequeueResult:
+        """Give a quarantined case a fresh from-scratch replay.
+
+        The replay runs on the case's owning shard thread (queued like
+        any other item, so it is ordered against the case's live
+        entries).  Admission mirrors :meth:`submit`: a draining router
+        or an unknown/not-quarantined case is refused with a reason, a
+        shard over its busy watermark answers ``busy`` with the usual
+        ``retry_after_s`` hint.  Blocks up to *wait_s* for the replay's
+        outcome; on timeout the requeue still completes on the shard —
+        only the synchronous answer is partial.
+        """
+        done = threading.Event()
+        holder: dict = {}
+        with self._ingest_lock:
+            if not self._accepting:
+                return RequeueResult(
+                    case, accepted=False, reason="the service is draining"
+                )
+            with self._quarantined_lock:
+                quarantined = case in self._quarantined
+            if not quarantined:
+                self._m_requeues.inc(outcome="refused")
+                return RequeueResult(
+                    case,
+                    accepted=False,
+                    reason=f"case {case!r} is not quarantined",
+                )
+            name = self._ring.shard_for(case)
+            shard = self._shards[name]
+            if shard.queue.qsize() >= self._busy_wm:
+                self._m_requeues.inc(outcome="busy")
+                return RequeueResult(
+                    case,
+                    accepted=False,
+                    busy=True,
+                    retry_after_s=self.config.retry_after_s,
+                    reason=f"shard {name} over its busy watermark",
+                    shard=name,
+                )
+            # Popping the note *before* the replay lets the shard re-file
+            # it if the failure reproduces; _note_quarantined is
+            # first-write-wins, so the slot must be free.
+            with self._quarantined_lock:
+                self._quarantined.pop(case, None)
+            shard.queue.put_nowait(("requeue", case, done, holder))
+        done.wait(wait_s)
+        self._m_requeues.inc(
+            outcome="requarantined" if holder.get("requarantined") else "replayed"
+        )
+        return RequeueResult(
+            case,
+            accepted=True,
+            shard=name,
+            state=holder.get("state"),
+            replayed_entries=int(holder.get("replayed", 0)),
+        )
+
+    def dismiss_quarantined(self, case: str) -> Optional[OutcomeKind]:
+        """Drop a case from the quarantine list (operator accepts the loss).
+
+        Returns the failure kind the case was quarantined with, or
+        ``None`` if it was not quarantined.  The monitor's terminal
+        state is untouched — dismissal is triage bookkeeping, not an
+        acquittal; the control plane records it durably in the store's
+        control log.
+        """
+        with self._quarantined_lock:
+            kind = self._quarantined.pop(case, None)
+        if kind is not None:
+            self._m_dismissals.inc()
+        return kind
 
     def case_states(self) -> dict[str, CaseState]:
         """Every observed case's current state (all shards merged).

@@ -126,11 +126,19 @@ class AuditService:
         host: str = "127.0.0.1",
         port: int = 0,
         http_port: Optional[int] = 0,
+        control=None,
     ):
         """``port``/``http_port`` of 0 bind an ephemeral port (read the
         chosen one back from :attr:`port`/:attr:`http_port` after
-        :meth:`start`); ``http_port=None`` disables the HTTP endpoint."""
+        :meth:`start`); ``http_port=None`` disables the HTTP endpoint.
+
+        ``control`` mounts a
+        :class:`~repro.control.api.ControlPlane` under ``/api/`` on the
+        HTTP listener (duck-typed: anything with a
+        ``handle(method, path, query, body)`` triple-return works).
+        Without one, ``/api/*`` answers 404."""
         self.router = router
+        self._control = control
         self._host = host
         self._port_requested = port
         self._http_port_requested = http_port
@@ -426,12 +434,25 @@ class AuditService:
         conn.send({"event": EV_RESULTS, "cases": results})
 
     # -- the HTTP endpoint ---------------------------------------------------
+    #: ``application/json`` always carries its charset and JSON
+    #: responses are never cacheable — verdicts and quarantine lists
+    #: change under the reader's feet (`Cache-Control: no-store`).
+    _JSON = "application/json; charset=utf-8"
+    _STATUS_LINES = {
+        200: "200 OK",
+        400: "400 Bad Request",
+        404: "404 Not Found",
+        405: "405 Method Not Allowed",
+        409: "409 Conflict",
+        503: "503 Service Unavailable",
+    }
+
     def _http_body(self, path: str) -> tuple[str, str, bytes]:
         """``(status line, content type, body)`` for one GET/HEAD path."""
         if path == "/healthz":
             return (
                 "200 OK",
-                "application/json",
+                self._JSON,
                 json.dumps(
                     {"status": "ok", **self.router.statistics()}
                 ).encode(),
@@ -449,39 +470,106 @@ class AuditService:
             self.router.refresh_shard_gauges()
             return (
                 "200 OK",
-                "application/json",
+                self._JSON,
                 json.dumps(to_json(self._tel.registry)).encode(),
             )
-        return "404 Not Found", "text/plain", b"not found\n"
+        return "404 Not Found", self._JSON, b'{"error": "not found"}\n'
+
+    async def _handle_api(
+        self, method: str, target: str, raw_body: bytes
+    ) -> tuple[str, str, bytes, str]:
+        """Dispatch ``/api/*`` to the mounted control plane.
+
+        Returns ``(status line, content type, body, extra headers)``.
+        The handler runs in an executor — it reads the store and may
+        wait on a shard (requeue), neither of which may stall the loop.
+        """
+        from urllib.parse import parse_qs, urlsplit
+
+        if self._control is None:
+            return (
+                "404 Not Found",
+                self._JSON,
+                b'{"error": "no control plane mounted"}\n',
+                "",
+            )
+        split = urlsplit(target)
+        query = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        body = None
+        if raw_body:
+            try:
+                body = json.loads(raw_body)
+            except ValueError:
+                return (
+                    "400 Bad Request",
+                    self._JSON,
+                    b'{"error": "request body is not valid JSON"}\n',
+                    "",
+                )
+        status, payload, headers = await asyncio.get_running_loop().run_in_executor(
+            None, self._control.handle, method, split.path, query, body
+        )
+        extra = "".join(f"{name}: {value}\r\n" for name, value in headers.items())
+        status_line = self._STATUS_LINES.get(status, f"{status} Status")
+        return (
+            status_line,
+            self._JSON,
+            (json.dumps(payload) + "\n").encode(),
+            extra,
+        )
 
     async def _on_http(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
             request = await reader.readline()
-            while True:  # drain headers; we never need them
+            content_length = 0
+            while True:  # headers: only Content-Length matters to us
                 header = await reader.readline()
                 if header in (b"\r\n", b"\n", b""):
                     break
+                name, _, value = header.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        content_length = 0
             parts = request.decode("latin-1").split()
             extra = ""
             if len(parts) < 2:
-                status, ctype = "400 Bad Request", "text/plain"
-                body = b"malformed request line\n"
+                status, ctype = "400 Bad Request", self._JSON
+                body = b'{"error": "malformed request line"}\n'
                 method = "GET"
             else:
-                method, path = parts[0].upper(), parts[1]
-                if method in ("GET", "HEAD"):
-                    status, ctype, body = self._http_body(path)
+                method, target = parts[0].upper(), parts[1]
+                raw_body = (
+                    await reader.readexactly(content_length)
+                    if content_length
+                    else b""
+                )
+                if target.startswith("/api/"):
+                    if method in ("GET", "HEAD", "POST"):
+                        status, ctype, body, extra = await self._handle_api(
+                            method, target, raw_body
+                        )
+                    else:
+                        status, ctype = "405 Method Not Allowed", self._JSON
+                        body = b'{"error": "method not allowed"}\n'
+                        extra = "Allow: GET, HEAD, POST\r\n"
+                elif method in ("GET", "HEAD"):
+                    status, ctype, body = self._http_body(target.split("?")[0])
                 else:
-                    status, ctype = "405 Method Not Allowed", "text/plain"
-                    body = b"method not allowed\n"
+                    status, ctype = "405 Method Not Allowed", self._JSON
+                    body = b'{"error": "method not allowed"}\n'
                     extra = "Allow: GET, HEAD\r\n"
             writer.write(
                 (
                     f"HTTP/1.1 {status}\r\n"
                     f"Content-Type: {ctype}\r\n"
                     f"Content-Length: {len(body)}\r\n"
+                    "Cache-Control: no-store\r\n"
                     f"{extra}"
                     "Connection: close\r\n\r\n"
                 ).encode()
@@ -489,7 +577,11 @@ class AuditService:
                 + (b"" if method == "HEAD" else body)
             )
             await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):  # pragma: no cover
             pass
         finally:
             writer.close()

@@ -345,3 +345,89 @@ class TestStoreTrailInterop:
 
     def test_round_trip_preserves_order_strictly(self, loaded):
         AuditTrail(loaded.query().entries, strict=True)
+
+
+class TestKeysetPagination:
+    def test_after_seq_resumes_where_the_page_ended(self, loaded):
+        first = loaded.entries_with_seq(limit=10)
+        assert len(first) == 10
+        assert [seq for seq, _ in first] == list(range(1, 11))
+        second = loaded.entries_with_seq(after_seq=first[-1][0], limit=10)
+        assert second[0][0] == 11
+        assert all(seq > first[-1][0] for seq, _ in second)
+
+    def test_pages_reassemble_the_full_trail(self, loaded):
+        pages, cursor = [], 0
+        while True:
+            page = loaded.entries_with_seq(after_seq=cursor, limit=7)
+            if not page:
+                break
+            cursor = page[-1][0]
+            pages.extend(entry for _, entry in page)
+        assert pages == list(loaded.query().entries)
+
+    def test_query_supports_the_same_cursor(self, loaded):
+        total = len(loaded)
+        trail = loaded.query(after_seq=total - 3)
+        assert len(trail) == 3
+        assert len(loaded.query(after_seq=total)) == 0
+
+    def test_case_filter_composes_with_pagination(self, loaded):
+        page = loaded.entries_with_seq(case="HT-1", limit=3)
+        assert len(page) == 3
+        assert all(entry.case == "HT-1" for _, entry in page)
+
+    def test_negative_limit_is_refused(self, loaded):
+        from repro.errors import AuditError
+
+        with pytest.raises(AuditError, match="non-negative"):
+            loaded.query(limit=-1)
+
+    def test_cases_prefix_filter(self, loaded):
+        assert loaded.cases(prefix="CT") == ["CT-1"]
+        assert set(loaded.cases(prefix="HT")) == {
+            "HT-1", "HT-2", "HT-10", "HT-11", "HT-20", "HT-21", "HT-30",
+        }
+        # Prefixes match whole case-id segments, not raw characters: a
+        # prefix "H" matches no "HT-*" case.
+        assert loaded.cases(prefix="H") == []
+
+
+class TestControlLog:
+    def test_record_and_read_back(self, loaded):
+        seq = loaded.record_control(
+            "dismiss", case="HT-10", actor="alice", reason="known fault"
+        )
+        assert seq == 1
+        records = loaded.control_records()
+        assert len(records) == 1
+        record = records[0]
+        assert record["action"] == "dismiss"
+        assert record["case"] == "HT-10"
+        assert record["actor"] == "alice"
+        assert record["reason"] == "known fault"
+        assert loaded.control_records(case="HT-99") == []
+
+    def test_control_chain_is_separate_from_the_trail_chain(self, loaded):
+        before = len(loaded)
+        loaded.record_control("requeue", case="HT-10")
+        # Operator actions never interleave with (or re-anchor) the
+        # audit trail itself.
+        assert len(loaded) == before
+        loaded.verify_integrity()
+
+    def test_empty_action_is_refused(self, loaded):
+        from repro.errors import AuditError
+
+        with pytest.raises(AuditError, match="action"):
+            loaded.record_control("")
+
+    def test_tampered_control_row_is_detected(self, loaded):
+        loaded.record_control("dismiss", case="HT-10", actor="alice")
+        loaded.record_control("requeue", case="HT-11", actor="bob")
+        with loaded._write_transaction():
+            loaded._connection.execute(
+                "UPDATE control_log SET actor = 'mallory' WHERE seq = 1"
+            )
+        with pytest.raises(IntegrityError):
+            loaded.verify_integrity()

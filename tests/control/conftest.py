@@ -1,0 +1,156 @@
+"""Shared fixtures for the control-plane suites.
+
+``scenario_config`` materializes a bundled scenario as an on-disk
+config (process documents + JSON config file) plus an audit store
+holding its trail — the inputs every control-plane surface (API,
+re-audit, CLI) consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.serve.conftest import serve_factory  # noqa: F401 - shared fixture
+
+from repro.audit.model import AuditTrail
+from repro.audit.store import AuditStore
+from repro.bpmn.serialize import dumps as dump_process
+from repro.policy.registry import ProcessRegistry
+from repro.scenarios import (
+    clinical_trial_process,
+    claim_handling_process,
+    fig7_process,
+    fig8_process,
+    fig9_process,
+    fig10_process,
+    healthcare_treatment_process,
+    insurance_audit_trail,
+    insurance_role_hierarchy,
+    marketing_process,
+    paper_audit_trail,
+    role_hierarchy,
+)
+
+
+def _appendix_trail():
+    """Generated trails for the appendix figures (no bundled trail)."""
+    from repro.audit.generator import TrailGenerator
+
+    registry = ProcessRegistry()
+    figures = [
+        ("FIG7", fig7_process()),
+        ("FIG8", fig8_process()),
+        ("FIG9", fig9_process()),
+        ("FIG10", fig10_process()),
+    ]
+    entries = []
+    for prefix, process in figures:
+        registry.register(process, prefix)
+        encoded = registry.encoded_for(
+            registry.purpose_of_case(f"{prefix}-0")
+        )
+        users = {role: [(f"u-{role}", role)] for role in encoded.roles}
+        generator = TrailGenerator(encoded, users_by_role=users, seed=7)
+        for index in range(1, 3):
+            generated = generator.generate_case(
+                f"{prefix}-{index}", f"Subject{index}", min_steps=1
+            )
+            entries.extend(generated.trail)
+    entries.sort(key=lambda entry: entry.timestamp)
+    return AuditTrail(entries)
+
+
+#: name -> (tenants [(prefix, process-factory)], hierarchy-factory, trail)
+SCENARIOS = {
+    "healthcare": (
+        [("HT", healthcare_treatment_process), ("CT", clinical_trial_process)],
+        role_hierarchy,
+        paper_audit_trail,
+    ),
+    "insurance": (
+        [("CL", claim_handling_process), ("MK", marketing_process)],
+        insurance_role_hierarchy,
+        insurance_audit_trail,
+    ),
+    "appendix": (
+        [
+            ("FIG7", fig7_process),
+            ("FIG8", fig8_process),
+            ("FIG9", fig9_process),
+            ("FIG10", fig10_process),
+        ],
+        lambda: None,
+        _appendix_trail,
+    ),
+}
+
+
+def write_scenario_config(
+    directory: Path, name: str, budgets: dict | None = None
+) -> Path:
+    """Write a scenario's processes + config.json; returns the config path."""
+    tenants, hierarchy_factory, _ = SCENARIOS[name]
+    specs = []
+    for prefix, factory in tenants:
+        process = factory()
+        doc_path = directory / f"{prefix.lower()}.json"
+        doc_path.write_text(dump_process(process, indent=2))
+        specs.append(
+            {
+                "purpose": process.purpose,
+                "prefix": prefix,
+                "process": doc_path.name,
+            }
+        )
+    document: dict = {"version": "1", "tenants": specs}
+    hierarchy = hierarchy_factory()
+    if hierarchy is not None:
+        document["hierarchy"] = hierarchy.to_parent_map()
+    if budgets:
+        document["budgets"] = budgets
+    config_path = directory / "audit.json"
+    config_path.write_text(json.dumps(document, indent=2))
+    return config_path
+
+
+def write_scenario_store(directory: Path, name: str) -> str:
+    """Persist the scenario's trail into a fresh audit store."""
+    _, _, trail_factory = SCENARIOS[name]
+    store_path = str(directory / "audit.db")
+    with AuditStore(store_path) as store:
+        for entry in trail_factory():
+            store.append(entry)
+    return store_path
+
+
+def mutate_tenant_process(config_path: Path, prefix: str) -> None:
+    """Edit one tenant's process document in place (changes its role).
+
+    Reassigning a task to a different pool changes the compiler's
+    canonical fingerprint, which is exactly what a real process-model
+    revision does — the tenant's verdicts may genuinely change.
+    """
+    doc_path = config_path.parent / f"{prefix.lower()}.json"
+    document = json.loads(doc_path.read_text())
+    for element in document["elements"]:
+        if element.get("type") == "task":
+            element["pool"] = "Mutated"
+            break
+    else:  # pragma: no cover - every scenario process has a task
+        raise AssertionError(f"no task element in {doc_path}")
+    doc_path.write_text(json.dumps(document, indent=2))
+
+
+@pytest.fixture
+def scenario_config(tmp_path):
+    """``make(name, budgets=None) -> (config_path, store_path)``."""
+
+    def make(name: str, budgets: dict | None = None):
+        config_path = write_scenario_config(tmp_path, name, budgets=budgets)
+        store_path = write_scenario_store(tmp_path, name)
+        return config_path, store_path
+
+    return make

@@ -1,0 +1,119 @@
+"""The ``repro control`` command and ``repro serve --config``.
+
+The CLI is a thin shell over the control clients: every action prints
+the API's JSON payload and maps API errors to exit code 2. The serve
+side is covered up to the preflight gate (boot-and-drain lives in the
+integration suite).
+"""
+
+import json
+import types
+
+from repro.cli import EXIT_BAD_INPUT, EXIT_OK, build_parser, main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr()
+
+
+class TestControlCommand:
+    def test_tenants_prints_the_payload(self, capsys, scenario_config):
+        config_path, store_path = scenario_config("healthcare")
+        code, captured = _run(
+            capsys,
+            "control", "--store", store_path, "--config", str(config_path),
+            "tenants",
+        )
+        assert code == EXIT_OK
+        payload = json.loads(captured.out)
+        assert {t["purpose"] for t in payload["tenants"]} == {
+            "treatment",
+            "clinicaltrial",
+        }
+
+    def test_verdict_filters_pass_through(self, capsys, scenario_config):
+        config_path, store_path = scenario_config("healthcare")
+        code, captured = _run(
+            capsys,
+            "control", "--store", store_path, "--config", str(config_path),
+            "verdicts", "--outcome", "infringing", "--limit", "2",
+        )
+        assert code == EXIT_OK
+        payload = json.loads(captured.out)
+        assert payload["count"] == 2
+        assert payload["next_after_case"] == payload["verdicts"][-1]["case"]
+
+    def test_api_errors_exit_2(self, capsys, scenario_config):
+        config_path, store_path = scenario_config("healthcare")
+        code, captured = _run(
+            capsys,
+            "control", "--store", store_path, "--config", str(config_path),
+            "case", "HT-999",
+        )
+        assert code == EXIT_BAD_INPUT
+        assert "error" in json.loads(captured.out)
+
+    def test_needs_a_target(self, capsys):
+        code, captured = _run(capsys, "control", "tenants")
+        assert code == EXIT_BAD_INPUT
+        assert "--url" in captured.err
+
+    def test_reaudit_round_trip_via_ledger_files(
+        self, capsys, tmp_path, scenario_config
+    ):
+        config_path, store_path = scenario_config("healthcare")
+        ledger = str(tmp_path / "ledger.json")
+        code, captured = _run(
+            capsys,
+            "control", "--store", store_path, "--config", str(config_path),
+            "reaudit", "--ledger-out", ledger,
+        )
+        assert code == EXIT_OK
+        assert json.loads(captured.out)["mode"] == "full"
+        code, captured = _run(
+            capsys,
+            "control", "--store", store_path, "--config", str(config_path),
+            "reaudit", "--ledger", ledger,
+        )
+        assert code == EXIT_OK
+        payload = json.loads(captured.out)
+        assert payload["mode"] == "incremental"
+        assert payload["replayed_cases"] == 0
+
+
+class TestServeConfigFlag:
+    def test_parser_accepts_config_and_no_preflight(self):
+        args = build_parser().parse_args(
+            ["serve", "--config", "audit.toml", "--no-preflight"]
+        )
+        assert args.config == "audit.toml"
+        assert args.no_preflight is True
+
+    def test_serve_without_inputs_names_config(self, capsys):
+        code, captured = _run(capsys, "serve")
+        assert code == EXIT_BAD_INPUT
+        assert "--config" in captured.err
+
+    def test_preflight_errors_refuse_startup(
+        self, capsys, monkeypatch, scenario_config
+    ):
+        config_path, _ = scenario_config("healthcare")
+        from repro.control.config import AuditConfig
+
+        bad = types.SimpleNamespace(
+            code="PC301", process_id="treatment", message="policy mismatch"
+        )
+        monkeypatch.setattr(
+            AuditConfig,
+            "preflight",
+            lambda self, options=None, telemetry=None: types.SimpleNamespace(
+                clean=False, errors=[bad]
+            ),
+        )
+        code, captured = _run(
+            capsys, "serve", "--config", str(config_path), "--http-port", "-1"
+        )
+        assert code == EXIT_BAD_INPUT
+        assert "preflight failed" in captured.err
+        assert "PC301" in captured.err

@@ -1,0 +1,188 @@
+"""Differential suite: incremental re-audit == cold full re-audit.
+
+The whole point of fingerprint-scoped replay is that it is *not* an
+approximation: for every bundled scenario and every kind of config
+drift (no change, an edited process, an added tenant, a removed
+tenant), ``incremental_reaudit`` must produce a ledger whose canonical
+bytes equal a cold ``full_reaudit`` of the same new config — while
+actually replaying only the affected tenants' cases.
+"""
+
+import json
+
+import pytest
+
+from repro.control import (
+    ReauditLedger,
+    full_reaudit,
+    incremental_reaudit,
+    load_config,
+)
+
+from tests.control.conftest import (
+    SCENARIOS,
+    mutate_tenant_process,
+    write_scenario_config,
+    write_scenario_store,
+)
+
+
+def _count_cases(store_path, prefix):
+    from repro.audit.store import AuditStore
+
+    with AuditStore(store_path) as store:
+        return sum(
+            1 for case in store.cases() if case.startswith(prefix + "-")
+        )
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_no_change_reuses_everything(self, tmp_path, scenario):
+        config_path = write_scenario_config(tmp_path, scenario)
+        store_path = write_scenario_store(tmp_path, scenario)
+        config = load_config(str(config_path))
+        baseline = full_reaudit(config, store_path)
+        incremental = incremental_reaudit(
+            config, store_path, baseline.ledger
+        )
+        assert incremental.replayed_cases == 0
+        assert incremental.reused_cases == len(baseline.ledger.records)
+        assert (
+            incremental.ledger.canonical() == baseline.ledger.canonical()
+        )
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_process_edit_replays_only_that_tenant(self, tmp_path, scenario):
+        config_path = write_scenario_config(tmp_path, scenario)
+        store_path = write_scenario_store(tmp_path, scenario)
+        old = load_config(str(config_path))
+        baseline = full_reaudit(old, store_path)
+
+        victim_prefix = SCENARIOS[scenario][0][0][0]
+        victim_purpose = SCENARIOS[scenario][0][0][1]().purpose
+        mutate_tenant_process(config_path, victim_prefix)
+        new = load_config(str(config_path))
+
+        incremental = incremental_reaudit(new, store_path, baseline.ledger)
+        cold = full_reaudit(new, store_path)
+        assert incremental.changed_purposes == (victim_purpose,)
+        assert incremental.replayed_cases == _count_cases(
+            store_path, victim_prefix
+        )
+        assert incremental.reused_cases == (
+            len(baseline.ledger.records) - incremental.replayed_cases
+        )
+        # The headline guarantee: byte-identical to a cold run.
+        assert incremental.ledger.canonical() == cold.ledger.canonical()
+
+    def test_removed_tenant_replays_its_now_unroutable_cases(self, tmp_path):
+        config_path = write_scenario_config(tmp_path, "healthcare")
+        store_path = write_scenario_store(tmp_path, "healthcare")
+        old = load_config(str(config_path))
+        baseline = full_reaudit(old, store_path)
+
+        document = json.loads(config_path.read_text())
+        document["tenants"] = [
+            spec
+            for spec in document["tenants"]
+            if spec["prefix"] != "CT"
+        ]
+        config_path.write_text(json.dumps(document))
+        new = load_config(str(config_path))
+
+        incremental = incremental_reaudit(new, store_path, baseline.ledger)
+        cold = full_reaudit(new, store_path)
+        assert incremental.removed_purposes == ("clinicaltrial",)
+        assert incremental.ledger.canonical() == cold.ledger.canonical()
+        # The orphaned cases audit as unknown-purpose now, not silently
+        # under their stale verdicts.
+        ct_records = [
+            record
+            for case, record in incremental.ledger.records.items()
+            if case.startswith("CT-")
+        ]
+        assert ct_records and all(
+            record["purpose"] is None for record in ct_records
+        )
+
+    def test_added_tenant_replays_newly_routable_cases(self, tmp_path):
+        config_path = write_scenario_config(tmp_path, "healthcare")
+        store_path = write_scenario_store(tmp_path, "healthcare")
+        full_document = json.loads(config_path.read_text())
+        # Start with CT unknown, then add it.
+        old_document = dict(
+            full_document,
+            tenants=[
+                spec
+                for spec in full_document["tenants"]
+                if spec["prefix"] != "CT"
+            ],
+        )
+        old_path = tmp_path / "old.json"
+        old_path.write_text(json.dumps(old_document))
+        old = load_config(str(old_path))
+        baseline = full_reaudit(old, store_path)
+
+        new = load_config(str(config_path))
+        incremental = incremental_reaudit(new, store_path, baseline.ledger)
+        cold = full_reaudit(new, store_path)
+        assert incremental.added_purposes == ("clinicaltrial",)
+        assert incremental.ledger.canonical() == cold.ledger.canonical()
+        assert (
+            incremental.ledger.records["CT-1"]["state"] == "completed"
+        )
+
+
+class TestLedgerAndForensics:
+    def test_ledger_save_load_round_trip(self, tmp_path, scenario_config):
+        config_path, store_path = scenario_config("healthcare")
+        report = full_reaudit(load_config(str(config_path)), store_path)
+        path = tmp_path / "ledger.json"
+        report.ledger.save(str(path))
+        loaded = ReauditLedger.load(str(path))
+        assert loaded.canonical() == report.ledger.canonical()
+
+    def test_fingerprint_log_collects_forensics_lines(
+        self, tmp_path, scenario_config
+    ):
+        config_path, store_path = scenario_config("healthcare")
+        config = load_config(str(config_path))
+        log_path = str(tmp_path / "fingerprints.jsonl")
+        baseline = full_reaudit(config, store_path, fingerprint_log=log_path)
+        incremental_reaudit(
+            config, store_path, baseline.ledger, fingerprint_log=log_path
+        )
+        lines = [
+            json.loads(line)
+            for line in open(log_path, encoding="utf-8")
+        ]
+        assert [line["mode"] for line in lines] == ["full", "incremental"]
+        assert all(
+            line["fingerprints"] == config.tenant_fingerprints()
+            for line in lines
+        )
+        assert lines[1]["replayed_cases"] == 0
+
+    def test_stale_fingerprint_version_forces_full_replay(
+        self, scenario_config
+    ):
+        config_path, store_path = scenario_config("healthcare")
+        config = load_config(str(config_path))
+        baseline = full_reaudit(config, store_path)
+        # A ledger whose fingerprints no current tenant matches (e.g.
+        # written under an older CONFIG_FINGERPRINT_VERSION) offers
+        # nothing to reuse — everything replays, nothing is lost.
+        stale = ReauditLedger(
+            config_fingerprint="stale",
+            fingerprints={
+                purpose: "0" * 64
+                for purpose in config.tenant_fingerprints()
+            },
+            records=dict(baseline.ledger.records),
+        )
+        incremental = incremental_reaudit(config, store_path, stale)
+        assert incremental.reused_cases == 0
+        assert (
+            incremental.ledger.canonical() == baseline.ledger.canonical()
+        )

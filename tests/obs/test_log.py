@@ -9,6 +9,10 @@ from repro.obs.log import (
     CASE_AUDITED,
     CASE_FAILED,
     CASE_QUARANTINED,
+    CONTROL_CONFIG_LOADED,
+    CONTROL_DISMISS,
+    CONTROL_REAUDIT,
+    CONTROL_REQUEUE,
     ENTRY_QUARANTINED,
     ENTRY_REPLAYED,
     EVENT_VOCABULARY,
@@ -45,6 +49,10 @@ class TestVocabulary:
             CASE_AUDITED,
             CASE_FAILED,
             CASE_QUARANTINED,
+            CONTROL_CONFIG_LOADED,
+            CONTROL_DISMISS,
+            CONTROL_REAUDIT,
+            CONTROL_REQUEUE,
             ENTRY_QUARANTINED,
             ENTRY_REPLAYED,
             WEAKNEXT_COMPUTED,

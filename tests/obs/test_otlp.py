@@ -274,3 +274,64 @@ class TestTopSampler:
         assert sample["entries_received"] == 5
         assert sample["shards"]["shard-0"]["queue_depth"] == 2
         assert sample["p99_s"] == 0.005
+
+
+class TestTopTenantRows:
+    def _payloads(self, with_api: bool):
+        payloads = {
+            "/healthz": {
+                "status": "ok",
+                "entries_received": 10,
+                "quarantined_cases": 1,
+                "draining": False,
+                "shard_detail": {
+                    "shard-0": {
+                        "queue_depth": 0,
+                        "inflight_cases": 1,
+                        "entries_observed": 10,
+                    }
+                },
+            },
+            "/metrics.json": {"serve_ingest_seconds": {"series": []}},
+        }
+        if with_api:
+            payloads["/api/v1/tenants"] = {
+                "tenants": [
+                    {
+                        "purpose": "treatment",
+                        "prefix": "HT",
+                        "cases": 7,
+                        "states": {"infringing": 5, "completed": 1},
+                        "quarantined": 1,
+                    },
+                    {
+                        "purpose": "clinicaltrial",
+                        "prefix": "CT",
+                        "cases": 1,
+                        "states": {"completed": 1},
+                        "quarantined": 0,
+                    },
+                ]
+            }
+        return payloads
+
+    def test_renders_per_tenant_rows_from_the_control_api(self):
+        payloads = self._payloads(with_api=True)
+        text = TopSampler(lambda path: payloads[path]).render(now=1.0)
+        assert "tenant" in text
+        treatment_row = next(
+            line for line in text.splitlines() if "treatment" in line
+        )
+        assert "HT" in treatment_row
+        assert "7" in treatment_row  # cases
+        assert "5" in treatment_row  # infringing
+
+    def test_falls_back_cleanly_without_the_api(self):
+        # A daemon predating the control plane: fetching /api/* raises.
+        payloads = self._payloads(with_api=False)
+        sampler = TopSampler(lambda path: payloads[path])
+        sample = sampler.sample(now=1.0)
+        assert sample["tenants"] is None
+        text = sampler.render(now=2.0)
+        assert "tenant" not in text
+        assert "shard-0" in text  # the per-shard view is untouched

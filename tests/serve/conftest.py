@@ -73,6 +73,7 @@ def serve_factory():
         checker_wrapper=None,
         temporal=None,
         http: bool = False,
+        control=None,
     ) -> RunningService:
         router = ShardRouter(
             registry,
@@ -82,7 +83,14 @@ def serve_factory():
             checker_wrapper=checker_wrapper,
             temporal=temporal,
         )
-        service = AuditService(router, http_port=0 if http else None)
+        if control == "mount":
+            # Convenience: build a ControlPlane over the router itself.
+            from repro.control import ControlPlane
+
+            control = ControlPlane(router=router, telemetry=telemetry)
+        service = AuditService(
+            router, http_port=0 if http else None, control=control
+        )
         loop = asyncio.new_event_loop()
         thread = threading.Thread(
             target=loop.run_forever, name="serve-test-loop", daemon=True

@@ -116,3 +116,93 @@ class TestMethodHygiene:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(request, timeout=10)
             assert excinfo.value.code == 404
+
+
+class TestHttpHygiene:
+    def test_json_endpoints_declare_charset_and_no_store(self, http_service):
+        base = f"http://{http_service.host}:{http_service.http_port}"
+        for path in ("/healthz", "/metrics.json"):
+            with urllib.request.urlopen(base + path, timeout=10) as r:
+                assert (
+                    r.headers["Content-Type"]
+                    == "application/json; charset=utf-8"
+                )
+                assert r.headers["Cache-Control"] == "no-store"
+        # Prometheus text keeps its exposition content type, but is
+        # still marked uncacheable.
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as r:
+            assert r.headers["Content-Type"].startswith("text/plain")
+            assert r.headers["Cache-Control"] == "no-store"
+
+    def test_404_body_is_json(self, http_service):
+        base = f"http://{http_service.host}:{http_service.http_port}"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(base + "/nope", timeout=10)
+        error = excinfo.value
+        assert error.headers["Content-Type"] == "application/json; charset=utf-8"
+        assert json.loads(error.read()) == {"error": "not found"}
+
+
+class TestApiMount:
+    def test_api_404s_when_no_control_plane_is_mounted(self, http_service):
+        base = f"http://{http_service.host}:{http_service.http_port}"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(base + "/api/v1/tenants", timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_mounted_control_plane_serves_the_api(self, serve_factory):
+        handle = serve_factory(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            config=ServeConfig(shards=2),
+            http=True,
+            control="mount",
+        )
+        with AuditStreamClient(handle.host, handle.port) as client:
+            client.send_trail(paper_audit_trail())
+            client.sync()
+        base = f"http://{handle.host}:{handle.http_port}"
+        with urllib.request.urlopen(base + "/api/v1/tenants", timeout=10) as r:
+            assert r.headers["Content-Type"] == "application/json; charset=utf-8"
+            assert r.headers["Cache-Control"] == "no-store"
+            payload = json.loads(r.read())
+        assert {t["purpose"] for t in payload["tenants"]} == {
+            "treatment",
+            "clinicaltrial",
+        }
+        with urllib.request.urlopen(
+            base + "/api/v1/verdicts?outcome=infringing", timeout=10
+        ) as r:
+            verdicts = json.loads(r.read())
+        assert verdicts["count"] == 5
+
+    def test_api_errors_carry_json_payloads(self, serve_factory):
+        handle = serve_factory(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            http=True,
+            control="mount",
+        )
+        base = f"http://{handle.host}:{handle.http_port}"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(base + "/api/v1/cases/HT-404", timeout=10)
+        error = excinfo.value
+        assert error.code == 404
+        assert "HT-404" in json.loads(error.read())["error"]
+
+    def test_api_post_requires_known_route(self, serve_factory):
+        handle = serve_factory(
+            process_registry(),
+            hierarchy=role_hierarchy(),
+            http=True,
+            control="mount",
+        )
+        request = urllib.request.Request(
+            f"http://{handle.host}:{handle.http_port}/api/v1/tenants",
+            data=b"{}",
+            method="PUT",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 405
+        assert "POST" in excinfo.value.headers["Allow"]

@@ -170,16 +170,18 @@ class TestSlowStuckCase:
         # after the first one.  Treatment cases share shards with the
         # stuck case and must be untouched.
         # One injected sleep dwarfs the budget, while the budget stays
-        # an order of magnitude above what an honest case costs even on
-        # a cold engine (the first case pays the closure warm-up).
+        # well above what an honest case costs even on a cold engine
+        # (the first case pays the closure warm-up) and even when the
+        # whole suite's worth of GIL pressure inflates wall-clock
+        # billing — the budget meter is wall time around each entry.
         injector = FaultInjector(
-            FaultPlan(slow_s=0.75, only_in_workers=False),
+            FaultPlan(slow_s=2.0, only_in_workers=False),
             purposes=("clinicaltrial",),
         )
         handle = serve_factory(
             process_registry(),
             hierarchy=role_hierarchy(),
-            config=ServeConfig(shards=2, case_timeout_s=0.5),
+            config=ServeConfig(shards=2, case_timeout_s=1.2),
             telemetry=telemetry,
             checker_wrapper=injector,
         )
@@ -206,7 +208,7 @@ class TestSlowStuckCase:
         )
         # Quarantine means the sleeps stop: a couple of naps at most,
         # not one per CT entry.
-        assert elapsed < 8.0
+        assert elapsed < 15.0
         for case, digest in _batch_digests(exclude={"CT-1"}).items():
             assert served[case]["digest"] == digest, (
                 f"case {case} was disturbed by the stuck case"
@@ -215,13 +217,13 @@ class TestSlowStuckCase:
     def test_quarantine_event_is_emitted(self, serve_factory):
         telemetry, log = _telemetry()
         injector = FaultInjector(
-            FaultPlan(slow_s=0.75, only_in_workers=False),
+            FaultPlan(slow_s=2.0, only_in_workers=False),
             purposes=("clinicaltrial",),
         )
         handle = serve_factory(
             process_registry(),
             hierarchy=role_hierarchy(),
-            config=ServeConfig(shards=1, case_timeout_s=0.5),
+            config=ServeConfig(shards=1, case_timeout_s=1.2),
             telemetry=telemetry,
             checker_wrapper=injector,
         )
