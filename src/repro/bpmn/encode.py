@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
+from sys import intern
 
 from repro.bpmn.model import Element, ElementType, Process
 from repro.bpmn.validate import validate
@@ -89,11 +90,16 @@ def encode(process: Process, validated: bool = False) -> EncodedProcess:
         validate(process)
     services = [_encode_element(process, e) for e in process.elements.values()]
     term = normalize(parallel(*services))
+    # Intern the observable vocabulary at encode time: role/task names
+    # become the keys of every replay-side cache (entry keyers, the
+    # dense table's symbol interner), and interning here pairs with the
+    # wire-side interning in repro.serve.protocol so those dict probes
+    # hit the pointer-equality fast path.
     return EncodedProcess(
         process=process,
         term=term,
-        roles=frozenset(process.pools),
-        tasks=frozenset(process.task_ids),
+        roles=frozenset(intern(pool) for pool in process.pools),
+        tasks=frozenset(intern(task) for task in process.task_ids),
     )
 
 

@@ -450,6 +450,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     from repro.compile import (
         AutomatonCache,
         compile_automaton,
+        compile_table,
         fingerprint_encoded,
     )
 
@@ -470,22 +471,38 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                     f"{automaton.transition_count} transition(s), "
                     f"fingerprint {fingerprint[:12]})"
                 )
-                continue
-            checker = ComplianceChecker(
-                encoded, hierarchy=hierarchy, telemetry=telemetry
-            )
-            automaton = compile_automaton(
-                checker,
-                fingerprint=fingerprint,
-                max_states=args.max_states,
-                telemetry=telemetry,
-            )
-            path = cache.save(automaton)
-            print(
-                f"{purpose}: compiled {automaton.state_count} state(s), "
-                f"{automaton.transition_count} transition(s), "
-                f"fingerprint {fingerprint[:12]} -> {path}"
-            )
+            else:
+                checker = ComplianceChecker(
+                    encoded, hierarchy=hierarchy, telemetry=telemetry
+                )
+                automaton = compile_automaton(
+                    checker,
+                    fingerprint=fingerprint,
+                    max_states=args.max_states,
+                    telemetry=telemetry,
+                )
+                path = cache.save(automaton)
+                print(
+                    f"{purpose}: compiled {automaton.state_count} state(s), "
+                    f"{automaton.transition_count} transition(s), "
+                    f"fingerprint {fingerprint[:12]} -> {path}"
+                )
+            if args.table:
+                existing = (
+                    None if args.force
+                    else cache.load_table(purpose, fingerprint)
+                )
+                if existing is not None:
+                    existing.close()
+                    print(f"{purpose}: table up to date")
+                    continue
+                table = compile_table(automaton, telemetry=telemetry)
+                table_file = cache.save_table(table)
+                print(
+                    f"{purpose}: table {table.n_states} state(s) x "
+                    f"{table.n_symbols} symbol(s), pool {len(table.pool)}, "
+                    f"coverage {table.coverage:.2f} -> {table_file}"
+                )
         except ReproError as error:
             failures += 1
             print(f"{purpose}: FAILED ({error})", file=sys.stderr)
@@ -976,6 +993,11 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument(
         "--force", action="store_true",
         help="recompile even when a valid artifact exists",
+    )
+    compile_cmd.add_argument(
+        "--table", action="store_true",
+        help="also flatten each automaton into a dense binary transition "
+        "table (.table.bin) for mmap-backed replay",
     )
     _add_telemetry_args(compile_cmd)
     compile_cmd.set_defaults(handler=_cmd_compile)

@@ -17,6 +17,10 @@ Layers:
 * :mod:`repro.compile.replay` — :class:`CompiledSession` /
   :class:`CompiledChecker`, the drop-in replay surface with interpreted
   fallback;
+* :mod:`repro.compile.table` — the automaton flattened into dense
+  ``state × symbol`` integer arrays with a hash-once symbol interner,
+  a batch stepper, and an mmap-backed binary artifact — the fastest
+  replay tier, falling through to the lazy DFA on any uncovered cell;
 * :mod:`repro.compile.artifact` — versioned, atomic JSON persistence
   and the :class:`AutomatonCache` directory abstraction;
 * :mod:`repro.compile.checkpoint` — revision-gated incremental saves
@@ -58,6 +62,17 @@ from repro.compile.replay import (
     CompiledResult,
     CompiledSession,
 )
+from repro.compile.table import (
+    TABLE_FORMAT_NAME,
+    TABLE_FORMAT_VERSION,
+    UNKNOWN,
+    UNKNOWN_SYMBOL,
+    TransitionTable,
+    compile_table,
+    load_table,
+    save_table,
+    table_path,
+)
 from repro.errors import (
     ArtifactError,
     AutomatonExplosionError,
@@ -71,14 +86,19 @@ def warm_checker(
     cache: Optional[AutomatonCache] = None,
     max_states: int = 50_000,
     telemetry=None,
+    table: bool = True,
 ) -> PurposeAutomaton:
     """Attach a (cached, else fresh) automaton to *checker*; returns it.
 
     This is the auditor/monitor entry point: compute the checker's
     fingerprint, try the artifact cache, fall back to a fresh lazy
     automaton on miss or invalid artifact, and bind it so
-    ``checker.session()`` serves compiled replays from now on.  Never
-    raises on a bad artifact (it is reported and recompiled).
+    ``checker.session()`` serves compiled replays from now on.  With
+    ``table=True`` a cached dense table artifact (the mmap-backed
+    fastest tier, see :mod:`repro.compile.table`) is attached on top
+    when present and intact; a corrupt or misaligned table is reported
+    and skipped — replay simply runs on the lazy tier.  Never raises on
+    a bad artifact (it is reported and recompiled).
     """
     observables = checker.observables
     fingerprint = fingerprint_encoded(
@@ -91,7 +111,6 @@ def warm_checker(
         if automaton is not None:
             try:
                 checker.attach_automaton(automaton)
-                return automaton
             except CompileError as error:
                 path = cache.path_for(checker.purpose, fingerprint)
                 reported = (
@@ -100,6 +119,22 @@ def warm_checker(
                     else ArtifactError(str(error), reason="state_mismatch")
                 )
                 cache.report_invalid(path, reported)
+            else:
+                if table:
+                    cached_table = cache.load_table(
+                        checker.purpose, fingerprint
+                    )
+                    if cached_table is not None:
+                        try:
+                            automaton.attach_table(cached_table)
+                        except ArtifactError as error:
+                            cache.report_invalid(
+                                cache.table_path_for(
+                                    checker.purpose, fingerprint
+                                ),
+                                error,
+                            )
+                return automaton
     automaton = PurposeAutomaton(
         fingerprint=fingerprint,
         purpose=checker.purpose,
@@ -129,9 +164,18 @@ __all__ = [
     "CompiledSession",
     "EntryKeyer",
     "PurposeAutomaton",
+    "TABLE_FORMAT_NAME",
+    "TABLE_FORMAT_VERSION",
     "Transition",
+    "TransitionTable",
+    "UNKNOWN",
+    "UNKNOWN_SYMBOL",
     "artifact_path",
     "compile_automaton",
+    "compile_table",
+    "load_table",
+    "save_table",
+    "table_path",
     "fingerprint_encoded",
     "fingerprint_process",
     "frontier_key",

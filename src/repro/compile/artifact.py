@@ -177,6 +177,11 @@ class AutomatonCache:
     def path_for(self, purpose: str, fingerprint: str) -> Path:
         return artifact_path(self._directory, purpose, fingerprint)
 
+    def table_path_for(self, purpose: str, fingerprint: str) -> Path:
+        from repro.compile.table import table_path
+
+        return table_path(self._directory, purpose, fingerprint)
+
     def load(
         self, purpose: str, fingerprint: str
     ) -> Optional[PurposeAutomaton]:
@@ -195,6 +200,30 @@ class AutomatonCache:
         return save_artifact(
             automaton,
             self.path_for(automaton.purpose, automaton.fingerprint),
+        )
+
+    def load_table(self, purpose: str, fingerprint: str):
+        """The cached dense table, or ``None`` (miss or invalid artifact).
+
+        Same contract as :meth:`load`: corruption — including a flipped
+        bit in the mmap'd cell region, caught by the checksum — is
+        reported and treated as a miss, never raised into an audit.
+        """
+        from repro.compile.table import load_table
+
+        path = self.table_path_for(purpose, fingerprint)
+        try:
+            return load_table(path, expected_fingerprint=fingerprint)
+        except ArtifactError as error:
+            if error.reason != "missing":
+                self.report_invalid(path, error)
+            return None
+
+    def save_table(self, table) -> Path:
+        from repro.compile.table import save_table
+
+        return save_table(
+            table, self.table_path_for(table.purpose, table.fingerprint)
         )
 
     def report_invalid(self, path: Path, error: ArtifactError) -> None:

@@ -34,6 +34,7 @@ configurations on demand: no COWS terms are persisted, only digests.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
@@ -214,6 +215,10 @@ class PurposeAutomaton:
         #: ``memory`` for freshly built automata, ``disk`` after
         #: :meth:`from_document` — the hit-counter tier label.
         self.tier = "memory"
+        #: The attached dense transition table
+        #: (:class:`~repro.compile.table.TransitionTable`), or ``None``.
+        #: Replay consults it before the memoized transition dicts.
+        self.table = None
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tel = tel
         self._m_states = tel.registry.counter(
@@ -350,6 +355,45 @@ class PurposeAutomaton:
         if not self._states:
             self._require_engine()
         return 0
+
+    def states_digest(self, limit: Optional[int] = None) -> str:
+        """SHA-256 over the first *limit* state keys, in id order.
+
+        Two automata agreeing on this digest assign the same ids to the
+        same frontiers for those states — the alignment contract a
+        dense transition table's integer cells depend on.
+        """
+        states = self._states if limit is None else self._states[:limit]
+        hasher = hashlib.sha256()
+        for state in states:
+            hasher.update(state.key.encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def attach_table(self, table) -> None:
+        """Attach a dense table as this automaton's fastest replay tier.
+
+        The table must carry this automaton's fingerprint and hash to
+        the same states digest over its covered prefix — cells are raw
+        state ids, so any misalignment would silently corrupt verdicts.
+        Both defects raise :class:`~repro.errors.ArtifactError`.
+        """
+        if table.fingerprint != self._fingerprint:
+            raise ArtifactError(
+                f"table fingerprint {table.fingerprint[:12]}… does not "
+                f"match automaton {self._fingerprint[:12]}…",
+                reason="fingerprint",
+            )
+        if table.n_states > len(self._states) or (
+            table.states_digest != self.states_digest(table.n_states)
+        ):
+            raise ArtifactError(
+                f"table for {self._purpose!r} covers {table.n_states} "
+                "states that do not align with this automaton's",
+                reason="state_mismatch",
+            )
+        table.bind_keyer(self._keyer)
+        self.table = table
 
     # -- the compiled step function --------------------------------------
     def lookup(self, sid: int, key: str) -> Optional[Transition]:

@@ -3,11 +3,23 @@
 :class:`CompiledSession` is a drop-in for
 :class:`~repro.core.compliance.ComplianceSession`: same ``feed`` /
 ``result`` / ``steps`` surface, same telemetry, same
-``FrontierExplosionError`` contract — but a warm entry costs one dict
-lookup on the purpose automaton instead of a frontier scan over COWS
-configurations.  Every step it records is bit-identical to the
-interpreted one (the automaton memoizes the interpreted step function,
-see :mod:`repro.compile.automaton`).
+``FrontierExplosionError`` contract — but a warm entry costs integer
+indexing instead of a frontier scan over COWS configurations.  Replay
+descends a three-tier ladder, cheapest first:
+
+1. **dense table** (:mod:`repro.compile.table`, when attached) — the
+   entry's ``(task, role)`` pair resolves through the hash-once symbol
+   interner and two array indexings; unknown symbols or uncovered
+   cells fall through;
+2. **lazy DFA** — the automaton's memoized transition dicts, extending
+   through the WeakNext engine on a miss;
+3. **interpreted** — a full :class:`ComplianceSession`, entered only
+   when the automaton cannot serve the step at all.
+
+Every step any tier records is bit-identical to the interpreted one
+(table cells and transition dicts both memoize the interpreted step
+function, see :mod:`repro.compile.automaton`), which the differential
+suites in ``tests/properties`` and ``tests/serve`` enforce.
 
 When the automaton cannot serve a step — a transition miss on a
 pure-disk automaton, or the ``max_states`` guard tripping — the session
@@ -81,6 +93,8 @@ class CompiledSession:
     ):
         self._automaton = automaton
         self._sid = automaton.initial()
+        self._table = automaton.table
+        self._table_hits = 0
         self._max_frontier = max_frontier
         self._fallback = fallback
         self._delegate: Optional[ComplianceSession] = None
@@ -92,18 +106,28 @@ class CompiledSession:
         self._m_entries = tel.registry.counter(
             "replay_entries_total", "log entries replayed, by outcome"
         )
+        #: outcome -> pre-bound counter series (hot-path label binding).
+        self._entry_series: dict = {}
         self._m_frontier = tel.registry.histogram(
             "replay_frontier_size",
             "configuration frontier size after each replay step",
             buckets=DEFAULT_SIZE_BUCKETS,
-        )
+        ).series()
         self._m_seconds = tel.registry.histogram(
             "replay_seconds", "wall time per replayed log entry"
-        )
+        ).series()
         self._m_fallbacks = tel.registry.counter(
             "automaton_fallbacks_total",
             "cases that fell back from compiled to interpreted replay",
         )
+        self._m_table_hits = tel.registry.counter(
+            "automaton_table_hits_total",
+            "replay steps served by the dense transition-table tier "
+            "(flushed in batches at verdict/fallback time)",
+        )
+        # NullEventLogger.emit is a no-op; skipping the call (and its
+        # kwargs build) per entry is behavior-preserving.
+        self._events_on = tel.enabled and tel.events.enabled
 
     # -- state -----------------------------------------------------------
     @property
@@ -151,18 +175,36 @@ class CompiledSession:
         self._count += 1
         if self._failed is not None:
             self._steps.append(ReplayStep(index, entry, REJECTED, 0))
-            self._m_entries.inc(outcome=REJECTED)
+            self._outcome_series(REJECTED).inc()
             return False
         started = time.perf_counter() if self._tel.enabled else 0.0
         previous_size = self._automaton.state_size(self._sid)
 
-        key = self._automaton.entry_key(entry)
-        transition = self._automaton.lookup(self._sid, key)
+        transition = None
+        table = self._table
+        if table is not None and self._sid < table.n_states:
+            # The dense tier: symbol id from the hash-once interner,
+            # then two array/list indexings — no string build, no dict
+            # probe.  UNKNOWN cells (or out-of-alphabet keys) fall
+            # through to the lazy-DFA tier below.
+            sym = (
+                table.err_symbol
+                if entry.failed
+                else table.entry_symbol(entry.task, entry.role)
+            )
+            if sym >= 0:
+                pooled = table.cells[self._sid * table.n_symbols + sym]
+                if pooled >= 0:
+                    transition = table.pool[pooled]
+                    self._table_hits += 1
         if transition is None:
-            try:
-                transition = self._automaton.extend(self._sid, key)
-            except (AutomatonUnavailableError, AutomatonExplosionError):
-                return self._fall_back(entry)
+            key = self._automaton.entry_key(entry)
+            transition = self._automaton.lookup(self._sid, key)
+            if transition is None:
+                try:
+                    transition = self._automaton.extend(self._sid, key)
+                except (AutomatonUnavailableError, AutomatonExplosionError):
+                    return self._fall_back(entry)
 
         if transition.target == REJECTED_STATE:
             self._failed = (index, entry)
@@ -201,12 +243,25 @@ class CompiledSession:
                 f"automaton for {self._automaton.purpose!r} cannot serve "
                 "this trail and no interpreted fallback is configured"
             )
+        self._flush_table_hits()
         self._m_fallbacks.inc()
         delegate = self._fallback()
         for prior in self._steps:
             delegate.feed(prior.entry)
         self._delegate = delegate
         return delegate.feed(entry)
+
+    def _outcome_series(self, outcome: str):
+        series = self._entry_series.get(outcome)
+        if series is None:
+            series = self._m_entries.series(outcome=outcome)
+            self._entry_series[outcome] = series
+        return series
+
+    def _flush_table_hits(self) -> None:
+        if self._table_hits:
+            self._m_table_hits.inc(self._table_hits)
+            self._table_hits = 0
 
     def _record_step(
         self,
@@ -217,12 +272,14 @@ class CompiledSession:
         previous_size: int,
         started: float,
     ) -> None:
-        self._m_entries.inc(outcome=outcome)
+        self._outcome_series(outcome).inc()
         if not self._tel.enabled:
             return
         duration = time.perf_counter() - started
         self._m_frontier.observe(frontier_size)
         self._m_seconds.observe(duration)
+        if not self._events_on:
+            return
         self._tel.events.emit(
             ENTRY_REPLAYED,
             index=index,
@@ -246,6 +303,7 @@ class CompiledSession:
     def result(self) -> ComplianceResult:
         if self._delegate is not None:
             return self._delegate.result()
+        self._flush_table_hits()
         failed_index, failed_entry = self._failed or (None, None)
         compliant = self._failed is None
         return CompiledResult(

@@ -101,6 +101,7 @@ class OnlineMonitor:
         compiled: "bool | None" = None,
         automaton_dir: "str | None" = None,
         automaton_max_states: int = 50_000,
+        table: bool = True,
         checker_wrapper=None,
     ):
         """``temporal`` maps purpose names to their temporal constraints;
@@ -111,7 +112,10 @@ class OnlineMonitor:
         (``docs/compilation.md``), making the per-event cost of a warm
         monitor an O(1) dict lookup; ``automaton_dir`` persists the
         automata (implies ``compiled``) and :meth:`sweep` doubles as the
-        checkpoint tick.
+        checkpoint tick.  ``table`` (the default) additionally attaches
+        a cached dense transition table when the automaton directory
+        holds one — the mmap-backed fastest tier; ``table=False`` pins
+        compiled replay to the lazy DFA.
 
         ``checker_wrapper`` is the ``(checker, purpose) -> checker``
         middleware seam shared with the batch auditor — the hook
@@ -121,6 +125,7 @@ class OnlineMonitor:
         self._temporal = dict(temporal or {})
         self._compiled = compiled if compiled is not None else automaton_dir is not None
         self._automaton_max_states = automaton_max_states
+        self._table = table
         self._checker_wrapper = checker_wrapper
         self._checkpoints: list = []
         self._checkers: dict[str, ComplianceChecker] = {}
@@ -135,7 +140,7 @@ class OnlineMonitor:
             self._automaton_cache = AutomatonCache(automaton_dir, telemetry=tel)
         self._m_entries = tel.registry.counter(
             "monitor_entries_total", "log entries observed by the monitor"
-        )
+        ).series()
         self._m_cases = tel.registry.gauge(
             "monitor_cases", "cases under observation, by state"
         )
@@ -145,6 +150,22 @@ class OnlineMonitor:
         self._m_errors = tel.registry.counter(
             "audit_errors_total", "contained per-case audit failures, by kind"
         )
+
+    def prewarm(self) -> None:
+        """Build and warm every registered purpose's checker up front.
+
+        A monitor serving a live stream should pay checker setup —
+        encoding, the JSON automaton artifact parse, the table mmap —
+        at startup, not on the first entry of each purpose mid-stream.
+        A purpose whose setup fails is skipped: the same failure
+        reproduces at observe time, where per-case containment charges
+        it to the case instead of the monitor.
+        """
+        for purpose in sorted(self._registry.purposes()):
+            try:
+                self._checker_for(purpose)
+            except Exception:
+                continue
 
     # -- internals --------------------------------------------------------
     def _checker_for(self, purpose: str) -> ComplianceChecker:
@@ -163,6 +184,7 @@ class OnlineMonitor:
                     cache=self._automaton_cache,
                     max_states=self._automaton_max_states,
                     telemetry=self._tel,
+                    table=self._table,
                 )
                 if self._automaton_cache is not None:
                     self._checkpoints.append(

@@ -146,9 +146,21 @@ class _WorkerState:
         document = self.automata.get(purpose)
         if document is not None:
             try:
-                from repro.compile import CompiledChecker, PurposeAutomaton
+                from repro.compile import (
+                    CompiledChecker,
+                    PurposeAutomaton,
+                    compile_table,
+                )
 
                 automaton = PurposeAutomaton.from_document(document)
+                try:
+                    # Flatten the shipped document into the dense tier:
+                    # pure data reshaping (no engine), and the table is
+                    # id-aligned by construction since it comes from
+                    # this very automaton.
+                    automaton.attach_table(compile_table(automaton))
+                except Exception:
+                    pass  # lazy tier still serves every covered trail
                 return CompiledChecker(
                     automaton,
                     checker_factory=lambda: self._build_interpreted(purpose),

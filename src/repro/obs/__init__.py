@@ -53,6 +53,7 @@ from repro.obs.log import (
     ARTIFACT_INVALID,
     AUTOMATON_CHECKPOINT,
     AUTOMATON_COMPILED,
+    AUTOMATON_TABLE_COMPILED,
     CASE_AUDITED,
     CASE_FAILED,
     CASE_QUARANTINED,
@@ -163,6 +164,7 @@ __all__ = [
     "ARTIFACT_INVALID",
     "AUTOMATON_CHECKPOINT",
     "AUTOMATON_COMPILED",
+    "AUTOMATON_TABLE_COMPILED",
     "CASE_AUDITED",
     "CASE_FAILED",
     "CASE_QUARANTINED",

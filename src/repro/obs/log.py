@@ -34,6 +34,9 @@ event               emitted when
 ``automaton.checkpoint``  newly materialized automaton states were
                     persisted mid-audit (fields: purpose, states,
                     transitions, path)
+``automaton.table_compiled``  an automaton was flattened into a dense
+                    transition table (fields: purpose, states, symbols,
+                    pool, duration_s)
 ``compile.artifact_invalid``  a persisted automaton artifact was
                     rejected (version/fingerprint mismatch, truncation)
                     and will be recompiled transparently (fields: path,
@@ -104,6 +107,7 @@ WORKER_LOST = "worker.lost"
 ENTRY_QUARANTINED = "entry.quarantined"
 AUTOMATON_COMPILED = "automaton.compiled"
 AUTOMATON_CHECKPOINT = "automaton.checkpoint"
+AUTOMATON_TABLE_COMPILED = "automaton.table_compiled"
 ARTIFACT_INVALID = "compile.artifact_invalid"
 LINT_RUN = "lint.run"
 PREFLIGHT_UNSOUND = "lint.preflight_unsound"
@@ -137,6 +141,7 @@ EVENT_VOCABULARY = frozenset(
         ENTRY_QUARANTINED,
         AUTOMATON_COMPILED,
         AUTOMATON_CHECKPOINT,
+        AUTOMATON_TABLE_COMPILED,
         ARTIFACT_INVALID,
         LINT_RUN,
         PREFLIGHT_UNSOUND,

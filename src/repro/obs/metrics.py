@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence
 
@@ -50,6 +51,29 @@ def _label_key(labels: dict[str, str]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+class _CounterSeries:
+    """One pre-bound label set of a :class:`Counter`.
+
+    Hot paths that increment the same series per event (per replayed
+    entry, per ingest) bind once and skip the per-call label-key build;
+    the increment itself stays under the parent counter's lock, so
+    bound and kwargs-style updates interleave safely.
+    """
+
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: "Counter", key: LabelKey):
+        self._counter = counter
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        counter = self._counter
+        with counter._lock:
+            counter._values[self._key] = (
+                counter._values.get(self._key, 0.0) + amount
+            )
+
+
 class Counter:
     """A monotonically increasing value, optionally split by labels."""
 
@@ -67,6 +91,10 @@ class Counter:
         key = _label_key(labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
+
+    def series(self, **labels: str) -> _CounterSeries:
+        """A pre-bound handle for per-event increments of one label set."""
+        return _CounterSeries(self, _label_key(labels))
 
     def value(self, **labels: str) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -173,19 +201,20 @@ class Histogram:
         return series
 
     def observe(self, value: float, **labels: str) -> None:
-        key = _label_key(labels)
-        index = len(self.buckets)  # +Inf unless a bound catches it
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                index = i
-                break
+        # bisect_left finds the first bound >= value (+Inf past the end),
+        # matching the linear scan it replaced.
+        index = bisect_left(self.buckets, value)
         with self._lock:
-            series = self._series_for(key)
+            series = self._series_for(_label_key(labels))
             series.bucket_counts[index] += 1
             series.count += 1
             series.sum += value
             if value > series.max:
                 series.max = value
+
+    def series(self, **labels: str) -> "_BoundHistogram":
+        """A pre-bound handle for per-event observations of one label set."""
+        return _BoundHistogram(self, _label_key(labels))
 
     def observe_with_exemplar(
         self,
@@ -202,11 +231,7 @@ class Histogram:
         reads the wall clock for exemplar timestamps.
         """
         key = _label_key(labels)
-        index = len(self.buckets)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                index = i
-                break
+        index = bisect_left(self.buckets, value)
         now = time.time()
         with self._lock:
             series = self._series_for(key)
@@ -311,6 +336,29 @@ class Histogram:
                     held = series.exemplars.get(index)
                     if held is None or exemplar.get("ts", 0) >= held.get("ts", 0):
                         series.exemplars[index] = dict(exemplar)
+
+
+class _BoundHistogram:
+    """One pre-bound label set of a :class:`Histogram` (see
+    :class:`_CounterSeries` for the rationale)."""
+
+    __slots__ = ("_histogram", "_series")
+
+    def __init__(self, histogram: Histogram, key: LabelKey):
+        self._histogram = histogram
+        with histogram._lock:
+            self._series = histogram._series_for(key)
+
+    def observe(self, value: float) -> None:
+        histogram = self._histogram
+        index = bisect_left(histogram.buckets, value)
+        series = self._series
+        with histogram._lock:
+            series.bucket_counts[index] += 1
+            series.count += 1
+            series.sum += value
+            if value > series.max:
+                series.max = value
 
 
 @contextmanager
@@ -444,6 +492,9 @@ class NullCounter:
 
     total = 0.0
 
+    def series(self, **labels: str) -> "NullCounter":
+        return self
+
     def samples(self) -> dict:
         return {}
 
@@ -493,6 +544,9 @@ class NullHistogram:
         self, value: float, trace_id: str, span_id: str = "", **labels: str
     ) -> None:
         pass
+
+    def series(self, **labels: str) -> "NullHistogram":
+        return self
 
     def time(self, **labels: str) -> _NullTimer:
         return _NULL_TIMER

@@ -143,6 +143,10 @@ class ServeConfig:
     compiled: Optional[bool] = None
     automaton_dir: Optional[str] = None
     automaton_max_states: int = 50_000
+    # Dense transition-table replay tier (docs/compilation.md).  None
+    # follows ``compiled``; False pins replay to the lazy-DFA tier
+    # (the tier-differential suite exercises all three).
+    table: Optional[bool] = None
     # -- crash safety (docs/robustness.md) --
     wal_dir: Optional[str] = None  # per-shard write-ahead ingest logs
     wal_segment_max_bytes: int = 4 << 20
@@ -260,6 +264,10 @@ class _Shard(threading.Thread):
         self._rebuild = rebuild or []
         self._spent: dict[str, float] = {}  # case -> processing seconds
         self.entries_observed = 0
+        #: Set once the monitor's checkers are warm (artifacts loaded);
+        #: the router's ``start`` blocks on it so the first streamed
+        #: entry never pays artifact-parse latency.
+        self.warmed = threading.Event()
         # Cases this shard has opened and not yet settled.  Mutated only
         # by this thread; other threads read len() (GIL-atomic) for the
         # in-flight gauge.
@@ -274,6 +282,10 @@ class _Shard(threading.Thread):
     def run(self) -> None:
         interval = self._router.config.heartbeat_interval_s
         try:
+            try:
+                self.monitor.prewarm()
+            finally:
+                self.warmed.set()
             for item in self._rebuild:
                 self._handle(item)
             self._rebuild = []
@@ -414,7 +426,7 @@ class _Shard(threading.Thread):
                 elapsed, ctx.trace_id, replay_span_id
             )
         else:
-            self._router._m_ingest.observe(elapsed)
+            self._router._m_ingest_fast.observe(elapsed)
 
         budget = self._router.config.case_timeout_s
         after = monitor.case_state(case)
@@ -639,12 +651,15 @@ class ShardRouter:
         self._case_traces: dict[str, TraceContext] = {}
         self._trace_lock = threading.Lock()
 
+        # Per-entry instruments are bound to their (label-less) series
+        # once here, so the ingest path skips label resolution per inc.
         self._m_entries = tel.registry.counter(
             "serve_entries_total", "log entries accepted by the service"
-        )
+        ).series()
         self._m_ingest = tel.registry.histogram(
             "serve_ingest_seconds", "shard processing time per entry"
         )
+        self._m_ingest_fast = self._m_ingest.series()
         self._m_flushes = tel.registry.counter(
             "serve_flushes_total", "store flush transactions committed"
         )
@@ -677,7 +692,7 @@ class ShardRouter:
         self._m_wal_records = tel.registry.counter(
             "serve_wal_records_total",
             "entries appended to the write-ahead ingest log",
-        )
+        ).series()
         self._m_wal_unflushed_records = tel.registry.gauge(
             "serve_wal_unflushed_records",
             "WAL records buffered but not yet fsynced, per shard",
@@ -743,6 +758,10 @@ class ShardRouter:
             self._shards[name] = shard
             self._overload[name] = "ok"
             shard.start()
+        for shard in self._shards.values():
+            # Block until every monitor loaded its artifacts: the first
+            # streamed entry must hit warm state, never a JSON parse.
+            shard.warmed.wait(timeout=60)
         if self.config.store_path is not None:
             self._writer = _StoreWriter(self.config.store_path, self)
             self._writer.start()
@@ -754,6 +773,16 @@ class ShardRouter:
         self._accepting = True
 
     def _new_monitor(self) -> OnlineMonitor:
+        table = self.config.table
+        if table is None:
+            # The table tier follows compiled serving, which is active
+            # whenever ``compiled`` is set *or* an automaton directory
+            # is configured (the same condition ``start`` warms under —
+            # the CLI's --automaton-dir implies compiled replay).
+            table = (
+                bool(self.config.compiled)
+                or self._automaton_dir_resolved is not None
+            )
         return OnlineMonitor(
             self._registry,
             hierarchy=self._hierarchy,
@@ -762,6 +791,7 @@ class ShardRouter:
             compiled=self.config.compiled,
             automaton_dir=self._automaton_dir_resolved,
             automaton_max_states=self.config.automaton_max_states,
+            table=table,
             checker_wrapper=self._checker_wrapper,
         )
 
@@ -774,9 +804,19 @@ class ShardRouter:
         replay is a transition-table lookup — not a lazy WeakNext
         exploration racing the live stream.
         """
-        from repro.compile import AutomatonCache, compile_automaton
+        from repro.compile import (
+            AutomatonCache,
+            compile_automaton,
+            compile_table,
+        )
         from repro.core.compliance import ComplianceChecker
 
+        # Reached only when compiled serving is active (``start`` gates
+        # on compiled-or-automaton-dir), so an unset ``table`` means on;
+        # only an explicit ``table=False`` pins the lazy-DFA tier.
+        want_table = self.config.table
+        if want_table is None:
+            want_table = True
         cache = AutomatonCache(automaton_dir, telemetry=self._tel)
         for purpose in sorted(self._registry.purposes()):
             try:
@@ -791,6 +831,12 @@ class ShardRouter:
                     telemetry=self._tel,
                 )
                 cache.save(automaton)
+                if want_table:
+                    # Flatten once; every shard then mmaps the same
+                    # dense artifact through warm_checker.
+                    cache.save_table(
+                        compile_table(automaton, telemetry=self._tel)
+                    )
             except Exception:
                 # A purpose that defeats compilation (or Algorithm 1
                 # itself) is contained per case at observe time, exactly

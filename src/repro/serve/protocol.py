@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import json
 from datetime import datetime
+from sys import intern
 from typing import Optional
 
 from repro.audit.model import LogEntry, Status, parse_timestamp
@@ -198,13 +199,17 @@ def entry_from_message(message: dict) -> LogEntry:
     ts = message["ts"]
     if not isinstance(ts, str):
         raise ProtocolError(f"ts must be a string timestamp, got {ts!r}")
+    # Intern the canonical vocabulary once at the wire boundary: every
+    # downstream hot-path dict keyed by these strings — the table tier's
+    # (task, role) symbol interner, the keyer caches, case routing —
+    # then compares by pointer and hashes a given string at most once.
     return LogEntry(
-        user=str(message["user"]),
-        role=str(message["role"]),
-        action=str(message["action"]),
+        user=intern(str(message["user"])),
+        role=intern(str(message["role"])),
+        action=intern(str(message["action"])),
         obj=obj,
-        task=str(message["task"]),
-        case=str(message["case"]),
+        task=intern(str(message["task"])),
+        case=intern(str(message["case"])),
         timestamp=_parse_ts(ts),
         status=status,
     )

@@ -40,6 +40,11 @@ class ConsistentHashRing:
         self._points: list[tuple[int, str]] = []
         self._hashes: list[int] = []
         self._shards: list[str] = []
+        # key -> shard memo: the ingest path routes every entry of a
+        # case to the same shard, so the SHA-256 + bisect is paid once
+        # per case, not once per entry.  Invalidated on any topology
+        # change; bounded so a pathological key churn cannot leak.
+        self._cache: dict[str, str] = {}
         for shard in shards:
             self.add_shard(shard)
         if not self._shards:
@@ -61,6 +66,7 @@ class ConsistentHashRing:
             self._points.append((_ring_hash(f"{shard}:{replica}"), shard))
         self._points.sort()
         self._hashes = [point for point, _ in self._points]
+        self._cache = {}
 
     def remove_shard(self, shard: str) -> None:
         if shard not in self._shards:
@@ -68,13 +74,24 @@ class ConsistentHashRing:
         self._shards.remove(shard)
         self._points = [(h, s) for h, s in self._points if s != shard]
         self._hashes = [point for point, _ in self._points]
+        self._cache = {}
 
     def shard_for(self, key: str) -> str:
-        """The shard owning *key*: first ring point at or after its hash."""
-        index = bisect.bisect_right(self._hashes, _ring_hash(key))
-        if index == len(self._points):
-            index = 0  # wrap around the ring
-        return self._points[index][1]
+        """The shard owning *key*: first ring point at or after its hash.
+
+        Memoized per key (benign under races: recomputation is
+        idempotent, and a topology change swaps in a fresh dict).
+        """
+        cache = self._cache
+        shard = cache.get(key)
+        if shard is None:
+            index = bisect.bisect_right(self._hashes, _ring_hash(key))
+            if index == len(self._points):
+                index = 0  # wrap around the ring
+            shard = self._points[index][1]
+            if len(cache) < 1_000_000:
+                cache[key] = shard
+        return shard
 
     def __len__(self) -> int:
         return len(self._shards)

@@ -384,11 +384,23 @@ def corrupt_artifact(path, mode: str = "truncate") -> None:
     * ``fingerprint`` — rewrite the envelope fingerprint so it no longer
       matches the process the auditor is about to replay;
     * ``empty`` — leave a zero-byte file behind.
+
+    Binary transition tables (``*.table.bin``, loaded by
+    :func:`repro.compile.load_table`) take the same mode names plus
+    ``bitflip`` — flip one bit inside the mmap'd cell region, which the
+    loader must reject via its SHA-256 checksum (``reason="tamper"``).
+    ``version`` bumps the ``uint32`` after the ``RPTB`` magic;
+    ``fingerprint`` rewrites the header's fingerprint field in place
+    (same length, so the layout stays valid and only the identity check
+    fires).
     """
     import json
     from pathlib import Path
 
     target = Path(path)
+    if target.name.endswith(".table.bin"):
+        _corrupt_table(target, mode)
+        return
     if mode == "truncate":
         data = target.read_bytes()
         target.write_bytes(data[: max(1, len(data) // 2)])
@@ -406,5 +418,42 @@ def corrupt_artifact(path, mode: str = "truncate") -> None:
             if isinstance(envelope.get("automaton"), dict):
                 envelope["automaton"]["fingerprint"] = flipped
         target.write_text(json.dumps(envelope), encoding="utf-8")
+    else:
+        raise ValueError(f"unknown corruption mode: {mode!r}")
+
+
+def _corrupt_table(target, mode: str) -> None:
+    """Damage a binary ``RPTB`` transition-table artifact."""
+    data = bytearray(target.read_bytes())
+    header_end = 12
+    if len(data) >= 12:
+        header_end = 12 + int.from_bytes(data[8:12], "little")
+    if mode == "truncate":
+        # Drop the tail of the cell region (or half the file when the
+        # header alone fills it) — the declared cells_bytes no longer fit.
+        cut = max(12, (header_end + len(data)) // 2)
+        target.write_bytes(bytes(data[: min(cut, len(data) - 1)]))
+    elif mode == "garbage":
+        target.write_bytes(b"\x00not a table\xff")
+    elif mode == "empty":
+        target.write_bytes(b"")
+    elif mode == "version":
+        data[4:8] = (2**31).to_bytes(4, "little")
+        target.write_bytes(bytes(data))
+    elif mode == "bitflip":
+        if len(data) <= header_end:
+            raise ValueError("table has no cell region to flip")
+        data[-1] ^= 0x40  # one bit, deep in the mmap'd cell region
+        target.write_bytes(bytes(data))
+    elif mode == "fingerprint":
+        import json as _json
+
+        header = _json.loads(data[12:header_end].decode("utf-8"))
+        original = header["fingerprint"]
+        replacement = ("0" if original[:1] != "0" else "1") * len(original)
+        blob = bytes(data).replace(
+            original.encode("utf-8"), replacement.encode("utf-8"), 1
+        )
+        target.write_bytes(blob)
     else:
         raise ValueError(f"unknown corruption mode: {mode!r}")

@@ -1,0 +1,302 @@
+"""Tests for the dense transition-table tier (:mod:`repro.compile.table`).
+
+The table is the fastest rung of the replay ladder — two array lookups
+per entry, zero hashing — and it earns that position only because these
+tests hold it to the exact behavior of the tiers beneath it: every cell
+serves the same :class:`Transition` the automaton memoized, every
+artifact round-trips bit-for-bit, and every corruption mode is rejected
+at load time with the right reason and degrades to lazy replay instead
+of failing an audit.
+"""
+
+import pytest
+
+from repro.bpmn import encode
+from repro.compile import (
+    TABLE_FORMAT_VERSION,
+    UNKNOWN_SYMBOL,
+    AutomatonCache,
+    CompiledChecker,
+    PurposeAutomaton,
+    compile_automaton,
+    compile_table,
+    fingerprint_encoded,
+    load_table,
+    save_table,
+    table_path,
+    warm_checker,
+)
+from repro.core import ComplianceChecker
+from repro.errors import ArtifactError
+from repro.obs import MetricsRegistry, Telemetry
+from repro.obs.log import (
+    ARTIFACT_INVALID,
+    AUTOMATON_TABLE_COMPILED,
+    MemoryEventLog,
+)
+from repro.scenarios import hospital_day, role_hierarchy, sequential_process
+from repro.testing import canonical_digest, corrupt_artifact
+
+
+@pytest.fixture
+def automaton():
+    checker = ComplianceChecker(encode(sequential_process(3)))
+    return compile_automaton(checker)
+
+
+@pytest.fixture
+def table(automaton):
+    return compile_table(automaton)
+
+
+@pytest.fixture
+def saved(table, tmp_path):
+    path = table_path(tmp_path, table.purpose, table.fingerprint)
+    save_table(table, path)
+    return path
+
+
+def telemetry_with_log():
+    log = MemoryEventLog()
+    registry = MetricsRegistry()
+    return Telemetry.create(registry=registry, events=log.events), log, registry
+
+
+class TestCompile:
+    def test_shape_covers_the_automaton(self, automaton, table):
+        assert table.n_states == automaton.state_count
+        assert table.n_symbols == len(table.symbols)
+        assert len(table.cells) == table.n_states * table.n_symbols
+        assert table.source == "memory"
+        # Eagerly compiled automata memoize every canonical-alphabet
+        # transition, so the flattened table is fully covered.
+        assert table.coverage == 1.0
+
+    def test_cells_agree_with_the_lazy_tier(self, automaton, table):
+        for sid in range(automaton.state_count):
+            for sym, key in enumerate(table.symbols):
+                assert table.step(sid, sym) == automaton.lookup(sid, key)
+
+    def test_pool_is_deduplicated(self, automaton, table):
+        assert len(table.pool) == len(set(table.pool))
+        assert len(table.pool) <= automaton.transition_count
+
+    def test_may_continue_bitset(self, automaton, table):
+        for sid in range(automaton.state_count):
+            assert table.state_may_continue(sid) == (
+                automaton.state_may_continue(sid)
+            )
+
+    def test_step_rejects_out_of_range(self, table):
+        assert table.step(0, UNKNOWN_SYMBOL) is None
+        assert table.step(-1, 0) is None
+        assert table.step(table.n_states, 0) is None
+
+    def test_step_batch_matches_step(self, table):
+        sids, syms = [], []
+        for sid in range(-1, table.n_states + 1):
+            for sym in range(-1, table.n_symbols):
+                sids.append(sid)
+                syms.append(sym)
+        batched = table.step_batch(sids, syms)
+        assert len(batched) >= 8  # exercises the vectorized path
+        for sid, sym, got in zip(sids, syms, batched):
+            assert got == table.step(sid, sym), (sid, sym)
+        # The short-input path (plain loop) must agree too.
+        assert table.step_batch(sids[:3], syms[:3]) == batched[:3]
+
+    def test_entry_symbol_interns_each_pair_once(self, automaton, table):
+        state = automaton._states[0]
+        key = next(k for k in state.transitions if "\x1f" in k)
+        task = key.split("\x1f")[1]
+        role = next(iter(automaton.keyer.roles))
+        first = table.entry_symbol(task, role)
+        assert table.entry_symbol(task, role) == first
+        assert table.entry_symbol("NoSuchTask", role) == UNKNOWN_SYMBOL
+        # Misses are cached as well — the negative result is interned.
+        assert ("NoSuchTask", role) in table._entry_symbols
+
+    def test_compile_emits_telemetry(self, automaton):
+        telemetry, log, registry = telemetry_with_log()
+        table = compile_table(automaton, telemetry=telemetry)
+        events = log.named(AUTOMATON_TABLE_COMPILED)
+        assert len(events) == 1
+        assert events[0]["states"] == table.n_states
+        assert events[0]["symbols"] == table.n_symbols
+        assert events[0]["pool"] == len(table.pool)
+        gauge = registry.gauge("automaton_table_states")
+        assert gauge.value(purpose=automaton.purpose) == table.n_states
+
+
+class TestRoundTrip:
+    def test_path_is_keyed_by_purpose_and_fingerprint(self, table, tmp_path):
+        path = table_path(tmp_path, table.purpose, table.fingerprint)
+        assert table.fingerprint[:16] in path.name
+        assert path.name.endswith(".table.bin")
+
+    def test_mmap_load_is_bit_identical(self, table, saved):
+        loaded = load_table(saved, expected_fingerprint=table.fingerprint)
+        try:
+            assert loaded.source == "mmap"
+            assert loaded.fingerprint == table.fingerprint
+            assert loaded.purpose == table.purpose
+            assert loaded.symbols == table.symbols
+            assert loaded.pool == table.pool
+            assert loaded.n_states == table.n_states
+            assert loaded.states_digest == table.states_digest
+            assert loaded.may_continue_bits == table.may_continue_bits
+            assert list(loaded.cells) == list(table.cells)
+        finally:
+            loaded.close()
+
+    def test_loaded_table_keys_entries_without_the_automaton(
+        self, automaton, table, saved
+    ):
+        """The artifact carries roles + hierarchy, so a loaded table can
+        intern ``(task, role)`` pairs before any automaton binds it."""
+        loaded = load_table(saved)
+        try:
+            state = automaton._states[0]
+            key = next(k for k in state.transitions if "\x1f" in k)
+            task = key.split("\x1f")[1]
+            role = next(iter(automaton.keyer.roles))
+            assert loaded.entry_symbol(task, role) == table.entry_symbol(
+                task, role
+            )
+        finally:
+            loaded.close()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError) as excinfo:
+            load_table(tmp_path / "nope.table.bin")
+        assert excinfo.value.reason == "missing"
+
+    def test_fingerprint_mismatch(self, saved):
+        with pytest.raises(ArtifactError) as excinfo:
+            load_table(saved, expected_fingerprint="0" * 64)
+        assert excinfo.value.reason == "fingerprint"
+
+
+class TestCorruptionModes:
+    """Every way a table artifact can rot must be detected at load time
+    with the right reason — and absorbed as a cache miss, never raised
+    into an audit."""
+
+    MODES = [
+        ("truncate", "truncated"),
+        ("garbage", "format"),
+        ("empty", "truncated"),
+        ("version", "version"),
+        ("bitflip", "tamper"),
+        ("fingerprint", "fingerprint"),
+    ]
+
+    @pytest.mark.parametrize("mode,reason", MODES)
+    def test_load_rejects_with_reason(self, table, saved, mode, reason):
+        corrupt_artifact(saved, mode)
+        with pytest.raises(ArtifactError) as excinfo:
+            load_table(saved, expected_fingerprint=table.fingerprint)
+        assert excinfo.value.reason == reason
+
+    @pytest.mark.parametrize("mode,reason", MODES)
+    def test_cache_treats_corruption_as_reported_miss(
+        self, automaton, mode, reason, tmp_path
+    ):
+        telemetry, log, registry = telemetry_with_log()
+        cache = AutomatonCache(tmp_path, telemetry=telemetry)
+        cache.save_table(compile_table(automaton))
+        corrupt_artifact(
+            cache.table_path_for(automaton.purpose, automaton.fingerprint),
+            mode,
+        )
+        assert cache.load_table(
+            automaton.purpose, automaton.fingerprint
+        ) is None
+        events = log.named(ARTIFACT_INVALID)
+        assert len(events) == 1
+        assert events[0]["reason"] == reason
+        counter = registry.counter("automaton_artifacts_invalid_total")
+        assert counter.value(reason=reason) == 1
+
+    @pytest.mark.parametrize("mode", [m for m, _ in MODES])
+    def test_audit_survives_on_the_lazy_tier(self, mode, tmp_path):
+        """warm_checker with a rotten table: the automaton still attaches
+        and replay falls back to lazy-DFA with identical verdicts."""
+        workload = hospital_day(n_cases=4, violation_rate=0.3, seed=11)
+        hierarchy = role_hierarchy()
+        cache = AutomatonCache(tmp_path)
+        donor = ComplianceChecker(workload.encoded, hierarchy=hierarchy)
+        automaton = compile_automaton(donor)
+        cache.save(automaton)
+        cache.save_table(compile_table(automaton))
+        corrupt_artifact(
+            cache.table_path_for(automaton.purpose, automaton.fingerprint),
+            mode,
+        )
+        checker = ComplianceChecker(workload.encoded, hierarchy=hierarchy)
+        warmed = warm_checker(checker, cache=cache)
+        assert warmed.table is None  # the corrupt table was skipped
+        interpreted = ComplianceChecker(workload.encoded, hierarchy=hierarchy)
+        for case in workload.trail.cases():
+            case_trail = workload.trail.for_case(case)
+            assert canonical_digest(checker.check(case_trail)) == (
+                canonical_digest(interpreted.check(case_trail))
+            ), case
+
+
+class TestStateAlignment:
+    def test_attach_requires_matching_fingerprint(self, automaton, table):
+        other = ComplianceChecker(encode(sequential_process(4)))
+        stranger = compile_automaton(other)
+        with pytest.raises(ArtifactError) as excinfo:
+            stranger.attach_table(table)
+        assert excinfo.value.reason == "fingerprint"
+
+    def test_attach_rejects_misaligned_states(self, automaton, table):
+        """Same fingerprint, different state numbering: a fresh lazy
+        automaton has only the initial state, so the table's id space
+        cannot be trusted against it."""
+        fresh = PurposeAutomaton(
+            fingerprint=automaton.fingerprint,
+            purpose=automaton.purpose,
+            roles=automaton.keyer.roles,
+        )
+        with pytest.raises(ArtifactError) as excinfo:
+            fresh.attach_table(table)
+        assert excinfo.value.reason == "state_mismatch"
+
+    def test_attach_tolerates_automaton_growth(self, automaton, table):
+        """A table stays valid while the automaton grows beyond it: the
+        digest covers only the table's id prefix."""
+        automaton.attach_table(table)
+        assert automaton.table is table
+
+    def test_version_constant_guards_the_layout(self):
+        assert TABLE_FORMAT_VERSION == 1
+
+
+class TestReplayThroughTheTable:
+    def test_table_replay_matches_interpreted(self, tmp_path):
+        workload = hospital_day(n_cases=6, violation_rate=0.4, seed=3)
+        hierarchy = role_hierarchy()
+
+        def factory():
+            return ComplianceChecker(workload.encoded, hierarchy=hierarchy)
+
+        automaton = compile_automaton(factory())
+        saved = save_table(
+            compile_table(automaton),
+            table_path(tmp_path, automaton.purpose, automaton.fingerprint),
+        )
+        loaded = load_table(saved, expected_fingerprint=automaton.fingerprint)
+        automaton.attach_table(loaded)
+        compiled = CompiledChecker(automaton, checker_factory=factory)
+        interpreted = factory()
+        try:
+            for case in workload.trail.cases():
+                case_trail = workload.trail.for_case(case)
+                assert canonical_digest(compiled.check(case_trail)) == (
+                    canonical_digest(interpreted.check(case_trail))
+                ), case
+        finally:
+            loaded.close()

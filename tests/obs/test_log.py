@@ -6,6 +6,7 @@ from repro.obs.log import (
     ARTIFACT_INVALID,
     AUTOMATON_CHECKPOINT,
     AUTOMATON_COMPILED,
+    AUTOMATON_TABLE_COMPILED,
     CASE_AUDITED,
     CASE_FAILED,
     CASE_QUARANTINED,
@@ -46,6 +47,7 @@ class TestVocabulary:
             ARTIFACT_INVALID,
             AUTOMATON_CHECKPOINT,
             AUTOMATON_COMPILED,
+            AUTOMATON_TABLE_COMPILED,
             CASE_AUDITED,
             CASE_FAILED,
             CASE_QUARANTINED,

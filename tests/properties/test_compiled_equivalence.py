@@ -258,3 +258,116 @@ class TestGuardParity:
         with pytest.raises(FrontierExplosionError) as right:
             compiled.check(trail)
         assert str(left.value) == str(right.value)
+
+
+class TestTableTier:
+    """The dense-table tier against both tiers beneath it.
+
+    Property: for arbitrary generated trails — including mid-case
+    truncation and entries whose ``(task, role)`` pair is outside the
+    compiled alphabet — the table tier, the lazy-DFA tier, and
+    interpreted replay produce byte-identical canonical verdict digests.
+    """
+
+    @staticmethod
+    def three_tiers(workload, hierarchy):
+        from repro.compile import compile_table
+
+        def factory():
+            return ComplianceChecker(workload.encoded, hierarchy=hierarchy)
+
+        eager = compile_automaton(factory())
+        eager.attach_table(compile_table(eager))
+        table_checker = CompiledChecker(eager, checker_factory=factory)
+        lazy = ComplianceChecker(workload.encoded, hierarchy=hierarchy)
+        lazy.attach_automaton(
+            PurposeAutomaton(
+                fingerprint=fingerprint_encoded(
+                    workload.encoded, hierarchy=hierarchy
+                ),
+                purpose=lazy.purpose,
+                roles=workload.encoded.roles,
+                hierarchy=hierarchy,
+            )
+        )
+        return factory(), lazy, table_checker
+
+    @given(
+        n_cases=st.integers(min_value=1, max_value=4),
+        rate=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=10_000),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+        alien=st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_three_tiers_byte_identical(
+        self, n_cases, rate, seed, cut, alien
+    ):
+        from dataclasses import replace
+
+        from repro.scenarios import hospital_day
+        from repro.testing import canonical_digest
+
+        workload = hospital_day(
+            n_cases=n_cases, violation_rate=rate, seed=seed
+        )
+        hierarchy = role_hierarchy()
+        interpreted, lazy, tabled = self.three_tiers(workload, hierarchy)
+        for case in workload.trail.cases():
+            entries = list(workload.trail.for_case(case))
+            if cut < 1.0:
+                # Mid-case truncation: verdicts over the open prefix.
+                entries = entries[: max(0, round(len(entries) * cut))]
+            if alien and entries:
+                # An entry outside the compiled alphabet: unknown task
+                # AND unknown role, so neither the symbol interner nor
+                # the keyer caches have ever seen the pair.
+                middle = len(entries) // 2
+                entries.insert(
+                    middle,
+                    replace(
+                        entries[middle],
+                        task="NotInAnyProcess",
+                        role="NoSuchRole",
+                    ),
+                )
+            digests = {
+                tier: canonical_digest(checker.check(entries))
+                for tier, checker in (
+                    ("interpreted", interpreted),
+                    ("lazy", lazy),
+                    ("table", tabled),
+                )
+            }
+            assert len(set(digests.values())) == 1, (case, digests)
+
+    def test_mmap_loaded_table_is_the_same_tier(self, tmp_path):
+        """The property holds with the table mmap-loaded from disk, not
+        just freshly compiled — the artifact round-trip changes nothing."""
+        from repro.compile import compile_table, load_table, save_table, table_path
+        from repro.scenarios import hospital_day
+        from repro.testing import canonical_digest
+
+        workload = hospital_day(n_cases=5, violation_rate=0.5, seed=99)
+        hierarchy = role_hierarchy()
+
+        def factory():
+            return ComplianceChecker(workload.encoded, hierarchy=hierarchy)
+
+        eager = compile_automaton(factory())
+        path = save_table(
+            compile_table(eager),
+            table_path(tmp_path, eager.purpose, eager.fingerprint),
+        )
+        loaded = load_table(path, expected_fingerprint=eager.fingerprint)
+        eager.attach_table(loaded)
+        tabled = CompiledChecker(eager, checker_factory=factory)
+        interpreted = factory()
+        try:
+            for case in workload.trail.cases():
+                case_trail = workload.trail.for_case(case)
+                assert canonical_digest(tabled.check(case_trail)) == (
+                    canonical_digest(interpreted.check(case_trail))
+                ), case
+        finally:
+            loaded.close()

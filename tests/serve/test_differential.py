@@ -108,12 +108,26 @@ def batch_digests():
     return digests_for
 
 
-def _stream_and_collect(serve_factory, name, shards, compiled, tmp_path):
+#: The replay ladder as served configurations: ``compiled`` picks the
+#: automaton path at all, ``table`` pins the dense-table tier on or off
+#: (``None`` would follow ``compiled``; the matrix pins it explicitly so
+#: each rung is exercised regardless of defaults).
+TIERS = {
+    "interpreted": dict(compiled=False),
+    "lazy-dfa": dict(compiled=True, table=False),
+    "table": dict(compiled=True, table=True),
+}
+
+
+def _stream_and_collect(serve_factory, name, shards, tier, tmp_path):
     registry, hierarchy, trail = SCENARIOS[name]()
+    options = TIERS[tier]
     config = ServeConfig(
         shards=shards,
-        compiled=compiled,
-        automaton_dir=str(tmp_path / "automata") if compiled else None,
+        automaton_dir=(
+            str(tmp_path / "automata") if options["compiled"] else None
+        ),
+        **options,
     )
     handle = serve_factory(registry, hierarchy=hierarchy, config=config)
     with AuditStreamClient(handle.host, handle.port) as client:
@@ -123,38 +137,26 @@ def _stream_and_collect(serve_factory, name, shards, compiled, tmp_path):
         return client.results()
 
 
+@pytest.mark.parametrize("tier", sorted(TIERS))
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
-class TestInterpretedService:
+class TestServiceTierMatrix:
+    """tier x shard-count x scenario: every rung of the replay ladder,
+    behind real sockets and real sharding, byte-identical to the batch
+    auditor's interpreted ground truth."""
+
     def test_verdict_digests_match_batch_replay(
-        self, serve_factory, batch_digests, scenario, shards, tmp_path
+        self, serve_factory, batch_digests, scenario, shards, tier, tmp_path
     ):
         served = _stream_and_collect(
-            serve_factory, scenario, shards, False, tmp_path
+            serve_factory, scenario, shards, tier, tmp_path
         )
         expected = batch_digests(scenario)
         assert set(served) >= set(expected)
         for case, digest in expected.items():
             assert served[case]["digest"] == digest, (
                 f"{scenario}: case {case} diverged from batch replay "
-                f"({shards} shards, interpreted)"
-            )
-
-
-@pytest.mark.parametrize("shards", SHARD_COUNTS)
-@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
-class TestCompiledService:
-    def test_verdict_digests_match_batch_replay(
-        self, serve_factory, batch_digests, scenario, shards, tmp_path
-    ):
-        served = _stream_and_collect(
-            serve_factory, scenario, shards, True, tmp_path
-        )
-        expected = batch_digests(scenario)
-        for case, digest in expected.items():
-            assert served[case]["digest"] == digest, (
-                f"{scenario}: case {case} diverged from batch replay "
-                f"({shards} shards, compiled)"
+                f"({shards} shards, {tier})"
             )
 
 
@@ -187,3 +189,48 @@ class TestXesIngestion:
         assert report.entries_received == len(trail)
         assert report.final_states["HT-1"] == "completed"
         assert report.final_states["HT-10"] == "infringing"
+
+
+class TestAutomatonDirImpliesTableTier:
+    """The CLI passes ``automaton_dir`` without setting ``compiled`` —
+    an unset ``table`` must still resolve to the dense tier (the wiring
+    once resolved it off ``compiled`` alone, so ``repro serve
+    --automaton-dir`` silently served from the lazy DFA)."""
+
+    def test_table_tier_engages_from_automaton_dir_alone(self, tmp_path):
+        from repro.obs import MetricsRegistry, Telemetry
+        from repro.serve import ShardRouter
+
+        registry, hierarchy, trail = SCENARIOS["healthcare"]()
+        metrics = MetricsRegistry()
+        router = ShardRouter(
+            registry,
+            hierarchy=hierarchy,
+            config=ServeConfig(
+                shards=2, automaton_dir=str(tmp_path / "automata")
+            ),
+            telemetry=Telemetry.create(registry=metrics),
+        )
+        router.start()
+        try:
+            for entry in trail:
+                assert router.submit(entry, block=True).accepted
+            assert router.wait_idle(timeout=30)
+            served = {
+                case: info["digest"]
+                for case, info in router.results().items()
+                if info["digest"] is not None
+            }
+        finally:
+            router.drain()
+        report = PurposeControlAuditor(registry, hierarchy=hierarchy).audit(
+            trail
+        )
+        expected = {
+            case: canonical_digest(result.replay)
+            for case, result in report.cases.items()
+            if result.replay is not None
+        }
+        assert served == expected
+        assert metrics.counter("automaton_table_hits_total").total > 0
+        assert list((tmp_path / "automata").glob("*.table.bin"))

@@ -86,6 +86,58 @@ class TestEvaluate:
         with pytest.raises(ValueError):
             gate.evaluate(broken, report)
 
+    def test_table_tier_slower_than_lazy_fails(self, gate, report):
+        # The dense table exists to be the fast tier; dropping >15%
+        # below lazy-DFA replay means the tier itself regressed.
+        current = dict(
+            report,
+            compiled_table={
+                "table_entries_per_s": 8_000.0,
+                "lazy_entries_per_s": 10_000.0,
+                "speedup_vs_lazy": 0.8,
+            },
+        )
+        ok, messages = gate.evaluate(current, report, threshold=0.15)
+        assert not ok
+        assert any("table tier" in m and "REGRESSION" in m for m in messages)
+
+    def test_table_tier_faster_than_lazy_passes(self, gate, report):
+        current = dict(
+            report,
+            compiled_table={
+                "table_entries_per_s": 12_000.0,
+                "lazy_entries_per_s": 10_000.0,
+                "speedup_vs_lazy": 1.2,
+            },
+        )
+        ok, _ = gate.evaluate(current, report, threshold=0.15)
+        assert ok
+
+    def test_wal_tax_is_anchored_on_the_baseline(self, gate, report):
+        # A fixed append cost looks relatively worse every time the
+        # plain path speeds up; the gate must compare against the
+        # baseline's tax, not an absolute 1.0.
+        baseline = dict(report, wal={"relative_to_plain": 0.70})
+        steady = dict(report, wal={"relative_to_plain": 0.68})
+        ok, _ = gate.evaluate(steady, baseline, threshold=0.15)
+        assert ok
+        worse = dict(report, wal={"relative_to_plain": 0.50})
+        ok, messages = gate.evaluate(worse, baseline, threshold=0.15)
+        assert not ok
+        assert any("wal" in m and "REGRESSION" in m for m in messages)
+
+    def test_wal_tax_without_baseline_section_anchors_at_one(
+        self, gate, report
+    ):
+        # First run after adding the wal section: the baseline has no
+        # entry yet, so the anchor falls back to 1.0 (plain parity).
+        current = dict(report, wal={"relative_to_plain": 0.90})
+        ok, _ = gate.evaluate(current, report, threshold=0.15)
+        assert ok
+        tanked = dict(report, wal={"relative_to_plain": 0.60})
+        ok, _ = gate.evaluate(tanked, report, threshold=0.15)
+        assert not ok
+
 
 class TestMainExitCodes:
     def _write(self, path, payload):
